@@ -1,0 +1,34 @@
+"""Ablation A4 (extension): uniform vs coverage-guided config mutation.
+
+The paper mutates configuration values uniformly among a group's MUTABLE
+entities; the guided variant biases toward entities whose past mutations
+unlocked coverage (ε-greedy). The bench checks the guided policy never
+regresses materially and reports both.
+"""
+
+import pytest
+
+from repro.harness.stats import mean
+from repro.parallel.cmfuzz import CmFuzzMode
+
+from conftest import repeated
+
+
+@pytest.mark.parametrize("subject", ("mosquitto", "dnsmasq"))
+def test_ablation_guided_mutation(benchmark, subject):
+    def experiment():
+        uniform = repeated(subject, "cmfuzz", seed=47,
+                           mode_factory=lambda: CmFuzzMode(guided_mutation=False))
+        guided = repeated(subject, "cmfuzz", seed=47,
+                          mode_factory=lambda: CmFuzzMode(guided_mutation=True))
+        return uniform, guided
+
+    uniform, guided = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    uniform_cov = mean([r.final_coverage for r in uniform])
+    guided_cov = mean([r.final_coverage for r in guided])
+    print("\nAblation A4 (%s): uniform=%.0f guided=%.0f"
+          % (subject, uniform_cov, guided_cov))
+
+    assert guided_cov >= 0.9 * uniform_cov
+    benchmark.extra_info["uniform"] = uniform_cov
+    benchmark.extra_info["guided"] = guided_cov

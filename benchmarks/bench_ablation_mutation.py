@@ -1,0 +1,36 @@
+"""Ablation A2: adaptive configuration mutation on vs off.
+
+With mutation disabled, each CMFuzz instance keeps its initial group
+configuration for the whole campaign; coverage should plateau earlier and
+end lower on subjects whose entities carry many alternative typical
+values (the Figure-4 `continues to increase` effect).
+"""
+
+import pytest
+
+from repro.harness.stats import mean
+from repro.parallel.cmfuzz import CmFuzzMode
+
+from conftest import repeated
+
+
+@pytest.mark.parametrize("subject", ("mosquitto", "dnsmasq"))
+def test_ablation_adaptive_mutation(benchmark, subject):
+    def experiment():
+        adaptive = repeated(subject, "cmfuzz", seed=31,
+                            mode_factory=lambda: CmFuzzMode(adaptive_mutation=True))
+        frozen = repeated(subject, "cmfuzz", seed=31,
+                          mode_factory=lambda: CmFuzzMode(adaptive_mutation=False))
+        return adaptive, frozen
+
+    adaptive, frozen = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    adaptive_cov = mean([r.final_coverage for r in adaptive])
+    frozen_cov = mean([r.final_coverage for r in frozen])
+    print("\nAblation A2 (%s): adaptive=%.0f frozen=%.0f" %
+          (subject, adaptive_cov, frozen_cov))
+
+    assert adaptive_cov >= frozen_cov
+    mutations = sum(i.config_mutations for r in adaptive for i in r.instances)
+    assert mutations > 0
+    benchmark.extra_info["adaptive"] = adaptive_cov
+    benchmark.extra_info["frozen"] = frozen_cov

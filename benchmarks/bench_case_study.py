@@ -1,0 +1,69 @@
+"""Figure 5 case study: Bug #8 in libcoap (CoAP).
+
+Demonstrates the paper's case-study mechanics end-to-end:
+
+1. under the default configuration the Q-Block1 request is rejected, the
+   vulnerable path is unreachable;
+2. with ``--block-transfer --qblock`` (CMFuzz schedules this non-default
+   combination onto an instance), a final block arriving without block 0
+   leaves ``lg_srcv->body_data`` NULL and the give_app_data label
+   dereferences it — SEGV in ``coap_handle_request_put_block``.
+"""
+
+import pytest
+
+from repro.targets.coap.server import LibcoapTarget
+from repro.targets.faults import FaultKind, SanitizerFault
+
+_URI_STORE = b"\xb5store"
+_QBLOCK1_LAST_ONLY = b"\x81\x12"  # Q-Block1 num=1, more=0, szx=2
+
+
+def _put_final_block():
+    header = bytes([0x40, 0x03]) + (0x7D01).to_bytes(2, "big")
+    return header + _URI_STORE + _QBLOCK1_LAST_ONLY + b"\xff" + b"D" * 8
+
+
+def test_case_study_default_config_safe(benchmark):
+    target = LibcoapTarget()
+    target.startup({})
+
+    def attempt():
+        return target.handle_packet(_put_final_block())
+
+    response = benchmark(attempt)
+    # 4.02 Bad Option: Q-Block rejected, no crash possible.
+    assert response[1] == 0x82
+
+
+def test_case_study_qblock_config_crashes(benchmark):
+    def attempt():
+        target = LibcoapTarget()
+        target.startup({"block-transfer": True, "qblock": True})
+        try:
+            target.handle_packet(_put_final_block())
+        except SanitizerFault as fault:
+            return fault
+        return None
+
+    fault = benchmark(attempt)
+    assert fault is not None
+    assert fault.kind is FaultKind.SEGV
+    assert fault.function == "coap_handle_request_put_block"
+    print("\nCase study reproduced: %s" % fault)
+
+
+def test_case_study_complete_transfer_is_handled(benchmark):
+    """With all blocks delivered, the same configuration is safe — the
+    bug is specifically the incomplete-transfer NULL body."""
+    first_block = (bytes([0x40, 0x03]) + (0x7D02).to_bytes(2, "big")
+                   + _URI_STORE + b"\x81\x0a" + b"\xff" + b"C" * 16)
+
+    def attempt():
+        target = LibcoapTarget()
+        target.startup({"block-transfer": True, "qblock": True})
+        target.handle_packet(first_block)
+        return target.handle_packet(_put_final_block())
+
+    response = benchmark(attempt)
+    assert response[1] == 0x44  # 2.04 Changed

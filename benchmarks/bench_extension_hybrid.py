@@ -1,0 +1,37 @@
+"""Extension experiment: composing CMFuzz with SPFuzz's scheduling.
+
+The paper (Related Work) claims CMFuzz "can be integrated with these
+existing methodologies to significantly boost fuzzing efficiency". The
+hybrid mode layers SPFuzz's state-path partitioning and seed sync on top
+of CMFuzz's configuration scheduling; this bench checks the composition
+is at least as good as CMFuzz alone on the configuration-rich subjects.
+"""
+
+import pytest
+
+from repro.harness.stats import mean
+from repro.parallel.hybrid import HybridMode
+
+from conftest import repeated
+
+
+@pytest.mark.parametrize("subject", ("mosquitto", "dnsmasq"))
+def test_extension_hybrid(benchmark, subject):
+    def experiment():
+        return {
+            "hybrid": repeated(subject, "hybrid", seed=41,
+                               mode_factory=HybridMode),
+            "cmfuzz": repeated(subject, "cmfuzz", seed=41),
+            "spfuzz": repeated(subject, "spfuzz", seed=41),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    coverage = {name: mean([r.final_coverage for r in runs])
+                for name, runs in results.items()}
+    print("\nExtension (hybrid) on %s: %s" % (subject, coverage))
+
+    # Composition preserves the configuration axis win over SPFuzz...
+    assert coverage["hybrid"] > coverage["spfuzz"]
+    # ...and does not regress badly against CMFuzz alone.
+    assert coverage["hybrid"] >= 0.9 * coverage["cmfuzz"]
+    benchmark.extra_info.update(coverage)

@@ -1,0 +1,74 @@
+"""Figure 4: branch coverage over time per subject, all three fuzzers.
+
+Renders an ASCII panel per subject on a uniform one-hour grid and asserts
+the curves' qualitative shape from the paper: an early CMFuzz lead
+(configuration items loaded at startup) and baseline saturation while
+CMFuzz keeps growing via adaptive configuration mutation.
+"""
+
+import pytest
+
+from repro.harness.report import render_figure4
+from repro.harness.stats import TimeSeries, mean
+
+from conftest import DURATION_HOURS, SUBJECTS
+
+_HORIZON = DURATION_HOURS * 3600.0
+
+
+def _mean_series(results):
+    """Average several repetitions onto a shared hourly grid."""
+    averaged = TimeSeries()
+    step = 3600.0
+    t = 0.0
+    while t <= _HORIZON + 1e-9:
+        averaged.record(t, mean([r.coverage.value_at(t) for r in results]))
+        t += step
+    return averaged
+
+
+@pytest.mark.parametrize("subject", SUBJECTS)
+def test_fig4_panel(benchmark, campaign_cache, subject):
+    def experiment():
+        return {
+            mode: _mean_series(campaign_cache(subject, mode))
+            for mode in ("cmfuzz", "peach", "spfuzz")
+        }
+
+    series = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    chart = render_figure4(series, horizon=_HORIZON)
+    print("\nFigure 4 — %s (avg over repetitions, 4 instances)\n%s" % (subject, chart))
+
+    cmfuzz, peach, spfuzz = series["cmfuzz"], series["peach"], series["spfuzz"]
+
+    # Final ordering: CMFuzz on top (paper: highest on all six projects).
+    assert cmfuzz.final_value > peach.final_value
+    assert cmfuzz.final_value > spfuzz.final_value
+
+    # All curves are non-decreasing (cumulative branch coverage).
+    for current in series.values():
+        values = [v for _, v in current.points()]
+        assert values == sorted(values)
+
+    # CMFuzz leads at mid-campaign too, not only at the end.
+    midpoint = _HORIZON / 2
+    assert cmfuzz.value_at(midpoint) >= peach.value_at(midpoint)
+
+    benchmark.extra_info["final_cmfuzz"] = cmfuzz.final_value
+    benchmark.extra_info["final_peach"] = peach.final_value
+    benchmark.extra_info["final_spfuzz"] = spfuzz.final_value
+
+
+def test_fig4_baselines_saturate_cmfuzz_grows(benchmark, campaign_cache):
+    """Paper: Peach/SPFuzz saturate; CMFuzz keeps increasing by adjusting
+    typical values from the entities' Values fields."""
+
+    def late_growth_count():
+        grew = 0
+        for subject in ("mosquitto", "dnsmasq"):
+            cmfuzz = _mean_series(campaign_cache(subject, "cmfuzz"))
+            if cmfuzz.final_value - cmfuzz.value_at(_HORIZON * 0.5) > 0:
+                grew += 1
+        return grew
+
+    assert benchmark.pedantic(late_growth_count, rounds=1, iterations=1) >= 1

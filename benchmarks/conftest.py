@@ -1,0 +1,61 @@
+"""Shared campaign helpers for the benchmark harness."""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.harness.campaign import CampaignConfig, run_repeated
+from repro.harness.simclock import CostModel
+from repro.parallel import MODES
+from repro.pits import pit_registry
+from repro.targets import target_registry
+
+#: Scaled-down defaults: a simulated 24 h day at 30 s/iteration, four
+#: instances, three repetitions (the paper uses five; three keeps the
+#: whole bench suite in minutes).
+REPETITIONS = int(os.environ.get("CMFUZZ_BENCH_REPS", "3"))
+DURATION_HOURS = float(os.environ.get("CMFUZZ_BENCH_HOURS", "24"))
+SUBJECTS = ("mosquitto", "libcoap", "cyclonedds", "openssl", "qpid", "dnsmasq")
+
+
+def campaign_config(seed=0):
+    return CampaignConfig(
+        n_instances=4,
+        duration_hours=DURATION_HOURS,
+        seed=seed,
+        costs=CostModel(iteration=30.0),
+        sample_interval=1800.0,
+        sync_interval=1800.0,
+    )
+
+
+def repeated(target_name, mode_name, seed=0, repetitions=None, mode_factory=None):
+    """Run the paper's repeated-campaign protocol for one (subject, fuzzer)."""
+    targets, pits = target_registry(), pit_registry()
+    return run_repeated(
+        targets[target_name],
+        pits[target_name],
+        mode_factory or MODES[mode_name],
+        repetitions=repetitions or REPETITIONS,
+        config=campaign_config(seed=seed),
+    )
+
+
+@pytest.fixture(scope="session")
+def campaign_cache():
+    """Memoises (subject, fuzzer) -> results so Table I, Figure 4 and
+    Table II benches share campaign runs instead of re-fuzzing."""
+    cache = {}
+
+    def get(target_name, mode_name):
+        key = (target_name, mode_name)
+        if key not in cache:
+            cache[key] = repeated(target_name, mode_name, seed=17)
+        return cache[key]
+
+    return get

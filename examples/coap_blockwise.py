@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The paper's case study (Figure 5): Bug #8 in libcoap.
+
+Shows, step by step, why the SEGV in ``coap_handle_request_put_block``
+cannot be triggered under the default configuration and how CMFuzz's
+configuration scheduling reaches it: an instance assigned the
+``block-transfer``/``qblock`` group enables RFC 9177 Q-Block transfers,
+and a final block arriving without block 0 dereferences the NULL
+``lg_srcv->body_data`` at the ``give_app_data`` label.
+
+    python examples/coap_blockwise.py
+"""
+
+from repro.core.extraction import extract_entities
+from repro.core.model import ConfigurationModel
+from repro.core.relation import RelationQuantifier
+from repro.targets.base import startup_probe_for
+from repro.targets.coap.server import LibcoapTarget
+from repro.targets.faults import SanitizerFault
+
+_URI_STORE = b"\xb5store"
+
+
+def _put_qblock(block_value, payload):
+    header = bytes([0x40, 0x03, 0x7d, 0x01])
+    return header + _URI_STORE + b"\x81" + block_value + b"\xff" + payload
+
+
+def main():
+    final_block_only = _put_qblock(b"\x12", b"D" * 8)  # num=1, more=0
+
+    print("=== default configuration ===")
+    target = LibcoapTarget()
+    target.startup({})
+    response = target.handle_packet(final_block_only)
+    print("Q-Block1 PUT ->", "4.02 Bad Option (rejected)" if response[1] == 0x82
+          else "unexpected %#x" % response[1])
+    print("the vulnerable path is unreachable: qblock is off by default\n")
+
+    print("=== CMFuzz discovers the relation ===")
+    entities = extract_entities(LibcoapTarget.config_sources(),
+                                LibcoapTarget.entity_overrides())
+    quantifier = RelationQuantifier(startup_probe_for(LibcoapTarget),
+                                    max_combinations=8)
+    relation_model, _ = quantifier.quantify(ConfigurationModel(entities))
+    weight = relation_model.weight("block-transfer", "qblock")
+    print("relation weight (block-transfer, qblock): %.2f" % weight)
+    print("-> the pair unlocks new startup paths, so Algorithm 2 schedules")
+    print("   them onto the same instance with both enabled\n")
+
+    print("=== non-default configuration (CMFuzz instance) ===")
+    target = LibcoapTarget()
+    target.startup({"block-transfer": True, "qblock": True})
+    print("startup: Q-Block recovery timers armed")
+    try:
+        target.handle_packet(final_block_only)
+        print("no crash?!")
+    except SanitizerFault as fault:
+        print("CRASH:", fault)
+        print("(lg_srcv->body_data was NULL: block 0 never arrived, yet the")
+        print(" final block jumped to give_app_data — Figure 5, line 20)\n")
+
+    print("=== complete transfer on the same configuration is safe ===")
+    target = LibcoapTarget()
+    target.startup({"block-transfer": True, "qblock": True})
+    target.handle_packet(_put_qblock(b"\x0a", b"C" * 16))  # num=0, more=1
+    response = target.handle_packet(_put_qblock(b"\x12", b"D" * 8))
+    print("two-block PUT -> %s" % ("2.04 Changed" if response[1] == 0x44 else "?"))
+    print("stored body:", target._resources["store"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments whose
+setuptools cannot build PEP 660 editable wheels (no ``wheel`` package):
+pip falls back to the classic ``setup.py develop`` path. All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

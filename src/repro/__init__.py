@@ -1,0 +1,52 @@
+"""CMFuzz reproduction: parallel fuzzing of IoT protocols by configuration
+model identification and scheduling (DAC 2025).
+
+Top-level convenience exports cover the common workflow::
+
+    from repro import (
+        ConfigSources, extract_entities, ConfigurationModel,
+        RelationQuantifier, allocate, run_campaign,
+    )
+
+See ``DESIGN.md`` for the system inventory and the per-experiment index.
+"""
+
+from repro.core.allocation import AllocationResult, allocate
+from repro.core.entity import ConfigEntity, ConfigItem, Flag, ValueType
+from repro.core.extraction import ConfigSources, extract_configuration_items, extract_entities
+from repro.core.model import ConfigurationModel, RelationAwareModel
+from repro.core.mutation import ConfigMutator, SaturationDetector
+from repro.core.relation import RelationQuantifier
+from repro.coverage import CoverageCollector, CoverageMap
+from repro.errors import ReproError, StartupError
+from repro.harness.campaign import CampaignConfig, CampaignResult, run_campaign, run_repeated
+from repro.targets.base import startup_probe_for
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationResult",
+    "CampaignConfig",
+    "CampaignResult",
+    "ConfigEntity",
+    "ConfigItem",
+    "ConfigMutator",
+    "ConfigSources",
+    "ConfigurationModel",
+    "CoverageCollector",
+    "CoverageMap",
+    "Flag",
+    "RelationAwareModel",
+    "RelationQuantifier",
+    "ReproError",
+    "SaturationDetector",
+    "StartupError",
+    "ValueType",
+    "__version__",
+    "allocate",
+    "extract_configuration_items",
+    "extract_entities",
+    "run_campaign",
+    "run_repeated",
+    "startup_probe_for",
+]

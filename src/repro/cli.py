@@ -1,0 +1,160 @@
+"""Command-line interface: run campaigns and inspect configuration models.
+
+Usage::
+
+    python -m repro campaign --target mosquitto --mode cmfuzz --hours 24
+    python -m repro model --target dnsmasq
+    python -m repro compare --target libcoap --hours 12
+    python -m repro targets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.allocation import allocate
+from repro.core.extraction import extract_entities
+from repro.core.model import ConfigurationModel
+from repro.core.relation import RelationQuantifier
+from repro.harness.campaign import CampaignConfig, run_campaign
+from repro.harness.report import (
+    format_speedup,
+    improvement,
+    render_bug_table,
+    render_figure4,
+    render_table,
+)
+from repro.harness.stats import speedup
+from repro.parallel import MODES
+from repro.pits import pit_registry
+from repro.targets import target_registry
+from repro.targets.base import startup_probe_for
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CMFuzz reproduction: configuration-model-driven parallel fuzzing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    targets = sorted(target_registry())
+
+    campaign = sub.add_parser("campaign", help="run one fuzzing campaign")
+    campaign.add_argument("--target", choices=targets, required=True)
+    campaign.add_argument("--mode", choices=sorted(MODES), default="cmfuzz")
+    campaign.add_argument("--instances", type=int, default=4)
+    campaign.add_argument("--hours", type=float, default=24.0)
+    campaign.add_argument("--seed", type=int, default=0)
+
+    compare = sub.add_parser("compare", help="run all three fuzzers and compare")
+    compare.add_argument("--target", choices=targets, required=True)
+    compare.add_argument("--instances", type=int, default=4)
+    compare.add_argument("--hours", type=float, default=24.0)
+    compare.add_argument("--seed", type=int, default=0)
+
+    model = sub.add_parser("model", help="print a target's configuration model")
+    model.add_argument("--target", choices=targets, required=True)
+    model.add_argument("--instances", type=int, default=4)
+    model.add_argument("--relations", action="store_true",
+                       help="also quantify relations and show the allocation")
+
+    sub.add_parser("targets", help="list available protocol targets")
+    return parser
+
+
+def _cmd_targets(out) -> int:
+    rows = [
+        [name, cls.PROTOCOL, str(cls.PORT), str(len(cls.default_config()))]
+        for name, cls in sorted(target_registry().items())
+    ]
+    out.write(render_table(["Target", "Protocol", "Port", "Config keys"], rows) + "\n")
+    return 0
+
+
+def _cmd_model(args, out) -> int:
+    target_cls = target_registry()[args.target]
+    entities = extract_entities(target_cls.config_sources(),
+                                target_cls.entity_overrides())
+    rows = [
+        [e.name, e.type.value, e.flag.value, ", ".join(map(str, e.values[:4]))]
+        for e in entities
+    ]
+    out.write(render_table(["Name", "Type", "Flag", "Values"], rows) + "\n")
+    if not args.relations:
+        return 0
+    faults: List = []
+    probe = startup_probe_for(target_cls, on_fault=faults.append)
+    quantifier = RelationQuantifier(probe, max_combinations=8)
+    relation_model, report = quantifier.quantify(ConfigurationModel(entities))
+    out.write("\n%d relations from %d launches (%d conflicts)\n"
+              % (relation_model.graph.number_of_edges(), report.launches,
+                 report.failures))
+    for fault in sorted({str(f) for f in faults}):
+        out.write("startup crash while probing: %s\n" % fault)
+    allocation = allocate(relation_model, args.instances)
+    for index, group in enumerate(allocation.groups):
+        out.write("instance %d: %s\n" % (index, ", ".join(sorted(group))))
+    return 0
+
+
+def _run(args, mode_name: str):
+    target_cls = target_registry()[args.target]
+    return run_campaign(
+        target_cls,
+        pit_registry()[args.target](),
+        MODES[mode_name](),
+        CampaignConfig(n_instances=args.instances, duration_hours=args.hours,
+                       seed=args.seed),
+    )
+
+
+def _cmd_campaign(args, out) -> int:
+    result = _run(args, args.mode)
+    out.write("target=%s mode=%s branches=%d bugs=%d iterations=%d\n"
+              % (result.target, result.mode, result.final_coverage,
+                 len(result.bugs), result.iterations))
+    if len(result.bugs):
+        out.write(render_bug_table(result.bugs) + "\n")
+    return 0
+
+
+def _cmd_compare(args, out) -> int:
+    results = {name: _run(args, name) for name in ("peach", "spfuzz", "cmfuzz")}
+    cmfuzz = results["cmfuzz"]
+    rows = []
+    for name, result in results.items():
+        rows.append([name, str(result.final_coverage), str(len(result.bugs))])
+    out.write(render_table(["Fuzzer", "Branches", "Bugs"], rows) + "\n")
+    for baseline in ("peach", "spfuzz"):
+        out.write("cmfuzz vs %s: %s coverage, speedup %s\n" % (
+            baseline,
+            improvement(cmfuzz.final_coverage, results[baseline].final_coverage),
+            format_speedup(speedup(results[baseline].coverage, cmfuzz.coverage)),
+        ))
+    out.write(render_figure4(
+        {name: result.coverage for name, result in results.items()},
+        horizon=args.hours * 3600.0,
+    ) + "\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "targets":
+        return _cmd_targets(out)
+    if args.command == "model":
+        return _cmd_model(args, out)
+    if args.command == "campaign":
+        return _cmd_campaign(args, out)
+    if args.command == "compare":
+        return _cmd_compare(args, out)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""The paper's primary contribution: configuration model identification
+and scheduling.
+
+Identification (§III-A):
+
+- :mod:`repro.core.cli_parser` / :mod:`repro.core.file_parsers` — extract
+  raw configuration items from CLI option specifications and configuration
+  files in key-value, hierarchical and custom formats.
+- :mod:`repro.core.extraction` — Algorithm 1, producing the consolidated
+  item set.
+- :mod:`repro.core.entity` / :mod:`repro.core.model` — the generalized
+  configuration model of 4-tuple entities *(Name, Type, Flag, Values)*.
+
+Scheduling (§III-B):
+
+- :mod:`repro.core.relation` — pairwise relation-weight quantification via
+  startup coverage, producing the relation-aware configuration model.
+- :mod:`repro.core.allocation` — Algorithm 2: cohesive grouping and
+  parallel allocation with the FINDBEST suitability score.
+- :mod:`repro.core.reassembly` — groups back into runtime-ready
+  configuration files / CLI options.
+- :mod:`repro.core.mutation` — adaptive, Flag-gated, Values-guided
+  configuration mutation applied at coverage saturation.
+"""
+
+from repro.core.allocation import AllocationResult, allocate, find_best, suitability_score
+from repro.core.cli_parser import parse_cli_options
+from repro.core.entity import ConfigEntity, Flag, ValueType
+from repro.core.extraction import ConfigSources, extract_configuration_items
+from repro.core.model import ConfigurationModel, RelationAwareModel
+from repro.core.mutation import ConfigMutator, SaturationDetector
+from repro.core.reassembly import reassemble_cli, reassemble_config_file, reassemble_group
+from repro.core.relation import RelationQuantifier
+
+__all__ = [
+    "AllocationResult",
+    "ConfigEntity",
+    "ConfigMutator",
+    "ConfigSources",
+    "ConfigurationModel",
+    "Flag",
+    "RelationAwareModel",
+    "RelationQuantifier",
+    "SaturationDetector",
+    "ValueType",
+    "allocate",
+    "extract_configuration_items",
+    "find_best",
+    "parse_cli_options",
+    "reassemble_cli",
+    "reassemble_config_file",
+    "reassemble_group",
+    "suitability_score",
+]

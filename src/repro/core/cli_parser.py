@@ -1,0 +1,135 @@
+"""Pattern-matching parser for CLI option configurations (§III-A1).
+
+CLI options follow predictable patterns such as ``--option=value`` or
+``-flag``. This module extracts :class:`~repro.core.entity.ConfigItem`
+objects from the two CLI shapes encountered in practice:
+
+- *help text*: the ``--help`` output of a protocol binary, scanned line by
+  line for option patterns, default values and enum alternatives;
+- *invocation strings*: concrete command lines (``server --port=5683 -v``)
+  whose assignments are taken as defaults.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional
+
+from repro.core.entity import ConfigItem, SourceKind
+
+# ``--name=value``, ``--name value``, ``--name <value>``, ``--name``.
+_LONG_OPTION_RE = re.compile(
+    r"--(?P<name>[A-Za-z][\w.-]*)"
+    r"(?:[= ](?P<value><?[\w./:,+-]+>?))?"
+)
+# ``-f``, ``-f value`` (single-dash short options).
+_SHORT_OPTION_RE = re.compile(
+    r"(?<![\w-])-(?P<name>[A-Za-z])\b(?:[= ](?P<value><?[\w./:,+-]+>?))?"
+)
+_DEFAULT_RE = re.compile(r"\(?\bdefaults?\s*(?:to|[:=])?\s*(?P<value>[\w./:-]+)\)?", re.IGNORECASE)
+_ONE_OF_RE = re.compile(r"\bone of[:\s]+(?P<alts>[\w.,|/ -]+)", re.IGNORECASE)
+_PLACEHOLDER_RE = re.compile(r"^<.*>$|^[A-Z][A-Z0-9_]*$")
+
+
+def _normalise_value(value: Optional[str]) -> Optional[str]:
+    """Drop placeholder values (``<value>``, ``LEVEL``) — they name the
+    operand, not a default."""
+    if value is None:
+        return None
+    if _PLACEHOLDER_RE.match(value):
+        return None
+    return value
+
+
+def _split_alternatives(alts: str) -> List[str]:
+    parts = re.split(r"[,|]", alts)
+    return [p.strip() for p in parts if p.strip()]
+
+
+def parse_help_text(text: str, origin: str = "cli") -> List[ConfigItem]:
+    """Extract configuration items from ``--help``-style text.
+
+    Each line is scanned for long/short option patterns; trailing prose on
+    the same line contributes a default value (``default: X``) and enum
+    alternatives (``one of: a, b, c``).
+    """
+    items: List[ConfigItem] = []
+    seen = set()
+    for line in text.splitlines():
+        matches = list(_LONG_OPTION_RE.finditer(line))
+        if not matches:
+            matches = list(_SHORT_OPTION_RE.finditer(line))
+        if not matches:
+            continue
+        match = matches[0]
+        name = match.group("name")
+        if name in seen:
+            continue
+        seen.add(name)
+        value = _normalise_value(match.group("value"))
+        candidates: List[str] = []
+        default_match = _DEFAULT_RE.search(line)
+        if default_match:
+            default = default_match.group("value")
+        else:
+            default = value
+        one_of = _ONE_OF_RE.search(line)
+        if one_of:
+            candidates = _split_alternatives(one_of.group("alts"))
+        # Later long-option matches on the same line are value aliases for
+        # the same item (e.g. "--log-level LEVEL  one of: debug, info").
+        items.append(
+            ConfigItem(
+                name=name,
+                default=default,
+                source=SourceKind.CLI,
+                origin=origin,
+                candidates=tuple(candidates),
+            )
+        )
+    return items
+
+
+def parse_invocation(argv: Iterable[str], origin: str = "cli") -> List[ConfigItem]:
+    """Extract items from a concrete invocation (list of argv tokens).
+
+    ``--opt=value`` contributes ``opt`` with that default; ``--opt value``
+    (value not starting with a dash) likewise; bare ``--flag`` / ``-f``
+    become boolean-like flags with no default.
+    """
+    tokens = list(argv)
+    items: List[ConfigItem] = []
+    seen = set()
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        name = None
+        default = None
+        if token.startswith("--"):
+            body = token[2:]
+            if "=" in body:
+                name, default = body.split("=", 1)
+            else:
+                name = body
+                if index + 1 < len(tokens) and not tokens[index + 1].startswith("-"):
+                    default = tokens[index + 1]
+                    index += 1
+        elif token.startswith("-") and len(token) == 2 and token[1].isalpha():
+            name = token[1]
+            if index + 1 < len(tokens) and not tokens[index + 1].startswith("-"):
+                default = tokens[index + 1]
+                index += 1
+        index += 1
+        if name and name not in seen:
+            seen.add(name)
+            items.append(
+                ConfigItem(name=name, default=default, source=SourceKind.CLI, origin=origin)
+            )
+    return items
+
+
+def parse_cli_options(source, origin: str = "cli") -> List[ConfigItem]:
+    """Dispatch on the CLI source shape (help text vs argv list)."""
+    if isinstance(source, str):
+        return parse_help_text(source, origin=origin)
+    return parse_invocation(source, origin=origin)

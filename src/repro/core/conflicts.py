@@ -1,0 +1,71 @@
+"""Conflict analysis over quantification probe records.
+
+Conflicting configuration combinations manifest as startup failures
+during relation quantification (§III-B1). This module mines the probe
+log for that structure and surfaces it as data: which value pairs always
+fail, and which entity pairs are conflict-only (never bootable together).
+Useful both for reporting and for steering mutation away from dead
+combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Tuple
+
+from repro.core.relation import QuantificationReport
+
+
+@dataclass(frozen=True)
+class ConflictPair:
+    """An entity pair with at least one always-failing value combination."""
+
+    entity_a: str
+    entity_b: str
+    #: Value combinations observed to fail startup.
+    failing: Tuple[Tuple[Any, Any], ...]
+    #: True if *every* probed combination of the pair failed.
+    total: bool
+
+
+def _pair_key(assignment: Dict[str, Any]) -> Tuple[str, str]:
+    names = sorted(assignment)
+    return names[0], names[1]
+
+
+def find_conflicts(report: QuantificationReport) -> List[ConflictPair]:
+    """Mine the probe log for conflicting pairs.
+
+    Only two-entity probes participate (singles and the baseline carry no
+    pair information). Pairs are returned sorted by entity names.
+    """
+    outcomes: Dict[Tuple[str, str], List[Tuple[Tuple[Any, Any], bool]]] = {}
+    for record in report.probes:
+        if len(record.assignment) != 2:
+            continue
+        key = _pair_key(record.assignment)
+        values = tuple(record.assignment[name] for name in key)
+        outcomes.setdefault(key, []).append((values, record.failed))
+
+    conflicts: List[ConflictPair] = []
+    for (name_a, name_b), observations in sorted(outcomes.items()):
+        failing = tuple(values for values, failed in observations if failed)
+        if not failing:
+            continue
+        conflicts.append(
+            ConflictPair(
+                entity_a=name_a,
+                entity_b=name_b,
+                failing=failing,
+                total=len(failing) == len(observations),
+            )
+        )
+    return conflicts
+
+
+def conflicting_value_sets(report: QuantificationReport) -> Dict[Tuple[str, str], FrozenSet]:
+    """Pair -> the set of failing value combinations (fast lookup form)."""
+    return {
+        (conflict.entity_a, conflict.entity_b): frozenset(conflict.failing)
+        for conflict in find_conflicts(report)
+    }

@@ -1,0 +1,115 @@
+"""Configuration items and the 4-tuple entities of the generalized model.
+
+Figure 2 of the paper: each entity encapsulates *(Name, Type, Flag,
+Values)* derived from a raw configuration item.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.errors import ConfigModelError
+
+
+class ValueType(enum.Enum):
+    """Inferred type of a configuration item's value."""
+
+    NUMBER = "Number"
+    BOOLEAN = "Boolean"
+    STRING = "String"
+    ENUM = "Enum"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Flag(enum.Enum):
+    """Whether a value is likely to change during typical protocol operation.
+
+    Static values such as paths or system directories are IMMUTABLE;
+    adjustable values like numeric ranges or mode settings are MUTABLE.
+    """
+
+    MUTABLE = "MUTABLE"
+    IMMUTABLE = "IMMUTABLE"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class SourceKind(enum.Enum):
+    """Where a configuration item was extracted from."""
+
+    CLI = "cli"
+    KEY_VALUE_FILE = "key-value"
+    HIERARCHICAL_FILE = "hierarchical"
+    CUSTOM_FILE = "custom"
+
+
+@dataclass(frozen=True)
+class ConfigItem:
+    """A raw configuration item as extracted from a source (Algorithm 1).
+
+    Attributes:
+        name: The configuration key, normalised (CLI dashes stripped).
+        default: The default value observed at the source, if any.
+        source: Which extraction path produced this item.
+        origin: Human-readable provenance (file name, CLI spec).
+        candidates: Additional example/typical values observed at the
+            source (e.g. enum alternatives from help text).
+    """
+
+    name: str
+    default: Optional[str] = None
+    source: SourceKind = SourceKind.CLI
+    origin: str = ""
+    candidates: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigModelError("configuration item requires a non-empty name")
+
+
+@dataclass(frozen=True)
+class ConfigEntity:
+    """A 4-tuple entity of the generalized configuration model.
+
+    Attributes:
+        name: Inherited directly from the configuration item.
+        type: Inferred from the item's value patterns.
+        flag: MUTABLE if the value is adjustable during operation.
+        values: The typical set of values for this configuration, used to
+            drive both pairwise relation probing and adaptive mutation.
+    """
+
+    name: str
+    type: ValueType
+    flag: Flag
+    values: Tuple[Any, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigModelError("configuration entity requires a non-empty name")
+        if self.flag is Flag.MUTABLE and not self.values:
+            raise ConfigModelError(
+                "mutable entity %r must carry at least one typical value" % self.name
+            )
+
+    @property
+    def mutable(self) -> bool:
+        """True when the Flag attribute is MUTABLE."""
+        return self.flag is Flag.MUTABLE
+
+    def with_values(self, values: Sequence[Any]) -> "ConfigEntity":
+        """Return a copy with a replacement typical-value set."""
+        return ConfigEntity(self.name, self.type, self.flag, tuple(values))
+
+    def __str__(self) -> str:
+        return "(%s, %s, %s, %s)" % (
+            self.name,
+            self.type.value,
+            self.flag.value,
+            list(self.values),
+        )

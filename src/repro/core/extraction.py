@@ -1,0 +1,81 @@
+"""Algorithm 1: configuration items extraction.
+
+Consumes CLI option configurations and configuration files, dispatches each
+file to its format-specific extractor, and returns the consolidated set of
+configuration items, optionally lifted into 4-tuple entities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.cli_parser import parse_cli_options
+from repro.core.entity import ConfigEntity, ConfigItem
+from repro.core.file_parsers import FORMAT_PARSERS, detect_format
+from repro.core.type_inference import build_entity
+
+
+@dataclass
+class ConfigSources:
+    """The two inputs of Algorithm 1.
+
+    Attributes:
+        cli_options: CLI option sources — help-text strings and/or argv
+            token lists.
+        files: Configuration files as ``(filename, body)`` pairs.
+    """
+
+    cli_options: Tuple[Union[str, Sequence[str]], ...] = ()
+    files: Tuple[Tuple[str, str], ...] = ()
+
+
+def extract_configuration_items(sources: ConfigSources) -> List[ConfigItem]:
+    """Run Algorithm 1 over the given sources.
+
+    CLI options are extracted with the pattern-matching parser; each file
+    is classified (``DetectFileFormat``) and dispatched to the key-value,
+    hierarchical or custom extractor. Items are consolidated with
+    first-occurrence-wins semantics: a later source may only add candidate
+    values for an already-known name.
+    """
+    consolidated: Dict[str, ConfigItem] = {}
+    order: List[str] = []
+
+    def absorb(items: Sequence[ConfigItem]) -> None:
+        for item in items:
+            existing = consolidated.get(item.name)
+            if existing is None:
+                consolidated[item.name] = item
+                order.append(item.name)
+                continue
+            extra = [
+                value
+                for value in (item.default, *item.candidates)
+                if value is not None
+                and value != existing.default
+                and value not in existing.candidates
+            ]
+            if extra:
+                consolidated[item.name] = ConfigItem(
+                    name=existing.name,
+                    default=existing.default,
+                    source=existing.source,
+                    origin=existing.origin,
+                    candidates=existing.candidates + tuple(extra),
+                )
+
+    for cli_source in sources.cli_options:
+        absorb(parse_cli_options(cli_source))
+    for filename, body in sources.files:
+        file_format = detect_format(body, filename)
+        parser = FORMAT_PARSERS[file_format]
+        absorb(parser(body, origin=filename))
+    return [consolidated[name] for name in order]
+
+
+def extract_entities(
+    sources: ConfigSources, overrides: Optional[dict] = None
+) -> List[ConfigEntity]:
+    """Extract items and lift each into a 4-tuple entity (Figure 2)."""
+    return [build_entity(item, overrides) for item in extract_configuration_items(sources)]

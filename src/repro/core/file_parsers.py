@@ -1,0 +1,339 @@
+"""Format-specific static analysis of configuration files (§III-A1).
+
+Three families, as in the paper:
+
+- **key-value** formats (``.conf``/``.ini``/``.properties``): parsed line
+  by line into keys and values, with INI sections flattened into dotted
+  names;
+- **hierarchical** formats (JSON, XML, a YAML subset): recursively walked
+  to retrieve keys and default values following the nested organisation;
+- **custom** formats: heuristics plus configurable parsing rules identify
+  adjustable parameters from keywords and contextual clues.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import xml.etree.ElementTree as ET
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.entity import ConfigItem, SourceKind
+from repro.errors import ExtractionError
+
+_COMMENT_PREFIXES = ("#", ";", "//")
+_SECTION_RE = re.compile(r"^\[(?P<name>[^\]]+)\]\s*$")
+_KEY_VALUE_RE = re.compile(r"^(?P<key>[\w.-]+)\s*[:=]?\s*(?P<value>.*)$")
+_YAML_ENTRY_RE = re.compile(r"^(?P<indent>\s*)(?P<key>[\w.-]+):\s*(?P<value>.*)$")
+
+
+def _strip_comment(line: str) -> str:
+    for prefix in _COMMENT_PREFIXES:
+        position = line.find(prefix)
+        if position != -1:
+            line = line[:position]
+    return line.rstrip()
+
+
+# ---------------------------------------------------------------------------
+# Format detection
+# ---------------------------------------------------------------------------
+
+def detect_format(text: str, filename: str = "") -> str:
+    """Classify a configuration file as ``key-value``, ``hierarchical``
+    or ``custom``.
+
+    Detection uses the extension when available and falls back to content
+    sniffing: JSON/XML bodies and indented ``key:`` trees are hierarchical,
+    ``key value`` / ``key=value`` line files are key-value, anything else
+    is custom.
+    """
+    lowered = filename.lower()
+    if lowered.endswith((".json", ".xml", ".yaml", ".yml")):
+        return "hierarchical"
+    if lowered.endswith((".ini", ".properties", ".cfg")):
+        return "key-value"
+    stripped = text.lstrip()
+    if stripped.startswith(("{", "[")):
+        try:
+            json.loads(text)
+            return "hierarchical"
+        except ValueError:
+            pass
+    if stripped.startswith("<"):
+        return "hierarchical"
+    lines = [
+        _strip_comment(line)
+        for line in text.splitlines()
+        if _strip_comment(line).strip()
+    ]
+    if not lines:
+        return "key-value"
+    if any(_YAML_ENTRY_RE.match(line) and line.startswith((" ", "\t")) for line in lines):
+        return "hierarchical"
+    stripped_lines = [line.strip() for line in lines]
+    # Bare single-token directives (dnsmasq-style switches) signal an
+    # unstandardised format even though each line is trivially parseable.
+    bare_hits = sum(
+        1 for line in stripped_lines
+        if len(line.split()) == 1 and "=" not in line and ":" not in line
+    )
+    if bare_hits >= max(1, len(stripped_lines) // 3):
+        return "custom"
+    key_value_hits = sum(
+        1 for line in stripped_lines
+        if _KEY_VALUE_RE.match(line) and len(line.split()) <= 2
+    )
+    if key_value_hits >= max(1, len(stripped_lines) // 2):
+        return "key-value"
+    return "custom"
+
+
+# ---------------------------------------------------------------------------
+# Key-value formats
+# ---------------------------------------------------------------------------
+
+def parse_key_value(text: str, origin: str = "") -> List[ConfigItem]:
+    """Parse ``key value`` / ``key=value`` / ``key: value`` line formats.
+
+    INI-style ``[section]`` headers prefix subsequent keys with
+    ``section.``; repeated keys contribute extra candidate values instead
+    of duplicate items.
+    """
+    found: Dict[str, Tuple[Optional[str], List[str]]] = {}
+    order: List[str] = []
+    section = ""
+    for raw_line in text.splitlines():
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        section_match = _SECTION_RE.match(line)
+        if section_match:
+            section = section_match.group("name").strip() + "."
+            continue
+        match = _KEY_VALUE_RE.match(line)
+        if not match:
+            continue
+        key = section + match.group("key")
+        value = match.group("value").strip() or None
+        if value is not None and value.split():
+            value = value.split()[0] if "=" not in line and ":" not in line else value
+        if key not in found:
+            found[key] = (value, [])
+            order.append(key)
+        elif value is not None:
+            default, candidates = found[key]
+            if value != default and value not in candidates:
+                candidates.append(value)
+    return [
+        ConfigItem(
+            name=key,
+            default=found[key][0],
+            source=SourceKind.KEY_VALUE_FILE,
+            origin=origin,
+            candidates=tuple(found[key][1]),
+        )
+        for key in order
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Hierarchical formats
+# ---------------------------------------------------------------------------
+
+def _walk_mapping(node, prefix: str, sink: List[Tuple[str, Optional[str]]]) -> None:
+    """Recursively flatten nested dicts/lists into dotted key paths."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            _walk_mapping(value, prefix + str(key) + ".", sink)
+    elif isinstance(node, list):
+        for element in node:
+            _walk_mapping(element, prefix, sink)
+    else:
+        name = prefix[:-1]
+        if name:
+            value = None if node is None else _scalar_to_text(node)
+            sink.append((name, value))
+
+
+def _scalar_to_text(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def parse_json(text: str, origin: str = "") -> List[ConfigItem]:
+    """Parse a JSON configuration body into dotted-path items."""
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise ExtractionError("invalid JSON in %s: %s" % (origin or "<config>", exc))
+    sink: List[Tuple[str, Optional[str]]] = []
+    _walk_mapping(data, "", sink)
+    return _dedupe_paths(sink, SourceKind.HIERARCHICAL_FILE, origin)
+
+
+def parse_xml(text: str, origin: str = "") -> List[ConfigItem]:
+    """Parse an XML configuration body.
+
+    Element text and attributes both become items; nesting contributes
+    dotted path prefixes. The root element name is dropped from paths, as
+    config roots (``<config>``, ``<CycloneDDS>``) are containers.
+    """
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ExtractionError("invalid XML in %s: %s" % (origin or "<config>", exc))
+    sink: List[Tuple[str, Optional[str]]] = []
+
+    def visit(element, prefix):
+        for attr, value in element.attrib.items():
+            sink.append((prefix + element.tag + "." + attr, value))
+        children = list(element)
+        text_value = (element.text or "").strip()
+        if children:
+            for child in children:
+                visit(child, prefix + element.tag + ".")
+        elif text_value or element.attrib:
+            if text_value:
+                sink.append((prefix + element.tag, text_value))
+        else:
+            sink.append((prefix + element.tag, None))
+
+    for child in list(root):
+        visit(child, "")
+    if not list(root):
+        text_value = (root.text or "").strip()
+        sink.append((root.tag, text_value or None))
+    return _dedupe_paths(sink, SourceKind.HIERARCHICAL_FILE, origin)
+
+
+def parse_yaml_subset(text: str, origin: str = "") -> List[ConfigItem]:
+    """Parse an indentation-based ``key: value`` YAML subset.
+
+    Supports nested mappings via indentation and scalar leaves; good
+    enough for the flat-to-two-level configs IoT brokers ship. Sequences
+    and flow syntax are out of scope and treated as scalar text.
+    """
+    sink: List[Tuple[str, Optional[str]]] = []
+    # Stack of (indent, key) frames describing the current path.
+    stack: List[Tuple[int, str]] = []
+    for raw_line in text.splitlines():
+        line = _strip_comment(raw_line)
+        if not line.strip():
+            continue
+        match = _YAML_ENTRY_RE.match(line)
+        if not match:
+            continue
+        indent = len(match.group("indent").expandtabs(2))
+        key = match.group("key")
+        value = match.group("value").strip() or None
+        while stack and stack[-1][0] >= indent:
+            stack.pop()
+        path = ".".join([frame[1] for frame in stack] + [key])
+        if value is None:
+            stack.append((indent, key))
+        else:
+            sink.append((path, value))
+    return _dedupe_paths(sink, SourceKind.HIERARCHICAL_FILE, origin)
+
+
+def parse_hierarchical(text: str, origin: str = "") -> List[ConfigItem]:
+    """Dispatch across the hierarchical formats by sniffing the body."""
+    stripped = text.lstrip()
+    if stripped.startswith(("{", "[")):
+        return parse_json(text, origin=origin)
+    if stripped.startswith("<"):
+        return parse_xml(text, origin=origin)
+    return parse_yaml_subset(text, origin=origin)
+
+
+def _dedupe_paths(
+    sink: Sequence[Tuple[str, Optional[str]]], source: SourceKind, origin: str
+) -> List[ConfigItem]:
+    found: Dict[str, Tuple[Optional[str], List[str]]] = {}
+    order: List[str] = []
+    for name, value in sink:
+        if name not in found:
+            found[name] = (value, [])
+            order.append(name)
+        elif value is not None:
+            default, candidates = found[name]
+            if value != default and value not in candidates:
+                candidates.append(value)
+    return [
+        ConfigItem(
+            name=name,
+            default=found[name][0],
+            source=source,
+            origin=origin,
+            candidates=tuple(found[name][1]),
+        )
+        for name in order
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Custom formats
+# ---------------------------------------------------------------------------
+
+#: A parsing rule: regex with ``key``/``value`` groups, tried per line.
+CustomRule = "re.Pattern"
+
+_DEFAULT_CUSTOM_RULES = (
+    # dnsmasq-style bare directives and key=value directives.
+    re.compile(r"^(?P<key>[\w-]+)=(?P<value>\S+)"),
+    re.compile(r"^(?P<key>[\w-]+)\s*$"),
+    # "set option value" / "option <key> <value>" command formats.
+    re.compile(r"^set\s+(?P<key>[\w.-]+)\s+(?P<value>\S+)", re.IGNORECASE),
+    re.compile(r"^option\s+(?P<key>[\w.-]+)\s+(?P<value>\S+)", re.IGNORECASE),
+)
+
+#: Keywords hinting a line configures an adjustable parameter.
+_CONTEXT_KEYWORDS = (
+    "enable", "disable", "timeout", "limit", "size", "port", "mode",
+    "level", "max", "min", "interval", "retry", "cache", "auth", "tls",
+)
+
+
+def parse_custom(
+    text: str,
+    origin: str = "",
+    rules: Optional[Sequence] = None,
+    keywords: Sequence[str] = _CONTEXT_KEYWORDS,
+) -> List[ConfigItem]:
+    """Heuristic extraction for unstandardised formats.
+
+    Each non-comment line is matched against the configurable ``rules``
+    (regexes exposing ``key`` and optionally ``value`` groups). Lines that
+    match no rule are mined for keyword-adjacent ``word value`` pairs using
+    the contextual-clue keywords.
+    """
+    active_rules = tuple(rules) if rules is not None else _DEFAULT_CUSTOM_RULES
+    sink: List[Tuple[str, Optional[str]]] = []
+    for raw_line in text.splitlines():
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        matched = False
+        for rule in active_rules:
+            match = rule.match(line)
+            if match:
+                groups = match.groupdict()
+                sink.append((groups["key"], groups.get("value")))
+                matched = True
+                break
+        if matched:
+            continue
+        tokens = line.split()
+        if len(tokens) >= 2 and any(word in tokens[0].lower() for word in keywords):
+            sink.append((tokens[0], tokens[1]))
+    return _dedupe_paths(sink, SourceKind.CUSTOM_FILE, origin)
+
+
+#: Dispatch table used by Algorithm 1's switch on DetectFileFormat.
+FORMAT_PARSERS: Dict[str, Callable[..., List[ConfigItem]]] = {
+    "key-value": parse_key_value,
+    "hierarchical": parse_hierarchical,
+    "custom": parse_custom,
+}

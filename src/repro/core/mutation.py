@@ -1,0 +1,168 @@
+"""Adaptive configuration mutation (§III-B2).
+
+During execution each instance inspects the *Flag* attribute of its
+entities to decide whether a value may be mutated, and the *Values*
+attribute to decide how. Mutations are applied only when the instance's
+coverage has **saturated** — no new branches for a set duration.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.entity import ConfigEntity, Flag
+from repro.core.model import ConfigurationModel
+from repro.core.reassembly import ConfigBundle
+
+
+class SaturationDetector:
+    """Detects coverage saturation over (simulated) time.
+
+    Coverage is *saturated* when the cumulative branch count has not
+    increased for at least ``window`` time units.
+    """
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise ValueError("saturation window must be positive")
+        self.window = window
+        self._last_progress_time: Optional[float] = None
+        self._best = -1
+
+    def observe(self, now: float, total_branches: int) -> None:
+        """Feed the current cumulative branch count at time ``now``."""
+        if self._last_progress_time is None or total_branches > self._best:
+            self._best = total_branches
+            self._last_progress_time = now
+
+    def saturated(self, now: float) -> bool:
+        """True if no progress happened within the trailing window."""
+        if self._last_progress_time is None:
+            return False
+        return (now - self._last_progress_time) >= self.window
+
+    def reset(self, now: float) -> None:
+        """Restart the window (e.g. after a configuration mutation)."""
+        self._last_progress_time = now
+
+
+class GuidedConfigMutator:
+    """Extension: ε-greedy, reward-weighted entity selection.
+
+    The paper picks mutation targets uniformly among a group's MUTABLE
+    entities. This variant tracks, per entity, the coverage gain observed
+    after its past mutations and biases future picks toward historically
+    productive entities (exploring uniformly with probability
+    ``epsilon``) — a bandit layer on top of the Flag/Values mechanism,
+    ablated in ``benchmarks/bench_ablation_guided.py``.
+    """
+
+    def __init__(self, model: "ConfigurationModel", seed: int = 0,
+                 epsilon: float = 0.3):
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be within [0, 1]")
+        self._inner = ConfigMutator(model, seed=seed)
+        self.model = model
+        self.epsilon = epsilon
+        self._rng = random.Random(seed ^ 0x5EED)
+        self._rewards: Dict[str, float] = {}
+        self._pulls: Dict[str, int] = {}
+        self._last_entity: Optional[str] = None
+
+    def reward(self, gain: float) -> None:
+        """Credit the most recent mutation with a coverage gain."""
+        if self._last_entity is None:
+            return
+        self._rewards[self._last_entity] = (
+            self._rewards.get(self._last_entity, 0.0) + max(gain, 0.0)
+        )
+
+    def mutable_candidates(self, bundle: "ConfigBundle") -> List[ConfigEntity]:
+        """Entities in the bundle eligible for mutation."""
+        return self._inner.mutable_candidates(bundle)
+
+    def _score(self, name: str) -> float:
+        pulls = self._pulls.get(name, 0)
+        if pulls == 0:
+            return float("inf")  # always try untouched entities first
+        return self._rewards.get(name, 0.0) / pulls
+
+    def mutate(self, bundle: "ConfigBundle") -> Optional["ConfigBundle"]:
+        candidates = self.mutable_candidates(bundle)
+        if not candidates:
+            return None
+        if self._rng.random() < self.epsilon:
+            entity = self._rng.choice(candidates)
+        else:
+            entity = max(candidates, key=lambda e: (self._score(e.name), e.name))
+        mutated = self._inner._mutate_entity(bundle, entity)
+        if mutated is None:
+            # Fall back to any entity the inner mutator can move.
+            mutated = self._inner.mutate(bundle)
+            if mutated is None:
+                return None
+            entity_name = next(
+                name for name in mutated.assignment
+                if mutated.assignment.get(name) != bundle.assignment.get(name)
+            )
+            self._last_entity = entity_name
+        else:
+            self._last_entity = entity.name
+        self._pulls[self._last_entity] = self._pulls.get(self._last_entity, 0) + 1
+        return mutated
+
+
+class ConfigMutator:
+    """Mutates a group's configuration values guided by Flag and Values.
+
+    Only MUTABLE entities are candidates. A mutation moves one entity to
+    a different value from its typical-value set, cycling deterministically
+    through untried values before revisiting (so a small value set is
+    exhausted rather than resampled).
+    """
+
+    def __init__(self, model: ConfigurationModel, seed: int = 0):
+        self.model = model
+        self._rng = random.Random(seed)
+        self._tried: Dict[str, set] = {}
+
+    def mutable_candidates(self, bundle: ConfigBundle) -> List[ConfigEntity]:
+        """Entities in the bundle eligible for mutation."""
+        candidates = []
+        for name in bundle.group:
+            entity = self.model.get(name)
+            if entity.flag is Flag.MUTABLE and len(entity.values) > 1:
+                candidates.append(entity)
+        return candidates
+
+    def _mutate_entity(self, bundle: ConfigBundle,
+                       entity: ConfigEntity) -> Optional[ConfigBundle]:
+        """Move one specific entity to a fresh typical value."""
+        current = bundle.assignment.get(entity.name)
+        tried = self._tried.setdefault(entity.name, set())
+        fresh = [v for v in entity.values if v != current and v not in tried]
+        if not fresh:
+            tried.clear()
+            fresh = [v for v in entity.values if v != current]
+        if not fresh:
+            return None
+        choice = self._rng.choice(fresh)
+        tried.add(choice)
+        return bundle.with_value(entity.name, choice)
+
+    def mutate(self, bundle: ConfigBundle) -> Optional[ConfigBundle]:
+        """Produce a mutated bundle, or ``None`` if nothing can change.
+
+        Picks a random eligible entity, then the least-recently-tried
+        alternative value differing from the current assignment.
+        """
+        candidates = self.mutable_candidates(bundle)
+        if not candidates:
+            return None
+        self._rng.shuffle(candidates)
+        for entity in candidates:
+            mutated = self._mutate_entity(bundle, entity)
+            if mutated is not None:
+                return mutated
+        return None

@@ -1,0 +1,95 @@
+"""Reassemble configuration groups into runtime-ready forms (§III-B2).
+
+Each parallel instance receives a group of configuration entities and must
+turn the chosen values back into what the target consumes: a configuration
+file body, CLI options, or a plain assignment mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.entity import ConfigEntity
+from repro.core.model import ConfigurationModel
+from repro.errors import ConfigModelError
+
+
+@dataclass
+class ConfigBundle:
+    """A runtime-ready configuration for one fuzzing instance.
+
+    Attributes:
+        assignment: entity name -> concrete value.
+        group: The entity names owned by this instance.
+    """
+
+    assignment: Dict[str, Any] = field(default_factory=dict)
+    group: List[str] = field(default_factory=list)
+
+    def with_value(self, name: str, value: Any) -> "ConfigBundle":
+        """Copy of this bundle with one value replaced."""
+        updated = dict(self.assignment)
+        updated[name] = value
+        return ConfigBundle(assignment=updated, group=list(self.group))
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def reassemble_group(
+    model: ConfigurationModel,
+    group: Sequence[str],
+    value_picks: Optional[Dict[str, Any]] = None,
+) -> ConfigBundle:
+    """Build the initial :class:`ConfigBundle` for a group.
+
+    Each entity starts at its first typical value (which embeds the
+    source default) unless ``value_picks`` overrides it. IMMUTABLE
+    entities with no values are carried with ``None`` so the target falls
+    back to its own default.
+    """
+    picks = value_picks or {}
+    assignment: Dict[str, Any] = {}
+    for name in group:
+        entity = model.get(name)
+        if name in picks:
+            assignment[name] = picks[name]
+        elif entity.values:
+            assignment[name] = entity.values[0]
+    return ConfigBundle(assignment=assignment, group=list(group))
+
+
+def reassemble_config_file(bundle: ConfigBundle, style: str = "key-value") -> str:
+    """Render a bundle as a configuration file body.
+
+    Styles: ``key-value`` (``key value`` lines, mosquitto/dnsmasq
+    convention) or ``ini`` (``key = value``).
+    """
+    if style not in ("key-value", "ini"):
+        raise ConfigModelError("unknown config file style %r" % style)
+    separator = " " if style == "key-value" else " = "
+    lines = [
+        "%s%s%s" % (name, separator, _render_value(value))
+        for name, value in sorted(bundle.assignment.items())
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def reassemble_cli(bundle: ConfigBundle) -> List[str]:
+    """Render a bundle as CLI argv tokens.
+
+    Booleans become presence/absence flags (``--name`` when true); other
+    values render as ``--name=value``.
+    """
+    argv: List[str] = []
+    for name, value in sorted(bundle.assignment.items()):
+        if isinstance(value, bool):
+            if value:
+                argv.append("--%s" % name)
+        else:
+            argv.append("--%s=%s" % (name, _render_value(value)))
+    return argv

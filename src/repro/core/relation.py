@@ -1,0 +1,205 @@
+"""Pairwise relation weight quantification (§III-B1).
+
+For every pair of configuration entities, CMFuzz launches the target with
+each combination of the pair's typical values and records the **startup
+coverage** — a lightweight proxy for overall coverage, since configurations
+are loaded and initialised during startup. The peak coverage across all
+combinations becomes the pair's raw weight; pairs whose every combination
+yields zero coverage (e.g. conflicting settings that abort startup) get no
+edge. Raw weights are normalised to [0, 1].
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.entity import ConfigEntity
+from repro.core.model import ConfigurationModel, RelationAwareModel, normalize_weights
+from repro.coverage.bitmap import CoverageMap
+from repro.errors import StartupError
+
+#: A startup probe: maps a partial configuration assignment to the branch
+#: coverage observed during target startup. It must raise
+#: :class:`~repro.errors.StartupError` (or return empty coverage) when the
+#: assignment prevents the target from starting.
+StartupProbe = Callable[[Dict[str, Any]], CoverageMap]
+
+
+@dataclass
+class ProbeRecord:
+    """One startup launch: the assignment tried and the coverage observed."""
+
+    assignment: Dict[str, Any]
+    branches: int
+    failed: bool = False
+    sites: frozenset = frozenset()
+
+
+@dataclass
+class QuantificationReport:
+    """Bookkeeping for a full pairwise quantification run."""
+
+    probes: List[ProbeRecord] = field(default_factory=list)
+    raw_weights: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    #: Per entity: the value that participated in the highest-coverage
+    #: startup probe. Used to seed instance bundles with the synergistic
+    #: values the probes discovered (the paper's early-lead effect).
+    best_values: Dict[str, Any] = field(default_factory=dict)
+    _best_scores: Dict[str, int] = field(default_factory=dict)
+
+    def note_probe(self, record: ProbeRecord) -> None:
+        """Log a probe and fold its values into ``best_values``."""
+        self.probes.append(record)
+        for name, value in record.assignment.items():
+            if record.branches > self._best_scores.get(name, -1):
+                self._best_scores[name] = record.branches
+                self.best_values[name] = value
+
+    @property
+    def launches(self) -> int:
+        """Total startup launches performed."""
+        return len(self.probes)
+
+    @property
+    def failures(self) -> int:
+        """Launches that failed startup (conflicting combinations)."""
+        return sum(1 for record in self.probes if record.failed)
+
+
+class RelationQuantifier:
+    """Builds a relation-aware model from a configuration model and a probe.
+
+    Args:
+        probe: The startup probe (see :data:`StartupProbe`).
+        max_combinations: Safety cap on value combinations tried per pair;
+            values beyond the cap are skipped deterministically (the
+            cartesian product is truncated, preserving early values which
+            include the defaults).
+        aggregate: ``"max"`` (paper: peak interaction effect) or ``"mean"``
+            — exposed for the A3 ablation.
+        synergy: When true (default), a combination's contribution is its
+            *interaction excess*: pair coverage minus what each value
+            achieves alone (relative to the default-configuration
+            baseline). This isolates the "new execution paths unlocked
+            when used together" the paper attributes to synergistic
+            relations; without it, every pair inherits the startup
+            baseline and the relation graph degenerates to a near-uniform
+            clique. Conflicting combinations (startup failure, zero
+            coverage) contribute nothing, so conflict-only pairs keep no
+            edge, as in the paper.
+    """
+
+    def __init__(
+        self,
+        probe: StartupProbe,
+        max_combinations: int = 36,
+        aggregate: str = "max",
+        synergy: bool = True,
+    ):
+        if aggregate not in ("max", "mean"):
+            raise ValueError("aggregate must be 'max' or 'mean', got %r" % aggregate)
+        self.probe = probe
+        self.max_combinations = max_combinations
+        self.aggregate = aggregate
+        self.synergy = synergy
+        self._baseline: Optional[frozenset] = None
+        self._single_cache: Dict[Tuple[str, Any], frozenset] = {}
+
+    def probe_assignment(self, assignment: Dict[str, Any]) -> ProbeRecord:
+        """Launch the target once with ``assignment``; failures yield 0."""
+        try:
+            coverage = self.probe(dict(assignment))
+        except StartupError:
+            return ProbeRecord(dict(assignment), 0, failed=True)
+        if isinstance(coverage, CoverageMap):
+            sites = coverage.sites()
+        else:
+            sites = frozenset(coverage)
+        return ProbeRecord(dict(assignment), len(sites), sites=sites)
+
+    def _baseline_sites(self, report: Optional[QuantificationReport]) -> frozenset:
+        if self._baseline is None:
+            record = self.probe_assignment({})
+            if report is not None:
+                report.note_probe(record)
+            self._baseline = record.sites
+        return self._baseline
+
+    def _single_sites(self, name: str, value: Any,
+                      report: Optional[QuantificationReport]) -> frozenset:
+        key = (name, value)
+        if key not in self._single_cache:
+            record = self.probe_assignment({name: value})
+            if report is not None:
+                report.note_probe(record)
+            self._single_cache[key] = record.sites
+        return self._single_cache[key]
+
+    def pair_weight(
+        self, entity_a: ConfigEntity, entity_b: ConfigEntity, report: Optional[QuantificationReport] = None
+    ) -> float:
+        """Raw (un-normalised) weight for one entity pair.
+
+        Explores the cartesian product of the two entities' typical values
+        and aggregates the per-combination startup coverage (interaction
+        excess when ``synergy`` is enabled).
+        """
+        values_a = entity_a.values or (None,)
+        values_b = entity_b.values or (None,)
+        combinations = itertools.islice(
+            itertools.product(values_a, values_b), self.max_combinations
+        )
+        observed: List[float] = []
+        for value_a, value_b in combinations:
+            assignment: Dict[str, Any] = {}
+            if value_a is not None:
+                assignment[entity_a.name] = value_a
+            if value_b is not None:
+                assignment[entity_b.name] = value_b
+            record = self.probe_assignment(assignment)
+            if report is not None:
+                report.note_probe(record)
+            if record.failed or record.branches == 0:
+                # Conflict: contributes nothing toward a relation.
+                observed.append(0.0)
+                continue
+            if not self.synergy:
+                observed.append(float(record.branches))
+                continue
+            baseline = self._baseline_sites(report)
+            alone_a = (self._single_sites(entity_a.name, value_a, report)
+                       if value_a is not None else baseline)
+            alone_b = (self._single_sites(entity_b.name, value_b, report)
+                       if value_b is not None else baseline)
+            unlocked = record.sites - alone_a - alone_b - baseline
+            observed.append(float(len(unlocked)))
+        if not observed:
+            return 0.0
+        if self.aggregate == "max":
+            return max(observed)
+        return sum(observed) / len(observed)
+
+    def quantify(
+        self, model: ConfigurationModel
+    ) -> Tuple[RelationAwareModel, QuantificationReport]:
+        """Quantify all pairs and return the relation-aware model.
+
+        Only mutable entities participate in relation probing: IMMUTABLE
+        entities (paths, certificates) are environment facts that every
+        instance shares, so grouping them is meaningless.
+        """
+        report = QuantificationReport()
+        entities = model.mutable_entities()
+        raw: Dict[Tuple[str, str], float] = {}
+        for index, entity_a in enumerate(entities):
+            for entity_b in entities[index + 1 :]:
+                weight = self.pair_weight(entity_a, entity_b, report)
+                if weight > 0:
+                    raw[(entity_a.name, entity_b.name)] = weight
+        report.raw_weights = dict(raw)
+        relation_model = RelationAwareModel(model)
+        for (name_a, name_b), weight in normalize_weights(raw).items():
+            relation_model.set_weight(name_a, name_b, weight)
+        return relation_model, report

@@ -1,0 +1,158 @@
+"""Type, flag and typical-value inference for configuration items.
+
+Implements the Figure-2 derivation: the *Type* attribute is inferred from
+value patterns (numeric -> Number, boolean-like -> Boolean, paths/URLs ->
+String), the *Flag* attribute marks static path-like values IMMUTABLE and
+adjustable values MUTABLE, and *Values* is the typical mutation set
+derived from the item's defaults and candidates.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.entity import ConfigEntity, ConfigItem, Flag, ValueType
+
+_TRUE_LITERALS = frozenset({"true", "yes", "on", "1", "enable", "enabled"})
+_FALSE_LITERALS = frozenset({"false", "no", "off", "0", "disable", "disabled"})
+
+_NUMBER_RE = re.compile(r"^[+-]?\d+(\.\d+)?$")
+_PATH_RE = re.compile(r"^(/|\./|\.\./|[A-Za-z]:\\)|(\.(pem|crt|key|conf|db|log|sock|txt|xml|json))$")
+_URL_RE = re.compile(r"^[a-z][a-z0-9+.-]*://", re.IGNORECASE)
+
+_PATHY_NAME_RE = re.compile(
+    r"(_|-|\b)(file|path|dir|directory|cert|key|ca|socket|pid)s?(_|-|\b)",
+    re.IGNORECASE,
+)
+
+#: Numeric defaults expand to boundary-flavoured typical values. The
+#: identity factor comes first so an entity's first typical value is its
+#: source default.
+_NUMERIC_EXPANSION_FACTORS = (1, 0, 2, 10)
+
+
+def is_boolean_literal(value: str) -> bool:
+    """True if ``value`` looks like a boolean (true/false/on/off/...)."""
+    return value.strip().lower() in _TRUE_LITERALS | _FALSE_LITERALS
+
+
+def parse_boolean(value: str) -> bool:
+    """Parse a boolean-like literal; raises ValueError otherwise."""
+    lowered = value.strip().lower()
+    if lowered in _TRUE_LITERALS:
+        return True
+    if lowered in _FALSE_LITERALS:
+        return False
+    raise ValueError("not a boolean literal: %r" % (value,))
+
+
+def is_number_literal(value: str) -> bool:
+    """True if ``value`` is an integer or decimal literal."""
+    return bool(_NUMBER_RE.match(value.strip()))
+
+
+def is_path_like(value: str) -> bool:
+    """True if ``value`` resembles a filesystem path or URL."""
+    stripped = value.strip()
+    return bool(_PATH_RE.search(stripped) or _URL_RE.match(stripped))
+
+
+def infer_type(item: ConfigItem) -> ValueType:
+    """Infer the entity Type from the item's value patterns.
+
+    Every observed value (default plus candidates) votes; the narrowest
+    type consistent with all votes wins. Multiple distinct non-numeric,
+    non-boolean values are treated as an enumeration.
+    """
+    observed = [v for v in (item.default, *item.candidates) if v is not None and v != ""]
+    if not observed:
+        # A bare flag with no value behaves like a boolean switch.
+        return ValueType.BOOLEAN
+    if all(is_boolean_literal(v) for v in observed):
+        return ValueType.BOOLEAN
+    if all(is_number_literal(v) for v in observed):
+        return ValueType.NUMBER
+    distinct = {v.strip() for v in observed}
+    if len(distinct) > 1 and not any(is_path_like(v) for v in distinct):
+        return ValueType.ENUM
+    return ValueType.STRING
+
+
+def infer_flag(item: ConfigItem, value_type: ValueType) -> Flag:
+    """Infer the entity Flag.
+
+    Path-like values and path-suggesting names (cert/key/log/dir/...) are
+    static environment facts and marked IMMUTABLE; numeric ranges, booleans
+    and mode enumerations are adjustable and marked MUTABLE.
+    """
+    if value_type is ValueType.STRING:
+        observed = [v for v in (item.default, *item.candidates) if v]
+        if any(is_path_like(v) for v in observed):
+            return Flag.IMMUTABLE
+        if _PATHY_NAME_RE.search(item.name):
+            return Flag.IMMUTABLE
+        # Free-form strings with a single observed value offer no mutation
+        # guidance; treat them as environment-fixed.
+        if len({v.strip() for v in observed}) <= 1:
+            return Flag.IMMUTABLE
+        return Flag.MUTABLE
+    if _PATHY_NAME_RE.search(item.name):
+        return Flag.IMMUTABLE
+    return Flag.MUTABLE
+
+
+def derive_values(item: ConfigItem, value_type: ValueType) -> Tuple[Any, ...]:
+    """Derive the typical value set used for probing and mutation."""
+    observed = [v for v in (item.default, *item.candidates) if v is not None and v != ""]
+    if value_type is ValueType.BOOLEAN:
+        return (True, False)
+    if value_type is ValueType.NUMBER:
+        return _numeric_values(observed)
+    # ENUM / STRING: keep distinct observed literals in stable order.
+    seen: List[str] = []
+    for value in observed:
+        stripped = value.strip()
+        if stripped not in seen:
+            seen.append(stripped)
+    return tuple(seen)
+
+
+def _numeric_values(observed: Sequence[str]) -> Tuple[Any, ...]:
+    """Expand observed numeric literals with boundary-flavoured variants."""
+    parsed: List[float] = []
+    for value in observed:
+        text = value.strip()
+        parsed.append(float(text) if "." in text else int(text))
+    values: List[Any] = []
+    for base in parsed:
+        for factor in _NUMERIC_EXPANSION_FACTORS:
+            candidate = base * factor
+            if isinstance(base, int):
+                candidate = int(candidate)
+            if candidate not in values:
+                values.append(candidate)
+    if not values:
+        values = [0, 1]
+    return tuple(values)
+
+
+def build_entity(item: ConfigItem, overrides: Optional[dict] = None) -> ConfigEntity:
+    """Build a 4-tuple :class:`ConfigEntity` from a raw item.
+
+    Args:
+        item: The extracted configuration item.
+        overrides: Optional per-name overrides, mapping item name to a dict
+            with any of ``type``, ``flag``, ``values`` keys. This is the
+            hook for the configurable parsing rules the paper mentions for
+            custom formats.
+    """
+    spec = (overrides or {}).get(item.name, {})
+    value_type = spec.get("type") or infer_type(item)
+    flag = spec.get("flag") or infer_flag(item, value_type)
+    values = tuple(spec.get("values") or derive_values(item, value_type))
+    if flag is Flag.MUTABLE and not values:
+        # Nothing to mutate with: fall back to an immutable entity rather
+        # than constructing an invalid one.
+        flag = Flag.IMMUTABLE
+    return ConfigEntity(item.name, value_type, flag, values)

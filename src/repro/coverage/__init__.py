@@ -1,0 +1,15 @@
+"""Branch-coverage substrate (SanitizerCoverage trace-pc-guard analogue).
+
+The paper instruments targets with Clang's ``trace-pc-guard`` to collect
+branch coverage.  Our pure-Python targets call explicit probes instead:
+every decision point executes ``cov.hit(site_id)`` where ``site_id`` is a
+stable string naming that branch.  A :class:`CoverageMap` is a set-like
+bitmap of hit sites supporting union, difference and counting, which is all
+the fuzzers consume.
+"""
+
+from repro.coverage.bitmap import CoverageMap
+from repro.coverage.collector import CoverageCollector, NullCollector
+from repro.coverage.registry import SiteRegistry
+
+__all__ = ["CoverageMap", "CoverageCollector", "NullCollector", "SiteRegistry"]

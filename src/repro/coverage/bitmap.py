@@ -1,0 +1,80 @@
+"""Coverage maps: set-like containers of hit branch sites."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class CoverageMap:
+    """A set of hit branch sites with hit counters.
+
+    Mirrors what a trace-pc-guard bitmap provides: membership ("was this
+    edge hit"), per-edge counters, and cheap union/difference for computing
+    newly-discovered branches across fuzzing iterations.
+    """
+
+    __slots__ = ("_hits",)
+
+    def __init__(self, sites: Iterable[str] = ()):
+        self._hits: dict = {}
+        for site in sites:
+            self.hit(site)
+
+    def hit(self, site: str, count: int = 1) -> None:
+        """Record ``count`` executions of branch ``site``."""
+        if count <= 0:
+            raise ValueError("hit count must be positive, got %r" % (count,))
+        self._hits[site] = self._hits.get(site, 0) + count
+
+    def count(self, site: str) -> int:
+        """Number of times ``site`` was hit (0 if never)."""
+        return self._hits.get(site, 0)
+
+    def sites(self) -> frozenset:
+        """The set of hit sites."""
+        return frozenset(self._hits)
+
+    def merge(self, other: "CoverageMap") -> None:
+        """In-place union with another map, summing counters."""
+        for site, count in other._hits.items():
+            self._hits[site] = self._hits.get(site, 0) + count
+
+    def union(self, other: "CoverageMap") -> "CoverageMap":
+        merged = self.copy()
+        merged.merge(other)
+        return merged
+
+    def new_sites(self, other: "CoverageMap") -> frozenset:
+        """Sites present in ``other`` but not in this map."""
+        return frozenset(s for s in other._hits if s not in self._hits)
+
+    def copy(self) -> "CoverageMap":
+        clone = CoverageMap()
+        clone._hits = dict(self._hits)
+        return clone
+
+    def clear(self) -> None:
+        self._hits.clear()
+
+    def __contains__(self, site: str) -> bool:
+        return site in self._hits
+
+    def __len__(self) -> int:
+        return len(self._hits)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._hits)
+
+    def __bool__(self) -> bool:
+        return bool(self._hits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CoverageMap):
+            return NotImplemented
+        return self._hits.keys() == other._hits.keys()
+
+    def __hash__(self):
+        raise TypeError("CoverageMap is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return "CoverageMap(%d sites)" % len(self._hits)

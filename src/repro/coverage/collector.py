@@ -1,0 +1,71 @@
+"""Coverage collectors wired into instrumented target code."""
+
+from __future__ import annotations
+
+from repro.coverage.bitmap import CoverageMap
+
+
+class CoverageCollector:
+    """Receives branch-site hits from instrumented code.
+
+    A collector owns two maps: ``run`` (the current execution, reset between
+    test cases) and ``total`` (the cumulative bitmap for the campaign).
+    Target code holds a reference to the collector and calls :meth:`hit`
+    at each decision point — the Python analogue of a trace-pc-guard
+    callback writing into the shared bitmap.
+    """
+
+    def __init__(self, component: str = ""):
+        #: Optional prefix namespacing all sites reported to this collector.
+        self.component = component
+        self.run = CoverageMap()
+        self.total = CoverageMap()
+        #: Sites first discovered during the current run.
+        self.run_new = set()
+
+    def hit(self, site: str) -> None:
+        """Record one execution of branch ``site``."""
+        if self.component:
+            site = self.component + ":" + site
+        if site not in self.total:
+            self.run_new.add(site)
+        self.run.hit(site)
+        self.total.hit(site)
+
+    def branch(self, site: str, taken: bool) -> bool:
+        """Record both arms of a two-way branch; returns ``taken``.
+
+        Instrumenting ``if cov.branch("x", cond):`` yields distinct sites
+        for the true and false arms, like edge coverage distinguishes the
+        two successors of a conditional jump.
+        """
+        self.hit(site + ("/T" if taken else "/F"))
+        return taken
+
+    def start_run(self) -> None:
+        """Reset the per-run map before executing a new test case."""
+        self.run = CoverageMap()
+        self.run_new = set()
+
+    def end_run(self) -> CoverageMap:
+        """Return the per-run map accumulated since :meth:`start_run`."""
+        return self.run
+
+    def reset(self) -> None:
+        """Drop all state (run and total)."""
+        self.run = CoverageMap()
+        self.total = CoverageMap()
+        self.run_new = set()
+
+    def __repr__(self) -> str:
+        return "CoverageCollector(component=%r, total=%d)" % (
+            self.component,
+            len(self.total),
+        )
+
+
+class NullCollector(CoverageCollector):
+    """A collector that discards everything (uninstrumented runs)."""
+
+    def hit(self, site: str) -> None:  # noqa: D102 - intentionally no-op
+        pass

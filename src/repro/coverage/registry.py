@@ -1,0 +1,49 @@
+"""Registry of known branch sites per component.
+
+Targets register the branch sites they *can* hit so that reports may show
+coverage as a fraction of the reachable surface, and so tests can assert
+that instrumentation only emits declared sites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+
+class SiteRegistry:
+    """Tracks declared branch sites, grouped by component."""
+
+    def __init__(self):
+        self._sites: Dict[str, Set[str]] = {}
+
+    def declare(self, component: str, sites: Iterable[str]) -> None:
+        """Declare that ``component`` may hit each site in ``sites``."""
+        bucket = self._sites.setdefault(component, set())
+        bucket.update(sites)
+
+    def components(self) -> frozenset:
+        return frozenset(self._sites)
+
+    def sites(self, component: str) -> frozenset:
+        """All declared sites for ``component`` (empty if unknown)."""
+        return frozenset(self._sites.get(component, ()))
+
+    def total_sites(self) -> int:
+        return sum(len(s) for s in self._sites.values())
+
+    def coverage_fraction(self, component: str, hit_sites: Iterable[str]) -> float:
+        """Fraction of ``component``'s declared sites present in ``hit_sites``."""
+        declared = self._sites.get(component)
+        if not declared:
+            return 0.0
+        hit = sum(1 for s in hit_sites if s in declared)
+        return hit / len(declared)
+
+    def __contains__(self, component: str) -> bool:
+        return component in self._sites
+
+    def __repr__(self) -> str:
+        return "SiteRegistry(%d components, %d sites)" % (
+            len(self._sites),
+            self.total_sites(),
+        )

@@ -1,0 +1,45 @@
+"""Exception hierarchy shared across the CMFuzz reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigModelError(ReproError):
+    """Raised for malformed configuration sources or model construction failures."""
+
+
+class ExtractionError(ConfigModelError):
+    """Raised when a configuration source cannot be parsed into items."""
+
+
+class AllocationError(ReproError):
+    """Raised when the allocation algorithm receives invalid inputs."""
+
+
+class StartupError(ReproError):
+    """Raised by a target when a configuration combination prevents startup.
+
+    Conflicting configuration pairs manifest as startup failures; the
+    relation quantifier maps this to zero startup coverage (no edge).
+    """
+
+    def __init__(self, message, conflicting=()):
+        super().__init__(message)
+        self.conflicting = tuple(conflicting)
+
+
+class TargetError(ReproError):
+    """Raised for invalid use of a protocol target."""
+
+
+class FuzzingError(ReproError):
+    """Raised for invalid data/state model or engine usage."""
+
+
+class NamespaceError(ReproError):
+    """Raised for network namespace misuse (port collisions, unknown peers)."""
+
+
+class HarnessError(ReproError):
+    """Raised for invalid campaign configuration."""

@@ -1,0 +1,51 @@
+"""Generation-based protocol fuzzing engine (Peach substitute).
+
+Provides the two traditional models the paper builds on:
+
+- **data model** (:mod:`repro.fuzzing.datamodel`): typed element trees
+  (numbers, strings, blobs, blocks, choices, size relations) that render
+  protocol-compliant messages;
+- **state model** (:mod:`repro.fuzzing.statemodel`): states, send/receive
+  actions and transitions describing message sequences.
+
+:mod:`repro.fuzzing.mutators` and :mod:`repro.fuzzing.strategies` mutate
+concrete messages; :mod:`repro.fuzzing.engine` drives one fuzzing instance
+against a target session.
+"""
+
+from repro.fuzzing.corpus import dump_corpus, load_corpus, load_corpus_file, save_corpus_file
+from repro.fuzzing.datamodel import (
+    Blob,
+    Block,
+    Choice,
+    DataModel,
+    Number,
+    Size,
+    Str,
+)
+from repro.fuzzing.engine import FuzzEngine, IterationResult
+from repro.fuzzing.pitxml import load_pit
+from repro.fuzzing.statemodel import Action, State, StateModel
+from repro.fuzzing.strategies import MutationStrategy, RandomFieldStrategy
+
+__all__ = [
+    "Action",
+    "Blob",
+    "Block",
+    "Choice",
+    "DataModel",
+    "FuzzEngine",
+    "IterationResult",
+    "MutationStrategy",
+    "Number",
+    "RandomFieldStrategy",
+    "Size",
+    "State",
+    "StateModel",
+    "Str",
+    "dump_corpus",
+    "load_corpus",
+    "load_corpus_file",
+    "load_pit",
+    "save_corpus_file",
+]

@@ -1,0 +1,101 @@
+"""Seed corpus serialisation: persist interesting messages across runs.
+
+Parallel fuzzers conventionally persist their seed corpora (AFL's queue
+directory) so later campaigns resume from prior discoveries. Messages
+serialise structurally — model name, per-path values, choice selections —
+so reloaded seeds stay mutable, unlike raw byte dumps.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, Dict, List
+
+from repro.errors import FuzzingError
+from repro.fuzzing.datamodel import Message
+from repro.fuzzing.statemodel import StateModel
+
+
+def _encode_value(value: Any) -> Dict[str, Any]:
+    if isinstance(value, bytes):
+        return {"t": "bytes", "v": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, bool):
+        return {"t": "bool", "v": value}
+    if isinstance(value, int):
+        return {"t": "int", "v": value}
+    if isinstance(value, float):
+        return {"t": "float", "v": value}
+    if isinstance(value, str):
+        return {"t": "str", "v": value}
+    if value is None:
+        return {"t": "none", "v": None}
+    raise FuzzingError("unserialisable corpus value %r" % (value,))
+
+
+def _decode_value(encoded: Dict[str, Any]) -> Any:
+    kind = encoded["t"]
+    if kind == "bytes":
+        return base64.b64decode(encoded["v"])
+    if kind == "none":
+        return None
+    return encoded["v"]
+
+
+def message_to_dict(message: Message) -> Dict[str, Any]:
+    """Serialise one message structurally."""
+    return {
+        "model": message.model.name,
+        "values": {path: _encode_value(value)
+                   for path, value in message._values.items()},
+        "selections": dict(message._selections),
+    }
+
+
+def message_from_dict(state_model: StateModel, data: Dict[str, Any]) -> Message:
+    """Rebuild a message against the pit's data models.
+
+    Selections restore before values so option subtrees exist; unknown
+    paths (pit evolved since the dump) are skipped rather than fatal.
+    """
+    message = state_model.data_model(data["model"]).build()
+    for choice_path, option in data.get("selections", {}).items():
+        try:
+            message.select(choice_path, option)
+        except FuzzingError:
+            continue
+    for path, encoded in data.get("values", {}).items():
+        try:
+            message.set(path, _decode_value(encoded))
+        except FuzzingError:
+            continue
+    return message
+
+
+def dump_corpus(messages: List[Message]) -> str:
+    """Serialise a corpus to a JSON string."""
+    return json.dumps([message_to_dict(m) for m in messages], sort_keys=True)
+
+
+def load_corpus(state_model: StateModel, text: str) -> List[Message]:
+    """Load a corpus dumped by :func:`dump_corpus`.
+
+    Entries whose data model no longer exists in the pit are dropped.
+    """
+    loaded: List[Message] = []
+    for entry in json.loads(text):
+        try:
+            loaded.append(message_from_dict(state_model, entry))
+        except FuzzingError:
+            continue
+    return loaded
+
+
+def save_corpus_file(messages: List[Message], path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(dump_corpus(messages))
+
+
+def load_corpus_file(state_model: StateModel, path: str) -> List[Message]:
+    with open(path) as handle:
+        return load_corpus(state_model, handle.read())

@@ -1,0 +1,191 @@
+"""The single-instance fuzzing engine.
+
+One engine drives one target session: per iteration it samples a path
+through the state model, generates (and usually mutates) a message for
+every send action, pushes it through a transport, and observes branch
+coverage and faults. Messages that discovered new branches join a seed
+corpus that later iterations replay and re-mutate — the classic
+generation-plus-feedback loop both Peach-parallel and SPFuzz rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.coverage.collector import CoverageCollector
+from repro.fuzzing.datamodel import Message
+from repro.fuzzing.statemodel import StateModel
+from repro.fuzzing.strategies import MutationStrategy, RandomFieldStrategy
+from repro.targets.base import ProtocolTarget
+from repro.targets.faults import SanitizerFault
+
+
+class DirectTransport:
+    """Feeds packets straight into a target instance."""
+
+    def __init__(self, target: ProtocolTarget):
+        self.target = target
+
+    def send(self, payload: bytes) -> Optional[bytes]:
+        return self.target.handle_packet(payload)
+
+    def reset(self) -> None:
+        self.target.reset_session()
+
+
+class ChannelTransport:
+    """Feeds packets through a netns channel into a target instance.
+
+    Models the paper's isolated-namespace data plane: the engine writes
+    to the client side, the pump drains the server side into the target
+    and routes responses back.
+    """
+
+    def __init__(self, channel, target: ProtocolTarget):
+        self.channel = channel
+        self.target = target
+
+    def send(self, payload: bytes) -> Optional[bytes]:
+        self.channel.send_to_server(payload)
+        response: Optional[bytes] = None
+        while True:
+            pending = self.channel.server.recv()
+            if pending is None:
+                break
+            reply = self.target.handle_packet(pending)
+            if reply:
+                self.channel.send_to_client(reply)
+                response = self.channel.client.recv()
+        return response
+
+    def reset(self) -> None:
+        self.target.reset_session()
+
+
+@dataclass
+class IterationResult:
+    """Outcome of one fuzzing iteration."""
+
+    new_sites: frozenset
+    fault: Optional[SanitizerFault] = None
+    path: List[str] = field(default_factory=list)
+    messages_sent: int = 0
+
+    @property
+    def found_new_coverage(self) -> bool:
+        return bool(self.new_sites)
+
+
+class FuzzEngine:
+    """Drives fuzzing iterations for one instance.
+
+    Args:
+        state_model: The protocol's state model (shared "Pit file").
+        transport: Where generated packets go.
+        collector: The target's coverage collector (for new-branch
+            feedback).
+        strategy: Mutation strategy applied to generated messages.
+        seed: RNG seed; distinct per parallel instance.
+        replay_probability: Chance a send is based on a corpus seed
+            instead of a freshly built default message.
+        corpus_limit: Maximum retained seeds (FIFO eviction).
+        allowed_paths: Optional whitelist of state paths (tuples); used
+            by SPFuzz to restrict an instance to its assigned paths.
+    """
+
+    def __init__(
+        self,
+        state_model: StateModel,
+        transport,
+        collector: CoverageCollector,
+        strategy: Optional[MutationStrategy] = None,
+        seed: int = 0,
+        replay_probability: float = 0.35,
+        corpus_limit: int = 256,
+        allowed_paths: Optional[List[tuple]] = None,
+        session_length: int = 8,
+    ):
+        self.state_model = state_model
+        self.transport = transport
+        self.collector = collector
+        self.strategy = strategy or RandomFieldStrategy()
+        self.rng = random.Random(seed)
+        self.replay_probability = replay_probability
+        self.corpus_limit = corpus_limit
+        self.allowed_paths = list(allowed_paths) if allowed_paths else None
+        if session_length < 1:
+            raise ValueError("session_length must be >= 1")
+        self.session_length = session_length
+        self.corpus: List[Message] = []
+        self.iterations = 0
+        self.total_messages = 0
+        self.faults_seen = 0
+
+    # -- corpus ------------------------------------------------------------
+
+    def add_seed(self, message: Message) -> None:
+        """Add a seed message (used by cross-instance synchronisation)."""
+        self.corpus.append(message.copy())
+        if len(self.corpus) > self.corpus_limit:
+            self.corpus.pop(0)
+
+    def _base_message(self, model_name: str) -> Message:
+        model = self.state_model.data_model(model_name)
+        if self.corpus and self.rng.random() < self.replay_probability:
+            candidates = [m for m in self.corpus if m.model.name == model_name]
+            if candidates:
+                return self.rng.choice(candidates).copy()
+        return model.build(self.rng)
+
+    def _choose_path(self) -> List[str]:
+        if self.allowed_paths:
+            return list(self.rng.choice(self.allowed_paths))
+        return self.state_model.walk(self.rng)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run_iteration(self) -> IterationResult:
+        """Execute one iteration: walk the state model, send messages."""
+        if self.iterations % self.session_length == 0:
+            # Fresh connection every few test cases, as a network fuzzer
+            # reconnects between runs.
+            self.transport.reset()
+        self.collector.start_run()
+        path = self._choose_path()
+        fault: Optional[SanitizerFault] = None
+        sent_messages: List[Message] = []
+        messages_sent = 0
+        for state_name in path:
+            state = self.state_model.state(state_name)
+            for action in state.actions:
+                if action.kind != "send":
+                    continue
+                base = self._base_message(action.data_model)
+                message = self.strategy.apply(base, self.rng)
+                payload = message.encode()
+                sent_messages.append(message)
+                messages_sent += 1
+                try:
+                    self.transport.send(payload)
+                except SanitizerFault as caught:
+                    fault = caught
+                    break
+            if fault:
+                break
+        new_sites = frozenset(self.collector.run_new)
+        if new_sites and not fault:
+            for message in sent_messages:
+                self.add_seed(message)
+        if fault:
+            self.faults_seen += 1
+            self.transport.reset()
+        self.iterations += 1
+        self.total_messages += messages_sent
+        return IterationResult(
+            new_sites=new_sites,
+            fault=fault,
+            path=path,
+            messages_sent=messages_sent,
+        )

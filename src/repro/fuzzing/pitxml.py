@@ -1,0 +1,150 @@
+"""Peach-style Pit XML loader.
+
+The paper keeps fuzzers fair by giving them "the same Pit files". Our
+pits are Python factories, but this module also accepts the classic XML
+form, so externally authored models can be dropped in::
+
+    <Peach>
+      <DataModel name="Connect">
+        <Number name="header" size="8" value="16"/>
+        <Size name="remaining" of="body" size="8"/>
+        <Block name="body">
+          <String name="proto" value="MQTT"/>
+        </Block>
+      </DataModel>
+      <StateModel name="session" initialState="start">
+        <State name="start">
+          <Action type="send" dataModel="Connect"/>
+          <Transition to="done" weight="2"/>
+        </State>
+        <State name="done"/>
+      </StateModel>
+    </Peach>
+
+Supported elements: Number (size/value/endian/signed), String
+(value/maxLength), Blob (valueHex), Size (of/size/endian/adjust), Block,
+Choice; Action type="send"; weighted Transition.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List
+
+from repro.errors import FuzzingError
+from repro.fuzzing.datamodel import (
+    Blob,
+    Block,
+    Choice,
+    DataElement,
+    DataModel,
+    Number,
+    Size,
+    Str,
+)
+from repro.fuzzing.statemodel import Action, State, StateModel
+
+
+def _parse_bool(text: str) -> bool:
+    return text.strip().lower() in ("true", "1", "yes")
+
+
+def _build_element(node: ET.Element) -> DataElement:
+    tag = node.tag
+    name = node.get("name")
+    if not name:
+        raise FuzzingError("<%s> requires a name attribute" % tag)
+    if tag == "Number":
+        return Number(
+            name,
+            bits=int(node.get("size", "8")),
+            default=int(node.get("value", "0"), 0),
+            endian=node.get("endian", "big"),
+            signed=_parse_bool(node.get("signed", "false")),
+        )
+    if tag == "String":
+        return Str(
+            name,
+            default=node.get("value", ""),
+            max_length=int(node.get("maxLength", "4096")),
+        )
+    if tag == "Blob":
+        value_hex = node.get("valueHex", "")
+        default = bytes.fromhex(value_hex.replace(" ", "")) if value_hex else b""
+        return Blob(name, default=default,
+                    max_length=int(node.get("maxLength", "65536")))
+    if tag == "Size":
+        of = node.get("of")
+        if not of:
+            raise FuzzingError("<Size name=%r> requires an 'of' attribute" % name)
+        return Size(
+            name,
+            of=of,
+            bits=int(node.get("size", "16")),
+            endian=node.get("endian", "big"),
+            adjust=int(node.get("adjust", "0")),
+        )
+    if tag == "Block":
+        return Block(name, [_build_element(child) for child in node])
+    if tag == "Choice":
+        return Choice(name, [_build_element(child) for child in node])
+    raise FuzzingError("unsupported Pit element <%s>" % tag)
+
+
+def _build_data_model(node: ET.Element) -> DataModel:
+    name = node.get("name")
+    if not name:
+        raise FuzzingError("<DataModel> requires a name attribute")
+    return DataModel(name, [_build_element(child) for child in node])
+
+
+def _build_state(node: ET.Element) -> State:
+    name = node.get("name")
+    if not name:
+        raise FuzzingError("<State> requires a name attribute")
+    state = State(name)
+    for child in node:
+        if child.tag == "Action":
+            kind = child.get("type", "send")
+            if kind == "send":
+                state.actions.append(Action("send", child.get("dataModel")))
+            elif kind == "recv":
+                state.actions.append(Action("recv"))
+            else:
+                raise FuzzingError("unsupported Action type %r" % kind)
+        elif child.tag == "Transition":
+            target = child.get("to")
+            if not target:
+                raise FuzzingError("<Transition> requires a 'to' attribute")
+            state.add_transition(target, float(child.get("weight", "1")))
+        else:
+            raise FuzzingError("unsupported State child <%s>" % child.tag)
+    return state
+
+
+def load_pit(xml_text: str) -> StateModel:
+    """Parse a Pit XML document into a :class:`StateModel`."""
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise FuzzingError("invalid Pit XML: %s" % exc)
+    data_models: List[DataModel] = []
+    state_model_node = None
+    for child in root:
+        if child.tag == "DataModel":
+            data_models.append(_build_data_model(child))
+        elif child.tag == "StateModel":
+            if state_model_node is not None:
+                raise FuzzingError("multiple <StateModel> elements")
+            state_model_node = child
+        else:
+            raise FuzzingError("unsupported top-level element <%s>" % child.tag)
+    if state_model_node is None:
+        raise FuzzingError("Pit has no <StateModel>")
+    name = state_model_node.get("name")
+    initial = state_model_node.get("initialState")
+    if not name or not initial:
+        raise FuzzingError("<StateModel> requires name and initialState")
+    states = [_build_state(node) for node in state_model_node
+              if node.tag == "State"]
+    return StateModel(name, initial, states, data_models)

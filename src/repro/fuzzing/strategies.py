@@ -1,0 +1,82 @@
+"""Mutation strategies: how many fields of a message to corrupt and how."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.fuzzing.datamodel import Message
+from repro.fuzzing.mutators import DEFAULT_MUTATORS, Mutator, mutators_for
+
+
+class MutationStrategy:
+    """Base strategy: transform a freshly built message before sending."""
+
+    def apply(self, message: Message, rng: random.Random) -> Message:
+        raise NotImplementedError
+
+
+class RandomFieldStrategy(MutationStrategy):
+    """Peach-style random strategy.
+
+    With probability ``valid_ratio`` the message is sent untouched
+    (protocol-compliant traffic keeps sessions progressing); otherwise
+    between 1 and ``max_fields`` randomly chosen fields (including choice
+    selections) are mutated with applicable mutators.
+    """
+
+    def __init__(self, max_fields: int = 3, valid_ratio: float = 0.2,
+                 pool: Sequence[Mutator] = DEFAULT_MUTATORS):
+        if not 0 <= valid_ratio <= 1:
+            raise ValueError("valid_ratio must be within [0, 1]")
+        if max_fields < 1:
+            raise ValueError("max_fields must be >= 1")
+        self.max_fields = max_fields
+        self.valid_ratio = valid_ratio
+        self.pool = tuple(pool)
+
+    def apply(self, message: Message, rng: random.Random) -> Message:
+        if rng.random() < self.valid_ratio:
+            return message
+        mutated = message.copy()
+        targets: List[str] = [path for path, _ in mutated.fields()]
+        targets.extend(mutated.choice_paths())
+        if not targets:
+            return mutated
+        count = rng.randint(1, self.max_fields)
+        for _ in range(count):
+            path = rng.choice(targets)
+            element = mutated.element_at(path)
+            applicable = mutators_for(element, self.pool)
+            if not applicable:
+                continue
+            mutator = rng.choice(applicable)
+            mutator.mutate(mutated, path, rng)
+        return mutated
+
+
+class FieldExhaustiveStrategy(MutationStrategy):
+    """Deterministically cycles through (field, mutator) pairs.
+
+    Useful for tests and for the sequential portion of Peach's default
+    strategy: each call mutates the next pair in a stable order.
+    """
+
+    def __init__(self, pool: Sequence[Mutator] = DEFAULT_MUTATORS):
+        self.pool = tuple(pool)
+        self._cursor = 0
+
+    def apply(self, message: Message, rng: random.Random) -> Message:
+        mutated = message.copy()
+        targets = [path for path, _ in mutated.fields()] + mutated.choice_paths()
+        pairs = []
+        for path in targets:
+            element = mutated.element_at(path)
+            for mutator in mutators_for(element, self.pool):
+                pairs.append((path, mutator))
+        if not pairs:
+            return mutated
+        path, mutator = pairs[self._cursor % len(pairs)]
+        self._cursor += 1
+        mutator.mutate(mutated, path, rng)
+        return mutated

@@ -1,0 +1,21 @@
+"""Campaign harness: simulated clock, statistics, campaign runner, reports."""
+
+from repro.harness.campaign import CampaignConfig, CampaignResult, run_campaign, run_repeated
+from repro.harness.export import comparison_summary, result_to_dict, results_to_json
+from repro.harness.simclock import CostModel, SimClock
+from repro.harness.stats import TimeSeries, mean, speedup
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "CostModel",
+    "SimClock",
+    "TimeSeries",
+    "comparison_summary",
+    "mean",
+    "result_to_dict",
+    "results_to_json",
+    "run_campaign",
+    "run_repeated",
+    "speedup",
+]

@@ -1,0 +1,214 @@
+"""The campaign runner: drives N parallel instances for a simulated day.
+
+Reproduces the paper's experimental loop: a mode (Peach / SPFuzz /
+CMFuzz) sets up four isolated instances which fuzz for 24 simulated
+hours; the harness tracks the global branch-coverage time series (the
+union across instances), triages crashes into a deduplicated bug ledger,
+and restarts crashed targets with the appropriate simulated downtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.errors import HarnessError, StartupError
+from repro.fuzzing.statemodel import StateModel
+from repro.fuzzing.strategies import MutationStrategy, RandomFieldStrategy
+from repro.harness.simclock import CostModel, SimClock
+from repro.harness.stats import TimeSeries
+from repro.netns.namespace import NamespaceManager
+from repro.parallel.base import ParallelMode
+from repro.parallel.instance import FuzzingInstance
+from repro.targets.faults import BugLedger, CrashReport, SanitizerFault
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs for one campaign run."""
+
+    n_instances: int = 4
+    duration_hours: float = 24.0
+    seed: int = 0
+    costs: CostModel = field(default_factory=CostModel)
+    sample_interval: float = 600.0
+    sync_interval: float = 600.0
+    strategy_factory: Callable[[], MutationStrategy] = RandomFieldStrategy
+
+    def __post_init__(self):
+        if self.n_instances < 1:
+            raise HarnessError("need at least one instance")
+        if self.duration_hours <= 0:
+            raise HarnessError("duration must be positive")
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produces."""
+
+    mode: str
+    target: str
+    coverage: TimeSeries
+    bugs: BugLedger
+    instances: List[FuzzingInstance]
+    startup_conflicts: int = 0
+    iterations: int = 0
+
+    @property
+    def final_coverage(self) -> int:
+        return int(self.coverage.final_value)
+
+    def unique_bug_count(self) -> int:
+        return len(self.bugs)
+
+
+class _CampaignContext:
+    """The state bag parallel modes interact with."""
+
+    def __init__(self, target_cls, state_model: StateModel, config: CampaignConfig):
+        self.target_cls = target_cls
+        self.state_model = state_model
+        self.n_instances = config.n_instances
+        self.seed = config.seed
+        self.costs = config.costs
+        self.clock = SimClock()
+        self.namespaces = NamespaceManager()
+        self.instances: List[FuzzingInstance] = []
+        self.bugs = BugLedger()
+        self.startup_conflicts = 0
+        self._strategy_factory = config.strategy_factory
+
+    def make_strategy(self) -> MutationStrategy:
+        return self._strategy_factory()
+
+    def record_startup_fault(self, fault: SanitizerFault, instance: int) -> None:
+        self.bugs.record(
+            CrashReport.from_fault(
+                fault, self.target_cls.PROTOCOL,
+                sim_time=self.clock.now, instance=instance,
+            )
+        )
+
+
+def _safe_initial_start(ctx: _CampaignContext, instance: FuzzingInstance) -> None:
+    """Boot an instance, degrading toward the default configuration.
+
+    The initial bundle is built from first typical values, which embed the
+    source defaults, so this almost always succeeds on the first try;
+    conflicting groups shed keys until the target boots.
+    """
+    assignment = dict(instance.bundle.assignment)
+    for _ in range(len(assignment) + 1):
+        try:
+            instance.restart(assignment)
+            return
+        except StartupError as error:
+            ctx.startup_conflicts += 1
+            dropped = False
+            for key in error.conflicting:
+                if key in assignment:
+                    del assignment[key]
+                    dropped = True
+            if not dropped and assignment:
+                assignment.popitem()
+        except SanitizerFault as fault:
+            ctx.record_startup_fault(fault, instance=instance.index)
+            if assignment:
+                assignment.popitem()
+    instance.restart({})
+
+
+def run_campaign(
+    target_cls,
+    state_model: StateModel,
+    mode: ParallelMode,
+    config: Optional[CampaignConfig] = None,
+) -> CampaignResult:
+    """Run one parallel fuzzing campaign and return its results."""
+    config = config or CampaignConfig()
+    ctx = _CampaignContext(target_cls, state_model, config)
+    ctx.instances = mode.create_instances(ctx)
+    for instance in ctx.instances:
+        _safe_initial_start(ctx, instance)
+
+    horizon = config.duration_hours * 3600.0
+    coverage = TimeSeries()
+    global_sites: Set[str] = set()
+    for instance in ctx.instances:
+        global_sites.update(instance.collector.total.sites())
+    coverage.record(ctx.clock.now, len(global_sites))
+
+    next_sample = ctx.clock.now + config.sample_interval
+    next_sync = ctx.clock.now + config.sync_interval
+    iterations = 0
+
+    while ctx.clock.now < horizon:
+        now = ctx.clock.now
+        for instance in ctx.instances:
+            if not instance.available(now):
+                continue
+            result = instance.step()
+            iterations += 1
+            if result.new_sites:
+                global_sites.update(result.new_sites)
+            mode.after_iteration(ctx, instance, result)
+            if result.fault:
+                ctx.bugs.record(
+                    CrashReport.from_fault(
+                        result.fault, target_cls.PROTOCOL,
+                        sim_time=now, instance=instance.index,
+                    )
+                )
+                instance.down_until = now + config.costs.crash_restart
+                try:
+                    instance.restart(dict(instance.bundle.assignment))
+                except StartupError:
+                    instance.dead = True
+                except SanitizerFault as fault:
+                    ctx.record_startup_fault(fault, instance=instance.index)
+                    instance.dead = True
+        ctx.clock.advance(config.costs.iteration)
+        if ctx.clock.now >= next_sample:
+            coverage.record(ctx.clock.now, len(global_sites))
+            next_sample += config.sample_interval
+        if ctx.clock.now >= next_sync:
+            mode.on_sync(ctx)
+            next_sync += config.sync_interval
+
+    coverage.record(horizon, len(global_sites))
+    ctx.namespaces.destroy_all()
+    return CampaignResult(
+        mode=mode.name,
+        target=target_cls.NAME,
+        coverage=coverage,
+        bugs=ctx.bugs,
+        instances=ctx.instances,
+        startup_conflicts=ctx.startup_conflicts,
+        iterations=iterations,
+    )
+
+
+def run_repeated(
+    target_cls,
+    state_model_factory: Callable[[], StateModel],
+    mode_factory: Callable[[], ParallelMode],
+    repetitions: int = 5,
+    config: Optional[CampaignConfig] = None,
+) -> List[CampaignResult]:
+    """Repeat a campaign with distinct seeds (the paper runs five)."""
+    base = config or CampaignConfig()
+    results = []
+    for repetition in range(repetitions):
+        rep_config = CampaignConfig(
+            n_instances=base.n_instances,
+            duration_hours=base.duration_hours,
+            seed=base.seed + repetition * 101,
+            costs=base.costs,
+            sample_interval=base.sample_interval,
+            sync_interval=base.sync_interval,
+            strategy_factory=base.strategy_factory,
+        )
+        results.append(
+            run_campaign(target_cls, state_model_factory(), mode_factory(), rep_config)
+        )
+    return results

@@ -1,0 +1,121 @@
+"""High-level experiment orchestration: the paper's protocols as APIs.
+
+Wraps the campaign runner into the exact experimental protocols of the
+evaluation section, so benches, the CLI and notebooks share one
+implementation:
+
+- :func:`table1_experiment` — one subject, three fuzzers, repeated runs,
+  averaged coverage / improvement / speedup (one Table-I row).
+- :func:`table2_experiment` — CMFuzz over the bug-bearing subjects,
+  merged deduplicated ledger (Table II).
+- :func:`figure4_experiment` — averaged coverage-over-time series per
+  fuzzer (one Figure-4 panel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.harness.campaign import CampaignConfig, CampaignResult, run_repeated
+from repro.harness.stats import TimeSeries, mean, speedup
+from repro.parallel import MODES
+from repro.pits import pit_registry
+from repro.targets import target_registry
+from repro.targets.faults import BugLedger
+
+DEFAULT_FUZZERS = ("cmfuzz", "peach", "spfuzz")
+
+
+@dataclass
+class SubjectComparison:
+    """All repetitions for one subject across fuzzers, plus aggregates."""
+
+    subject: str
+    results: Dict[str, List[CampaignResult]]
+
+    def mean_coverage(self, fuzzer: str) -> float:
+        return mean([r.final_coverage for r in self.results[fuzzer]])
+
+    def improvement_over(self, baseline: str, contender: str = "cmfuzz") -> float:
+        base = self.mean_coverage(baseline)
+        if base <= 0:
+            return 0.0
+        return 100.0 * (self.mean_coverage(contender) - base) / base
+
+    def speedup_over(self, baseline: str, contender: str = "cmfuzz") -> float:
+        pairs = zip(self.results[baseline], self.results[contender])
+        return mean([speedup(b.coverage, c.coverage) for b, c in pairs])
+
+    def merged_bugs(self, fuzzer: str = "cmfuzz") -> BugLedger:
+        merged = BugLedger()
+        for result in self.results[fuzzer]:
+            merged.merge(result.bugs)
+        return merged
+
+
+def _run_fuzzers(
+    subject: str,
+    fuzzers: Sequence[str],
+    repetitions: int,
+    config: Optional[CampaignConfig],
+    mode_factories: Optional[Dict[str, Callable]] = None,
+) -> SubjectComparison:
+    targets, pits = target_registry(), pit_registry()
+    if subject not in targets:
+        raise KeyError("unknown subject %r" % subject)
+    factories = mode_factories or {}
+    results = {}
+    for fuzzer in fuzzers:
+        factory = factories.get(fuzzer) or MODES[fuzzer]
+        results[fuzzer] = run_repeated(
+            targets[subject], pits[subject], factory,
+            repetitions=repetitions, config=config,
+        )
+    return SubjectComparison(subject=subject, results=results)
+
+
+def table1_experiment(
+    subject: str,
+    repetitions: int = 3,
+    config: Optional[CampaignConfig] = None,
+    fuzzers: Sequence[str] = DEFAULT_FUZZERS,
+) -> SubjectComparison:
+    """Run one Table-I row's worth of campaigns."""
+    return _run_fuzzers(subject, fuzzers, repetitions, config)
+
+
+def table2_experiment(
+    subjects: Sequence[str] = ("mosquitto", "libcoap", "qpid", "dnsmasq"),
+    repetitions: int = 3,
+    config: Optional[CampaignConfig] = None,
+    fuzzer: str = "cmfuzz",
+) -> BugLedger:
+    """Run Table II: merged unique bugs across the bug-bearing subjects."""
+    merged = BugLedger()
+    for subject in subjects:
+        comparison = _run_fuzzers(subject, (fuzzer,), repetitions, config)
+        merged.merge(comparison.merged_bugs(fuzzer))
+    return merged
+
+
+def figure4_experiment(
+    subject: str,
+    repetitions: int = 3,
+    config: Optional[CampaignConfig] = None,
+    fuzzers: Sequence[str] = DEFAULT_FUZZERS,
+    grid_step: float = 3600.0,
+) -> Dict[str, TimeSeries]:
+    """One Figure-4 panel: averaged coverage series per fuzzer."""
+    config = config or CampaignConfig()
+    comparison = _run_fuzzers(subject, fuzzers, repetitions, config)
+    horizon = config.duration_hours * 3600.0
+    panels: Dict[str, TimeSeries] = {}
+    for fuzzer, results in comparison.results.items():
+        averaged = TimeSeries()
+        t = 0.0
+        while t <= horizon + 1e-9:
+            averaged.record(t, mean([r.coverage.value_at(t) for r in results]))
+            t += grid_step
+        panels[fuzzer] = averaged
+    return panels

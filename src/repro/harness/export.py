@@ -1,0 +1,72 @@
+"""Serialise campaign results for external analysis/plotting.
+
+Converts :class:`~repro.harness.campaign.CampaignResult` objects into
+plain dicts / JSON so the coverage curves and bug tables can be consumed
+by notebooks or plotting scripts without importing the framework.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.harness.campaign import CampaignResult
+
+
+def result_to_dict(result: CampaignResult) -> Dict[str, Any]:
+    """One campaign as a JSON-friendly dict."""
+    return {
+        "mode": result.mode,
+        "target": result.target,
+        "final_coverage": result.final_coverage,
+        "iterations": result.iterations,
+        "startup_conflicts": result.startup_conflicts,
+        "coverage": [[t, v] for t, v in result.coverage.points()],
+        "bugs": [
+            {
+                "protocol": bug.protocol,
+                "kind": bug.kind.value,
+                "function": bug.function,
+                "detail": bug.detail,
+                "sim_time": bug.sim_time,
+                "instance": bug.instance,
+            }
+            for bug in result.bugs.unique_bugs()
+        ],
+        "instances": [
+            {
+                "index": instance.index,
+                "coverage": instance.coverage,
+                "restarts": instance.restarts,
+                "config_mutations": instance.config_mutations,
+                "dead": instance.dead,
+                "group": list(instance.bundle.group),
+                "assignment": {
+                    key: value for key, value in instance.bundle.assignment.items()
+                },
+            }
+            for instance in result.instances
+        ],
+    }
+
+
+def results_to_json(results: Iterable[CampaignResult], indent: int = 2) -> str:
+    """Serialise several campaigns to a JSON array."""
+    return json.dumps([result_to_dict(r) for r in results], indent=indent,
+                      default=str, sort_keys=True)
+
+
+def comparison_summary(results_by_mode: Dict[str, List[CampaignResult]]) -> Dict[str, Any]:
+    """Aggregate repeated runs per fuzzer into a compact comparison."""
+    summary: Dict[str, Any] = {}
+    for mode, results in results_by_mode.items():
+        coverages = [r.final_coverage for r in results]
+        bug_counts = [len(r.bugs) for r in results]
+        summary[mode] = {
+            "repetitions": len(results),
+            "mean_coverage": sum(coverages) / len(coverages) if coverages else 0.0,
+            "min_coverage": min(coverages) if coverages else 0,
+            "max_coverage": max(coverages) if coverages else 0,
+            "mean_bugs": sum(bug_counts) / len(bug_counts) if bug_counts else 0.0,
+        }
+    return summary

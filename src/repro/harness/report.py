@@ -1,0 +1,101 @@
+"""Render campaign results in the paper's table/figure formats."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.harness.stats import TimeSeries, mean, speedup
+from repro.targets.faults import BugLedger
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Monospace table with per-column alignment."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    def fmt(cells):
+        return " | ".join(str(c).ljust(widths[i]) for i, c in enumerate(cells))
+    lines = [fmt(headers), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def improvement(contender: float, baseline: float) -> str:
+    """Percentage improvement string (Table I's Improv column)."""
+    if baseline <= 0:
+        return "n/a"
+    return "%+.1f%%" % (100.0 * (contender - baseline) / baseline)
+
+
+def format_speedup(value: float) -> str:
+    if value == float("inf"):
+        return "inf"
+    if value >= 10:
+        return "{:,.0f}x".format(value)
+    return "%.1fx" % value
+
+
+def table1_row(subject: str,
+               cmfuzz: Sequence, peach: Sequence, spfuzz: Sequence) -> List[str]:
+    """One Table-I row from repeated campaign results per fuzzer.
+
+    Each argument is a sequence of CampaignResult for that fuzzer.
+    """
+    cm_cov = mean([r.final_coverage for r in cmfuzz])
+    pe_cov = mean([r.final_coverage for r in peach])
+    sp_cov = mean([r.final_coverage for r in spfuzz])
+    pe_speed = mean([
+        speedup(p.coverage, c.coverage) for p, c in zip(peach, cmfuzz)
+    ])
+    sp_speed = mean([
+        speedup(s.coverage, c.coverage) for s, c in zip(spfuzz, cmfuzz)
+    ])
+    return [
+        subject,
+        "%.0f" % cm_cov,
+        "%.0f" % pe_cov,
+        improvement(cm_cov, pe_cov),
+        format_speedup(pe_speed),
+        "%.0f" % sp_cov,
+        improvement(cm_cov, sp_cov),
+        format_speedup(sp_speed),
+    ]
+
+
+def render_figure4(series_by_fuzzer: Dict[str, TimeSeries],
+                   horizon: float, width: int = 64, height: int = 12) -> str:
+    """ASCII coverage-over-time chart (one panel of Figure 4)."""
+    symbols = {}
+    fallback = iter("*#@%&+")
+    for name in series_by_fuzzer:
+        initial = name[:1].upper() or "?"
+        symbols[name] = initial if initial not in symbols.values() else next(fallback)
+    peak = max((s.final_value for s in series_by_fuzzer.values()), default=1.0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for name, series in series_by_fuzzer.items():
+        for column in range(width):
+            t = horizon * column / max(width - 1, 1)
+            value = series.value_at(t)
+            row = int((height - 1) * (1.0 - value / peak))
+            row = min(max(row, 0), height - 1)
+            if grid[row][column] == " ":
+                grid[row][column] = symbols[name]
+    lines = ["%5d |%s" % (peak, "".join(grid[0]))]
+    for row in range(1, height):
+        label = "%5.0f" % (peak * (1.0 - row / (height - 1))) if row == height - 1 else "     "
+        lines.append("%s |%s" % (label, "".join(grid[row])))
+    lines.append("      +" + "-" * width)
+    legend = "  ".join("%s=%s" % (symbols[name], name) for name in series_by_fuzzer)
+    lines.append("       " + legend)
+    return "\n".join(lines)
+
+
+def render_bug_table(ledger: BugLedger) -> str:
+    """Table II: unique vulnerabilities with type and affected function."""
+    rows = []
+    for index, report in enumerate(ledger.unique_bugs(), start=1):
+        rows.append([
+            str(index), report.protocol, report.kind.value, report.function,
+        ])
+    return render_table(["No.", "Protocol", "Vulnerability Type", "Affected Function"], rows)

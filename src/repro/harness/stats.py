@@ -1,0 +1,92 @@
+"""Coverage time series and the paper's Speedup metric."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+class TimeSeries:
+    """A step function of (sim_time, value) samples, non-decreasing time."""
+
+    def __init__(self):
+        self._points: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self._points and time < self._points[-1][0]:
+            raise ValueError("time series must be recorded in time order")
+        self._points.append((time, value))
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(self._points)
+
+    @property
+    def final_value(self) -> float:
+        return self._points[-1][1] if self._points else 0.0
+
+    @property
+    def final_time(self) -> float:
+        return self._points[-1][0] if self._points else 0.0
+
+    def value_at(self, time: float) -> float:
+        """Step-function evaluation: the last value at or before ``time``."""
+        value = 0.0
+        for t, v in self._points:
+            if t > time:
+                break
+            value = v
+        return value
+
+    def time_to_reach(self, value: float) -> Optional[float]:
+        """First time the series reaches at least ``value`` (None if never)."""
+        for t, v in self._points:
+            if v >= value:
+                return t
+        return None
+
+    def sample(self, interval: float, horizon: float) -> List[Tuple[float, float]]:
+        """Resample onto a uniform grid for plotting (Figure 4)."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        grid = []
+        t = 0.0
+        while t <= horizon + 1e-9:
+            grid.append((t, self.value_at(t)))
+            t += interval
+        return grid
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __repr__(self) -> str:
+        return "TimeSeries(%d points, final=%.0f)" % (len(self._points), self.final_value)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def speedup(baseline: TimeSeries, contender: TimeSeries,
+            floor: float = 1.0) -> float:
+    """The paper's Speedup metric (Table I).
+
+    Baseline's time to reach *its own* final coverage, divided by the
+    contender's time to reach that same coverage level. Returns the ratio
+    capped below at 0 and is ``float('inf')`` if the contender starts at
+    or above the baseline's final coverage at time ~0; callers clamp with
+    ``floor`` (the minimum contender time) to keep ratios finite.
+    """
+    target = baseline.final_value
+    if target <= 0:
+        return 1.0
+    baseline_time = baseline.time_to_reach(target)
+    contender_time = contender.time_to_reach(target)
+    if baseline_time is None:
+        return 1.0
+    if contender_time is None:
+        # Contender never got there: speedup below 1 expressed as the
+        # fraction of the budget it covered.
+        reached = contender.final_value
+        return max(reached / target, 0.0)
+    return baseline_time / max(contender_time, floor)

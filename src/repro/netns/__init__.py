@@ -1,0 +1,13 @@
+"""In-process network namespace simulation.
+
+The paper isolates each fuzzing instance in a Linux network namespace via
+``ip netns`` to prevent cross-contamination. We reproduce the semantics in
+process: each :class:`NetworkNamespace` owns a private port space; sockets
+bound in one namespace are invisible from another; channels deliver
+datagrams/streams only between endpoints of the same namespace.
+"""
+
+from repro.netns.namespace import NetworkNamespace, NamespaceManager
+from repro.netns.channel import Channel, Endpoint
+
+__all__ = ["Channel", "Endpoint", "NamespaceManager", "NetworkNamespace"]

@@ -1,0 +1,79 @@
+"""Channels and endpoints: the loopback data plane inside a namespace."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.errors import NamespaceError
+
+
+class Endpoint:
+    """One side of a channel: a socket-like FIFO of datagrams."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._inbox: Deque[bytes] = deque()
+        self.closed = False
+
+    def deliver(self, payload: bytes) -> None:
+        if self.closed:
+            raise NamespaceError("delivery to closed endpoint %r" % self.name)
+        self._inbox.append(bytes(payload))
+
+    def recv(self) -> Optional[bytes]:
+        """Pop the next pending datagram, or ``None`` when idle."""
+        if self._inbox:
+            return self._inbox.popleft()
+        return None
+
+    def pending(self) -> int:
+        return len(self._inbox)
+
+    def close(self) -> None:
+        self.closed = True
+        self._inbox.clear()
+
+    def __repr__(self) -> str:
+        return "Endpoint(%r, pending=%d%s)" % (
+            self.name,
+            len(self._inbox),
+            ", closed" if self.closed else "",
+        )
+
+
+class Channel:
+    """A bidirectional datagram channel between two endpoints.
+
+    Models the fuzzer-to-target loopback link: the client side sends
+    protocol packets, the server side sends responses. Both directions
+    preserve ordering and never drop packets (isolation, not lossiness,
+    is what the design needs).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.client = Endpoint(name + ":client")
+        self.server = Endpoint(name + ":server")
+        #: Total payload bytes moved in each direction (stats surface).
+        self.bytes_to_server = 0
+        self.bytes_to_client = 0
+
+    def send_to_server(self, payload: bytes) -> None:
+        self.server.deliver(payload)
+        self.bytes_to_server += len(payload)
+
+    def send_to_client(self, payload: bytes) -> None:
+        self.client.deliver(payload)
+        self.bytes_to_client += len(payload)
+
+    def close(self) -> None:
+        self.client.close()
+        self.server.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.client.closed and self.server.closed
+
+    def __repr__(self) -> str:
+        return "Channel(%r)" % self.name

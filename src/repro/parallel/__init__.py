@@ -1,0 +1,39 @@
+"""Parallel fuzzing modes: Peach-parallel, SPFuzz and CMFuzz.
+
+Each mode builds N isolated :class:`~repro.parallel.instance.FuzzingInstance`
+objects (own network namespace, own target process, own engine) and hooks
+into the campaign loop:
+
+- :mod:`repro.parallel.peach` — the original Peach parallel mode: every
+  instance fuzzes the default configuration with a different seed.
+- :mod:`repro.parallel.spfuzz` — state-aware path-based parallelism:
+  state-model paths are partitioned across instances, interesting seeds
+  are synchronised periodically.
+- :mod:`repro.parallel.cmfuzz` — the paper's contribution: configuration
+  model identification, pairwise relation quantification, cohesive group
+  allocation, and adaptive configuration mutation at coverage saturation.
+"""
+
+from repro.parallel.base import ParallelMode
+from repro.parallel.cmfuzz import CmFuzzMode
+from repro.parallel.hybrid import HybridMode
+from repro.parallel.instance import FuzzingInstance
+from repro.parallel.peach import PeachParallelMode
+from repro.parallel.spfuzz import SpFuzzMode
+
+MODES = {
+    "cmfuzz": CmFuzzMode,
+    "hybrid": HybridMode,
+    "peach": PeachParallelMode,
+    "spfuzz": SpFuzzMode,
+}
+
+__all__ = [
+    "CmFuzzMode",
+    "FuzzingInstance",
+    "HybridMode",
+    "MODES",
+    "ParallelMode",
+    "PeachParallelMode",
+    "SpFuzzMode",
+]

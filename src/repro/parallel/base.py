@@ -1,0 +1,35 @@
+"""The mode interface the campaign loop drives."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.fuzzing.engine import IterationResult
+from repro.parallel.instance import FuzzingInstance
+
+
+class ParallelMode:
+    """Strategy object deciding how N parallel instances are set up.
+
+    Lifecycle, driven by :func:`repro.harness.campaign.run_campaign`:
+
+    1. :meth:`create_instances` — build (but not start) the instances;
+       may consume setup time by advancing ``ctx.clock`` (CMFuzz's
+       quantification phase does).
+    2. Per fuzzing round, :meth:`after_iteration` is invoked with each
+       instance's result.
+    3. Every ``ctx.sync_interval`` of simulated time, :meth:`on_sync`
+       runs (seed synchronisation, saturation checks).
+    """
+
+    name = "abstract"
+
+    def create_instances(self, ctx) -> List[FuzzingInstance]:
+        raise NotImplementedError
+
+    def after_iteration(self, ctx, instance: FuzzingInstance,
+                        result: IterationResult) -> None:
+        """Per-iteration hook; default: nothing."""
+
+    def on_sync(self, ctx) -> None:
+        """Periodic hook; default: nothing."""

@@ -1,0 +1,164 @@
+"""CMFuzz: configuration model identification and scheduling.
+
+The full pipeline of the paper, executed when the campaign starts:
+
+1. **Identification** — Algorithm 1 extracts configuration items from the
+   target's CLI/file sources; each becomes a 4-tuple entity.
+2. **Quantification** — every pair of mutable entities is startup-probed
+   across its value combinations; peak startup coverage becomes the
+   relation weight (zero everywhere -> no edge). Probe time is charged to
+   the simulated clock: CMFuzz pays its setup cost honestly.
+3. **Allocation** — Algorithm 2 groups entities cohesively, one group per
+   instance; each instance reassembles its group into a runtime
+   configuration.
+4. **Adaptive mutation** — when an instance's coverage saturates, one of
+   its MUTABLE entities moves to a different typical value and the target
+   restarts under the new configuration (restart cost charged). Startup
+   crashes observed here are recorded as configuration-triggered bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.allocation import AllocationResult, allocate
+from repro.core.extraction import extract_entities
+from repro.core.model import ConfigurationModel
+from repro.core.mutation import ConfigMutator, GuidedConfigMutator, SaturationDetector
+from repro.core.reassembly import ConfigBundle, reassemble_group
+from repro.core.relation import RelationQuantifier
+from repro.errors import StartupError
+from repro.fuzzing.engine import FuzzEngine
+from repro.parallel.base import ParallelMode
+from repro.parallel.instance import FuzzingInstance
+from repro.targets.base import startup_probe_for
+from repro.targets.faults import CrashReport, SanitizerFault
+
+
+class CmFuzzMode(ParallelMode):
+    """Relation-aware configuration scheduling over parallel instances."""
+
+    name = "cmfuzz"
+
+    def __init__(
+        self,
+        saturation_window: float = 3600.0,
+        max_combinations: int = 16,
+        aggregate: str = "max",
+        allocator=allocate,
+        adaptive_mutation: bool = True,
+        guided_mutation: bool = False,
+    ):
+        self.saturation_window = saturation_window
+        self.max_combinations = max_combinations
+        self.aggregate = aggregate
+        self.allocator = allocator
+        self.adaptive_mutation = adaptive_mutation
+        self.guided_mutation = guided_mutation
+        self._coverage_at_mutation: Dict[int, int] = {}
+        self.model: Optional[ConfigurationModel] = None
+        self.relation_model = None
+        self.allocation: Optional[AllocationResult] = None
+        self.quantification_report = None
+        self._detectors: Dict[int, SaturationDetector] = {}
+        self._mutators: Dict[int, ConfigMutator] = {}
+
+    # -- pipeline ----------------------------------------------------------
+
+    def create_instances(self, ctx) -> List[FuzzingInstance]:
+        target_cls = ctx.target_cls
+        entities = extract_entities(
+            target_cls.config_sources(), target_cls.entity_overrides()
+        )
+        self.model = ConfigurationModel(entities)
+
+        # A configuration combination that crashes the target during
+        # startup is both a finding and zero startup coverage.
+        probe = startup_probe_for(
+            target_cls,
+            on_fault=lambda fault: ctx.record_startup_fault(fault, instance=-1),
+        )
+
+        quantifier = RelationQuantifier(
+            probe, max_combinations=self.max_combinations, aggregate=self.aggregate
+        )
+        self.relation_model, self.quantification_report = quantifier.quantify(self.model)
+        ctx.clock.advance(
+            self.quantification_report.launches * ctx.costs.startup_probe
+        )
+        self.allocation = self.allocator(self.relation_model, ctx.n_instances)
+
+        instances = []
+        groups = list(self.allocation.groups)
+        while len(groups) < ctx.n_instances:
+            groups.append([])
+        best_values = self.quantification_report.best_values
+        for index in range(ctx.n_instances):
+            namespace = ctx.namespaces.create("%s-cmfuzz-%d" % (target_cls.NAME, index))
+            bundle = reassemble_group(self.model, groups[index], value_picks=best_values)
+            seed = ctx.seed * 3000 + index
+
+            def engine_factory(transport, collector, seed=seed):
+                return FuzzEngine(
+                    ctx.state_model, transport, collector,
+                    strategy=ctx.make_strategy(), seed=seed,
+                )
+
+            instance = FuzzingInstance(
+                index, target_cls, namespace, engine_factory, bundle=bundle
+            )
+            self._detectors[index] = SaturationDetector(self.saturation_window)
+            mutator_cls = GuidedConfigMutator if self.guided_mutation else ConfigMutator
+            self._mutators[index] = mutator_cls(self.model, seed=seed)
+            instances.append(instance)
+        return instances
+
+    # -- adaptive configuration mutation ------------------------------------
+
+    def on_sync(self, ctx) -> None:
+        if not self.adaptive_mutation:
+            return
+        now = ctx.clock.now
+        for instance in ctx.instances:
+            if instance.dead or not instance.available(now):
+                continue
+            detector = self._detectors[instance.index]
+            detector.observe(now, instance.coverage)
+            if not detector.saturated(now):
+                continue
+            self._mutate_instance(ctx, instance, now)
+            detector.reset(now)
+
+    def _mutate_instance(self, ctx, instance: FuzzingInstance, now: float) -> None:
+        """Move one configuration value and restart the target."""
+        mutator = self._mutators[instance.index]
+        if self.guided_mutation:
+            # Credit the previous mutation with the coverage it unlocked.
+            baseline = self._coverage_at_mutation.get(instance.index)
+            if baseline is not None:
+                mutator.reward(instance.coverage - baseline)
+        previous = instance.bundle
+        for _attempt in range(4):
+            mutated = mutator.mutate(instance.bundle)
+            if mutated is None:
+                return
+            try:
+                instance.restart(mutated.assignment)
+            except StartupError:
+                ctx.startup_conflicts += 1
+                instance.bundle = previous
+                continue
+            except SanitizerFault as fault:
+                ctx.record_startup_fault(fault, instance=instance.index)
+                instance.bundle = previous
+                continue
+            instance.bundle = mutated
+            instance.config_mutations += 1
+            instance.down_until = now + ctx.costs.config_restart
+            self._coverage_at_mutation[instance.index] = instance.coverage
+            return
+        # All mutation attempts failed to boot: restore the old config.
+        try:
+            instance.restart(previous.assignment)
+        except (StartupError, SanitizerFault):
+            instance.dead = True

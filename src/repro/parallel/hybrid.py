@@ -1,0 +1,52 @@
+"""Extension: CMFuzz composed with SPFuzz's state-path scheduling.
+
+The paper's related-work section argues CMFuzz "can be integrated with
+these existing methodologies". This mode demonstrates the claim: each
+instance receives both a cohesive configuration group (CMFuzz's axis)
+*and* a state-path partition plus seed synchronisation (SPFuzz's axis),
+so the two scheduling dimensions compose orthogonally.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.fuzzing.engine import FuzzEngine
+from repro.parallel.cmfuzz import CmFuzzMode
+from repro.parallel.instance import FuzzingInstance
+from repro.parallel.sync import SeedSynchronizer
+
+
+class HybridMode(CmFuzzMode):
+    """Configuration groups x state-path partitions, with seed sync."""
+
+    name = "hybrid"
+
+    def __init__(self, max_path_length: int = 8, **kwargs):
+        super().__init__(**kwargs)
+        self.max_path_length = max_path_length
+        self.synchronizer = SeedSynchronizer()
+
+    def create_instances(self, ctx) -> List[FuzzingInstance]:
+        instances = super().create_instances(ctx)
+        paths = ctx.state_model.simple_paths(max_length=self.max_path_length)
+        partitions: List[List[tuple]] = [[] for _ in instances]
+        for position, path in enumerate(paths):
+            partitions[position % len(instances)].append(path)
+        for instance in instances:
+            assigned = partitions[instance.index] or paths
+            original_factory = instance._engine_factory
+
+            def engine_factory(transport, collector,
+                               factory=original_factory, assigned=assigned):
+                engine = factory(transport, collector)
+                engine.allowed_paths = list(assigned)
+                engine.replay_probability = 0.5
+                return engine
+
+            instance._engine_factory = engine_factory
+        return instances
+
+    def on_sync(self, ctx) -> None:
+        super().on_sync(ctx)  # adaptive configuration mutation
+        self.synchronizer.sync(ctx.instances)

@@ -1,0 +1,38 @@
+"""The original Peach parallel mode (baseline).
+
+Every instance fuzzes the same default configuration; parallelism comes
+only from differing RNG seeds, so instances explore the same
+configuration-reachable space and their coverage overlaps heavily — the
+behaviour CMFuzz improves upon.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.fuzzing.engine import FuzzEngine
+from repro.parallel.base import ParallelMode
+from repro.parallel.instance import FuzzingInstance
+
+
+class PeachParallelMode(ParallelMode):
+    """Default-configuration parallel fuzzing with per-instance seeds."""
+
+    name = "peach"
+
+    def create_instances(self, ctx) -> List[FuzzingInstance]:
+        instances = []
+        for index in range(ctx.n_instances):
+            namespace = ctx.namespaces.create("%s-peach-%d" % (ctx.target_cls.NAME, index))
+            seed = ctx.seed * 1000 + index
+
+            def engine_factory(transport, collector, seed=seed):
+                return FuzzEngine(
+                    ctx.state_model, transport, collector,
+                    strategy=ctx.make_strategy(), seed=seed,
+                )
+
+            instances.append(
+                FuzzingInstance(index, ctx.target_cls, namespace, engine_factory)
+            )
+        return instances

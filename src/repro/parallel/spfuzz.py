@@ -1,0 +1,55 @@
+"""SPFuzz baseline: stateful path-based parallel fuzzing.
+
+Partitions the state model's simple paths across instances (each instance
+owns a disjoint path subset, focusing its exploration) and synchronises
+interesting seeds periodically. Like Peach it fuzzes only the default
+configuration — the axis CMFuzz adds.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.fuzzing.engine import FuzzEngine
+from repro.parallel.base import ParallelMode
+from repro.parallel.instance import FuzzingInstance
+from repro.parallel.sync import SeedSynchronizer
+
+
+class SpFuzzMode(ParallelMode):
+    """State-path partitioning plus seed synchronisation."""
+
+    name = "spfuzz"
+
+    def __init__(self, max_path_length: int = 8, max_seeds_per_sync: int = 16):
+        self.max_path_length = max_path_length
+        self.synchronizer = SeedSynchronizer(max_per_sync=max_seeds_per_sync)
+
+    def create_instances(self, ctx) -> List[FuzzingInstance]:
+        paths = ctx.state_model.simple_paths(max_length=self.max_path_length)
+        partitions: List[List[tuple]] = [[] for _ in range(ctx.n_instances)]
+        for position, path in enumerate(paths):
+            partitions[position % ctx.n_instances].append(path)
+        instances = []
+        for index in range(ctx.n_instances):
+            namespace = ctx.namespaces.create("%s-spfuzz-%d" % (ctx.target_cls.NAME, index))
+            assigned = partitions[index] or paths  # never leave an instance idle
+            seed = ctx.seed * 2000 + index
+
+            def engine_factory(transport, collector, seed=seed, assigned=assigned):
+                # State-aware scheduling leans harder on the shared corpus
+                # than Peach's independent instances do.
+                return FuzzEngine(
+                    ctx.state_model, transport, collector,
+                    strategy=ctx.make_strategy(), seed=seed,
+                    allowed_paths=assigned,
+                    replay_probability=0.5,
+                )
+
+            instances.append(
+                FuzzingInstance(index, ctx.target_cls, namespace, engine_factory)
+            )
+        return instances
+
+    def on_sync(self, ctx) -> None:
+        self.synchronizer.sync(ctx.instances)

@@ -1,0 +1,50 @@
+"""Cross-instance seed synchronisation (AFL-style, used by SPFuzz)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.parallel.instance import FuzzingInstance
+
+
+class SeedSynchronizer:
+    """Broadcasts newly interesting seeds between instances.
+
+    Each instance's engine corpus grows as it discovers coverage; at each
+    sync point, seeds appended since the last sync are pushed to every
+    other instance (bounded per sync to avoid corpus flooding).
+    """
+
+    def __init__(self, max_per_sync: int = 16):
+        if max_per_sync < 1:
+            raise ValueError("max_per_sync must be >= 1")
+        self.max_per_sync = max_per_sync
+        self._cursors: dict = {}
+        self.broadcasts = 0
+
+    def sync(self, instances: Sequence[FuzzingInstance]) -> int:
+        """Run one synchronisation round; returns seeds broadcast."""
+        shared = 0
+        fresh: List[tuple] = []
+        for instance in instances:
+            engine = instance.engine
+            if engine is None:
+                continue
+            cursor = self._cursors.get(instance.index, 0)
+            new_seeds = engine.corpus[cursor : cursor + self.max_per_sync]
+            self._cursors[instance.index] = cursor + len(new_seeds)
+            fresh.extend((instance.index, seed) for seed in new_seeds)
+        for origin, seed in fresh:
+            for instance in instances:
+                if instance.index == origin or instance.engine is None:
+                    continue
+                instance.engine.add_seed(seed)
+                shared += 1
+        # Seeds received via sync are not rebroadcast: advance every
+        # receiver's cursor past them.
+        if shared:
+            for instance in instances:
+                if instance.engine is not None:
+                    self._cursors[instance.index] = len(instance.engine.corpus)
+        self.broadcasts += shared
+        return shared

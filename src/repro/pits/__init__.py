@@ -1,0 +1,24 @@
+"""Protocol pits: the data and state models shared by every fuzzer.
+
+The paper keeps Pit files identical across fuzzers for fairness; likewise
+each module here exposes a single ``state_model()`` factory used by
+Peach-parallel, SPFuzz and CMFuzz alike.
+"""
+
+from typing import Callable, Dict
+
+from repro.fuzzing.statemodel import StateModel
+
+
+def pit_registry() -> Dict[str, Callable[[], StateModel]]:
+    """Target name -> state-model factory for the six protocols."""
+    from repro.pits import amqp, coap, dds, dns, dtls, mqtt
+
+    return {
+        "mosquitto": mqtt.state_model,
+        "libcoap": coap.state_model,
+        "cyclonedds": dds.state_model,
+        "openssl": dtls.state_model,
+        "qpid": amqp.state_model,
+        "dnsmasq": dns.state_model,
+    }

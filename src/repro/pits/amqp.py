@@ -1,0 +1,82 @@
+"""Pit for the Qpid target: AMQP 1.0 headers, frames and performatives."""
+
+from repro.fuzzing.datamodel import Blob, Block, DataModel, Number, Size, Str
+from repro.fuzzing.statemodel import Action, State, StateModel
+
+
+def _frame(name: str, code: int, channel: int = 0, args: bytes = b"",
+           frame_type: int = 0) -> DataModel:
+    return DataModel(
+        name,
+        [
+            Size("size", of="rest", bits=32, adjust=4),
+            Block(
+                "rest",
+                [
+                    Number("doff", bits=8, default=2),
+                    Number("type", bits=8, default=frame_type),
+                    Number("channel", bits=16, default=channel),
+                    Number("descriptor", bits=8, default=0x00),
+                    Number("code", bits=8, default=code),
+                    Blob("args", default=args),
+                ],
+            ),
+        ],
+    )
+
+
+def state_model() -> StateModel:
+    """The AMQP connection state model shared by all fuzzers."""
+    data_models = [
+        DataModel("Header", [Blob("magic", default=b"AMQP\x00\x01\x00\x00")]),
+        DataModel("SaslHeader", [Blob("magic", default=b"AMQP\x03\x01\x00\x00")]),
+        _frame("SaslInit", 0x41, args=b"ANONYMOUS\x00", frame_type=1),
+        _frame("Open", 0x10, args=b"\x00\x00\x7f\xff"),
+        _frame("Begin", 0x11, channel=1),
+        _frame("Attach", 0x12, channel=1, args=b"\x05\x01"),
+        _frame("Flow", 0x13, channel=1, args=b"\x00\x64"),
+        _frame("Transfer", 0x14, channel=1, args=b"\x05\x00payload"),
+        _frame("TransferSettled", 0x14, channel=1, args=b"\x05\x01payload"),
+        _frame("Disposition", 0x15, channel=1, args=b"\x00"),
+        _frame("MgmtQuery", 0x14, channel=1, args=b"\x05\x01qmf:getObjects broker"),
+        _frame("Detach", 0x16, channel=1, args=b"\x05"),
+        _frame("End", 0x17, channel=1),
+        _frame("Close", 0x18),
+        DataModel("Heartbeat", [Size("size", of="rest", bits=32, adjust=4),
+                                Block("rest", [Number("doff", bits=8, default=2),
+                                               Number("type", bits=8, default=0),
+                                               Number("channel", bits=16, default=0)])]),
+    ]
+    states = [
+        State("start")
+        .add_transition("plain_open", 3.0)
+        .add_transition("sasl_open", 1.0),
+        State("plain_open", [Action("send", "Header"), Action("send", "Open")])
+        .add_transition("session", 3.0)
+        .add_transition("teardown", 1.0),
+        State("sasl_open",
+              [Action("send", "SaslHeader"), Action("send", "SaslInit"),
+               Action("send", "Header"), Action("send", "Open")])
+        .add_transition("session", 2.0)
+        .add_transition("teardown", 1.0),
+        State("session", [Action("send", "Begin"), Action("send", "Attach")])
+        .add_transition("publish", 3.0)
+        .add_transition("flow", 1.0)
+        .add_transition("management", 0.5)
+        .add_transition("teardown", 1.0),
+        State("publish",
+              [Action("send", "Transfer"), Action("send", "TransferSettled"),
+               Action("send", "Disposition")])
+        .add_transition("flow", 1.0)
+        .add_transition("detach", 1.0)
+        .add_transition("teardown", 1.0),
+        State("flow", [Action("send", "Flow"), Action("send", "Heartbeat")])
+        .add_transition("publish", 1.0)
+        .add_transition("teardown", 1.0),
+        State("management", [Action("send", "MgmtQuery")])
+        .add_transition("teardown", 1.0),
+        State("detach", [Action("send", "Detach"), Action("send", "End")])
+        .add_transition("teardown", 1.0),
+        State("teardown", [Action("send", "Close")]),
+    ]
+    return StateModel("amqp-session", "start", states, data_models)

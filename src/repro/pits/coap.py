@@ -1,0 +1,92 @@
+"""Pit for the libcoap target: RFC 7252 message formats.
+
+Option lists are modelled as raw blobs with valid defaults (delta-encoded
+bytes); mutators corrupt the encoding, which is exactly where CoAP
+parsers historically break.
+"""
+
+from repro.fuzzing.datamodel import Blob, Block, DataModel, Number, Str
+from repro.fuzzing.statemodel import Action, State, StateModel
+
+# Delta-encoded option bytes for "Uri-Path: sensors / temp":
+# option 11 (delta 11, len 7) "sensors", then delta 0 len 4 "temp".
+_URI_SENSORS_TEMP = b"\xb7sensors\x04temp"
+# Uri-Path "store" (delta 11, len 5).
+_URI_STORE = b"\xb5store"
+# Deltas below are relative to the preceding Uri-Path option (number 11).
+# Block2 (23): delta 12, len 1, value num=0 more=0 szx=2 (64 B).
+_BLOCK2_OPT = b"\xc1\x02"
+# Block1 (27): delta 16 -> extended-8 (16-13=3); num=0 more=1 szx=2.
+_BLOCK1_MORE = b"\xd1\x03\x0a"
+# Block1 num=1 more=0 szx=2.
+_BLOCK1_LAST = b"\xd1\x03\x12"
+# Q-Block1 (19): delta 8; num=0 more=1 szx=2.
+_QBLOCK1_MORE = b"\x81\x0a"
+# Q-Block1 num=1 more=0 szx=2.
+_QBLOCK1_LAST = b"\x81\x12"
+# Observe register (6): delta 6 len 0.
+_OBSERVE_REG = b"\x60"
+
+
+def _request(name: str, code: int, options: bytes, payload: bytes = b"") -> DataModel:
+    children = [
+        Number("ver_type_tkl", bits=8, default=0x42),  # ver1, CON, TKL 2
+        Number("code", bits=8, default=code),
+        Number("mid", bits=16, default=0x1234),
+        Blob("token", default=b"\xca\xfe"),
+        Blob("options", default=options),
+    ]
+    if payload:
+        children.append(Blob("marker", default=b"\xff"))
+        children.append(Blob("payload", default=payload))
+    return DataModel(name, children)
+
+
+def state_model() -> StateModel:
+    """The CoAP request/response state model shared by all fuzzers."""
+    data_models = [
+        _request("Get", 0x01, _URI_SENSORS_TEMP),
+        _request("GetBlock2", 0x01, _URI_SENSORS_TEMP + _BLOCK2_OPT),
+        _request("GetObserve", 0x01, _OBSERVE_REG + _URI_SENSORS_TEMP.replace(b"\xb7", b"\x57")),
+        # Content-Format 0 (text/plain): delta 1 after Uri-Path (11).
+        _request("PutSimple", 0x03, _URI_STORE + b"\x11\x00", b"payload-bytes"),
+        _request("PutBlock1First", 0x03, _URI_STORE + _BLOCK1_MORE, b"A" * 64),
+        _request("PutBlock1Last", 0x03, _URI_STORE + _BLOCK1_LAST, b"B" * 32),
+        _request("PutQBlockFirst", 0x03, _URI_STORE + _QBLOCK1_MORE, b"C" * 64),
+        _request("PutQBlockLast", 0x03, _URI_STORE + _QBLOCK1_LAST, b"D" * 32),
+        _request("Post", 0x02, _URI_STORE, b"new-resource"),
+        _request("Delete", 0x04, _URI_STORE),
+        DataModel("Ping", [Number("ver_type_tkl", bits=8, default=0x40),
+                           Number("code", bits=8, default=0x00),
+                           Number("mid", bits=16, default=0x0001)]),
+    ]
+    states = [
+        State("start")
+        .add_transition("get", 3.0)
+        .add_transition("put_simple", 2.0)
+        .add_transition("put_block", 2.0)
+        .add_transition("put_qblock", 2.0)
+        .add_transition("observe", 1.0)
+        .add_transition("post", 1.0)
+        .add_transition("ping", 0.5),
+        State("get", [Action("send", "Get"), Action("send", "GetBlock2")])
+        .add_transition("put_simple", 1.0)
+        .add_transition("finish", 2.0),
+        State("put_simple", [Action("send", "PutSimple")])
+        .add_transition("get", 1.0)
+        .add_transition("delete", 1.0)
+        .add_transition("finish", 1.0),
+        State("put_block", [Action("send", "PutBlock1First"), Action("send", "PutBlock1Last")])
+        .add_transition("get", 1.0)
+        .add_transition("finish", 1.0),
+        State("put_qblock", [Action("send", "PutQBlockFirst"), Action("send", "PutQBlockLast")])
+        .add_transition("get", 1.0)
+        .add_transition("finish", 1.0),
+        State("observe", [Action("send", "GetObserve")]).add_transition("finish"),
+        State("post", [Action("send", "Post")]).add_transition("delete", 1.0)
+        .add_transition("finish", 1.0),
+        State("delete", [Action("send", "Delete")]).add_transition("finish"),
+        State("ping", [Action("send", "Ping")]).add_transition("finish"),
+        State("finish"),
+    ]
+    return StateModel("coap-session", "start", states, data_models)

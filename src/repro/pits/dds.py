@@ -1,0 +1,151 @@
+"""Pit for the CycloneDDS target: RTPS message formats."""
+
+from repro.fuzzing.datamodel import Blob, Block, DataModel, Number, Size, Str
+from repro.fuzzing.statemodel import Action, State, StateModel
+
+_GUID_PREFIX = bytes(range(12))
+
+
+def _header_children():
+    return [
+        Str("magic", default="RTPS"),
+        Number("major", bits=8, default=2),
+        Number("minor", bits=8, default=1),
+        Number("vendor", bits=16, default=0x0110),
+        Blob("guid_prefix", default=_GUID_PREFIX),
+    ]
+
+
+def _submessage(kind: int, flags: int, body: bytes, tag: str = "sub") -> list:
+    return [
+        Block(
+            tag,
+            [
+                Number("kind", bits=8, default=kind),
+                Number("flags", bits=8, default=flags),
+                Number("length", bits=16, default=len(body)),
+                Blob("body", default=body),
+            ],
+        )
+    ]
+
+
+def _data_body(writer: int = 7, seq: int = 1) -> bytes:
+    return (b"\x00\x00\x00\x00"
+            + writer.to_bytes(4, "big")
+            + seq.to_bytes(8, "big")
+            + b"sample-payload")
+
+
+def _heartbeat_body(first: int = 1, last: int = 3) -> bytes:
+    return (b"\x00\x00\x00\x07"
+            + b"\x00\x00\x00\x08"[:4]
+            + first.to_bytes(8, "big")
+            + last.to_bytes(8, "big"))
+
+
+def _qos_body(writer: int = 9, seq: int = 4) -> bytes:
+    """DATA body with an inline-QoS parameter list (big-endian)."""
+    params = (
+        b"\x00\x05\x00\x04" + b"tpc\x00"          # PID topic name
+        + b"\x00\x71\x00\x04" + b"\x00\x00\x00\x01"  # PID status info: disposed
+        + b"\x00\x01\x00\x00"                      # sentinel
+    )
+    return (b"\x00\x00\x00\x00"
+            + writer.to_bytes(4, "big")
+            + seq.to_bytes(8, "big")
+            + params)
+
+
+def _spdp_body() -> bytes:
+    """SPDP participant announcement: DATA to the builtin SPDP writer."""
+    params = (
+        b"\x00\x50\x00\x10" + bytes(range(12)) + b"\x00\x01\x00\xc1"  # GUID
+        + b"\x00\x58\x00\x04" + b"\x00\x00\x0c\x3f"                   # endpoint set
+        + b"\x00\x02\x00\x08" + b"\x00\x00\x00\x1e" + bytes(4)        # lease 30s
+        + b"\x00\x01\x00\x00"                                          # sentinel
+    )
+    return (b"\x00\x00\x00\x00"
+            + (0x000100C2).to_bytes(4, "big")
+            + (1).to_bytes(8, "big")
+            + b"\x00\x00\x00\x00"  # CDR_BE encapsulation
+            + params)
+
+
+def _sedp_body() -> bytes:
+    """SEDP publication announcement (topic + type names)."""
+    params = (
+        b"\x00\x05\x00\x08" + b"chatter\x00"
+        + b"\x00\x07\x00\x08" + b"String\x00\x00"
+        + b"\x00\x01\x00\x00"
+    )
+    return (b"\x00\x00\x00\x00"
+            + (0x000003C2).to_bytes(4, "big")
+            + (1).to_bytes(8, "big")
+            + b"\x00\x00\x00\x00"
+            + params)
+
+
+def _frag_body(writer: int = 7, seq: int = 2, frag: int = 1) -> bytes:
+    return (b"\x00\x00\x00\x00"
+            + writer.to_bytes(4, "big")
+            + seq.to_bytes(8, "big")
+            + frag.to_bytes(4, "big")
+            + b"frag-bytes")
+
+
+def state_model() -> StateModel:
+    """The RTPS exchange state model shared by all fuzzers."""
+    data_models = [
+        DataModel("Data", _header_children()
+                  + _submessage(0x15, 0x00, _data_body())),
+        DataModel("DataQos", _header_children()
+                  + _submessage(0x15, 0x02, _qos_body())),
+        DataModel("DataFrag", _header_children()
+                  + _submessage(0x16, 0x00, _frag_body())),
+        DataModel("Heartbeat", _header_children()
+                  + _submessage(0x07, 0x00, _heartbeat_body())),
+        DataModel("HeartbeatFinal", _header_children()
+                  + _submessage(0x07, 0x02, _heartbeat_body(2, 5))),
+        DataModel("AckNack", _header_children()
+                  + _submessage(0x06, 0x00, b"\x00" * 12)),
+        DataModel("Gap", _header_children()
+                  + _submessage(0x08, 0x00, b"\x00" * 16)),
+        DataModel("InfoTsData", _header_children()
+                  + _submessage(0x09, 0x00, b"\x00\x00\x00\x10" + b"\x00" * 4, tag="ts")
+                  + _submessage(0x15, 0x00, _data_body(writer=11, seq=9), tag="data")),
+        DataModel("InfoDst", _header_children()
+                  + _submessage(0x0e, 0x00, bytes(12))),
+        DataModel("Pad", _header_children() + _submessage(0x01, 0x00, b"")),
+        DataModel("SpdpAnnounce", _header_children()
+                  + _submessage(0x15, 0x00, _spdp_body())),
+        DataModel("SedpPublish", _header_children()
+                  + _submessage(0x15, 0x00, _sedp_body())),
+    ]
+    states = [
+        State("start")
+        .add_transition("discover", 2.0)
+        .add_transition("publish", 3.0)
+        .add_transition("reliable", 2.0),
+        State("discover",
+              [Action("send", "SpdpAnnounce"), Action("send", "SedpPublish"),
+               Action("send", "InfoDst"), Action("send", "Pad")])
+        .add_transition("publish", 2.0)
+        .add_transition("finish", 1.0),
+        State("publish", [Action("send", "Data"), Action("send", "DataQos")])
+        .add_transition("fragments", 1.0)
+        .add_transition("reliable", 1.0)
+        .add_transition("finish", 1.0),
+        State("fragments", [Action("send", "DataFrag"), Action("send", "DataFrag")])
+        .add_transition("reliable", 1.0)
+        .add_transition("finish", 1.0),
+        State("reliable",
+              [Action("send", "Heartbeat"), Action("send", "AckNack"),
+               Action("send", "HeartbeatFinal")])
+        .add_transition("gap", 1.0)
+        .add_transition("finish", 2.0),
+        State("gap", [Action("send", "Gap"), Action("send", "InfoTsData")])
+        .add_transition("finish", 1.0),
+        State("finish"),
+    ]
+    return StateModel("dds-session", "start", states, data_models)

@@ -1,0 +1,79 @@
+"""Pit for the dnsmasq target: DNS query formats (RFC 1035)."""
+
+from repro.fuzzing.datamodel import Blob, Block, DataModel, Number, Str
+from repro.fuzzing.statemodel import Action, State, StateModel
+
+
+def _encode_qname(name: str) -> bytes:
+    out = b""
+    for label in name.split("."):
+        out += bytes([len(label)]) + label.encode("ascii")
+    return out + b"\x00"
+
+
+def _query(name: str, qname: str, qtype: int, rd: int = 1,
+           extra: bytes = b"", arcount: int = 0) -> DataModel:
+    return DataModel(
+        name,
+        [
+            Number("id", bits=16, default=0x1A2B),
+            Number("flags", bits=16, default=0x0100 if rd else 0x0000),
+            Number("qdcount", bits=16, default=1),
+            Number("ancount", bits=16, default=0),
+            Number("nscount", bits=16, default=0),
+            Number("arcount", bits=16, default=arcount),
+            Blob("qname", default=_encode_qname(qname)),
+            Number("qtype", bits=16, default=qtype),
+            Number("qclass", bits=16, default=1),
+            Blob("extra", default=extra),
+        ],
+    )
+
+
+# EDNS0 OPT pseudo-record: root, type 41, udp 4096, rcode/flags, rdlen 0.
+_OPT_RR = b"\x00" + (41).to_bytes(2, "big") + (4096).to_bytes(2, "big") + bytes(5)
+
+
+def state_model() -> StateModel:
+    """The DNS query state model shared by all fuzzers."""
+    data_models = [
+        _query("QueryA", "printer.lan", 1),
+        _query("QueryAAAA", "www.example.com", 28),
+        _query("QueryShort", "router", 1),
+        _query("QueryPtr", "1.1.168.192.in-addr.arpa", 12),
+        _query("QuerySrv", "_ldap._tcp.example.com", 33),
+        _query("QueryAny", "example.com", 255),
+        _query("QueryTxt", "example.com", 16),
+        _query("QueryNoRd", "example.com", 1, rd=0),
+        _query("QueryEdns", "www.example.com", 1, extra=_OPT_RR, arcount=1),
+        _query("QueryRrsig", "example.com", 46),
+        # A truncated header fragment: exercises the runt-datagram path.
+        DataModel("QueryRunt", [Blob("fragment", default=b"\x1a\x2b\x01\x00\x00\x01\x00\x00\x00\x00")]),
+    ]
+    states = [
+        State("start")
+        .add_transition("local", 3.0)
+        .add_transition("remote", 3.0)
+        .add_transition("reverse", 1.0)
+        .add_transition("service", 1.0)
+        .add_transition("edns", 1.0)
+        .add_transition("noise", 0.5),
+        State("local", [Action("send", "QueryA"), Action("send", "QueryShort")])
+        .add_transition("remote", 1.0)
+        .add_transition("finish", 2.0),
+        State("remote", [Action("send", "QueryAAAA"), Action("send", "QueryNoRd")])
+        .add_transition("edns", 1.0)
+        .add_transition("finish", 2.0),
+        State("reverse", [Action("send", "QueryPtr")])
+        .add_transition("finish", 1.0),
+        State("service",
+              [Action("send", "QuerySrv"), Action("send", "QueryAny"),
+               Action("send", "QueryTxt")])
+        .add_transition("finish", 1.0),
+        State("edns", [Action("send", "QueryEdns"), Action("send", "QueryRrsig")])
+        .add_transition("finish", 1.0),
+        State("noise", [Action("send", "QueryRunt")])
+        .add_transition("finish", 1.0),
+        State("finish"),
+    ]
+    return StateModel("dns-session", "start", states, data_models)

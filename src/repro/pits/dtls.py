@@ -1,0 +1,104 @@
+"""Pit for the OpenSSL DTLS target: record + handshake formats."""
+
+from repro.fuzzing.datamodel import Blob, Block, DataModel, Number, Size, Str
+from repro.fuzzing.statemodel import Action, State, StateModel
+
+
+def _record(name: str, content_type: int, seq: int, body_children) -> DataModel:
+    return DataModel(
+        name,
+        [
+            Number("content_type", bits=8, default=content_type),
+            Number("version", bits=16, default=0xFEFD),
+            Number("epoch", bits=16, default=0),
+            Number("seq_hi", bits=16, default=0),
+            Number("seq_lo", bits=32, default=seq),
+            Size("length", of="body", bits=16),
+            Block("body", body_children),
+        ],
+    )
+
+
+def _handshake_header(msg_type: int, length: int, msg_seq: int):
+    return [
+        Number("msg_type", bits=8, default=msg_type),
+        Number("len_hi", bits=8, default=0),
+        Number("len_lo", bits=16, default=length),
+        Number("msg_seq", bits=16, default=msg_seq),
+        Number("frag_off_hi", bits=8, default=0),
+        Number("frag_off_lo", bits=16, default=0),
+        Number("frag_len_hi", bits=8, default=0),
+        Number("frag_len_lo", bits=16, default=length),
+    ]
+
+
+def _client_hello(name: str, cookie: bytes, ciphers: bytes,
+                  sid: bytes = b"") -> DataModel:
+    payload = [
+        Number("legacy_version", bits=16, default=0xFEFD),
+        Blob("random", default=bytes(32)),
+        Number("sid_len", bits=8, default=len(sid)),
+    ]
+    if sid:
+        payload.append(Blob("sid", default=sid))
+    payload.append(Number("cookie_len", bits=8, default=len(cookie)))
+    if cookie:
+        payload.append(Blob("cookie", default=cookie))
+    payload.append(Blob("ciphers", default=ciphers))
+    length = 34 + 2 + len(sid) + len(cookie) + len(ciphers)
+    body = _handshake_header(1, length, 0) + payload
+    return _record(name, 22, 1, body)
+
+
+# Offered cipher ids: AES128-GCM, CHACHA20, PSK-AES128.
+_CIPHERS_ALL = b"\x00\x9c\xcc\xa8\x00\xae"
+
+
+def state_model() -> StateModel:
+    """The DTLS handshake state model shared by all fuzzers."""
+    data_models = [
+        _client_hello("ClientHello", b"", _CIPHERS_ALL),
+        _client_hello("ClientHelloCookie", b"C" * 32, _CIPHERS_ALL),
+        _client_hello("ClientHelloResume", b"", _CIPHERS_ALL, sid=b"S" * 16),
+        _record("ClientKeyExchange", 22, 2,
+                _handshake_header(16, 4, 1) + [Blob("identity", default=b"\x00\x02id")]),
+        _record("Certificate", 22, 3,
+                _handshake_header(11, 8, 1) + [Blob("cert", default=b"\x30\x06cert")]),
+        _record("ChangeCipherSpec", 20, 4, [Number("ccs", bits=8, default=1)]),
+        _record("Finished", 22, 5,
+                _handshake_header(20, 12, 2) + [Blob("verify_data", default=bytes(12))]),
+        _record("AppData", 23, 6, [Blob("data", default=b"hello dtls")]),
+        _record("Alert", 21, 7, [Number("level", bits=8, default=1),
+                                 Number("code", bits=8, default=0)]),
+    ]
+    states = [
+        State("start")
+        .add_transition("hello", 3.0)
+        .add_transition("hello_cookie", 1.0),
+        State("hello",
+              [Action("send", "ClientHello"), Action("send", "ClientHelloResume")])
+        .add_transition("keyex", 2.0)
+        .add_transition("finish", 1.0),
+        State("hello_cookie",
+              [Action("send", "ClientHello"), Action("send", "ClientHelloCookie")])
+        .add_transition("keyex", 2.0)
+        .add_transition("finish", 1.0),
+        State("keyex",
+              [Action("send", "Certificate"), Action("send", "ClientKeyExchange")])
+        .add_transition("complete", 2.0)
+        .add_transition("finish", 1.0),
+        State("complete",
+              [Action("send", "ChangeCipherSpec"), Action("send", "Finished"),
+               Action("send", "AppData")])
+        .add_transition("renego", 0.5)
+        .add_transition("resume", 0.5)
+        .add_transition("finish", 2.0),
+        State("resume",
+              [Action("send", "ClientHelloResume"), Action("send", "ChangeCipherSpec"),
+               Action("send", "Finished")])
+        .add_transition("finish", 1.0),
+        State("renego", [Action("send", "ClientHello"), Action("send", "Finished")])
+        .add_transition("finish", 1.0),
+        State("finish", [Action("send", "Alert")]),
+    ]
+    return StateModel("dtls-session", "start", states, data_models)

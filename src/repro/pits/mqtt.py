@@ -1,0 +1,297 @@
+"""Pit for the Mosquitto target: MQTT v3.1.1 / v5 message formats.
+
+Defaults render protocol-compliant packets (the generation-based engine's
+near-valid starting point); mutators then corrupt fields, switch QoS bits,
+inflate lengths and flip protocol levels.
+"""
+
+from repro.fuzzing.datamodel import Blob, Block, DataModel, Number, Size, Str
+from repro.fuzzing.statemodel import Action, State, StateModel
+
+
+def _connect_model() -> DataModel:
+    return DataModel(
+        "Connect",
+        [
+            Number("header", bits=8, default=0x10),
+            Size("remaining", of="body", bits=8),
+            Block(
+                "body",
+                [
+                    Size("proto_len", of="body.proto", bits=16),
+                    Str("proto", default="MQTT"),
+                    Number("level", bits=8, default=4),
+                    Number("flags", bits=8, default=0x02),
+                    Number("keepalive", bits=16, default=60),
+                    Size("cid_len", of="body.client_id", bits=16),
+                    Str("client_id", default="fuzz-client"),
+                ],
+            ),
+        ],
+    )
+
+
+def _connect5_model() -> DataModel:
+    return DataModel(
+        "Connect5",
+        [
+            Number("header", bits=8, default=0x10),
+            Size("remaining", of="body", bits=8),
+            Block(
+                "body",
+                [
+                    Size("proto_len", of="body.proto", bits=16),
+                    Str("proto", default="MQTT"),
+                    Number("level", bits=8, default=5),
+                    Number("flags", bits=8, default=0x02),
+                    Number("keepalive", bits=16, default=60),
+                    Size("props_len", of="body.props", bits=8),
+                    Blob("props", default=b"\x21\x00\x14"),  # receive maximum 20
+                    Size("cid_len", of="body.client_id", bits=16),
+                    Str("client_id", default="fuzz-client5"),
+                ],
+            ),
+        ],
+    )
+
+
+def _connect_auth_model() -> DataModel:
+    return DataModel(
+        "ConnectAuth",
+        [
+            Number("header", bits=8, default=0x10),
+            Size("remaining", of="body", bits=8),
+            Block(
+                "body",
+                [
+                    Size("proto_len", of="body.proto", bits=16),
+                    Str("proto", default="MQTT"),
+                    Number("level", bits=8, default=4),
+                    Number("flags", bits=8, default=0xC2),
+                    Number("keepalive", bits=16, default=60),
+                    Size("cid_len", of="body.client_id", bits=16),
+                    Str("client_id", default="auth-client"),
+                    Size("user_len", of="body.username", bits=16),
+                    Str("username", default="iot-user"),
+                    Size("pass_len", of="body.password", bits=16),
+                    Str("password", default="hunter2"),
+                ],
+            ),
+        ],
+    )
+
+
+def _publish_model() -> DataModel:
+    return DataModel(
+        "Publish",
+        [
+            Number("header", bits=8, default=0x30),
+            Size("remaining", of="body", bits=8),
+            Block(
+                "body",
+                [
+                    Size("topic_len", of="body.topic", bits=16),
+                    Str("topic", default="sensors/temp"),
+                    Blob("payload", default=b"23.5"),
+                ],
+            ),
+        ],
+    )
+
+
+def _publish_qos2_model() -> DataModel:
+    return DataModel(
+        "Publish2",
+        [
+            Number("header", bits=8, default=0x34),
+            Size("remaining", of="body", bits=8),
+            Block(
+                "body",
+                [
+                    Size("topic_len", of="body.topic", bits=16),
+                    Str("topic", default="actuators/valve"),
+                    Number("mid", bits=16, default=7),
+                    Blob("payload", default=b"open"),
+                ],
+            ),
+        ],
+    )
+
+
+def _publish5_alias_model() -> DataModel:
+    """v5 publish registering topic alias 2 (property 0x23)."""
+    return DataModel(
+        "Publish5Alias",
+        [
+            Number("header", bits=8, default=0x30),
+            Size("remaining", of="body", bits=8),
+            Block(
+                "body",
+                [
+                    Size("topic_len", of="body.topic", bits=16),
+                    Str("topic", default="alias/topic"),
+                    Size("props_len", of="body.props", bits=8),
+                    Blob("props", default=b"\x23\x00\x02"),
+                    Blob("payload", default=b"aliased"),
+                ],
+            ),
+        ],
+    )
+
+
+def _pubrel_model() -> DataModel:
+    return DataModel(
+        "Pubrel",
+        [
+            Number("header", bits=8, default=0x62),
+            Size("remaining", of="body", bits=8),
+            Block("body", [Number("mid", bits=16, default=7)]),
+        ],
+    )
+
+
+def _subscribe_model() -> DataModel:
+    return DataModel(
+        "Subscribe",
+        [
+            Number("header", bits=8, default=0x82),
+            Size("remaining", of="body", bits=8),
+            Block(
+                "body",
+                [
+                    Number("mid", bits=16, default=11),
+                    Size("filter_len", of="body.filter", bits=16),
+                    Str("filter", default="sensors/#"),
+                    Number("options", bits=8, default=1),
+                ],
+            ),
+        ],
+    )
+
+
+def _publish_qos2_dup_model() -> DataModel:
+    """A DUP retransmission of the QoS 2 publish (same message id)."""
+    return DataModel(
+        "Publish2Dup",
+        [
+            Number("header", bits=8, default=0x3C),
+            Size("remaining", of="body", bits=8),
+            Block(
+                "body",
+                [
+                    Size("topic_len", of="body.topic", bits=16),
+                    Str("topic", default="actuators/valve"),
+                    Number("mid", bits=16, default=7),
+                    Blob("payload", default=b"open"),
+                ],
+            ),
+        ],
+    )
+
+
+def _unsubscribe_model() -> DataModel:
+    return DataModel(
+        "Unsubscribe",
+        [
+            Number("header", bits=8, default=0xA2),
+            Size("remaining", of="body", bits=8),
+            Block(
+                "body",
+                [
+                    Number("mid", bits=16, default=12),
+                    Size("filter_len", of="body.filter", bits=16),
+                    Str("filter", default="sensors/#"),
+                ],
+            ),
+        ],
+    )
+
+
+def _unsubscribe_sys_model() -> DataModel:
+    """Unsubscribe from a $SYS broker topic (real pits carry known
+    special topics as dictionary entries)."""
+    return DataModel(
+        "UnsubscribeSys",
+        [
+            Number("header", bits=8, default=0xA2),
+            Size("remaining", of="body", bits=8),
+            Block(
+                "body",
+                [
+                    Number("mid", bits=16, default=13),
+                    Size("filter_len", of="body.filter", bits=16),
+                    Str("filter", default="$SYS/broker/bridge/addrs"),
+                ],
+            ),
+        ],
+    )
+
+
+def _ping_model() -> DataModel:
+    return DataModel("Ping", [Number("header", bits=8, default=0xC0),
+                              Number("remaining", bits=8, default=0)])
+
+
+def _disconnect_model() -> DataModel:
+    return DataModel("Disconnect", [Number("header", bits=8, default=0xE0),
+                                    Number("remaining", bits=8, default=0)])
+
+
+def state_model() -> StateModel:
+    """The MQTT session state model shared by all fuzzers."""
+    states = [
+        State("start")
+        .add_transition("connect_v4", 2.0)
+        .add_transition("connect_v5", 1.0)
+        .add_transition("connect_auth", 1.0),
+        State("connect_v4", [Action("send", "Connect")]).add_transition("session"),
+        State("connect_v5", [Action("send", "Connect5")])
+        .add_transition("session", 2.0)
+        .add_transition("publish_alias", 1.0),
+        State("publish_alias",
+              [Action("send", "Publish5Alias"), Action("send", "Publish5Alias")])
+        .add_transition("finish", 1.0),
+        State("connect_auth", [Action("send", "ConnectAuth")]).add_transition("session"),
+        State("session")
+        .add_transition("publish_qos0", 3.0)
+        .add_transition("publish_qos2", 2.0)
+        .add_transition("subscribe", 2.0)
+        .add_transition("unsubscribe", 1.0)
+        .add_transition("unsubscribe_sys", 0.5)
+        .add_transition("ping", 1.0),
+        State("publish_qos0", [Action("send", "Publish")])
+        .add_transition("subscribe", 1.0)
+        .add_transition("finish", 2.0),
+        State("publish_qos2", [Action("send", "Publish2"), Action("send", "Pubrel")])
+        .add_transition("publish_qos0", 1.0)
+        .add_transition("qos2_replay", 0.5)
+        .add_transition("finish", 2.0),
+        State("qos2_replay", [Action("send", "Publish2Dup")])
+        .add_transition("finish", 1.0),
+        State("subscribe", [Action("send", "Subscribe")])
+        .add_transition("publish_qos2", 1.0)
+        .add_transition("unsubscribe", 1.0)
+        .add_transition("finish", 1.0),
+        State("unsubscribe", [Action("send", "Unsubscribe")])
+        .add_transition("finish"),
+        State("unsubscribe_sys", [Action("send", "UnsubscribeSys")])
+        .add_transition("finish"),
+        State("ping", [Action("send", "Ping")]).add_transition("finish"),
+        State("finish", [Action("send", "Disconnect")]),
+    ]
+    data_models = [
+        _connect_model(),
+        _connect5_model(),
+        _connect_auth_model(),
+        _publish_model(),
+        _publish5_alias_model(),
+        _publish_qos2_model(),
+        _publish_qos2_dup_model(),
+        _pubrel_model(),
+        _subscribe_model(),
+        _unsubscribe_model(),
+        _unsubscribe_sys_model(),
+        _ping_model(),
+        _disconnect_model(),
+    ]
+    return StateModel("mqtt-session", "start", states, data_models)

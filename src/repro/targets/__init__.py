@@ -1,0 +1,42 @@
+"""Protocol targets: the six systems-under-test plus the fault model.
+
+Each subpackage implements one protocol server with a realistic
+configuration surface (configuration files and/or CLI options), explicit
+branch-coverage instrumentation, and the configuration-gated bugs from
+Table II of the paper.
+"""
+
+from repro.targets.base import ProtocolTarget, TargetFactory, startup_probe_for
+from repro.targets.faults import BugLedger, CrashReport, FaultKind, SanitizerFault
+
+__all__ = [
+    "BugLedger",
+    "CrashReport",
+    "FaultKind",
+    "ProtocolTarget",
+    "SanitizerFault",
+    "TargetFactory",
+    "startup_probe_for",
+]
+
+
+def target_registry():
+    """Name -> target class for all six protocol implementations.
+
+    Imported lazily to keep ``repro.targets`` import-light.
+    """
+    from repro.targets.amqp.server import QpidTarget
+    from repro.targets.coap.server import LibcoapTarget
+    from repro.targets.dds.server import CycloneDdsTarget
+    from repro.targets.dns.server import DnsmasqTarget
+    from repro.targets.dtls.server import OpenSslDtlsTarget
+    from repro.targets.mqtt.server import MosquittoTarget
+
+    return {
+        "mosquitto": MosquittoTarget,
+        "libcoap": LibcoapTarget,
+        "cyclonedds": CycloneDdsTarget,
+        "openssl": OpenSslDtlsTarget,
+        "qpid": QpidTarget,
+        "dnsmasq": DnsmasqTarget,
+    }

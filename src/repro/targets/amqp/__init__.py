@@ -1,0 +1,5 @@
+"""Qpid-style AMQP 1.0 broker target."""
+
+from repro.targets.amqp.server import QpidTarget
+
+__all__ = ["QpidTarget"]

@@ -1,0 +1,65 @@
+"""The Qpid-style configuration surface: an INI-flavoured ``qpidd.conf``.
+
+AMQP's predefined structure limits exploration (per the paper), but the
+broker still exposes worker threading, auth, flow-control and queue
+sizing knobs whose combinations matter.
+"""
+
+from repro.core.entity import Flag
+from repro.core.extraction import ConfigSources
+
+CONFIG_FILE = """\
+# qpidd.conf
+port=5672
+worker-threads=4
+max-connections=500
+connection-backlog=10
+auth=no
+mech-list=ANONYMOUS
+queue-depth=1024
+flow-control=yes
+flow-stop-ratio=80
+durable=no
+store-dir=/var/lib/qpidd
+mgmt-enable=yes
+mgmt-pub-interval=10
+heartbeat=0
+max-frame-size=65536
+session-max-unacked=5000
+log-enable=notice
+"""
+
+ENTITY_OVERRIDES = {
+    "mech-list": {"values": ("ANONYMOUS", "PLAIN", "ANONYMOUS PLAIN"),
+                  "flag": Flag.MUTABLE},
+    "log-enable": {"values": ("notice", "debug", "critical"),
+                   "flag": Flag.MUTABLE},
+    # worker-threads expands to include the oversubscribed value that
+    # triggers the Table-II stack overflow.
+    "worker-threads": {"values": (4, 0, 1, 8, 128)},
+}
+
+
+def config_sources() -> ConfigSources:
+    return ConfigSources(files=(("qpidd.conf", CONFIG_FILE),))
+
+
+DEFAULT_CONFIG = {
+    "port": 5672,
+    "worker-threads": 4,
+    "max-connections": 500,
+    "connection-backlog": 10,
+    "auth": False,
+    "mech-list": "ANONYMOUS",
+    "queue-depth": 1024,
+    "flow-control": True,
+    "flow-stop-ratio": 80,
+    "durable": False,
+    "store-dir": "/var/lib/qpidd",
+    "mgmt-enable": True,
+    "mgmt-pub-interval": 10,
+    "heartbeat": 0,
+    "max-frame-size": 65536,
+    "session-max-unacked": 5000,
+    "log-enable": "notice",
+}

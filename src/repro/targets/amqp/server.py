@@ -1,0 +1,341 @@
+"""A Qpid-style AMQP 1.0 broker.
+
+Parses the AMQP protocol header and frame stream (size / doff / type /
+channel), dispatching on performative descriptor codes: open, begin,
+attach, flow, transfer, disposition, detach, end, close, plus SASL frames
+when ``auth=yes``. Carries Table II's AMQP bug: a stack-buffer-overflow
+surfacing in ``pthread_create`` when the broker is configured with an
+oversubscribed worker pool.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import StartupError
+from repro.targets.amqp import config as amqp_config
+from repro.targets.base import ProtocolTarget
+from repro.targets.faults import FaultKind, SanitizerFault
+
+_AMQP_HEADER = b"AMQP\x00\x01\x00\x00"
+_SASL_HEADER = b"AMQP\x03\x01\x00\x00"
+
+# Performative descriptor codes (AMQP 1.0 §2.7).
+OPEN = 0x10
+BEGIN = 0x11
+ATTACH = 0x12
+FLOW = 0x13
+TRANSFER = 0x14
+DISPOSITION = 0x15
+DETACH = 0x16
+END = 0x17
+CLOSE = 0x18
+SASL_INIT = 0x41
+
+_MIN_MAX_FRAME = 512
+
+
+class _ParseError(Exception):
+    """Malformed frame; the broker closes with framing-error."""
+
+
+class QpidTarget(ProtocolTarget):
+    """The AMQP broker target."""
+
+    NAME = "qpid"
+    PROTOCOL = "AMQP"
+    PORT = 5672
+
+    @classmethod
+    def config_sources(cls):
+        return amqp_config.config_sources()
+
+    @classmethod
+    def entity_overrides(cls):
+        return dict(amqp_config.ENTITY_OVERRIDES)
+
+    @classmethod
+    def default_config(cls) -> Dict[str, Any]:
+        return dict(amqp_config.DEFAULT_CONFIG)
+
+    # -- startup ---------------------------------------------------------
+
+    def _startup_impl(self) -> None:
+        cov = self.cov
+        cov.hit("startup.enter")
+        if self.enabled("auth") and not str(self.cfg("mech-list")).strip():
+            cov.hit("startup.conflict.auth_no_mechs")
+            raise StartupError("auth=yes requires mech-list", ("auth", "mech-list"))
+        if int(self.cfg("max-frame-size")) < _MIN_MAX_FRAME:
+            cov.hit("startup.bad_max_frame")
+            raise StartupError("max-frame-size below AMQP minimum", ("max-frame-size",))
+        ratio = int(self.cfg("flow-stop-ratio"))
+        if self.enabled("flow-control") and not 0 < ratio <= 100:
+            cov.hit("startup.conflict.bad_flow_ratio")
+            raise StartupError(
+                "flow-stop-ratio must be in (0, 100]",
+                ("flow-control", "flow-stop-ratio"),
+            )
+        workers = int(self.cfg("worker-threads"))
+        if cov.branch("startup.workers_auto", workers == 0):
+            cov.hit("startup.workers_from_cores")
+        elif workers > 64:
+            cov.hit("startup.workers_oversubscribed")
+            cov.hit("startup.workers_stack_guard_warning")
+        if cov.branch("startup.auth", self.enabled("auth")):
+            mechs = str(self.cfg("mech-list")).split()
+            if "PLAIN" in mechs:
+                cov.hit("startup.auth.plain")
+            if "ANONYMOUS" in mechs:
+                cov.hit("startup.auth.anonymous_allowed")
+        if cov.branch("startup.durable", self.enabled("durable")):
+            cov.hit("startup.store_open")
+            if int(self.cfg("queue-depth")) > 4096:
+                cov.hit("startup.store_large_journal")
+        if cov.branch("startup.flow", self.enabled("flow-control")):
+            cov.hit("startup.flow.thresholds")
+            if ratio >= 95:
+                cov.hit("startup.flow.late_stop")
+        if cov.branch("startup.mgmt", self.enabled("mgmt-enable")):
+            cov.hit("startup.mgmt.agent")
+            if int(self.cfg("mgmt-pub-interval")) < 5:
+                cov.hit("startup.mgmt.chatty")
+        if int(self.cfg("heartbeat")) > 0:
+            cov.hit("startup.heartbeat_on")
+        # Broker-lifetime queue depth: survives connection resets.
+        self._queued = 0
+        cov.hit("startup.complete")
+
+    # -- session ---------------------------------------------------------
+
+    def reset_session(self) -> None:
+        self._saw_header = False
+        self._sasl_done = not self.enabled("auth") if self.config else True
+        self._opened = False
+        self._sessions: Dict[int, dict] = {}
+
+    # -- parsing -----------------------------------------------------------
+
+    def handle_packet(self, data: bytes) -> bytes:
+        self.require_started()
+        try:
+            return self._dispatch(data)
+        except _ParseError:
+            self.cov.hit("packet.malformed")
+            return b""
+
+    def _dispatch(self, data: bytes) -> bytes:
+        cov = self.cov
+        if not self._saw_header:
+            if cov.branch("header.sasl", data[:8] == _SASL_HEADER):
+                if not self.enabled("auth"):
+                    cov.hit("header.sasl_unexpected")
+                    return _AMQP_HEADER  # downgrade
+                self._saw_header = True
+                return _SASL_HEADER
+            if cov.branch("header.plain", data[:8] == _AMQP_HEADER):
+                if self.enabled("auth") and not self._sasl_done:
+                    cov.hit("header.auth_required")
+                    return _SASL_HEADER
+                self._saw_header = True
+                return _AMQP_HEADER
+            cov.hit("header.garbage")
+            raise _ParseError("bad protocol header")
+        return self._handle_frame(data)
+
+    def _handle_frame(self, data: bytes) -> bytes:
+        cov = self.cov
+        if len(data) < 8:
+            cov.hit("frame.runt")
+            raise _ParseError("short frame header")
+        size = int.from_bytes(data[0:4], "big")
+        doff = data[4]
+        frame_type = data[5]
+        channel = int.from_bytes(data[6:8], "big")
+        if cov.branch("frame.size_mismatch", size != len(data)):
+            if size > len(data):
+                raise _ParseError("frame truncated")
+        if size > int(self.cfg("max-frame-size")):
+            cov.hit("frame.over_max")
+            return b""
+        if cov.branch("frame.bad_doff", doff < 2):
+            raise _ParseError("doff below minimum")
+        body_start = doff * 4
+        if body_start > len(data):
+            cov.hit("frame.doff_past_end")
+            raise _ParseError("doff beyond frame")
+        body = data[body_start:]
+        if cov.branch("frame.heartbeat", not body):
+            if int(self.cfg("heartbeat")) == 0:
+                cov.hit("frame.heartbeat_unexpected")
+            return b""
+        if frame_type == 1:
+            cov.hit("frame.sasl_type")
+            return self._handle_sasl(body)
+        if cov.branch("frame.unknown_type", frame_type != 0):
+            raise _ParseError("unknown frame type")
+        return self._handle_performative(channel, body)
+
+    def _handle_sasl(self, body: bytes) -> bytes:
+        cov = self.cov
+        if not self.enabled("auth"):
+            cov.hit("sasl.disabled")
+            return b""
+        if len(body) < 2 or body[0] != 0x00:
+            cov.hit("sasl.bad_descriptor")
+            raise _ParseError("bad SASL descriptor")
+        code = body[1]
+        if cov.branch("sasl.init", code == SASL_INIT):
+            mechanism = body[2:].split(b"\x00", 1)[0].decode("ascii", "replace")
+            mechs = str(self.cfg("mech-list")).split()
+            if cov.branch("sasl.mech_allowed", mechanism in mechs):
+                if mechanism == "PLAIN":
+                    cov.hit("sasl.plain_credentials")
+                self._sasl_done = True
+                return b"\x00\x44\x00"  # sasl-outcome ok
+            cov.hit("sasl.mech_rejected")
+            return b"\x00\x44\x01"
+        cov.hit("sasl.unknown_code")
+        return b""
+
+    def _handle_performative(self, channel: int, body: bytes) -> bytes:
+        cov = self.cov
+        if len(body) < 2 or body[0] != 0x00:
+            cov.hit("perf.bad_descriptor")
+            raise _ParseError("bad descriptor")
+        code = body[1]
+        args = body[2:]
+        if code == OPEN:
+            cov.hit("perf.open")
+            if cov.branch("perf.open_dup", self._opened):
+                raise _ParseError("second open")
+            if self.enabled("auth") and not self._sasl_done:
+                cov.hit("perf.open_before_sasl")
+                raise _ParseError("open before SASL")
+            self._opened = True
+            workers = int(self.cfg("worker-threads"))
+            if workers > 64:
+                # Bug #9 (Table II): stack-buffer-overflow in
+                # pthread_create. Spawning the oversubscribed worker pool
+                # for the new connection overflows the attr stack array.
+                raise SanitizerFault(
+                    FaultKind.STACK_BUFFER_OVERFLOW,
+                    "pthread_create",
+                    "worker pool of %d threads overflows attr array" % workers,
+                )
+            if cov.branch("perf.open_idle_timeout", len(args) >= 4):
+                cov.hit("perf.open_args")
+            return self._frame(OPEN)
+        if cov.branch("perf.before_open", not self._opened):
+            raise _ParseError("performative before open")
+        if code == BEGIN:
+            cov.hit("perf.begin")
+            if cov.branch("perf.begin_dup", channel in self._sessions):
+                raise _ParseError("channel already begun")
+            self._sessions[channel] = {"links": set(), "unacked": 0}
+            return self._frame(BEGIN)
+        if code == CLOSE:
+            cov.hit("perf.close")
+            self._opened = False
+            self._sessions.clear()
+            return self._frame(CLOSE)
+        session = self._sessions.get(channel)
+        if cov.branch("perf.no_session", session is None):
+            if code == END:
+                cov.hit("perf.end_unknown_channel")
+                return b""
+            raise _ParseError("performative on unbegun channel")
+        if code == ATTACH:
+            cov.hit("perf.attach")
+            handle = args[0] if args else 0
+            if cov.branch("perf.attach_dup", handle in session["links"]):
+                raise _ParseError("handle in use")
+            session["links"].add(handle)
+            if cov.branch("perf.attach_durable", self.enabled("durable") and len(args) > 1 and args[1] & 0x01):
+                cov.hit("perf.attach_durable_link")
+            return self._frame(ATTACH)
+        if code == FLOW:
+            cov.hit("perf.flow")
+            if self.enabled("flow-control"):
+                depth = int(self.cfg("queue-depth"))
+                ratio = int(self.cfg("flow-stop-ratio"))
+                if cov.branch("perf.flow_stop",
+                              self._queued * 100 >= depth * ratio):
+                    cov.hit("perf.flow_stopped")
+            return b""
+        if code == TRANSFER:
+            cov.hit("perf.transfer")
+            handle = args[0] if args else 0
+            if cov.branch("perf.transfer_no_link", handle not in session["links"]):
+                raise _ParseError("transfer on unattached handle")
+            payload = args[2:]
+            if cov.branch("perf.transfer_empty", not payload):
+                cov.hit("perf.transfer_empty_body")
+            elif payload.startswith(b"qmf:"):
+                return self._handle_management(payload)
+            elif payload[:1] == b"\x00":
+                cov.hit("perf.transfer_described_body")
+            elif len(payload) > 256:
+                cov.hit("perf.transfer_large_body")
+            else:
+                cov.hit("perf.transfer_raw_body")
+            self._queued += 1
+            session["unacked"] += 1
+            if session["unacked"] > int(self.cfg("session-max-unacked")):
+                cov.hit("perf.transfer_unacked_overflow")
+                raise _ParseError("too many unacked transfers")
+            if cov.branch("perf.transfer_settled", len(args) > 1 and bool(args[1] & 0x01)):
+                session["unacked"] -= 1
+            if self.enabled("durable"):
+                cov.hit("perf.transfer_journaled")
+            depth = int(self.cfg("queue-depth"))
+            if cov.branch("perf.queue_full", depth > 0 and self._queued > depth):
+                return self._frame(DETACH)
+            return self._frame(DISPOSITION)
+        if code == DISPOSITION:
+            cov.hit("perf.disposition")
+            if session["unacked"] > 0:
+                session["unacked"] -= 1
+                cov.hit("perf.disposition_settles")
+            return b""
+        if code == DETACH:
+            cov.hit("perf.detach")
+            handle = args[0] if args else 0
+            if cov.branch("perf.detach_known", handle in session["links"]):
+                session["links"].discard(handle)
+            return self._frame(DETACH)
+        if code == END:
+            cov.hit("perf.end")
+            del self._sessions[channel]
+            return self._frame(END)
+        cov.hit("perf.unknown_code")
+        raise _ParseError("unknown performative 0x%02x" % code)
+
+    def _handle_management(self, payload: bytes) -> bytes:
+        """QMF-style management queries carried in transfer bodies."""
+        cov = self.cov
+        cov.hit("mgmt.query")
+        if not self.enabled("mgmt-enable"):
+            cov.hit("mgmt.disabled_refused")
+            return self._frame(DETACH)
+        command = payload[4:].split(b" ", 1)[0].decode("ascii", "replace")
+        if cov.branch("mgmt.get_objects", command == "getObjects"):
+            cov.hit("mgmt.objects_reply")
+            if int(self.cfg("mgmt-pub-interval")) < 5:
+                cov.hit("mgmt.fresh_snapshot")
+            return self._frame(DISPOSITION)
+        if command == "getSchema":
+            cov.hit("mgmt.schema_reply")
+            return self._frame(DISPOSITION)
+        if command == "method":
+            cov.hit("mgmt.method_call")
+            if self.enabled("auth"):
+                cov.hit("mgmt.method_auth_check")
+            return self._frame(DISPOSITION)
+        cov.hit("mgmt.unknown_command")
+        raise _ParseError("unknown management command %r" % command)
+
+    def _frame(self, code: int) -> bytes:
+        body = bytes([0x00, code])
+        size = 8 + len(body)
+        return size.to_bytes(4, "big") + bytes([2, 0, 0, 0]) + body

@@ -1,0 +1,5 @@
+"""libcoap-style CoAP server target."""
+
+from repro.targets.coap.server import LibcoapTarget
+
+__all__ = ["LibcoapTarget"]

@@ -1,0 +1,54 @@
+"""The libcoap-style configuration surface: CLI options.
+
+``CLI_HELP`` mirrors a ``coap-server --help`` text; the pattern-matching
+CLI parser extracts items from it.
+"""
+
+from repro.core.entity import Flag, ValueType
+from repro.core.extraction import ConfigSources
+
+CLI_HELP = """\
+Usage: coap-server [OPTIONS]
+  --port=5683            UDP listen port (default: 5683)
+  --block-transfer       enable RFC 7959 block-wise transfers
+  --block-size SIZE      preferred block size, one of: 16, 32, 64, 128, 256, 512, 1024
+  --qblock               enable Q-Block1/Q-Block2 (RFC 9177) robust transfers
+  --observe              enable resource observation (RFC 7641)
+  --multicast            join the all-CoAP-nodes multicast group
+  --dtls                 serve coaps:// over DTLS
+  --psk KEY              DTLS pre-shared key
+  --cert-file=/etc/coap/server.crt  DTLS certificate file
+  --max-sessions=100     concurrent session limit (default: 100)
+  --session-timeout=300  idle session timeout seconds (default: 300)
+  --nstart=1             outstanding interactions (default: 1)
+  --max-resource-size=4096  maximum PUT body size (default: 4096)
+  --verbose              verbose logging
+"""
+
+ENTITY_OVERRIDES = {
+    "block-size": {"values": (64, 16, 256, 1024)},
+    "psk": {"values": ("", "coap-secret"), "flag": Flag.MUTABLE,
+            "type": ValueType.STRING},
+}
+
+
+def config_sources() -> ConfigSources:
+    return ConfigSources(cli_options=(CLI_HELP,))
+
+
+DEFAULT_CONFIG = {
+    "port": 5683,
+    "block-transfer": False,
+    "block-size": 64,
+    "qblock": False,
+    "observe": False,
+    "multicast": False,
+    "dtls": False,
+    "psk": "",
+    "cert-file": "/etc/coap/server.crt",
+    "max-sessions": 100,
+    "session-timeout": 300,
+    "nstart": 1,
+    "max-resource-size": 4096,
+    "verbose": False,
+}

@@ -1,0 +1,481 @@
+"""A libcoap-style CoAP server with block-wise transfer support.
+
+Parses RFC 7252 messages (header, token, the delta-encoded option list,
+payload marker), serves GET/PUT/POST/DELETE on a small resource tree, and
+implements RFC 7959 block-wise transfers plus RFC 9177 Q-Block when the
+corresponding non-default configuration is enabled. Carries the three
+CoAP bugs of Table II, including the paper's case-study SEGV in
+``coap_handle_request_put_block`` (Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import StartupError
+from repro.targets.base import ProtocolTarget
+from repro.targets.coap import config as coap_config
+from repro.targets.faults import FaultKind, SanitizerFault
+
+# CoAP message types.
+CON, NON, ACK, RST = 0, 1, 2, 3
+
+# Method / response codes.
+EMPTY = 0x00
+GET, POST, PUT, DELETE = 0x01, 0x02, 0x03, 0x04
+
+# Option numbers (RFC 7252 / 7959 / 7641 / 9177).
+OPT_OBSERVE = 6
+OPT_URI_PATH = 11
+OPT_CONTENT_FORMAT = 12
+OPT_URI_QUERY = 15
+OPT_QBLOCK1 = 19
+OPT_BLOCK2 = 23
+OPT_BLOCK1 = 27
+OPT_SIZE1 = 60
+
+_VALID_BLOCK_SIZES = (16, 32, 64, 128, 256, 512, 1024)
+
+
+class _ParseError(Exception):
+    """Malformed message; the server answers RST / ignores."""
+
+
+class LibcoapTarget(ProtocolTarget):
+    """The CoAP server target."""
+
+    NAME = "libcoap"
+    PROTOCOL = "CoAP"
+    PORT = 5683
+
+    @classmethod
+    def config_sources(cls):
+        return coap_config.config_sources()
+
+    @classmethod
+    def entity_overrides(cls):
+        return dict(coap_config.ENTITY_OVERRIDES)
+
+    @classmethod
+    def default_config(cls) -> Dict[str, Any]:
+        return dict(coap_config.DEFAULT_CONFIG)
+
+    # -- startup ---------------------------------------------------------
+
+    def _startup_impl(self) -> None:
+        cov = self.cov
+        cov.hit("startup.enter")
+        if self.enabled("qblock") and not self.enabled("block-transfer"):
+            cov.hit("startup.conflict.qblock_without_block")
+            raise StartupError(
+                "qblock requires block-transfer", ("qblock", "block-transfer")
+            )
+        if int(self.cfg("block-size")) not in _VALID_BLOCK_SIZES:
+            cov.hit("startup.bad_block_size")
+            raise StartupError("invalid block-size", ("block-size",))
+        if int(self.cfg("nstart")) < 1:
+            cov.hit("startup.bad_nstart")
+            raise StartupError("nstart must be >= 1", ("nstart",))
+        cov.hit("startup.udp_listener")
+        if cov.branch("startup.block", self.enabled("block-transfer")):
+            cov.hit("startup.block.szx_table")
+            size = int(self.cfg("block-size"))
+            if size <= 64:
+                cov.hit("startup.block.small")
+            else:
+                cov.hit("startup.block.large")
+            if cov.branch("startup.qblock", self.enabled("qblock")):
+                cov.hit("startup.qblock.recovery_timers")
+                if self.enabled("multicast"):
+                    cov.hit("startup.qblock.multicast_pacing")
+        if cov.branch("startup.observe", self.enabled("observe")):
+            cov.hit("startup.observe.subject_registry")
+            if int(self.cfg("session-timeout")) < 60:
+                cov.hit("startup.observe.short_lease")
+        if cov.branch("startup.multicast", self.enabled("multicast")):
+            cov.hit("startup.multicast.group_join")
+            if self.enabled("dtls"):
+                cov.hit("startup.multicast.dtls_warning")
+        if cov.branch("startup.dtls", self.enabled("dtls")):
+            cov.hit("startup.dtls.ctx")
+            if cov.branch("startup.dtls.psk", bool(self.cfg("psk"))):
+                cov.hit("startup.dtls.psk_ciphers")
+            else:
+                cov.hit("startup.dtls.cert_load")
+        if int(self.cfg("max-sessions")) == 0:
+            cov.hit("startup.sessions_unbounded")
+        if self.enabled("verbose"):
+            cov.hit("startup.verbose")
+        cov.hit("startup.complete")
+
+    # -- session ---------------------------------------------------------
+
+    def reset_session(self) -> None:
+        self._resources: Dict[str, bytes] = {"sensors/temp": b"21.5", ".well-known/core": b"</sensors/temp>"}
+        self._observers: Dict[str, int] = {}
+        # Block-wise reassembly state: path -> (received block numbers,
+        # body buffer or None). body None mirrors lg_srcv->body_data NULL.
+        self._put_blocks: Dict[str, Tuple[set, Optional[bytearray]]] = {}
+
+    # -- parsing -----------------------------------------------------------
+
+    def handle_packet(self, data: bytes) -> bytes:
+        self.require_started()
+        cov = self.cov
+        try:
+            return self._dispatch(data)
+        except _ParseError:
+            cov.hit("packet.malformed")
+            return b""
+
+    def _dispatch(self, data: bytes) -> bytes:
+        cov = self.cov
+        if len(data) < 4:
+            cov.hit("packet.runt")
+            raise _ParseError("short header")
+        version = data[0] >> 6
+        mtype = (data[0] >> 4) & 0x03
+        token_length = data[0] & 0x0F
+        code = data[1]
+        mid = int.from_bytes(data[2:4], "big")
+        if cov.branch("packet.bad_version", version != 1):
+            return b""
+        cov.hit("packet.type.%d" % mtype)
+        if cov.branch("packet.long_token", token_length > 8):
+            raise _ParseError("TKL > 8")
+        if len(data) < 4 + token_length:
+            cov.hit("packet.token_truncated")
+            raise _ParseError("token truncated")
+        token = data[4 : 4 + token_length]
+        if cov.branch("packet.empty", code == EMPTY):
+            if mtype == CON:
+                cov.hit("packet.ping")
+                return self._reply(RST, 0, mid, token)
+            return b""
+        options, payload = self._parse_options(data, 4 + token_length)
+        if code in (GET, POST, PUT, DELETE):
+            return self._handle_request(mtype, code, mid, token, options, payload)
+        cov.hit("packet.response_code_inbound")
+        return self._reply(RST, 0, mid, token)
+
+    def _parse_options(self, data: bytes, offset: int) -> Tuple[List[Tuple[int, bytes]], bytes]:
+        """The delta-encoded option list (getOptionDelta territory)."""
+        cov = self.cov
+        options: List[Tuple[int, bytes]] = []
+        number = 0
+        position = offset
+        while position < len(data):
+            byte = data[position]
+            if cov.branch("options.payload_marker", byte == 0xFF):
+                payload = data[position + 1 :]
+                if not payload:
+                    cov.hit("options.marker_no_payload")
+                    raise _ParseError("payload marker without payload")
+                return options, payload
+            position += 1
+            delta = byte >> 4
+            length = byte & 0x0F
+            if delta == 13:
+                cov.hit("options.delta_ext8")
+                if position >= len(data):
+                    raise _ParseError("truncated extended delta")
+                delta = data[position] + 13
+                position += 1
+            elif delta == 14:
+                cov.hit("options.delta_ext16")
+                if position + 2 > len(data):
+                    # Bug #7 (Table II): stack-buffer-overflow in
+                    # CoapPDU::getOptionDelta — the 16-bit extended delta
+                    # is read past the end of the datagram buffer.
+                    raise SanitizerFault(
+                        FaultKind.STACK_BUFFER_OVERFLOW,
+                        "CoapPDU::getOptionDelta",
+                        "16-bit extended delta past end of packet",
+                    )
+                delta = int.from_bytes(data[position : position + 2], "big") + 269
+                position += 2
+            elif delta == 15:
+                cov.hit("options.delta_reserved")
+                if len(options) > 12:
+                    # Bug #6 (Table II): SEGV in coap_clean_options — the
+                    # error path frees a long option chain, then walks it.
+                    raise SanitizerFault(
+                        FaultKind.SEGV,
+                        "coap_clean_options",
+                        "option chain freed then walked on reserved delta",
+                    )
+                raise _ParseError("reserved option delta")
+            if length == 13:
+                cov.hit("options.len_ext8")
+                if position >= len(data):
+                    raise _ParseError("truncated extended length")
+                length = data[position] + 13
+                position += 1
+            elif length == 14:
+                cov.hit("options.len_ext16")
+                if position + 2 > len(data):
+                    raise _ParseError("truncated extended length16")
+                length = int.from_bytes(data[position : position + 2], "big") + 269
+                position += 2
+            elif length == 15:
+                cov.hit("options.len_reserved")
+                raise _ParseError("reserved option length")
+            if position + length > len(data):
+                cov.hit("options.value_truncated")
+                raise _ParseError("option value truncated")
+            number += delta
+            options.append((number, data[position : position + length]))
+            position += length
+            cov.hit("options.number.%d" % number if number in _KNOWN_OPTIONS
+                    else "options.number.other")
+        return options, b""
+
+    # -- request handling ------------------------------------------------
+
+    def _handle_request(self, mtype: int, code: int, mid: int, token: bytes,
+                        options: List[Tuple[int, bytes]], payload: bytes) -> bytes:
+        cov = self.cov
+        path_segments = [o[1].decode("utf-8", "replace") for o in options if o[0] == OPT_URI_PATH]
+        path = "/".join(path_segments)
+        if cov.branch("request.deep_path", len(path_segments) > 4):
+            cov.hit("request.deep_path_walk")
+        if any(not segment for segment in path_segments):
+            cov.hit("request.empty_segment")
+        queries = [o for o in options if o[0] == OPT_URI_QUERY]
+        if queries:
+            cov.hit("request.has_query")
+            if any(b"=" in q[1] for q in queries):
+                cov.hit("request.query_pair")
+            if len(queries) > 4:
+                cov.hit("request.query_flood")
+        content_format = [o for o in options if o[0] == OPT_CONTENT_FORMAT]
+        if cov.branch("request.content_format", bool(content_format)):
+            value = content_format[0][1]
+            fmt = int.from_bytes(value, "big") if len(value) <= 2 else -1
+            if fmt == 0:
+                cov.hit("request.cf.text")
+            elif fmt in (40, 41, 42):
+                cov.hit("request.cf.link_or_binary")
+            elif fmt in (50, 60):
+                cov.hit("request.cf.json_cbor")
+            else:
+                cov.hit("request.cf.unknown")
+        size1 = [o for o in options if o[0] == OPT_SIZE1]
+        if size1:
+            cov.hit("request.size1_hint")
+        if cov.branch("request.observe_opt",
+                      any(o[0] == OPT_OBSERVE for o in options)):
+            if self.enabled("observe"):
+                return self._handle_observe(code, mid, token, path, options)
+            cov.hit("request.observe_disabled")
+        if code == GET:
+            return self._handle_get(mtype, mid, token, path, options)
+        if code == PUT:
+            return self._handle_put(mtype, mid, token, path, options, payload)
+        if code == POST:
+            return self._handle_post(mid, token, path, payload)
+        cov.hit("request.delete")
+        if cov.branch("request.delete_known", path in self._resources):
+            del self._resources[path]
+            return self._reply(ACK, 0x42, mid, token)  # 2.02 Deleted
+        return self._reply(ACK, 0x84, mid, token)  # 4.04
+
+    def _handle_get(self, mtype: int, mid: int, token: bytes, path: str,
+                    options: List[Tuple[int, bytes]]) -> bytes:
+        cov = self.cov
+        cov.hit("get.enter")
+        body = self._resources.get(path)
+        if cov.branch("get.not_found", body is None):
+            return self._reply(ACK, 0x84, mid, token)
+        block2 = [o for o in options if o[0] == OPT_BLOCK2]
+        if cov.branch("get.block2", bool(block2)):
+            if not self.enabled("block-transfer"):
+                cov.hit("get.block2_disabled")
+                return self._reply(ACK, 0x80, mid, token)  # 4.00
+            num, more, szx = self._decode_block(block2[0][1])
+            cov.hit("get.block2.szx.%d" % szx)
+            size = 16 << szx
+            if size not in _VALID_BLOCK_SIZES:
+                cov.hit("get.block2.bad_szx")
+                return self._reply(ACK, 0x80, mid, token)
+            start = num * size
+            if cov.branch("get.block2.out_of_range", start >= len(body)):
+                return self._reply(ACK, 0x80, mid, token)
+            chunk = body[start : start + size]
+            cov.hit("get.block2.served")
+            return self._reply(ACK, 0x45, mid, token, chunk)
+        if mtype == NON:
+            cov.hit("get.non_confirmable")
+        return self._reply(ACK if mtype == CON else NON, 0x45, mid, token, body)
+
+    def _handle_put(self, mtype: int, mid: int, token: bytes, path: str,
+                    options: List[Tuple[int, bytes]], payload: bytes) -> bytes:
+        cov = self.cov
+        cov.hit("put.enter")
+        if cov.branch("put.no_path", not path):
+            return self._reply(ACK, 0x80, mid, token)
+        if len(payload) > int(self.cfg("max-resource-size")):
+            cov.hit("put.too_large")
+            return self._reply(ACK, 0x8D, mid, token)  # 4.13
+        block1 = [o for o in options if o[0] == OPT_BLOCK1]
+        qblock1 = [o for o in options if o[0] == OPT_QBLOCK1]
+        if cov.branch("put.qblock1", bool(qblock1)):
+            if self.enabled("qblock"):
+                return self._handle_put_qblock(mid, token, path, qblock1[0][1], payload)
+            cov.hit("put.qblock_disabled")
+            return self._reply(ACK, 0x82, mid, token)  # 4.02 bad option
+        if cov.branch("put.block1", bool(block1)):
+            if not self.enabled("block-transfer"):
+                cov.hit("put.block1_disabled")
+                return self._reply(ACK, 0x82, mid, token)
+            return self._handle_put_block(mid, token, path, block1[0][1], payload)
+        self._resources[path] = payload
+        cov.hit("put.stored")
+        reply = self._reply(ACK, 0x44, mid, token)  # 2.04 Changed
+        return reply + self._notify_observers(path)
+
+    def _handle_put_block(self, mid: int, token: bytes, path: str,
+                          block_value: bytes, payload: bytes) -> bytes:
+        """RFC 7959 Block1 reassembly (coap_handle_request_put_block)."""
+        cov = self.cov
+        num, more, szx = self._decode_block(block_value)
+        cov.hit("put.block1.num_nonzero" if num else "put.block1.first")
+        received, body = self._put_blocks.get(path, (set(), None))
+        if path not in self._put_blocks:
+            # lg_srcv not found in this session: body_data starts NULL
+            # (Figure 5, line 6).
+            cov.hit("put.block1.new_lg_srcv")
+            self._put_blocks[path] = (received, body)
+        if num == 0:
+            body = bytearray()
+            cov.hit("put.block1.body_alloc")
+        if body is not None:
+            body.extend(payload)
+        received.add(num)
+        self._put_blocks[path] = (received, body)
+        if cov.branch("put.block1.more", bool(more)):
+            return self._reply(ACK, 0x5F, mid, token)  # 2.31 Continue
+        # Final block: reassemble.
+        if cov.branch("put.block1.incomplete",
+                      body is None or len(received) != num + 1):
+            if body is None:
+                cov.hit("put.block1.body_null_recovered")
+                self._put_blocks.pop(path, None)
+                return self._reply(ACK, 0x88, mid, token)  # 4.08 incomplete
+            cov.hit("put.block1.gap_recovered")
+            self._put_blocks.pop(path, None)
+            return self._reply(ACK, 0x88, mid, token)
+        self._resources[path] = bytes(body)
+        self._put_blocks.pop(path, None)
+        cov.hit("put.block1.reassembled")
+        return self._reply(ACK, 0x44, mid, token)
+
+    def _handle_put_qblock(self, mid: int, token: bytes, path: str,
+                           block_value: bytes, payload: bytes) -> bytes:
+        """RFC 9177 Q-Block1 (the Figure-5 case-study path, Bug #8)."""
+        cov = self.cov
+        cov.hit("put.qblock1.enter")
+        num, more, szx = self._decode_block(block_value)
+        received, body = self._put_blocks.get(path, (set(), None))
+        if path not in self._put_blocks:
+            cov.hit("put.qblock1.new_lg_srcv")  # body_data = NULL
+            self._put_blocks[path] = (received, body)
+        if num == 0:
+            body = bytearray()
+            cov.hit("put.qblock1.body_alloc")
+        if body is not None:
+            body.extend(payload)
+        received.add(num)
+        self._put_blocks[path] = (received, body)
+        if cov.branch("put.qblock1.more", bool(more)):
+            return self._reply(NON, 0x5F, mid, token)
+        # Q-Block considers the transfer complete once the final block
+        # arrives (line 12 of Figure 5) and jumps to give_app_data.
+        cov.hit("put.qblock1.give_app_data")
+        if body is None:
+            # Bug #8 (Table II, case study): pdu->body_data =
+            # lg_srcv->body_data->s dereferences NULL because block 0
+            # never arrived and body_data was never allocated.
+            raise SanitizerFault(
+                FaultKind.SEGV,
+                "coap_handle_request_put_block",
+                "NULL lg_srcv->body_data dereferenced at give_app_data",
+            )
+        self._resources[path] = bytes(body)
+        self._put_blocks.pop(path, None)
+        cov.hit("put.qblock1.reassembled")
+        return self._reply(NON, 0x44, mid, token)
+
+    def _handle_post(self, mid: int, token: bytes, path: str, payload: bytes) -> bytes:
+        cov = self.cov
+        cov.hit("post.enter")
+        if cov.branch("post.create", path not in self._resources):
+            self._resources[path] = payload
+            return self._reply(ACK, 0x41, mid, token)  # 2.01 Created
+        self._resources[path] = payload
+        return self._reply(ACK, 0x44, mid, token)
+
+    def _handle_observe(self, code: int, mid: int, token: bytes, path: str,
+                        options: List[Tuple[int, bytes]]) -> bytes:
+        cov = self.cov
+        cov.hit("observe.enter")
+        value = next(o[1] for o in options if o[0] == OPT_OBSERVE)
+        register = not value or value == b"\x00"
+        if cov.branch("observe.register", register):
+            if path not in self._resources:
+                cov.hit("observe.unknown_resource")
+                return self._reply(ACK, 0x84, mid, token)
+            self._observers[path] = self._observers.get(path, 0) + 1
+            if int(self.cfg("max-sessions")) and len(self._observers) > int(self.cfg("max-sessions")):
+                cov.hit("observe.table_full")
+                return self._reply(ACK, 0xA0, mid, token)  # 5.00
+            return self._reply(ACK, 0x45, mid, token, self._resources[path])
+        if cov.branch("observe.deregister_known", path in self._observers):
+            del self._observers[path]
+        return self._reply(ACK, 0x45, mid, token)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _notify_observers(self, path: str) -> bytes:
+        """RFC 7641: push a notification when an observed resource changes."""
+        cov = self.cov
+        if not self.enabled("observe"):
+            return b""
+        if cov.branch("observe.notify", path in self._observers):
+            self._observe_seq = getattr(self, "_observe_seq", 0) + 1
+            cov.hit("observe.notification_sent")
+            if self._observe_seq > 0xFFFFFF:
+                cov.hit("observe.seq_wrap")
+                self._observe_seq = 1
+            body = self._resources.get(path, b"")
+            return self._reply(NON, 0x45, 0x7000 + (self._observe_seq & 0xFF),
+                               b"", body)
+        return b""
+
+    def _decode_block(self, value: bytes) -> Tuple[int, int, int]:
+        """Decode a Block1/Block2/Q-Block option value (RFC 7959 §2.2)."""
+        cov = self.cov
+        if len(value) > 3:
+            cov.hit("block.value_too_long")
+            raise _ParseError("block option longer than 3 bytes")
+        raw = int.from_bytes(value, "big") if value else 0
+        szx = raw & 0x07
+        more = (raw >> 3) & 0x01
+        num = raw >> 4
+        cov.hit("block.decoded")
+        return num, more, szx
+
+    def _reply(self, mtype: int, code: int, mid: int, token: bytes,
+               payload: bytes = b"") -> bytes:
+        header = bytes([(1 << 6) | (mtype << 4) | len(token), code]) + mid.to_bytes(2, "big")
+        body = header + token
+        if payload:
+            body += b"\xff" + payload
+        return body
+
+
+_KNOWN_OPTIONS = frozenset(
+    (1, 3, 4, 5, OPT_OBSERVE, 7, 8, OPT_URI_PATH, OPT_CONTENT_FORMAT, 14,
+     OPT_URI_QUERY, 17, OPT_QBLOCK1, 20, OPT_BLOCK2, 25, OPT_BLOCK1, 28,
+     OPT_SIZE1, 35, 39)
+)

@@ -1,0 +1,5 @@
+"""CycloneDDS-style DDS/RTPS target."""
+
+from repro.targets.dds.server import CycloneDdsTarget
+
+__all__ = ["CycloneDdsTarget"]

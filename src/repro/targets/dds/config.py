@@ -1,0 +1,80 @@
+"""The CycloneDDS-style configuration surface: hierarchical XML.
+
+Mirrors the ``cyclonedds.xml`` structure; the hierarchical file parser
+flattens it into dotted-path configuration items. DDS's structured
+configuration management restricts diversity (the paper's explanation for
+CMFuzz's modest gains here): most knobs tune internals rather than gate
+whole subsystems.
+"""
+
+from repro.core.entity import Flag
+from repro.core.extraction import ConfigSources
+
+CONFIG_XML = """\
+<CycloneDDS>
+  <Domain id="0">
+    <General>
+      <NetworkInterfaceAddress>auto</NetworkInterfaceAddress>
+      <AllowMulticast>true</AllowMulticast>
+      <MaxMessageSize>14720</MaxMessageSize>
+      <FragmentSize>1344</FragmentSize>
+    </General>
+    <Discovery>
+      <ParticipantIndex>auto</ParticipantIndex>
+      <MaxAutoParticipantIndex>9</MaxAutoParticipantIndex>
+      <SPDPInterval>30</SPDPInterval>
+    </Discovery>
+    <Internal>
+      <RetransmitMerging>never</RetransmitMerging>
+      <HeartbeatInterval>100</HeartbeatInterval>
+      <WhcHigh>500</WhcHigh>
+      <WhcLow>100</WhcLow>
+      <DeliveryQueueMaxSamples>256</DeliveryQueueMaxSamples>
+    </Internal>
+    <Tracing>
+      <Verbosity>warning</Verbosity>
+      <OutputFile>/var/log/cyclonedds.log</OutputFile>
+    </Tracing>
+  </Domain>
+</CycloneDDS>
+"""
+
+ENTITY_OVERRIDES = {
+    "Domain.General.NetworkInterfaceAddress": {"flag": Flag.IMMUTABLE},
+    "Domain.Discovery.ParticipantIndex": {
+        "values": ("auto", "none", "0", "5"),
+        "flag": Flag.MUTABLE,
+    },
+    "Domain.Internal.RetransmitMerging": {
+        "values": ("never", "adaptive", "always"),
+        "flag": Flag.MUTABLE,
+    },
+    "Domain.Tracing.Verbosity": {
+        "values": ("warning", "none", "finest"),
+        "flag": Flag.MUTABLE,
+    },
+    "Domain.id": {"flag": Flag.IMMUTABLE},
+}
+
+
+def config_sources() -> ConfigSources:
+    return ConfigSources(files=(("cyclonedds.xml", CONFIG_XML),))
+
+
+DEFAULT_CONFIG = {
+    "Domain.id": "0",
+    "Domain.General.NetworkInterfaceAddress": "auto",
+    "Domain.General.AllowMulticast": True,
+    "Domain.General.MaxMessageSize": 14720,
+    "Domain.General.FragmentSize": 1344,
+    "Domain.Discovery.ParticipantIndex": "auto",
+    "Domain.Discovery.MaxAutoParticipantIndex": 9,
+    "Domain.Discovery.SPDPInterval": 30,
+    "Domain.Internal.RetransmitMerging": "never",
+    "Domain.Internal.HeartbeatInterval": 100,
+    "Domain.Internal.WhcHigh": 500,
+    "Domain.Internal.WhcLow": 100,
+    "Domain.Internal.DeliveryQueueMaxSamples": 256,
+    "Domain.Tracing.Verbosity": "warning",
+    "Domain.Tracing.OutputFile": "/var/log/cyclonedds.log",
+}

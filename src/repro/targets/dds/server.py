@@ -1,0 +1,476 @@
+"""A CycloneDDS-style RTPS participant.
+
+Parses RTPS messages: the 20-byte header (magic, protocol version, vendor
+id, guid prefix) followed by a submessage stream — DATA, DATA_FRAG,
+HEARTBEAT, ACKNACK, GAP, INFO_TS, INFO_DST, INFO_SRC, PAD, NACK_FRAG.
+The submessage loop is deliberately branch-rich: this is the paper's
+largest-coverage subject. Configuration gates fewer subsystems than MQTT
+or DNS (structured management limits diversity), so CMFuzz's relative
+gain is modest here — matching Table I.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import StartupError
+from repro.targets.base import ProtocolTarget
+from repro.targets.dds import config as dds_config
+from repro.targets.faults import FaultKind, SanitizerFault
+
+# Submessage kinds (RTPS 2.2).
+PAD = 0x01
+ACKNACK = 0x06
+HEARTBEAT = 0x07
+GAP = 0x08
+INFO_TS = 0x09
+INFO_SRC = 0x0C
+INFO_REPLY_IP4 = 0x0D
+INFO_DST = 0x0E
+INFO_REPLY = 0x0F
+NACK_FRAG = 0x12
+HEARTBEAT_FRAG = 0x13
+DATA = 0x15
+DATA_FRAG = 0x16
+
+_RTPS_MAGIC = b"RTPS"
+
+# Builtin discovery writer entity ids.
+_ENTITY_SPDP_WRITER = 0x000100C2
+_ENTITY_SEDP_PUB_WRITER = 0x000003C2
+_ENTITY_SEDP_SUB_WRITER = 0x000004C2
+
+# Discovery parameter ids.
+_PID_PARTICIPANT_GUID = 0x0050
+_PID_BUILTIN_ENDPOINT_SET = 0x0058
+_PID_DEFAULT_UNICAST_LOCATOR = 0x0031
+_PID_LEASE_DURATION = 0x0002
+_PID_TOPIC_NAME = 0x0005
+_PID_TYPE_NAME = 0x0007
+
+_TRACEABLE_KINDS = frozenset(
+    (PAD, ACKNACK, HEARTBEAT, GAP, INFO_TS, INFO_SRC, INFO_REPLY_IP4,
+     INFO_DST, INFO_REPLY, NACK_FRAG, HEARTBEAT_FRAG, DATA, DATA_FRAG)
+)
+
+
+class _ParseError(Exception):
+    """Malformed message; the participant drops it."""
+
+
+class CycloneDdsTarget(ProtocolTarget):
+    """The DDS/RTPS participant target."""
+
+    NAME = "cyclonedds"
+    PROTOCOL = "DDS"
+    PORT = 7400
+
+    @classmethod
+    def config_sources(cls):
+        return dds_config.config_sources()
+
+    @classmethod
+    def entity_overrides(cls):
+        return dict(dds_config.ENTITY_OVERRIDES)
+
+    @classmethod
+    def default_config(cls) -> Dict[str, Any]:
+        return dict(dds_config.DEFAULT_CONFIG)
+
+    # -- startup ---------------------------------------------------------
+
+    def _startup_impl(self) -> None:
+        cov = self.cov
+        cov.hit("startup.enter")
+        whc_high = int(self.cfg("Domain.Internal.WhcHigh"))
+        whc_low = int(self.cfg("Domain.Internal.WhcLow"))
+        if whc_low > whc_high:
+            cov.hit("startup.conflict.whc_inverted")
+            raise StartupError(
+                "WhcLow must not exceed WhcHigh",
+                ("Domain.Internal.WhcLow", "Domain.Internal.WhcHigh"),
+            )
+        fragment = int(self.cfg("Domain.General.FragmentSize"))
+        max_message = int(self.cfg("Domain.General.MaxMessageSize"))
+        if fragment > max_message:
+            cov.hit("startup.conflict.fragment_over_max")
+            raise StartupError(
+                "FragmentSize exceeds MaxMessageSize",
+                ("Domain.General.FragmentSize", "Domain.General.MaxMessageSize"),
+            )
+        index = str(self.cfg("Domain.Discovery.ParticipantIndex"))
+        if index == "auto":
+            cov.hit("startup.discovery.auto_index")
+            if int(self.cfg("Domain.Discovery.MaxAutoParticipantIndex")) < 1:
+                cov.hit("startup.conflict.auto_index_zero")
+                raise StartupError(
+                    "auto ParticipantIndex needs MaxAutoParticipantIndex >= 1",
+                    ("Domain.Discovery.ParticipantIndex",
+                     "Domain.Discovery.MaxAutoParticipantIndex"),
+                )
+        elif index == "none":
+            cov.hit("startup.discovery.no_index")
+        else:
+            cov.hit("startup.discovery.fixed_index")
+        if cov.branch("startup.multicast",
+                      self.enabled("Domain.General.AllowMulticast")):
+            cov.hit("startup.multicast.spdp_group")
+            if int(self.cfg("Domain.Discovery.SPDPInterval")) < 5:
+                cov.hit("startup.multicast.aggressive_spdp")
+        else:
+            cov.hit("startup.unicast_only")
+        merging = str(self.cfg("Domain.Internal.RetransmitMerging"))
+        if merging == "adaptive":
+            cov.hit("startup.retransmit.adaptive")
+        elif merging == "always":
+            cov.hit("startup.retransmit.always")
+        else:
+            cov.hit("startup.retransmit.never")
+        if int(self.cfg("Domain.Internal.HeartbeatInterval")) == 0:
+            cov.hit("startup.heartbeat_disabled")
+        verbosity = str(self.cfg("Domain.Tracing.Verbosity"))
+        cov.hit("startup.tracing.%s" % (verbosity if verbosity in
+                                        ("none", "warning", "finest") else "other"))
+        if int(self.cfg("Domain.Internal.DeliveryQueueMaxSamples")) == 0:
+            cov.hit("startup.delivery_unbounded")
+        cov.hit("startup.complete")
+
+    # -- session ---------------------------------------------------------
+
+    def reset_session(self) -> None:
+        self._timestamp: Optional[int] = None
+        self._dst_set = False
+        self._writers: Dict[int, int] = {}  # writer id -> highest seq
+        self._fragments: Dict[Tuple[int, int], set] = {}
+        self._delivered = 0
+        self._participants: Dict[bytes, int] = {}  # guid prefix -> endpoint set
+
+    # -- parsing -----------------------------------------------------------
+
+    def handle_packet(self, data: bytes) -> bytes:
+        self.require_started()
+        cov = self.cov
+        try:
+            return self._dispatch(data)
+        except _ParseError:
+            cov.hit("packet.malformed")
+            return b""
+
+    def _dispatch(self, data: bytes) -> bytes:
+        cov = self.cov
+        if len(data) < 20:
+            cov.hit("packet.runt")
+            raise _ParseError("short RTPS header")
+        if cov.branch("header.bad_magic", data[0:4] != _RTPS_MAGIC):
+            raise _ParseError("bad magic")
+        major, minor = data[4], data[5]
+        if cov.branch("header.version_unknown", major != 2):
+            raise _ParseError("unsupported protocol version")
+        cov.hit("header.minor.%d" % minor if minor <= 4 else "header.minor.future")
+        vendor = int.from_bytes(data[6:8], "big")
+        if vendor == 0x0110:
+            cov.hit("header.vendor.eclipse")
+        elif vendor == 0x0101:
+            cov.hit("header.vendor.rti")
+        else:
+            cov.hit("header.vendor.other")
+        if int(self.cfg("Domain.General.MaxMessageSize")) < len(data):
+            cov.hit("packet.over_max_message")
+            return b""
+        position = 20
+        submessages = 0
+        acknacks: List[bytes] = []
+        while position + 4 <= len(data):
+            submessages += 1
+            if cov.branch("subm.flood", submessages > 64):
+                break
+            kind = data[position]
+            flags = data[position + 1]
+            little = bool(flags & 0x01)
+            length = int.from_bytes(
+                data[position + 2 : position + 4], "little" if little else "big"
+            )
+            body_start = position + 4
+            if cov.branch("subm.truncated", body_start + length > len(data)):
+                if kind == PAD:
+                    cov.hit("subm.pad_tail")
+                    break
+                raise _ParseError("submessage truncated")
+            body = data[body_start : body_start + length]
+            reply = self._handle_submessage(kind, flags, little, body)
+            if reply:
+                acknacks.append(reply)
+            if length == 0 and kind not in (PAD, INFO_TS):
+                cov.hit("subm.zero_length_terminator")
+                break
+            position = body_start + length
+        if cov.branch("packet.no_submessages", submessages == 0):
+            raise _ParseError("header only")
+        return b"".join(acknacks)
+
+    def _handle_submessage(self, kind: int, flags: int, little: bool,
+                           body: bytes) -> bytes:
+        cov = self.cov
+        order = "little" if little else "big"
+        if str(self.cfg("Domain.Tracing.Verbosity")) == "finest":
+            # Finest tracing formats every submessage before handling it.
+            cov.hit("trace.subm.%d" % kind if kind in _TRACEABLE_KINDS
+                    else "trace.subm.other")
+        if kind == DATA:
+            cov.hit("subm.data")
+            if len(body) < 16:
+                cov.hit("subm.data.short")
+                raise _ParseError("DATA too short")
+            reader = int.from_bytes(body[0:4], order)
+            writer = int.from_bytes(body[4:8], order)
+            seq = int.from_bytes(body[8:16], order)
+            if cov.branch("subm.data.builtin",
+                          writer in (_ENTITY_SPDP_WRITER, _ENTITY_SEDP_PUB_WRITER,
+                                     _ENTITY_SEDP_SUB_WRITER)):
+                return self._handle_discovery_data(writer, body[16:], order)
+            entity_kind = writer & 0xFF
+            if entity_kind == 0x02:
+                cov.hit("subm.data.user_keyed_writer")
+            elif entity_kind == 0x03:
+                cov.hit("subm.data.user_nokey_writer")
+            else:
+                cov.hit("subm.data.odd_entity_kind")
+            if cov.branch("subm.data.inline_qos", bool(flags & 0x02)):
+                self._parse_inline_qos(body[16:], order)
+            if cov.branch("subm.data.keyed", bool(flags & 0x08)):
+                cov.hit("subm.data.key_digest")
+            highest = self._writers.get(writer, 0)
+            if cov.branch("subm.data.out_of_order", seq <= highest):
+                merging = str(self.cfg("Domain.Internal.RetransmitMerging"))
+                if merging == "always":
+                    cov.hit("subm.data.merge_always")
+                elif merging == "adaptive":
+                    cov.hit("subm.data.merge_adaptive")
+                else:
+                    cov.hit("subm.data.dropped_dup")
+                return b""
+            self._writers[writer] = seq
+            self._delivered += 1
+            limit = int(self.cfg("Domain.Internal.DeliveryQueueMaxSamples"))
+            if cov.branch("subm.data.queue_full",
+                          limit > 0 and self._delivered % max(limit, 1) == 0):
+                cov.hit("subm.data.backpressure")
+            if self._timestamp is not None:
+                cov.hit("subm.data.timestamped")
+            return b""
+        if kind == DATA_FRAG:
+            cov.hit("subm.data_frag")
+            if len(body) < 20:
+                raise _ParseError("DATA_FRAG too short")
+            writer = int.from_bytes(body[4:8], order)
+            seq = int.from_bytes(body[8:16], order)
+            frag_num = int.from_bytes(body[16:20], order)
+            frag_size = int(self.cfg("Domain.General.FragmentSize"))
+            if cov.branch("subm.frag.zero", frag_num == 0):
+                raise _ParseError("fragment number 0")
+            key = (writer, seq)
+            bucket = self._fragments.setdefault(key, set())
+            if cov.branch("subm.frag.dup", frag_num in bucket):
+                return b""
+            bucket.add(frag_num)
+            if len(bucket) * frag_size > int(self.cfg("Domain.General.MaxMessageSize")):
+                cov.hit("subm.frag.reassembly_overflow_guard")
+                self._fragments.pop(key, None)
+            return b""
+        if kind == HEARTBEAT:
+            cov.hit("subm.heartbeat")
+            if len(body) < 24:
+                raise _ParseError("HEARTBEAT too short")
+            first = int.from_bytes(body[8:16], order)
+            last = int.from_bytes(body[16:24], order)
+            if cov.branch("subm.hb.invalid_range", first > last + 1):
+                raise _ParseError("invalid heartbeat range")
+            if cov.branch("subm.hb.final", bool(flags & 0x02)):
+                return b""
+            if cov.branch("subm.hb.liveliness", bool(flags & 0x04)):
+                cov.hit("subm.hb.manual_liveliness")
+            # Respond with an ACKNACK covering the advertised range.
+            cov.hit("subm.hb.acknack_reply")
+            return bytes([ACKNACK, 0x01, 24, 0]) + body[0:8] + body[8:24]
+        if kind == ACKNACK:
+            cov.hit("subm.acknack")
+            if len(body) < 12:
+                raise _ParseError("ACKNACK too short")
+            if cov.branch("subm.acknack.final", bool(flags & 0x02)):
+                return b""
+            whc_high = int(self.cfg("Domain.Internal.WhcHigh"))
+            if cov.branch("subm.acknack.whc_pressure", whc_high < 200):
+                cov.hit("subm.acknack.throttle")
+            return b""
+        if kind == GAP:
+            cov.hit("subm.gap")
+            if len(body) < 16:
+                raise _ParseError("GAP too short")
+            return b""
+        if kind == INFO_TS:
+            if cov.branch("subm.info_ts.invalidate", bool(flags & 0x02)):
+                self._timestamp = None
+            else:
+                if len(body) < 8:
+                    raise _ParseError("INFO_TS too short")
+                self._timestamp = int.from_bytes(body[0:8], order)
+                cov.hit("subm.info_ts.set")
+            return b""
+        if kind == INFO_DST:
+            cov.hit("subm.info_dst")
+            if len(body) < 12:
+                raise _ParseError("INFO_DST too short")
+            self._dst_set = True
+            return b""
+        if kind == INFO_SRC:
+            cov.hit("subm.info_src")
+            if len(body) < 20:
+                raise _ParseError("INFO_SRC too short")
+            return b""
+        if kind in (INFO_REPLY, INFO_REPLY_IP4):
+            cov.hit("subm.info_reply")
+            if not self.enabled("Domain.General.AllowMulticast") and bool(flags & 0x02):
+                cov.hit("subm.info_reply.multicast_ignored")
+            return b""
+        if kind == NACK_FRAG:
+            cov.hit("subm.nack_frag")
+            if len(body) < 16:
+                raise _ParseError("NACK_FRAG too short")
+            return b""
+        if kind == HEARTBEAT_FRAG:
+            cov.hit("subm.heartbeat_frag")
+            if len(body) < 20:
+                raise _ParseError("HEARTBEAT_FRAG too short")
+            return b""
+        if kind == PAD:
+            cov.hit("subm.pad")
+            return b""
+        cov.hit("subm.unknown_kind")
+        return self._unknown_submessage(flags)
+
+    def _handle_discovery_data(self, writer: int, payload: bytes, order: str) -> bytes:
+        """Parse SPDP/SEDP discovery announcements (builtin writers)."""
+        cov = self.cov
+        if writer == _ENTITY_SPDP_WRITER:
+            cov.hit("disc.spdp")
+        elif writer == _ENTITY_SEDP_PUB_WRITER:
+            cov.hit("disc.sedp_pub")
+        else:
+            cov.hit("disc.sedp_sub")
+        if len(payload) < 4:
+            cov.hit("disc.no_encapsulation")
+            raise _ParseError("discovery data without encapsulation header")
+        scheme = int.from_bytes(payload[0:2], "big")
+        if scheme == 0x0002:
+            cov.hit("disc.cdr_le")
+            order = "little"
+        elif scheme == 0x0000:
+            cov.hit("disc.cdr_be")
+            order = "big"
+        else:
+            cov.hit("disc.unknown_encapsulation")
+            raise _ParseError("unknown encapsulation scheme")
+        position = 4
+        guid_prefix: Optional[bytes] = None
+        endpoint_set = 0
+        parameters = 0
+        data = payload
+        while position + 4 <= len(data):
+            pid = int.from_bytes(data[position : position + 2], order)
+            length = int.from_bytes(data[position + 2 : position + 4], order)
+            position += 4
+            if cov.branch("disc.sentinel", pid == self._PID_SENTINEL):
+                break
+            if position + length > len(data):
+                cov.hit("disc.param_truncated")
+                raise _ParseError("discovery parameter truncated")
+            value = data[position : position + length]
+            position += length
+            parameters += 1
+            if cov.branch("disc.flood", parameters > 24):
+                raise _ParseError("discovery parameter flood")
+            if pid == _PID_PARTICIPANT_GUID:
+                cov.hit("disc.pid.guid")
+                if len(value) < 12:
+                    cov.hit("disc.guid_short")
+                    raise _ParseError("participant GUID too short")
+                guid_prefix = value[:12]
+            elif pid == _PID_BUILTIN_ENDPOINT_SET:
+                cov.hit("disc.pid.endpoints")
+                if len(value) >= 4:
+                    endpoint_set = int.from_bytes(value[:4], order)
+            elif pid == _PID_DEFAULT_UNICAST_LOCATOR:
+                cov.hit("disc.pid.locator")
+                if len(value) < 24:
+                    raise _ParseError("locator too short")
+            elif pid == _PID_LEASE_DURATION:
+                cov.hit("disc.pid.lease")
+                if len(value) >= 4 and int.from_bytes(value[:4], order) == 0:
+                    cov.hit("disc.zero_lease")
+            elif pid == _PID_TOPIC_NAME:
+                cov.hit("disc.pid.topic")
+            elif pid == _PID_TYPE_NAME:
+                cov.hit("disc.pid.type")
+            else:
+                cov.hit("disc.pid.other")
+        if writer == _ENTITY_SPDP_WRITER:
+            if cov.branch("disc.spdp_valid", guid_prefix is not None):
+                known = guid_prefix in self._participants
+                self._participants[guid_prefix] = endpoint_set
+                if cov.branch("disc.participant_refresh", known):
+                    return b""
+                index = str(self.cfg("Domain.Discovery.ParticipantIndex"))
+                if index == "auto" and len(self._participants) > int(
+                        self.cfg("Domain.Discovery.MaxAutoParticipantIndex")):
+                    cov.hit("disc.participant_table_full")
+                    self._participants.pop(guid_prefix, None)
+                return b""
+            raise _ParseError("SPDP announcement without GUID")
+        if cov.branch("disc.sedp_before_spdp", not self._participants):
+            return b""
+        return b""
+
+    #: Known inline-QoS parameter ids (RTPS PIDs).
+    _KNOWN_PIDS = frozenset(
+        (0x0002, 0x0004, 0x0005, 0x0007, 0x000B, 0x0015, 0x001A, 0x001B,
+         0x001D, 0x001E, 0x0023, 0x0025, 0x002B, 0x0030, 0x0052, 0x0070,
+         0x0071)
+    )
+    _PID_SENTINEL = 0x0001
+
+    def _parse_inline_qos(self, data: bytes, order: str) -> None:
+        """Walk a parameter list (PID / length / value triples)."""
+        cov = self.cov
+        cov.hit("qos.walk")
+        position = 0
+        parameters = 0
+        while position + 4 <= len(data):
+            pid = int.from_bytes(data[position : position + 2], order)
+            length = int.from_bytes(data[position + 2 : position + 4], order)
+            position += 4
+            if cov.branch("qos.sentinel", pid == self._PID_SENTINEL):
+                return
+            if cov.branch("qos.odd_length", length % 4 != 0):
+                raise _ParseError("parameter length not 4-aligned")
+            if position + length > len(data):
+                cov.hit("qos.value_truncated")
+                raise _ParseError("parameter value truncated")
+            cov.hit("qos.pid.%#06x" % pid if pid in self._KNOWN_PIDS
+                    else "qos.pid.unknown")
+            if pid == 0x0071 and length >= 4:
+                status = int.from_bytes(data[position : position + 4], order)
+                if status & 0x01:
+                    cov.hit("qos.status.disposed")
+                if status & 0x02:
+                    cov.hit("qos.status.unregistered")
+            position += length
+            parameters += 1
+            if cov.branch("qos.flood", parameters > 32):
+                raise _ParseError("parameter list too long")
+        cov.hit("qos.missing_sentinel")
+
+    def _unknown_submessage(self, flags: int) -> bytes:
+        cov = self.cov
+        if cov.branch("subm.unknown_must_understand", bool(flags & 0x80)):
+            raise _ParseError("unknown must-understand submessage")
+        return b""

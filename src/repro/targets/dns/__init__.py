@@ -1,0 +1,5 @@
+"""Dnsmasq-style DNS server target."""
+
+from repro.targets.dns.server import DnsmasqTarget
+
+__all__ = ["DnsmasqTarget"]

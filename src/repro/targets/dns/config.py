@@ -1,0 +1,74 @@
+"""The dnsmasq-style configuration surface: a custom directive format.
+
+``dnsmasq.conf`` mixes bare switch directives (``domain-needed``) with
+``key=value`` directives — the paper's "custom format" case, handled by
+the heuristic extractor with configurable rules.
+"""
+
+from repro.core.entity import Flag, ValueType
+from repro.core.extraction import ConfigSources
+
+CONFIG_FILE = """\
+# dnsmasq.conf - custom directive format
+domain-needed
+bogus-priv
+filterwin2k
+stop-dns-rebind
+rebind-localhost-ok
+expand-hosts
+no-hosts
+log-queries
+dnssec
+cache-size=150
+neg-ttl=3600
+local-ttl=0
+min-port=1024
+max-port=65000
+edns-packet-max=1232
+dns-forward-max=150
+domain=lan
+server=8.8.8.8
+addn-hosts=/etc/dnsmasq.hosts
+resolv-file=/etc/resolv.conf
+"""
+
+#: Bare directives are off by default and toggled on by presence; the
+#: custom extractor sees them with no value, so they infer as Boolean.
+_BARE_SWITCHES = (
+    "domain-needed", "bogus-priv", "filterwin2k", "stop-dns-rebind",
+    "rebind-localhost-ok", "expand-hosts", "no-hosts", "log-queries",
+    "dnssec",
+)
+
+ENTITY_OVERRIDES = {
+    "domain": {"values": ("lan", "", "home.arpa"), "flag": Flag.MUTABLE},
+    "server": {"flag": Flag.IMMUTABLE},
+}
+
+
+def config_sources() -> ConfigSources:
+    return ConfigSources(files=(("dnsmasq.conf", CONFIG_FILE),))
+
+
+DEFAULT_CONFIG = {
+    "domain-needed": False,
+    "bogus-priv": False,
+    "filterwin2k": False,
+    "stop-dns-rebind": False,
+    "rebind-localhost-ok": False,
+    "expand-hosts": False,
+    "no-hosts": False,
+    "log-queries": False,
+    "dnssec": False,
+    "cache-size": 150,
+    "neg-ttl": 3600,
+    "local-ttl": 0,
+    "min-port": 1024,
+    "max-port": 65000,
+    "edns-packet-max": 1232,
+    "dns-forward-max": 150,
+    "domain": "lan",
+    "server": "8.8.8.8",
+    "addn-hosts": "/etc/dnsmasq.hosts",
+    "resolv-file": "/etc/resolv.conf",
+}

@@ -1,0 +1,427 @@
+"""A dnsmasq-style DNS server.
+
+Parses DNS queries (RFC 1035): the 12-byte header, question section with
+compression pointers, known RR types, plus EDNS0 OPT records. Behaviour
+is heavily configuration-gated (caching, rebind protection, win2k
+filtering, DNSSEC validation, query logging) — dnsmasq is the paper's
+strongest CMFuzz subject (+52.9%) for exactly this reason. Carries the
+five DNS bugs of Table II.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import StartupError
+from repro.targets.base import ProtocolTarget
+from repro.targets.dns import config as dns_config
+from repro.targets.faults import FaultKind, SanitizerFault
+
+# Record types.
+TYPE_A = 1
+TYPE_NS = 2
+TYPE_CNAME = 5
+TYPE_SOA = 6
+TYPE_PTR = 12
+TYPE_MX = 15
+TYPE_TXT = 16
+TYPE_AAAA = 28
+TYPE_SRV = 33
+TYPE_OPT = 41
+TYPE_RRSIG = 46
+TYPE_ANY = 255
+
+_KNOWN_TYPES = frozenset(
+    (TYPE_A, TYPE_NS, TYPE_CNAME, TYPE_SOA, TYPE_PTR, TYPE_MX, TYPE_TXT,
+     TYPE_AAAA, TYPE_SRV, TYPE_OPT, TYPE_RRSIG, TYPE_ANY)
+)
+
+_RCODE_FORMERR = 1
+_RCODE_NXDOMAIN = 3
+_RCODE_NOTIMP = 4
+_RCODE_REFUSED = 5
+
+_LOCAL_HOSTS = {"router.lan": "192.168.1.1", "printer.lan": "192.168.1.9"}
+
+
+class _ParseError(Exception):
+    """Malformed query; the server answers FORMERR."""
+
+
+class DnsmasqTarget(ProtocolTarget):
+    """The DNS server target."""
+
+    NAME = "dnsmasq"
+    PROTOCOL = "DNS"
+    PORT = 53
+
+    @classmethod
+    def config_sources(cls):
+        return dns_config.config_sources()
+
+    @classmethod
+    def entity_overrides(cls):
+        return dict(dns_config.ENTITY_OVERRIDES)
+
+    @classmethod
+    def default_config(cls) -> Dict[str, Any]:
+        return dict(dns_config.DEFAULT_CONFIG)
+
+    # -- startup ---------------------------------------------------------
+
+    def _startup_impl(self) -> None:
+        cov = self.cov
+        cov.hit("startup.enter")
+        if int(self.cfg("min-port")) > int(self.cfg("max-port")):
+            cov.hit("startup.conflict.port_range")
+            raise StartupError("min-port exceeds max-port", ("min-port", "max-port"))
+        if self.enabled("dnssec") and int(self.cfg("edns-packet-max")) < 512:
+            cov.hit("startup.conflict.dnssec_small_edns")
+            raise StartupError(
+                "dnssec requires edns-packet-max >= 512",
+                ("dnssec", "edns-packet-max"),
+            )
+        if self.enabled("rebind-localhost-ok") and not self.enabled("stop-dns-rebind"):
+            cov.hit("startup.conflict.rebind_ok_without_stop")
+            raise StartupError(
+                "rebind-localhost-ok requires stop-dns-rebind",
+                ("rebind-localhost-ok", "stop-dns-rebind"),
+            )
+        # Bug #14 (Table II): heap-buffer-overflow in config_parse. With
+        # expand-hosts on and an empty domain, the domain suffix append
+        # writes past the empty buffer while reparsing the hosts file.
+        if self.enabled("expand-hosts"):
+            cov.hit("startup.expand_hosts")
+            if not str(self.cfg("domain")):
+                raise SanitizerFault(
+                    FaultKind.HEAP_BUFFER_OVERFLOW,
+                    "config_parse",
+                    "domain suffix append overruns empty domain buffer",
+                )
+            if self.enabled("no-hosts"):
+                cov.hit("startup.expand_without_hosts")
+        if cov.branch("startup.cache", int(self.cfg("cache-size")) > 0):
+            cov.hit("startup.cache_alloc")
+            if int(self.cfg("cache-size")) > 10000:
+                cov.hit("startup.cache_huge")
+            if int(self.cfg("neg-ttl")) == 0:
+                cov.hit("startup.no_negative_cache")
+        else:
+            cov.hit("startup.cache_disabled")
+        if cov.branch("startup.dnssec", self.enabled("dnssec")):
+            cov.hit("startup.dnssec.trust_anchors")
+            if int(self.cfg("cache-size")) == 0:
+                cov.hit("startup.dnssec.uncached")
+        if cov.branch("startup.rebind", self.enabled("stop-dns-rebind")):
+            cov.hit("startup.rebind.filters")
+            if self.enabled("rebind-localhost-ok"):
+                cov.hit("startup.rebind.localhost_exempt")
+        if self.enabled("filterwin2k"):
+            cov.hit("startup.filterwin2k")
+        if self.enabled("domain-needed"):
+            cov.hit("startup.domain_needed")
+        if self.enabled("bogus-priv"):
+            cov.hit("startup.bogus_priv")
+        if cov.branch("startup.hosts", not self.enabled("no-hosts")):
+            cov.hit("startup.hosts_load")
+        if self.enabled("log-queries"):
+            cov.hit("startup.log_queries")
+        if int(self.cfg("dns-forward-max")) == 0:
+            cov.hit("startup.forwarding_disabled")
+        # Server-lifetime state: the answer cache and forwarding counter
+        # survive client reconnects.
+        self._cache: Dict[Tuple[str, int], str] = {}
+        self._forwarded = 0
+        cov.hit("startup.complete")
+
+    # -- session ---------------------------------------------------------
+
+    def reset_session(self) -> None:
+        """DNS is connectionless; nothing is tied to a client session."""
+
+    # -- parsing -----------------------------------------------------------
+
+    def handle_packet(self, data: bytes) -> bytes:
+        self.require_started()
+        try:
+            return self._dispatch(data)
+        except _ParseError:
+            self.cov.hit("packet.malformed")
+            return self._error_reply(data, _RCODE_FORMERR)
+
+    def _dispatch(self, data: bytes) -> bytes:
+        cov = self.cov
+        if len(data) < 12:
+            cov.hit("packet.runt")
+            if cov.branch("packet.header_overread", len(data) >= 10):
+                # Bug #10 (Table II): stack-buffer-overflow in get16bits —
+                # the qdcount read at offset 10 runs past an 10/11-byte
+                # datagram.
+                raise SanitizerFault(
+                    FaultKind.STACK_BUFFER_OVERFLOW,
+                    "get16bits",
+                    "qdcount read past %d-byte packet" % len(data),
+                )
+            raise _ParseError("short header")
+        flags = int.from_bytes(data[2:4], "big")
+        qr = flags >> 15
+        opcode = (flags >> 11) & 0x0F
+        rd = (flags >> 8) & 0x01
+        qdcount = int.from_bytes(data[4:6], "big")
+        ancount = int.from_bytes(data[6:8], "big")
+        arcount = int.from_bytes(data[10:12], "big")
+        if cov.branch("packet.response_inbound", qr == 1):
+            return b""
+        if cov.branch("packet.opcode_notimp", opcode not in (0, 4)):
+            return self._error_reply(data, _RCODE_NOTIMP)
+        if cov.branch("packet.zero_questions", qdcount == 0):
+            return self._error_reply(data, _RCODE_FORMERR)
+        if qdcount > 1024 and int(self.cfg("edns-packet-max")) > 8192:
+            # Bug #12 (Table II): allocation-size-too-big in
+            # dns_request_parse — a huge qdcount times the per-question
+            # struct size with jumbo EDNS buffers configured.
+            raise SanitizerFault(
+                FaultKind.ALLOCATION_SIZE_TOO_BIG,
+                "dns_request_parse",
+                "allocating %d question slots" % qdcount,
+            )
+        if cov.branch("packet.multi_question", qdcount > 1):
+            if qdcount > 32:
+                cov.hit("packet.qdcount_flood")
+                raise _ParseError("unreasonable qdcount")
+        if ancount:
+            cov.hit("packet.answers_in_query")
+        position = 12
+        replies: List[bytes] = []
+        for _ in range(min(qdcount, 32)):
+            qname, position = self._parse_name(data, position)
+            if position + 4 > len(data):
+                # Bug #11 (Table II): heap-buffer-overflow in
+                # dns_question_parse / dns_request_parse — qtype/qclass
+                # read past the question buffer.
+                cov.hit("question.truncated_tail")
+                raise SanitizerFault(
+                    FaultKind.HEAP_BUFFER_OVERFLOW,
+                    "dns_question_parse, dns_request_parse",
+                    "qtype read past end of question section",
+                )
+            qtype = int.from_bytes(data[position : position + 2], "big")
+            qclass = int.from_bytes(data[position + 2 : position + 4], "big")
+            position += 4
+            replies.append(self._answer_question(data, qname, qtype, qclass, rd))
+        if cov.branch("packet.edns", arcount > 0 and position < len(data)):
+            self._parse_edns(data, position)
+        return replies[0] if replies else self._error_reply(data, _RCODE_FORMERR)
+
+    def _parse_name(self, data: bytes, position: int) -> Tuple[str, int]:
+        """Parse a possibly-compressed domain name."""
+        cov = self.cov
+        labels: List[str] = []
+        jumps = 0
+        end: Optional[int] = None
+        while True:
+            if position >= len(data):
+                cov.hit("name.truncated")
+                raise _ParseError("name runs past packet")
+            length = data[position]
+            if cov.branch("name.compressed", length & 0xC0 == 0xC0):
+                if position + 1 >= len(data):
+                    raise _ParseError("truncated pointer")
+                pointer = ((length & 0x3F) << 8) | data[position + 1]
+                jumps += 1
+                if cov.branch("name.pointer_loop", jumps > 8):
+                    raise _ParseError("compression loop")
+                if pointer >= position:
+                    cov.hit("name.forward_pointer")
+                    raise _ParseError("forward compression pointer")
+                if end is None:
+                    end = position + 2
+                position = pointer
+                continue
+            if length & 0xC0:
+                cov.hit("name.reserved_label_bits")
+                raise _ParseError("reserved label length bits")
+            position += 1
+            if length == 0:
+                break
+            if position + length > len(data):
+                cov.hit("name.label_overflow")
+                raise _ParseError("label past packet end")
+            if cov.branch("name.long_label", length > 63):
+                raise _ParseError("label too long")
+            labels.append(data[position : position + length].decode("ascii", "replace"))
+            position += length
+            if cov.branch("name.too_long", sum(len(l) + 1 for l in labels) > 255):
+                raise _ParseError("name too long")
+        name = ".".join(labels)
+        return name, (end if end is not None else position)
+
+    def _answer_question(self, data: bytes, qname: str, qtype: int,
+                         qclass: int, rd: int) -> bytes:
+        cov = self.cov
+        if cov.branch("question.bad_class", qclass not in (1, 255)):
+            return self._error_reply(data, _RCODE_REFUSED)
+        cov.hit("question.type.%d" % qtype if qtype in _KNOWN_TYPES
+                else "question.type.other")
+        if self.enabled("log-queries"):
+            cov.hit("question.logged")
+            if cov.branch("question.log_format", "%" in qname):
+                # Bug #13 (Table II): heap-buffer-overflow in
+                # printf_common — the query name is passed to the log
+                # formatter as the format string.
+                raise SanitizerFault(
+                    FaultKind.HEAP_BUFFER_OVERFLOW,
+                    "printf_common",
+                    "format directives in logged query name %r" % qname[:32],
+                )
+        if cov.branch("question.domain_needed",
+                      self.enabled("domain-needed") and "." not in qname):
+            return self._error_reply(data, _RCODE_REFUSED)
+        if self.enabled("filterwin2k"):
+            if cov.branch("question.win2k_filtered",
+                          qtype in (TYPE_SOA, TYPE_SRV, TYPE_ANY) and
+                          qname.startswith("_")):
+                return self._error_reply(data, _RCODE_REFUSED)
+        if qtype == TYPE_PTR:
+            return self._answer_ptr(data, qname)
+        if cov.branch("question.any_amplification", qtype == TYPE_ANY):
+            cov.hit("question.any_refused")
+            return self._error_reply(data, _RCODE_REFUSED)
+        if qtype == TYPE_RRSIG and not self.enabled("dnssec"):
+            cov.hit("question.rrsig_without_dnssec")
+            return self._error_reply(data, _RCODE_REFUSED)
+        return self._resolve(data, qname, qtype, rd)
+
+    def _answer_ptr(self, data: bytes, qname: str) -> bytes:
+        cov = self.cov
+        cov.hit("ptr.enter")
+        if cov.branch("ptr.bogus_priv",
+                      self.enabled("bogus-priv") and
+                      (qname.endswith("10.in-addr.arpa") or
+                       qname.endswith("168.192.in-addr.arpa"))):
+            cov.hit("ptr.private_nxdomain")
+            return self._error_reply(data, _RCODE_NXDOMAIN)
+        return self._reply(data, "host.ptr", ttl=int(self.cfg("local-ttl")) or 60)
+
+    def _resolve(self, data: bytes, qname: str, qtype: int, rd: int) -> bytes:
+        cov = self.cov
+        cache_size = int(self.cfg("cache-size"))
+        key = (qname, qtype)
+        if cov.branch("resolve.cached",
+                      cache_size > 0 and key in self._cache):
+            cov.hit("resolve.cache_hit")
+            return self._reply(data, self._cache[key], ttl=int(self.cfg("local-ttl")) or 300)
+        full = qname
+        if self.enabled("expand-hosts") and "." not in qname:
+            cov.hit("resolve.expanded")
+            full = qname + "." + str(self.cfg("domain"))
+        if cov.branch("resolve.local_hosts",
+                      not self.enabled("no-hosts") and full in _LOCAL_HOSTS):
+            address = _LOCAL_HOSTS[full]
+            if self._check_rebind(address):
+                return self._error_reply(data, _RCODE_REFUSED)
+            if cache_size > 0:
+                self._store_cache(key, address)
+            return self._reply(data, address, ttl=int(self.cfg("local-ttl")) or 0)
+        if cov.branch("resolve.local_domain",
+                      full.endswith("." + str(self.cfg("domain"))) and
+                      bool(str(self.cfg("domain")))):
+            cov.hit("resolve.authoritative_nxdomain")
+            if int(self.cfg("neg-ttl")) > 0 and cache_size > 0:
+                cov.hit("resolve.negative_cached")
+            else:
+                cov.hit("resolve.negative_uncached")
+            return self._error_reply(data, _RCODE_NXDOMAIN)
+        if cov.branch("resolve.no_recursion", rd == 0):
+            return self._error_reply(data, _RCODE_REFUSED)
+        limit = int(self.cfg("dns-forward-max"))
+        self._forwarded += 1
+        if cov.branch("resolve.forward_limit", limit > 0 and self._forwarded > limit):
+            cov.hit("resolve.forward_refused")
+            # The in-flight window drains; new forwards are admitted again.
+            self._forwarded = 0
+            return self._error_reply(data, _RCODE_REFUSED)
+        cov.hit("resolve.forwarded")
+        address = "93.184.216.34"
+        if self._check_rebind(address):
+            return self._error_reply(data, _RCODE_REFUSED)
+        if self.enabled("dnssec"):
+            cov.hit("resolve.dnssec_validate")
+            if qtype == TYPE_RRSIG:
+                cov.hit("resolve.rrsig_served")
+            elif qtype in (TYPE_A, TYPE_AAAA):
+                cov.hit("resolve.dnssec.address_chain")
+            elif qtype in (TYPE_MX, TYPE_SRV, TYPE_TXT):
+                cov.hit("resolve.dnssec.rr_chain")
+            else:
+                cov.hit("resolve.dnssec.other_chain")
+            if int(self.cfg("edns-packet-max")) < 1232:
+                cov.hit("resolve.dnssec.small_buffer_tcp_retry")
+        if cache_size > 0:
+            self._store_cache(key, address)
+        if qtype == TYPE_TXT:
+            # TXT answers are large (SPF/DKIM blobs) and are what trips
+            # the TC-bit path against the configured datagram limit.
+            cov.hit("resolve.txt_blob")
+            return self._reply(data, "v=spf1 include:example.com ~all " * 64,
+                               ttl=300)
+        return self._reply(data, address, ttl=300)
+
+    def _check_rebind(self, address: str) -> bool:
+        cov = self.cov
+        if not self.enabled("stop-dns-rebind"):
+            return False
+        private = address.startswith(("10.", "192.168.", "172.16.", "127."))
+        if cov.branch("rebind.private_answer", private):
+            if address.startswith("127.") and self.enabled("rebind-localhost-ok"):
+                cov.hit("rebind.localhost_allowed")
+                return False
+            cov.hit("rebind.blocked")
+            return True
+        return False
+
+    def _store_cache(self, key: Tuple[str, int], value: str) -> None:
+        cov = self.cov
+        if len(self._cache) >= int(self.cfg("cache-size")):
+            cov.hit("cache.evict")
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[key] = value
+
+    def _parse_edns(self, data: bytes, position: int) -> None:
+        cov = self.cov
+        cov.hit("edns.enter")
+        # OPT RR: root name (1 byte), type (2), class = udp size (2).
+        if position + 5 > len(data):
+            cov.hit("edns.truncated")
+            raise _ParseError("truncated OPT record")
+        if data[position] != 0:
+            cov.hit("edns.nonroot_name")
+            return
+        rtype = int.from_bytes(data[position + 1 : position + 3], "big")
+        if cov.branch("edns.is_opt", rtype == TYPE_OPT):
+            udp_size = int.from_bytes(data[position + 3 : position + 5], "big")
+            if cov.branch("edns.udp_capped",
+                          udp_size > int(self.cfg("edns-packet-max"))):
+                cov.hit("edns.size_clamped")
+            if self.enabled("dnssec"):
+                cov.hit("edns.dnssec_do")
+
+    # -- replies -----------------------------------------------------------
+
+    def _reply(self, query: bytes, value: str, ttl: int) -> bytes:
+        cov = self.cov
+        cov.hit("reply.answer")
+        payload = value.encode("ascii", "replace") + ttl.to_bytes(4, "big")
+        limit = int(self.cfg("edns-packet-max"))
+        if cov.branch("reply.truncated", limit > 0 and 12 + len(payload) > limit):
+            # Answer exceeds the advertised datagram size: set TC and
+            # return the bare header (client would retry over TCP).
+            cov.hit("reply.tc_bit_set")
+            return query[0:2] + b"\x83\x80" + query[4:6] + bytes(6)
+        header = query[0:2] + b"\x81\x80" + query[4:6] + b"\x00\x01" + bytes(4)
+        return header + payload
+
+    def _error_reply(self, query: bytes, rcode: int) -> bytes:
+        self.cov.hit("reply.rcode.%d" % rcode)
+        ident = query[0:2] if len(query) >= 2 else b"\x00\x00"
+        return ident + bytes([0x81, 0x80 | rcode]) + bytes(8)

@@ -1,0 +1,5 @@
+"""OpenSSL-style DTLS server target."""
+
+from repro.targets.dtls.server import OpenSslDtlsTarget
+
+__all__ = ["OpenSslDtlsTarget"]

@@ -1,0 +1,55 @@
+"""The OpenSSL-style DTLS server configuration surface: CLI options.
+
+DTLS relies on fixed cryptographic settings (the paper's explanation for
+modest CMFuzz gains on OpenSSL): most options select among a small number
+of rigid cipher/protocol combinations.
+"""
+
+from repro.core.entity import Flag, ValueType
+from repro.core.extraction import ConfigSources
+
+CLI_HELP = """\
+Usage: dtls-server [OPTIONS]
+  --port=4433             UDP listen port (default: 4433)
+  --dtls1_2               force DTLS 1.2 (default: negotiate)
+  --cipher SUITE          one of: AES128-GCM-SHA256, AES256-GCM-SHA384, PSK-AES128-CBC-SHA, CHACHA20-POLY1305
+  --psk KEY               pre-shared key in hex
+  --cert=/etc/dtls/server.crt  server certificate file
+  --key=/etc/dtls/server.key   server private key file
+  --verify=0              peer verification depth (default: 0)
+  --mtu=1400              path MTU for handshake fragmentation (default: 1400)
+  --cookie-exchange       enable stateless cookie exchange (HelloVerifyRequest)
+  --no-renegotiation      forbid renegotiation
+  --session-cache         enable session resumption cache
+  --timeout=30            handshake retransmit timeout seconds (default: 30)
+"""
+
+ENTITY_OVERRIDES = {
+    "psk": {"values": ("", "deadbeef"), "flag": Flag.MUTABLE,
+            "type": ValueType.STRING},
+    "cipher": {
+        "values": ("AES128-GCM-SHA256", "AES256-GCM-SHA384",
+                   "PSK-AES128-CBC-SHA", "CHACHA20-POLY1305"),
+        "flag": Flag.MUTABLE,
+    },
+}
+
+
+def config_sources() -> ConfigSources:
+    return ConfigSources(cli_options=(CLI_HELP,))
+
+
+DEFAULT_CONFIG = {
+    "port": 4433,
+    "dtls1_2": False,
+    "cipher": "AES128-GCM-SHA256",
+    "psk": "",
+    "cert": "/etc/dtls/server.crt",
+    "key": "/etc/dtls/server.key",
+    "verify": 0,
+    "mtu": 1400,
+    "cookie-exchange": False,
+    "no-renegotiation": False,
+    "session-cache": False,
+    "timeout": 30,
+}

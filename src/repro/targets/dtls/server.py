@@ -1,0 +1,308 @@
+"""An OpenSSL-style DTLS 1.2 server.
+
+Parses DTLS records (content type, version, epoch, sequence, length) and
+the handshake state machine: ClientHello (with cookie exchange when
+enabled), key exchange, ChangeCipherSpec, Finished, application data and
+alerts. Configuration gates are narrow — fixed cryptographic settings —
+so coverage gains from configuration diversity are modest, matching the
+paper's observation for OpenSSL.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import StartupError
+from repro.targets.base import ProtocolTarget
+from repro.targets.dtls import config as dtls_config
+
+# Record content types.
+CT_CHANGE_CIPHER_SPEC = 20
+CT_ALERT = 21
+CT_HANDSHAKE = 22
+CT_APPLICATION_DATA = 23
+
+# Handshake message types.
+HS_CLIENT_HELLO = 1
+HS_HELLO_VERIFY_REQUEST = 3
+HS_CERTIFICATE = 11
+HS_CLIENT_KEY_EXCHANGE = 16
+HS_FINISHED = 20
+
+_DTLS_VERSIONS = {0xFEFF: "1.0", 0xFEFD: "1.2"}
+_PSK_CIPHERS = ("PSK-AES128-CBC-SHA",)
+
+
+class _ParseError(Exception):
+    """Malformed record; the server sends an alert / drops it."""
+
+
+class OpenSslDtlsTarget(ProtocolTarget):
+    """The DTLS server target."""
+
+    NAME = "openssl"
+    PROTOCOL = "DTLS"
+    PORT = 4433
+
+    @classmethod
+    def config_sources(cls):
+        return dtls_config.config_sources()
+
+    @classmethod
+    def entity_overrides(cls):
+        return dict(dtls_config.ENTITY_OVERRIDES)
+
+    @classmethod
+    def default_config(cls) -> Dict[str, Any]:
+        return dict(dtls_config.DEFAULT_CONFIG)
+
+    # -- startup ---------------------------------------------------------
+
+    def _startup_impl(self) -> None:
+        cov = self.cov
+        cov.hit("startup.enter")
+        cipher = str(self.cfg("cipher"))
+        psk = str(self.cfg("psk"))
+        if cipher in _PSK_CIPHERS and not psk:
+            cov.hit("startup.conflict.psk_cipher_no_key")
+            raise StartupError("PSK cipher requires --psk", ("cipher", "psk"))
+        if psk and int(self.cfg("verify")) > 0:
+            cov.hit("startup.conflict.psk_with_verify")
+            raise StartupError(
+                "PSK and certificate verification are exclusive", ("psk", "verify")
+            )
+        if int(self.cfg("mtu")) < 256:
+            cov.hit("startup.bad_mtu")
+            raise StartupError("MTU below minimum", ("mtu",))
+        cov.hit("startup.cipher.%s" % ("psk" if cipher in _PSK_CIPHERS else
+                                       "chacha" if "CHACHA" in cipher else "aes"))
+        if cov.branch("startup.force_12", self.enabled("dtls1_2")):
+            cov.hit("startup.version_pinned")
+        if cov.branch("startup.psk", bool(psk)):
+            cov.hit("startup.psk_identity_hint")
+        else:
+            cov.hit("startup.cert_chain_load")
+            if cov.branch("startup.verify_peer", int(self.cfg("verify")) > 0):
+                cov.hit("startup.ca_store")
+                if int(self.cfg("verify")) > 4:
+                    cov.hit("startup.deep_verify")
+        if cov.branch("startup.cookie", self.enabled("cookie-exchange")):
+            cov.hit("startup.cookie_secret")
+        if cov.branch("startup.session_cache", self.enabled("session-cache")):
+            cov.hit("startup.cache_init")
+            if self.enabled("no-renegotiation"):
+                cov.hit("startup.cache_without_renego")
+        if self.enabled("no-renegotiation"):
+            cov.hit("startup.renego_disabled")
+        if int(self.cfg("timeout")) < 5:
+            cov.hit("startup.aggressive_retransmit")
+        # Server-lifetime session cache (survives connection resets).
+        self._session_cache: set = set()
+        cov.hit("startup.complete")
+
+    # -- session ---------------------------------------------------------
+
+    def reset_session(self) -> None:
+        self._state = "idle"  # idle -> hello -> keyed -> established
+        self._cookie_sent = False
+        self._epoch = 0
+        self._last_seq = -1
+        self._handshakes = 0
+        self._pending_sid = b""
+
+    # -- parsing -----------------------------------------------------------
+
+    def handle_packet(self, data: bytes) -> bytes:
+        self.require_started()
+        try:
+            return self._dispatch(data)
+        except _ParseError:
+            self.cov.hit("packet.malformed")
+            return self._alert(50)  # decode_error
+
+    def _dispatch(self, data: bytes) -> bytes:
+        cov = self.cov
+        if len(data) < 13:
+            cov.hit("record.runt")
+            raise _ParseError("short record header")
+        content_type = data[0]
+        version = int.from_bytes(data[1:3], "big")
+        epoch = int.from_bytes(data[3:5], "big")
+        seq = int.from_bytes(data[5:11], "big")
+        length = int.from_bytes(data[11:13], "big")
+        if version not in _DTLS_VERSIONS:
+            cov.hit("record.bad_version")
+            raise _ParseError("unknown version")
+        if self.enabled("dtls1_2") and version != 0xFEFD:
+            cov.hit("record.version_rejected")
+            return self._alert(70)  # protocol_version
+        cov.hit("record.version.%s" % _DTLS_VERSIONS[version])
+        if cov.branch("record.length_mismatch", length != len(data) - 13):
+            if length > len(data) - 13:
+                raise _ParseError("record truncated")
+        body = data[13 : 13 + length]
+        if cov.branch("record.bad_epoch", epoch != self._epoch):
+            return b""
+        if cov.branch("record.replay", seq <= self._last_seq):
+            cov.hit("record.replay_dropped")
+            return b""
+        self._last_seq = seq
+        if content_type == CT_HANDSHAKE:
+            return self._handle_handshake(body)
+        if content_type == CT_CHANGE_CIPHER_SPEC:
+            cov.hit("record.ccs")
+            if cov.branch("record.ccs_early", self._state != "keyed"):
+                return self._alert(10)  # unexpected_message
+            self._epoch += 1
+            self._last_seq = -1
+            self._state = "ccs"
+            return b""
+        if content_type == CT_ALERT:
+            cov.hit("record.alert")
+            if len(body) >= 2 and body[0] == 2:
+                cov.hit("record.fatal_alert")
+                self.reset_session()
+            return b""
+        if content_type == CT_APPLICATION_DATA:
+            if cov.branch("record.appdata_early", self._state != "established"):
+                return self._alert(10)
+            cov.hit("record.appdata")
+            if not body:
+                cov.hit("record.appdata_empty")
+            return b""
+        cov.hit("record.unknown_type")
+        raise _ParseError("unknown content type")
+
+    def _handle_handshake(self, body: bytes) -> bytes:
+        cov = self.cov
+        if len(body) < 12:
+            cov.hit("hs.short_header")
+            raise _ParseError("short handshake header")
+        msg_type = body[0]
+        msg_len = int.from_bytes(body[1:4], "big")
+        msg_seq = int.from_bytes(body[4:6], "big")
+        frag_offset = int.from_bytes(body[6:9], "big")
+        frag_len = int.from_bytes(body[9:12], "big")
+        if cov.branch("hs.fragmented",
+                      frag_offset != 0 or frag_len != msg_len):
+            mtu = int(self.cfg("mtu"))
+            if frag_len > mtu:
+                cov.hit("hs.frag_over_mtu")
+                raise _ParseError("fragment exceeds MTU")
+            cov.hit("hs.frag_buffered")
+            return b""
+        payload = body[12 : 12 + frag_len]
+        if msg_type == HS_CLIENT_HELLO:
+            return self._handle_client_hello(payload, msg_seq)
+        if msg_type == HS_CERTIFICATE:
+            cov.hit("hs.certificate")
+            if cov.branch("hs.cert_unsolicited", int(self.cfg("verify")) == 0):
+                return self._alert(10)
+            if not payload:
+                cov.hit("hs.cert_empty")
+                return self._alert(42)  # bad_certificate
+            return b""
+        if msg_type == HS_CLIENT_KEY_EXCHANGE:
+            cov.hit("hs.cke")
+            if cov.branch("hs.cke_early", self._state != "hello"):
+                return self._alert(10)
+            if cov.branch("hs.cke_psk", bool(self.cfg("psk"))):
+                if len(payload) < 2:
+                    cov.hit("hs.cke_psk_short")
+                    raise _ParseError("missing PSK identity")
+                cov.hit("hs.cke_psk_identity")
+            self._state = "keyed"
+            return b""
+        if msg_type == HS_FINISHED:
+            cov.hit("hs.finished")
+            if cov.branch("hs.finished_early", self._state not in ("ccs", "keyed")):
+                return self._alert(10)
+            if cov.branch("hs.finished_before_ccs", self._state == "keyed"):
+                return self._alert(10)
+            self._state = "established"
+            self._handshakes += 1
+            if self._handshakes > 1:
+                if cov.branch("hs.renego_forbidden", self.enabled("no-renegotiation")):
+                    return self._alert(100)  # no_renegotiation
+                cov.hit("hs.renegotiated")
+            if self.enabled("session-cache"):
+                cov.hit("hs.session_cached")
+                if self._pending_sid:
+                    self._session_cache.add(bytes(self._pending_sid))
+            return b""
+        cov.hit("hs.unknown_type")
+        raise _ParseError("unknown handshake type")
+
+    def _handle_client_hello(self, payload: bytes, msg_seq: int) -> bytes:
+        cov = self.cov
+        cov.hit("hello.enter")
+        if len(payload) < 34:
+            cov.hit("hello.short")
+            raise _ParseError("ClientHello too short")
+        position = 34  # legacy version + random
+        if position >= len(payload):
+            raise _ParseError("no session id")
+        sid_len = payload[position]
+        sid = payload[position + 1 : position + 1 + sid_len]
+        position += 1 + sid_len
+        self._pending_sid = b""
+        if cov.branch("hello.resumption", sid_len > 0):
+            if self.enabled("session-cache"):
+                cov.hit("hello.cache_lookup")
+                if cov.branch("hello.cache_hit", sid in self._session_cache):
+                    # Abbreviated handshake: skip the key exchange.
+                    cov.hit("hello.resumed")
+                    self._state = "keyed"
+                    return self._server_hello()
+                self._pending_sid = sid
+            else:
+                cov.hit("hello.cache_miss_no_cache")
+        if position >= len(payload):
+            cov.hit("hello.truncated_cookie")
+            raise _ParseError("no cookie")
+        cookie_len = payload[position]
+        position += 1
+        cookie = payload[position : position + cookie_len]
+        if len(cookie) < cookie_len:
+            raise _ParseError("cookie truncated")
+        position += cookie_len
+        if cov.branch("hello.cookie_exchange", self.enabled("cookie-exchange")):
+            if not cookie:
+                cov.hit("hello.verify_request")
+                self._cookie_sent = True
+                return self._hvr()
+            if cov.branch("hello.cookie_unexpected", not self._cookie_sent):
+                return self._alert(47)  # illegal_parameter
+            cov.hit("hello.cookie_ok")
+        ciphers = payload[position:]
+        if cov.branch("hello.no_ciphers", len(ciphers) < 2):
+            return self._alert(40)  # handshake_failure
+        offered = {int.from_bytes(ciphers[i : i + 2], "big")
+                   for i in range(0, len(ciphers) - 1, 2)}
+        cipher = str(self.cfg("cipher"))
+        wanted = 0x00AE if cipher in _PSK_CIPHERS else (
+            0xCCA8 if "CHACHA" in cipher else 0x009C)
+        if cov.branch("hello.cipher_match", wanted in offered):
+            cov.hit("hello.negotiated")
+            self._state = "hello"
+            return self._server_hello()
+        cov.hit("hello.no_common_cipher")
+        return self._alert(40)
+
+    # -- replies -----------------------------------------------------------
+
+    def _record(self, content_type: int, body: bytes) -> bytes:
+        header = bytes([content_type]) + b"\xfe\xfd" + b"\x00\x00" + bytes(6)
+        return header + len(body).to_bytes(2, "big") + body
+
+    def _alert(self, code: int) -> bytes:
+        self.cov.hit("alert.sent.%d" % code)
+        return self._record(CT_ALERT, bytes([2, code]))
+
+    def _hvr(self) -> bytes:
+        body = bytes([HS_HELLO_VERIFY_REQUEST]) + b"\x00\x00\x23" + bytes(8) + b"\xfe\xfd" + b"\x20" + b"C" * 32
+        return self._record(CT_HANDSHAKE, body)
+
+    def _server_hello(self) -> bytes:
+        body = bytes([2]) + b"\x00\x00\x26" + bytes(8) + b"\xfe\xfd" + bytes(32) + b"\x00\x00"
+        return self._record(CT_HANDSHAKE, body)

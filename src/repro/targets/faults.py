@@ -1,0 +1,134 @@
+"""Sanitizer-style fault taxonomy, crash reports and deduplication.
+
+The paper's targets run under AddressSanitizer; crashes surface as
+sanitizer reports (heap-use-after-free, SEGV, ...). Our targets raise
+:class:`SanitizerFault` from the faulty code path carrying the same
+signal: the fault kind and the affected function. :class:`BugLedger`
+deduplicates reports by signature, mirroring crash triage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class FaultKind(enum.Enum):
+    """AddressSanitizer-style fault categories used in Table II."""
+
+    HEAP_USE_AFTER_FREE = "heap-use-after-free"
+    SEGV = "SEGV"
+    MEMORY_LEAK = "memory leaks"
+    STACK_BUFFER_OVERFLOW = "stack-buffer-overflow"
+    HEAP_BUFFER_OVERFLOW = "heap-buffer-overflow"
+    ALLOCATION_SIZE_TOO_BIG = "allocation-size-too-big"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class SanitizerFault(Exception):
+    """Raised by target code when an injected bug fires.
+
+    Attributes:
+        kind: The sanitizer fault category.
+        function: The affected function (Table II's third column).
+        detail: Free-form description of the faulting condition.
+    """
+
+    def __init__(self, kind: FaultKind, function: str, detail: str = ""):
+        super().__init__("%s in %s%s" % (kind.value, function, ": " + detail if detail else ""))
+        self.kind = kind
+        self.function = function
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class CrashReport:
+    """A triaged crash observation."""
+
+    protocol: str
+    kind: FaultKind
+    function: str
+    detail: str = ""
+    sim_time: float = 0.0
+    instance: int = -1
+
+    @property
+    def signature(self) -> Tuple[str, str, str]:
+        """Dedup key: (protocol, fault kind, function)."""
+        return (self.protocol, self.kind.value, self.function)
+
+    @classmethod
+    def from_fault(cls, fault: SanitizerFault, protocol: str,
+                   sim_time: float = 0.0, instance: int = -1) -> "CrashReport":
+        return cls(
+            protocol=protocol,
+            kind=fault.kind,
+            function=fault.function,
+            detail=fault.detail,
+            sim_time=sim_time,
+            instance=instance,
+        )
+
+
+class BugLedger:
+    """Collects crash reports, deduplicating by signature."""
+
+    def __init__(self):
+        self._first_seen: Dict[Tuple[str, str, str], CrashReport] = {}
+        self._counts: Dict[Tuple[str, str, str], int] = {}
+
+    def record(self, report: CrashReport) -> bool:
+        """Record a report; returns True if the signature is new."""
+        signature = report.signature
+        self._counts[signature] = self._counts.get(signature, 0) + 1
+        if signature not in self._first_seen:
+            self._first_seen[signature] = report
+            return True
+        return False
+
+    def unique_bugs(self) -> List[CrashReport]:
+        """First-seen report per unique signature, ordered by discovery."""
+        return sorted(self._first_seen.values(), key=lambda r: r.sim_time)
+
+    def count(self, signature: Tuple[str, str, str]) -> int:
+        return self._counts.get(signature, 0)
+
+    def merge(self, other: "BugLedger") -> None:
+        for signature, report in other._first_seen.items():
+            self._counts[signature] = (
+                self._counts.get(signature, 0) + other._counts[signature]
+            )
+            existing = self._first_seen.get(signature)
+            if existing is None or report.sim_time < existing.sim_time:
+                self._first_seen[signature] = report
+
+    def __len__(self) -> int:
+        return len(self._first_seen)
+
+    def __contains__(self, signature: Tuple[str, str, str]) -> bool:
+        return signature in self._first_seen
+
+    def __repr__(self) -> str:
+        return "BugLedger(%d unique bugs)" % len(self._first_seen)
+
+
+#: The 14 previously-unknown bugs of Table II, as dedup signatures.
+TABLE_II_BUGS: Tuple[Tuple[str, str, str], ...] = (
+    ("MQTT", "heap-use-after-free", "Connection::newMessage"),
+    ("MQTT", "heap-use-after-free", "neu_node_manager_get_addrs_all"),
+    ("MQTT", "heap-use-after-free", "mqtt_packet_destroy"),
+    ("MQTT", "SEGV", "loop_accepted"),
+    ("MQTT", "memory leaks", "multiple functions"),
+    ("CoAP", "SEGV", "coap_clean_options"),
+    ("CoAP", "stack-buffer-overflow", "CoapPDU::getOptionDelta"),
+    ("CoAP", "SEGV", "coap_handle_request_put_block"),
+    ("AMQP", "stack-buffer-overflow", "pthread_create"),
+    ("DNS", "stack-buffer-overflow", "get16bits"),
+    ("DNS", "heap-buffer-overflow", "dns_question_parse, dns_request_parse"),
+    ("DNS", "allocation-size-too-big", "dns_request_parse"),
+    ("DNS", "heap-buffer-overflow", "printf_common"),
+    ("DNS", "heap-buffer-overflow", "config_parse"),
+)

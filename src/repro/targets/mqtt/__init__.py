@@ -1,0 +1,5 @@
+"""Mosquitto-style MQTT broker target."""
+
+from repro.targets.mqtt.server import MosquittoTarget
+
+__all__ = ["MosquittoTarget"]

@@ -1,0 +1,96 @@
+"""The Mosquitto-style configuration surface.
+
+``CONFIG_FILE`` mirrors the flat ``key value`` format of
+``mosquitto.conf``; the extraction pipeline consumes it verbatim. The
+commented alternatives become candidate values for enum inference.
+"""
+
+from repro.core.entity import Flag
+from repro.core.extraction import ConfigSources
+
+CONFIG_FILE = """\
+# mosquitto.conf - broker configuration
+port 1883
+max_connections 100
+max_keepalive 65535
+max_qos 2
+max_inflight_messages 20
+max_topic_alias 10
+max_queued_messages 1000
+message_size_limit 0
+queue_qos0_messages false
+retain_available true
+allow_anonymous true
+password_file
+persistence false
+persistence_location /var/lib/mosquitto/
+autosave_interval 1800
+sys_interval 10
+bridge_enabled false
+bridge_protocol_version mqttv311
+bridge_protocol_version mqttv31
+bridge_protocol_version mqttv50
+bridge_cleansession false
+listener_ws false
+tls_enabled false
+tls_version tlsv1.2
+tls_version tlsv1.3
+require_certificate false
+use_identity_as_username false
+psk_hint
+cafile /etc/mosquitto/ca.crt
+certfile /etc/mosquitto/server.crt
+keyfile /etc/mosquitto/server.key
+log_type error
+log_type warning
+log_type notice
+log_type all
+"""
+
+#: Hand overrides where inference needs domain knowledge.
+ENTITY_OVERRIDES = {
+    # max_qos is the QoS ceiling: only 0/1/2 are meaningful.
+    "max_qos": {"values": (2, 1, 0)},
+    # password_file/psk_hint carry path-ish semantics but the *presence*
+    # of a value changes the auth code path, so they stay mutable with an
+    # unset/set value pair.
+    "password_file": {"values": ("", "/etc/mosquitto/passwd"), "flag": Flag.MUTABLE},
+    "psk_hint": {"values": ("", "broker-hint"), "flag": Flag.MUTABLE},
+}
+
+
+def config_sources() -> ConfigSources:
+    return ConfigSources(files=(("mosquitto.conf", CONFIG_FILE),))
+
+
+DEFAULT_CONFIG = {
+    "port": 1883,
+    "max_connections": 100,
+    "max_keepalive": 65535,
+    "max_qos": 2,
+    "max_inflight_messages": 20,
+    "max_topic_alias": 10,
+    "max_queued_messages": 1000,
+    "message_size_limit": 0,
+    "queue_qos0_messages": False,
+    "retain_available": True,
+    "allow_anonymous": True,
+    "password_file": "",
+    "persistence": False,
+    "persistence_location": "/var/lib/mosquitto/",
+    "autosave_interval": 1800,
+    "sys_interval": 10,
+    "bridge_enabled": False,
+    "bridge_protocol_version": "mqttv311",
+    "bridge_cleansession": False,
+    "listener_ws": False,
+    "tls_enabled": False,
+    "tls_version": "tlsv1.2",
+    "require_certificate": False,
+    "use_identity_as_username": False,
+    "psk_hint": "",
+    "cafile": "/etc/mosquitto/ca.crt",
+    "certfile": "/etc/mosquitto/server.crt",
+    "keyfile": "/etc/mosquitto/server.key",
+    "log_type": "error",
+}

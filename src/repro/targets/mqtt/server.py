@@ -1,0 +1,700 @@
+"""A Mosquitto-style MQTT broker with configuration-gated behaviour.
+
+Implements enough of MQTT v3.1/v3.1.1/v5.0 to be a meaningful fuzzing
+subject: CONNECT (with will, auth and v5 properties), PUBLISH across all
+QoS levels (including the QoS 2 PUBREC/PUBREL/PUBCOMP flow), SUBSCRIBE /
+UNSUBSCRIBE with wildcard validation, PING and DISCONNECT. Carries the
+five MQTT bugs of Table II, each gated on non-default configuration
+and/or specific packet shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import StartupError
+from repro.targets.base import ProtocolTarget
+from repro.targets.faults import FaultKind, SanitizerFault
+from repro.targets.mqtt import config as mqtt_config
+
+# MQTT control packet types (high nibble of the first byte).
+CONNECT = 1
+CONNACK = 2
+PUBLISH = 3
+PUBACK = 4
+PUBREC = 5
+PUBREL = 6
+PUBCOMP = 7
+SUBSCRIBE = 8
+SUBACK = 9
+UNSUBSCRIBE = 10
+UNSUBACK = 11
+PINGREQ = 12
+PINGRESP = 13
+DISCONNECT = 14
+AUTH = 15
+
+_PROTOCOL_LEVELS = {3: "mqttv31", 4: "mqttv311", 5: "mqttv50"}
+
+#: Leaked bytes threshold before the accumulated leak is reported.
+_LEAK_THRESHOLD = 8 << 10
+
+
+class _ParseError(Exception):
+    """Internal: malformed packet, session survives."""
+
+
+class _Reader:
+    """Cursor over a packet body with bounds-checked reads."""
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def remaining(self) -> int:
+        return len(self.data) - self.pos
+
+    def u8(self) -> int:
+        if self.remaining() < 1:
+            raise _ParseError("short read (u8)")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def u16(self) -> int:
+        if self.remaining() < 2:
+            raise _ParseError("short read (u16)")
+        value = int.from_bytes(self.data[self.pos : self.pos + 2], "big")
+        self.pos += 2
+        return value
+
+    def u32(self) -> int:
+        if self.remaining() < 4:
+            raise _ParseError("short read (u32)")
+        value = int.from_bytes(self.data[self.pos : self.pos + 4], "big")
+        self.pos += 4
+        return value
+
+    def take(self, length: int) -> bytes:
+        if length < 0 or self.remaining() < length:
+            raise _ParseError("short read (take %d)" % length)
+        chunk = self.data[self.pos : self.pos + length]
+        self.pos += length
+        return chunk
+
+    def utf8(self) -> str:
+        return self.take(self.u16()).decode("utf-8", errors="replace")
+
+    def varint(self) -> int:
+        multiplier = 1
+        value = 0
+        for _ in range(4):
+            byte = self.u8()
+            value += (byte & 0x7F) * multiplier
+            if not byte & 0x80:
+                return value
+            multiplier *= 128
+        raise _ParseError("varint too long")
+
+
+class MosquittoTarget(ProtocolTarget):
+    """The MQTT broker target."""
+
+    NAME = "mosquitto"
+    PROTOCOL = "MQTT"
+    PORT = 1883
+
+    @classmethod
+    def config_sources(cls):
+        return mqtt_config.config_sources()
+
+    @classmethod
+    def entity_overrides(cls):
+        return dict(mqtt_config.ENTITY_OVERRIDES)
+
+    @classmethod
+    def default_config(cls) -> Dict[str, Any]:
+        return dict(mqtt_config.DEFAULT_CONFIG)
+
+    # -- startup ---------------------------------------------------------
+
+    def _startup_impl(self) -> None:
+        cov = self.cov
+        cov.hit("startup.enter")
+        self._validate_config()
+        self._init_listeners()
+        self._init_security()
+        self._init_persistence()
+        self._init_bridge()
+        self._init_limits()
+        cov.hit("startup.complete")
+
+    def _validate_config(self) -> None:
+        cov = self.cov
+        if int(self.cfg("max_qos")) not in (0, 1, 2):
+            cov.hit("startup.bad_max_qos")
+            raise StartupError("max_qos must be 0, 1 or 2", ("max_qos",))
+        if self.enabled("require_certificate") and not self.enabled("tls_enabled"):
+            cov.hit("startup.conflict.require_cert_no_tls")
+            raise StartupError(
+                "require_certificate needs tls_enabled",
+                ("require_certificate", "tls_enabled"),
+            )
+        if self.cfg("psk_hint") and self.enabled("require_certificate"):
+            cov.hit("startup.conflict.psk_with_cert")
+            raise StartupError(
+                "PSK and certificate auth are mutually exclusive",
+                ("psk_hint", "require_certificate"),
+            )
+        if not self.enabled("allow_anonymous") and not self.cfg("password_file"):
+            cov.hit("startup.conflict.anon_off_no_auth")
+            raise StartupError(
+                "allow_anonymous false requires password_file",
+                ("allow_anonymous", "password_file"),
+            )
+        if self.enabled("use_identity_as_username") and not self.enabled("tls_enabled"):
+            cov.hit("startup.conflict.identity_no_tls")
+            raise StartupError(
+                "use_identity_as_username needs TLS",
+                ("use_identity_as_username", "tls_enabled"),
+            )
+        cov.hit("startup.config_valid")
+
+    def _init_listeners(self) -> None:
+        cov = self.cov
+        port = int(self.cfg("port"))
+        if cov.branch("startup.port_privileged", port < 1024):
+            cov.hit("startup.port_privileged_warn")
+        cov.hit("startup.listener_tcp")
+        if cov.branch("startup.ws", self.enabled("listener_ws")):
+            cov.hit("startup.ws.http_upgrade_init")
+            cov.hit("startup.ws.frame_handler_init")
+        if cov.branch("startup.tls", self.enabled("tls_enabled")):
+            cov.hit("startup.tls.ctx_init")
+            version = str(self.cfg("tls_version"))
+            if version == "tlsv1.3":
+                cov.hit("startup.tls.v13")
+            else:
+                cov.hit("startup.tls.v12")
+            if cov.branch("startup.tls.mutual", self.enabled("require_certificate")):
+                cov.hit("startup.tls.verify_peer")
+                if self.enabled("use_identity_as_username"):
+                    cov.hit("startup.tls.identity_username")
+            if cov.branch("startup.tls.psk", bool(self.cfg("psk_hint"))):
+                cov.hit("startup.tls.psk_ciphers")
+                if self.enabled("listener_ws"):
+                    # WSS with PSK: a rarely exercised combination.
+                    cov.hit("startup.tls.psk_over_ws")
+
+    def _init_security(self) -> None:
+        cov = self.cov
+        if cov.branch("startup.auth", not self.enabled("allow_anonymous")):
+            cov.hit("startup.auth.password_file_load")
+            cov.hit("startup.auth.hash_ready")
+            if self.enabled("tls_enabled"):
+                cov.hit("startup.auth.tls_and_passwords")
+        elif self.cfg("password_file"):
+            cov.hit("startup.auth.optional_passwords")
+
+    def _init_persistence(self) -> None:
+        cov = self.cov
+        if cov.branch("startup.persistence", self.enabled("persistence")):
+            cov.hit("startup.persistence.db_open")
+            interval = int(self.cfg("autosave_interval"))
+            if cov.branch("startup.persistence.autosave", interval > 0):
+                cov.hit("startup.persistence.timer_armed")
+                if interval < 60:
+                    cov.hit("startup.persistence.autosave_aggressive")
+            else:
+                cov.hit("startup.persistence.save_on_exit_only")
+            if self.enabled("retain_available"):
+                cov.hit("startup.persistence.retained_restore")
+            if self.enabled("queue_qos0_messages"):
+                cov.hit("startup.persistence.qos0_journal")
+
+    def _init_bridge(self) -> None:
+        cov = self.cov
+        if cov.branch("startup.bridge", self.enabled("bridge_enabled")):
+            cov.hit("startup.bridge.connection_init")
+            version = str(self.cfg("bridge_protocol_version"))
+            if version == "mqttv50":
+                cov.hit("startup.bridge.v5_properties")
+            elif version == "mqttv31":
+                cov.hit("startup.bridge.v31_legacy")
+            else:
+                cov.hit("startup.bridge.v311")
+            if cov.branch("startup.bridge.cleansession", self.enabled("bridge_cleansession")):
+                cov.hit("startup.bridge.state_discard")
+            elif self.enabled("persistence"):
+                cov.hit("startup.bridge.state_persist")
+            if self.enabled("tls_enabled"):
+                cov.hit("startup.bridge.tls_uplink")
+
+    def _init_limits(self) -> None:
+        cov = self.cov
+        if cov.branch("startup.limits.conn_capped", int(self.cfg("max_connections")) > 0):
+            cov.hit("startup.limits.conn_table")
+        else:
+            cov.hit("startup.limits.conn_unbounded")
+        if int(self.cfg("message_size_limit")) > 0:
+            cov.hit("startup.limits.message_size")
+        if int(self.cfg("max_inflight_messages")) == 0:
+            cov.hit("startup.limits.inflight_unbounded")
+        if cov.branch("startup.limits.topic_alias",
+                      int(self.cfg("max_topic_alias")) > 0):
+            cov.hit("startup.limits.alias_table")
+        else:
+            cov.hit("startup.limits.alias_disabled")
+        if cov.branch("startup.limits.queue_qos0", self.enabled("queue_qos0_messages")):
+            cov.hit("startup.limits.qos0_queue_init")
+            if int(self.cfg("max_queued_messages")) == 0:
+                cov.hit("startup.limits.qos0_unbounded")
+                cov.hit("startup.limits.qos0_unbounded_warning")
+        log_type = str(self.cfg("log_type"))
+        cov.hit("startup.log." + (log_type if log_type in
+                                  ("error", "warning", "notice", "all") else "other"))
+        if int(self.cfg("sys_interval")) > 0:
+            cov.hit("startup.sys_topics")
+        # Process-lifetime state: survives session resets, cleared only by
+        # a broker restart.
+        self._retained: Dict[str, bytes] = {}
+        self._queued_qos0 = 0
+        self._leaked_bytes = 0
+
+    # -- session ---------------------------------------------------------
+
+    def reset_session(self) -> None:
+        self._connected = False
+        self._protocol_level = 0
+        self._client_id = ""
+        self._subscriptions: Dict[str, int] = {}
+        self._inflight_qos2: Dict[int, str] = {}
+        self._released_mids: set = set()
+        self._connections = 0
+        self._topic_aliases: Dict[int, str] = {}
+
+    # -- packet handling ----------------------------------------------------
+
+    def handle_packet(self, data: bytes) -> bytes:
+        """Parse one MQTT control packet; returns the broker's reply."""
+        self.require_started()
+        cov = self.cov
+        try:
+            return self._dispatch(data)
+        except _ParseError:
+            cov.hit("packet.malformed")
+            return b""
+
+    def _dispatch(self, data: bytes) -> bytes:
+        cov = self.cov
+        reader = _Reader(data)
+        first = reader.u8()
+        ptype = first >> 4
+        flags = first & 0x0F
+        length = reader.varint()
+        if cov.branch("packet.length_mismatch", length != reader.remaining()):
+            # Tolerate trailing garbage but record truncation.
+            if length > reader.remaining():
+                raise _ParseError("truncated body")
+        body = _Reader(reader.take(min(length, reader.remaining())))
+        log_type = str(self.cfg("log_type"))
+        if log_type == "all":
+            # Debug logging walks a formatting path per packet type.
+            cov.hit("log.packet.%d" % ptype)
+        elif log_type == "notice" and ptype in (CONNECT, DISCONNECT):
+            cov.hit("log.connection_event")
+        if ptype == CONNECT:
+            return self._handle_connect(body, flags)
+        if not self._connected and ptype not in (PINGREQ, DISCONNECT):
+            cov.hit("packet.before_connect")
+            return b""
+        if ptype == PUBLISH:
+            return self._handle_publish(body, flags)
+        if ptype == PUBREL:
+            return self._handle_pubrel(body, flags)
+        if ptype in (PUBACK, PUBREC, PUBCOMP):
+            cov.hit("packet.ack.%d" % ptype)
+            body.u16()
+            return b""
+        if ptype == SUBSCRIBE:
+            return self._handle_subscribe(body, flags)
+        if ptype == UNSUBSCRIBE:
+            return self._handle_unsubscribe(body, flags)
+        if ptype == PINGREQ:
+            cov.hit("packet.pingreq")
+            return bytes([PINGRESP << 4, 0])
+        if ptype == DISCONNECT:
+            cov.hit("packet.disconnect")
+            self._connected = False
+            return b""
+        if ptype == AUTH:
+            if cov.branch("packet.auth.v5_only", self._protocol_level == 5):
+                cov.hit("packet.auth.extended")
+            return b""
+        cov.hit("packet.unknown_type")
+        raise _ParseError("reserved packet type %d" % ptype)
+
+    # -- CONNECT ------------------------------------------------------------
+
+    def _handle_connect(self, body: _Reader, flags: int) -> bytes:
+        cov = self.cov
+        cov.hit("connect.enter")
+        self._connections += 1
+        max_connections = int(self.cfg("max_connections"))
+        if max_connections == 0:
+            # Bug #4 (Table II): SEGV in loop_accepted. With
+            # max_connections forced to 0 the accept loop dereferences an
+            # unallocated connection-table slot.
+            cov.hit("connect.accept_table_null")
+            raise SanitizerFault(
+                FaultKind.SEGV,
+                "loop_accepted",
+                "connection table unallocated with max_connections=0",
+            )
+        if cov.branch("connect.over_capacity", self._connections > max_connections):
+            return self._connack(0x03)
+        name = body.utf8()
+        level = body.u8()
+        if cov.branch("connect.bad_magic", name not in ("MQTT", "MQIsdp")):
+            return self._connack(0x01)
+        if level not in _PROTOCOL_LEVELS:
+            cov.hit("connect.bad_level")
+            return self._connack(0x01)
+        cov.hit("connect.level.%d" % level)
+        self._protocol_level = level
+        connect_flags = body.u8()
+        clean = bool(connect_flags & 0x02)
+        will = bool(connect_flags & 0x04)
+        will_qos = (connect_flags >> 3) & 0x03
+        will_retain = bool(connect_flags & 0x20)
+        has_password = bool(connect_flags & 0x40)
+        has_username = bool(connect_flags & 0x80)
+        if cov.branch("connect.reserved_flag", bool(connect_flags & 0x01)):
+            raise _ParseError("reserved CONNECT flag set")
+        keepalive = body.u16()
+        if cov.branch("connect.keepalive_zero", keepalive == 0):
+            cov.hit("connect.keepalive_disabled")
+        elif keepalive > int(self.cfg("max_keepalive")):
+            cov.hit("connect.keepalive_capped")
+        if cov.branch("connect.v5_properties", level == 5):
+            self._parse_v5_properties(body, context="connect")
+        client_id = body.utf8()
+        if cov.branch("connect.empty_client_id", not client_id):
+            if not clean:
+                cov.hit("connect.empty_id_rejected")
+                return self._connack(0x02)
+            cov.hit("connect.assigned_id")
+            client_id = "auto-%d" % self._connections
+        self._client_id = client_id
+        if cov.branch("connect.will", will):
+            if level == 5:
+                self._parse_v5_properties(body, context="will")
+            will_topic = body.utf8()
+            will_payload = body.take(body.u16())
+            cov.hit("connect.will.qos%d" % min(will_qos, 3))
+            if will_qos == 3:
+                cov.hit("connect.will.bad_qos")
+                raise _ParseError("will QoS 3")
+            if will_qos > int(self.cfg("max_qos")):
+                cov.hit("connect.will.qos_over_max")
+            if will_retain:
+                if cov.branch("connect.will.retain_available",
+                              self.enabled("retain_available")):
+                    cov.hit("connect.will.retained_stored")
+                else:
+                    return self._connack(0x9A if level == 5 else 0x02)
+            if self.enabled("persistence") and will_payload:
+                cov.hit("connect.will.persisted")
+        username = ""
+        if cov.branch("connect.username", has_username):
+            username = body.utf8()
+        if cov.branch("connect.password", has_password):
+            body.take(body.u16())
+        if not self.enabled("allow_anonymous"):
+            cov.hit("connect.auth_required")
+            if not has_username:
+                cov.hit("connect.auth_missing")
+                return self._connack(0x05)
+            if cov.branch("connect.auth_check", bool(username)):
+                cov.hit("connect.auth_lookup")
+        elif has_username:
+            cov.hit("connect.optional_auth")
+        if self.enabled("bridge_enabled") and client_id.startswith("bridge-"):
+            cov.hit("connect.bridge_peer")
+            if str(self.cfg("bridge_protocol_version")) == "mqttv50" and level != 5:
+                cov.hit("connect.bridge_version_mismatch")
+        self._connected = True
+        cov.hit("connect.accepted")
+        return self._connack(0x00)
+
+    def _connack(self, code: int) -> bytes:
+        self.cov.hit("connack.code.%d" % code)
+        return bytes([CONNACK << 4, 2, 0, code])
+
+    def _parse_v5_properties(self, body: _Reader, context: str) -> Dict[str, int]:
+        cov = self.cov
+        collected: Dict[str, int] = {}
+        length = body.varint()
+        if length > body.remaining():
+            cov.hit("v5.props.overlong")
+            if length > 0x4000:
+                # Bug #3 (Table II): heap-use-after-free in
+                # mqtt_packet_destroy. A multi-byte v5 property length far
+                # beyond the packet makes the error path free the packet,
+                # then the cleanup handler destroys it again.
+                raise SanitizerFault(
+                    FaultKind.HEAP_USE_AFTER_FREE,
+                    "mqtt_packet_destroy",
+                    "double destroy on oversized %s property block" % context,
+                )
+            raise _ParseError("property block exceeds packet")
+        end = body.pos + length
+        while body.pos < end:
+            prop = body.u8()
+            cov.hit("v5.prop.%d" % prop if prop in _KNOWN_PROPS else "v5.prop.unknown")
+            if prop in (0x01, 0x17, 0x19, 0x24, 0x25, 0x28, 0x29, 0x2A):
+                body.u8()
+            elif prop in (0x13, 0x21, 0x22, 0x23):
+                value = body.u16()
+                if prop == 0x23:
+                    collected["topic_alias"] = value
+            elif prop in (0x02, 0x11, 0x18, 0x27):
+                body.u32()
+            elif prop in (0x0B,):
+                body.varint()
+            elif prop in (0x03, 0x08, 0x12, 0x15, 0x1A, 0x1C, 0x1F, 0x09, 0x16):
+                body.take(body.u16())
+            elif prop == 0x26:
+                body.take(body.u16())
+                body.take(body.u16())
+            else:
+                raise _ParseError("unknown property %d" % prop)
+        return collected
+
+    # -- PUBLISH ------------------------------------------------------------
+
+    def _handle_publish(self, body: _Reader, flags: int) -> bytes:
+        cov = self.cov
+        cov.hit("publish.enter")
+        dup = bool(flags & 0x08)
+        qos = (flags >> 1) & 0x03
+        retain = bool(flags & 0x01)
+        if cov.branch("publish.bad_qos", qos == 3):
+            raise _ParseError("PUBLISH QoS 3")
+        topic = body.utf8()
+        if cov.branch("publish.wildcard_topic", "#" in topic or "+" in topic):
+            return b""
+        mid = 0
+        if cov.branch("publish.has_mid", qos > 0):
+            mid = body.u16()
+            if mid == 0:
+                cov.hit("publish.zero_mid")
+                raise _ParseError("mid 0 with QoS > 0")
+        properties: Dict[str, int] = {}
+        if self._protocol_level == 5:
+            properties = self._parse_v5_properties(body, context="publish")
+        if cov.branch("publish.has_alias", "topic_alias" in properties):
+            topic = self._resolve_topic_alias(properties["topic_alias"], topic)
+        if cov.branch("publish.empty_topic", not topic):
+            raise _ParseError("empty topic")
+        if topic.startswith("$SYS/"):
+            cov.hit("publish.sys_topic_rejected")
+            return b""
+        payload = body.take(body.remaining())
+        size_limit = int(self.cfg("message_size_limit"))
+        if cov.branch("publish.size_limited", size_limit > 0):
+            if len(payload) > size_limit:
+                cov.hit("publish.oversize_dropped")
+                return b""
+        max_qos = int(self.cfg("max_qos"))
+        if cov.branch("publish.qos_over_max", qos > max_qos):
+            cov.hit("publish.qos_downgraded")
+            qos = max_qos
+        if cov.branch("publish.retain", retain):
+            if self.enabled("retain_available"):
+                if cov.branch("publish.retain_delete", not payload):
+                    self._retained.pop(topic, None)
+                else:
+                    self._retained[topic] = payload
+                    if self.enabled("persistence"):
+                        cov.hit("publish.retain_persisted")
+            else:
+                cov.hit("publish.retain_unavailable")
+                return b""
+        if self.enabled("bridge_enabled") and not topic.startswith("local/"):
+            cov.hit("publish.bridge_forward")
+            if self.enabled("bridge_cleansession"):
+                cov.hit("publish.bridge_forward_volatile")
+        if qos == 0:
+            cov.hit("publish.qos0")
+            if self.enabled("queue_qos0_messages"):
+                self._queued_qos0 += 1
+                limit = int(self.cfg("max_queued_messages"))
+                leaked = 0
+                if cov.branch("publish.qos0_unbounded", limit == 0):
+                    # Unbounded queue: every queued message leaks its
+                    # queue node, struct and payload copy.
+                    leaked = 1024 + len(payload)
+                elif self._queued_qos0 > limit:
+                    cov.hit("publish.qos0_queue_full")
+                    # Queue-full drop path frees the payload but leaks
+                    # the message struct and topic copy.
+                    leaked = 256 + len(topic)
+                if leaked:
+                    # Bug #5 (Table II): memory leaks across multiple
+                    # functions, gated on queue_qos0_messages.
+                    self._leaked_bytes += leaked
+                    if self._leaked_bytes > _LEAK_THRESHOLD:
+                        raise SanitizerFault(
+                            FaultKind.MEMORY_LEAK,
+                            "multiple functions",
+                            "QoS0 queue leaked %d bytes" % self._leaked_bytes,
+                        )
+            return b""
+        if qos == 1:
+            cov.hit("publish.qos1")
+            return bytes([PUBACK << 4, 2]) + mid.to_bytes(2, "big")
+        cov.hit("publish.qos2")
+        if cov.branch("publish.qos2_dup_replay",
+                      dup and mid in self._released_mids):
+            if self.enabled("persistence"):
+                # Bug #1 (Table II): heap-use-after-free in
+                # Connection::newMessage. A duplicate QoS 2 publish whose
+                # message id was already released reuses the freed message
+                # store record when persistence re-indexes it.
+                raise SanitizerFault(
+                    FaultKind.HEAP_USE_AFTER_FREE,
+                    "Connection::newMessage",
+                    "dup QoS2 mid %d reuses freed store record" % mid,
+                )
+            cov.hit("publish.qos2_dup_ignored")
+            return b""
+        inflight_limit = int(self.cfg("max_inflight_messages"))
+        if cov.branch(
+            "publish.inflight_full",
+            inflight_limit > 0 and len(self._inflight_qos2) >= inflight_limit,
+        ):
+            return b""
+        self._inflight_qos2[mid] = topic
+        return bytes([PUBREC << 4, 2]) + mid.to_bytes(2, "big")
+
+    def _resolve_topic_alias(self, alias: int, topic: str) -> str:
+        """MQTT v5 topic alias registration / resolution."""
+        cov = self.cov
+        maximum = int(self.cfg("max_topic_alias"))
+        if cov.branch("alias.out_of_range",
+                      alias == 0 or maximum == 0 or alias > maximum):
+            raise _ParseError("topic alias %d outside [1, %d]" % (alias, maximum))
+        if cov.branch("alias.register", bool(topic)):
+            self._topic_aliases[alias] = topic
+            return topic
+        if cov.branch("alias.known", alias in self._topic_aliases):
+            return self._topic_aliases[alias]
+        cov.hit("alias.unknown")
+        raise _ParseError("unresolved topic alias %d" % alias)
+
+    def _handle_pubrel(self, body: _Reader, flags: int) -> bytes:
+        cov = self.cov
+        cov.hit("pubrel.enter")
+        if cov.branch("pubrel.bad_flags", flags != 0x02):
+            raise _ParseError("PUBREL flags must be 0010")
+        mid = body.u16()
+        if cov.branch("pubrel.known_mid", mid in self._inflight_qos2):
+            del self._inflight_qos2[mid]
+            self._released_mids.add(mid)
+            if self.enabled("persistence"):
+                cov.hit("pubrel.store_released")
+        else:
+            cov.hit("pubrel.unknown_mid")
+        return bytes([PUBCOMP << 4, 2]) + mid.to_bytes(2, "big")
+
+    # -- SUBSCRIBE / UNSUBSCRIBE ------------------------------------------
+
+    def _handle_subscribe(self, body: _Reader, flags: int) -> bytes:
+        cov = self.cov
+        cov.hit("subscribe.enter")
+        if cov.branch("subscribe.bad_flags", flags != 0x02):
+            raise _ParseError("SUBSCRIBE flags must be 0010")
+        mid = body.u16()
+        if self._protocol_level == 5:
+            self._parse_v5_properties(body, context="subscribe")
+        codes: List[int] = []
+        while body.remaining() > 0:
+            topic_filter = body.utf8()
+            options = body.u8()
+            qos = options & 0x03
+            if not self._valid_filter(topic_filter):
+                cov.hit("subscribe.invalid_filter")
+                codes.append(0x80)
+                continue
+            if cov.branch("subscribe.shared", topic_filter.startswith("$share/")):
+                if self._protocol_level != 5:
+                    codes.append(0x80)
+                    continue
+            if topic_filter.startswith("$SYS/"):
+                cov.hit("subscribe.sys_topic")
+                if int(self.cfg("sys_interval")) == 0:
+                    codes.append(0x80)
+                    continue
+            if cov.branch("subscribe.qos_capped", qos > int(self.cfg("max_qos"))):
+                qos = int(self.cfg("max_qos"))
+            self._subscriptions[topic_filter] = qos
+            codes.append(qos)
+            if cov.branch("subscribe.retained_replay",
+                          self.enabled("retain_available") and bool(self._retained)):
+                cov.hit("subscribe.retained_delivery")
+        if cov.branch("subscribe.no_filters", not codes):
+            raise _ParseError("SUBSCRIBE without filters")
+        payload = bytes(codes)
+        header = bytes([SUBACK << 4])
+        return header + bytes([2 + len(payload)]) + mid.to_bytes(2, "big") + payload
+
+    def _handle_unsubscribe(self, body: _Reader, flags: int) -> bytes:
+        cov = self.cov
+        cov.hit("unsubscribe.enter")
+        if cov.branch("unsubscribe.bad_flags", flags != 0x02):
+            raise _ParseError("UNSUBSCRIBE flags must be 0010")
+        mid = body.u16()
+        if self._protocol_level == 5:
+            self._parse_v5_properties(body, context="unsubscribe")
+        while body.remaining() > 0:
+            topic_filter = body.utf8()
+            if self.enabled("bridge_enabled") and topic_filter.startswith("$SYS/broker/bridge"):
+                if cov.branch("unsubscribe.bridge_addrs",
+                              topic_filter not in self._subscriptions):
+                    # Bug #2 (Table II): heap-use-after-free in
+                    # neu_node_manager_get_addrs_all. Unsubscribing a
+                    # bridge address topic that was never subscribed walks
+                    # the freed bridge address list.
+                    raise SanitizerFault(
+                        FaultKind.HEAP_USE_AFTER_FREE,
+                        "neu_node_manager_get_addrs_all",
+                        "bridge address list walked after free",
+                    )
+            if cov.branch("unsubscribe.known", topic_filter in self._subscriptions):
+                del self._subscriptions[topic_filter]
+            else:
+                cov.hit("unsubscribe.unknown")
+        return bytes([UNSUBACK << 4, 2]) + mid.to_bytes(2, "big")
+
+    def _valid_filter(self, topic_filter: str) -> bool:
+        cov = self.cov
+        if not topic_filter:
+            return False
+        levels = topic_filter.split("/")
+        for index, level in enumerate(levels):
+            if "#" in level:
+                if cov.branch("filter.hash_misplaced",
+                              level != "#" or index != len(levels) - 1):
+                    return False
+            if "+" in level and level != "+":
+                cov.hit("filter.plus_mixed")
+                return False
+        return True
+
+
+_KNOWN_PROPS = frozenset(
+    (0x01, 0x02, 0x03, 0x08, 0x09, 0x0B, 0x11, 0x12, 0x13, 0x15, 0x16,
+     0x17, 0x18, 0x19, 0x1A, 0x1C, 0x1F, 0x21, 0x22, 0x23, 0x24, 0x25,
+     0x26, 0x27, 0x28, 0x29, 0x2A)
+)

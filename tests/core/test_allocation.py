@@ -1,0 +1,189 @@
+"""Tests for Algorithm 2: cohesive grouping and parallel allocation."""
+
+import pytest
+
+from repro.core.allocation import (
+    allocate,
+    allocate_random,
+    allocate_round_robin,
+    find_best,
+    suitability_score,
+)
+from repro.core.entity import ConfigEntity, Flag, ValueType
+from repro.core.model import ConfigurationModel, RelationAwareModel
+from repro.errors import AllocationError
+
+
+def _entity(name):
+    return ConfigEntity(name, ValueType.BOOLEAN, Flag.MUTABLE, (True, False))
+
+
+def _relation_model(names, edges):
+    model = ConfigurationModel([_entity(n) for n in names])
+    ram = RelationAwareModel(model)
+    for a, b, w in edges:
+        ram.set_weight(a, b, w)
+    return ram
+
+
+class TestSuitabilityScore:
+    def test_formula(self):
+        # Score = (sum w)^2 / |G|
+        weights = {("x", "a"): 0.5, ("x", "b"): 0.25}
+
+        def weight_fn(u, v):
+            return weights.get((u, v), weights.get((v, u), 0.0))
+
+        score = suitability_score(["a", "b"], "x", weight_fn)
+        assert score == pytest.approx((0.75 ** 2) / 2)
+
+    def test_empty_group_scores_zero(self):
+        assert suitability_score([], "x", lambda a, b: 1.0) == 0.0
+
+    def test_squaring_amplifies_strong_connections(self):
+        def strong(u, v):
+            return 0.9
+
+        def weak(u, v):
+            return 0.3
+
+        group = ["a", "b"]
+        assert suitability_score(group, "x", strong) > 9 * suitability_score(group, "x", weak) / 10
+
+
+class TestFindBest:
+    def test_picks_highest_score(self):
+        weights = {("x", "a"): 0.9}
+
+        def weight_fn(u, v):
+            return weights.get((u, v), weights.get((v, u), 0.0))
+
+        assert find_best("x", [["a"], ["b"]], weight_fn) == 0
+
+    def test_tie_breaks_to_smaller_group(self):
+        def weight_fn(u, v):
+            return 0.0
+
+        assert find_best("x", [["a", "b"], ["c"]], weight_fn) == 1
+
+    def test_requires_groups(self):
+        with pytest.raises(AllocationError):
+            find_best("x", [], lambda a, b: 0.0)
+
+
+class TestAllocate:
+    def test_two_clusters_two_groups(self):
+        ram = _relation_model(
+            "abcd",
+            [("a", "b", 1.0), ("c", "d", 0.9)],
+        )
+        result = allocate(ram, 2)
+        assert result.group_of("a") == result.group_of("b")
+        assert result.group_of("c") == result.group_of("d")
+        assert result.group_of("a") != result.group_of("c")
+
+    def test_chained_entity_joins_anchor_group(self):
+        ram = _relation_model(
+            "abc",
+            [("a", "b", 1.0), ("b", "c", 0.8)],
+        )
+        result = allocate(ram, 1)
+        assert result.group_of("c") == result.group_of("a")
+
+    def test_groups_capped_at_n_instances(self):
+        ram = _relation_model(
+            "abcdef",
+            [("a", "b", 1.0), ("c", "d", 0.9), ("e", "f", 0.8)],
+        )
+        result = allocate(ram, 2)
+        assert len(result.groups) == 2
+
+    def test_findbest_used_beyond_cap(self):
+        # e-f processed last; e and f must join existing groups by score.
+        ram = _relation_model(
+            "abcdef",
+            [("a", "b", 1.0), ("c", "d", 0.9), ("e", "f", 0.5), ("e", "a", 0.4)],
+        )
+        result = allocate(ram, 2)
+        assert result.group_of("e") in (0, 1)
+        assert result.group_of("f") in (0, 1)
+
+    def test_every_entity_allocated(self):
+        ram = _relation_model(
+            "abcdefgh",
+            [("a", "b", 1.0), ("c", "d", 0.9), ("e", "f", 0.4)],
+        )
+        result = allocate(ram, 3)
+        for name in "abcdefgh":
+            assert name in result.assignment
+
+    def test_isolated_entities_balance_groups(self):
+        ram = _relation_model("abcdef", [("a", "b", 1.0)])
+        result = allocate(ram, 3)
+        sizes = sorted(len(g) for g in result.groups)
+        assert sizes == [2, 2, 2]
+
+    def test_isolated_can_be_excluded(self):
+        ram = _relation_model("abc", [("a", "b", 1.0)])
+        result = allocate(ram, 2, include_isolated=False)
+        assert "c" not in result.assignment
+
+    def test_no_edges_all_isolated(self):
+        ram = _relation_model("abcd", [])
+        result = allocate(ram, 2)
+        assert len(result.assignment) == 4
+
+    def test_invalid_instance_count(self):
+        ram = _relation_model("ab", [("a", "b", 1.0)])
+        with pytest.raises(AllocationError):
+            allocate(ram, 0)
+
+    def test_cohesion_statistics(self):
+        ram = _relation_model(
+            "abcd",
+            [("a", "b", 1.0), ("c", "d", 1.0), ("a", "c", 0.1)],
+        )
+        result = allocate(ram, 2)
+        assert result.intra_weight == pytest.approx(2.0)
+        assert result.inter_weight == pytest.approx(0.1)
+        assert 0.9 < result.cohesion < 1.0
+
+    def test_group_of_unallocated_raises(self):
+        ram = _relation_model("ab", [("a", "b", 1.0)])
+        result = allocate(ram, 1, include_isolated=False)
+        with pytest.raises(AllocationError):
+            result.group_of("zz")
+
+    def test_deterministic(self):
+        ram = _relation_model(
+            "abcdef",
+            [("a", "b", 0.9), ("c", "d", 0.9), ("e", "f", 0.9)],
+        )
+        first = allocate(ram, 3)
+        second = allocate(ram, 3)
+        assert first.assignment == second.assignment
+
+
+class TestAblationAllocators:
+    def test_random_covers_all(self):
+        ram = _relation_model("abcdef", [("a", "b", 1.0)])
+        result = allocate_random(ram, 3, seed=1)
+        assert len(result.assignment) == 6
+
+    def test_random_is_seeded(self):
+        ram = _relation_model("abcdef", [])
+        assert allocate_random(ram, 3, seed=5).assignment == \
+            allocate_random(ram, 3, seed=5).assignment
+
+    def test_round_robin_balanced(self):
+        ram = _relation_model("abcdef", [])
+        result = allocate_round_robin(ram, 3)
+        assert sorted(len(g) for g in result.groups) == [2, 2, 2]
+
+    def test_relation_aware_beats_random_on_cohesion(self):
+        edges = [("a", "b", 1.0), ("c", "d", 1.0), ("e", "f", 1.0),
+                 ("a", "c", 0.05), ("b", "e", 0.05)]
+        ram = _relation_model("abcdef", edges)
+        smart = allocate(ram, 3)
+        naive = allocate_round_robin(ram, 3)
+        assert smart.cohesion >= naive.cohesion

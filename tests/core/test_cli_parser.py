@@ -1,0 +1,107 @@
+"""Tests for the pattern-matching CLI option parser."""
+
+import pytest
+
+from repro.core.cli_parser import parse_cli_options, parse_help_text, parse_invocation
+from repro.core.entity import SourceKind
+
+
+class TestParseHelpText:
+    def test_long_option_with_equals_value(self):
+        items = parse_help_text("  --port=5683   UDP listen port\n")
+        assert len(items) == 1
+        assert items[0].name == "port"
+        assert items[0].default == "5683"
+
+    def test_bare_long_flag(self):
+        items = parse_help_text("  --verbose   louder logging\n")
+        assert items[0].name == "verbose"
+        assert items[0].default is None
+
+    def test_default_annotation_wins(self):
+        items = parse_help_text("  --mtu SIZE  path MTU (default: 1400)\n")
+        assert items[0].default == "1400"
+
+    def test_placeholder_operand_not_a_default(self):
+        items = parse_help_text("  --psk KEY   pre-shared key\n")
+        assert items[0].default is None
+
+    def test_angle_placeholder_ignored(self):
+        items = parse_help_text("  --cert <file>  certificate\n")
+        assert items[0].default is None
+
+    def test_one_of_yields_candidates(self):
+        items = parse_help_text("  --level L  one of: debug, info, warn\n")
+        assert set(items[0].candidates) == {"debug", "info", "warn"}
+
+    def test_short_option(self):
+        items = parse_help_text("  -v   verbose\n")
+        assert items[0].name == "v"
+
+    def test_duplicate_options_deduped(self):
+        text = "  --port=1\n  --port=2\n"
+        items = parse_help_text(text)
+        assert len(items) == 1
+        assert items[0].default == "1"
+
+    def test_source_kind_is_cli(self):
+        items = parse_help_text("  --x=1\n", origin="help")
+        assert items[0].source is SourceKind.CLI
+        assert items[0].origin == "help"
+
+    def test_prose_lines_ignored(self):
+        items = parse_help_text("Usage: server [OPTIONS]\nSome description.\n")
+        assert items == []
+
+    def test_multiple_options_parsed(self):
+        text = """\
+  --port=5683    listen port
+  --dtls         enable DTLS
+  --block-size N one of: 16, 32, 64
+"""
+        names = [item.name for item in parse_help_text(text)]
+        assert names == ["port", "dtls", "block-size"]
+
+
+class TestParseInvocation:
+    def test_equals_form(self):
+        items = parse_invocation(["--port=1883"])
+        assert items[0].name == "port"
+        assert items[0].default == "1883"
+
+    def test_space_form(self):
+        items = parse_invocation(["--cafile", "/etc/ca.crt"])
+        assert items[0].default == "/etc/ca.crt"
+
+    def test_bare_flag(self):
+        items = parse_invocation(["--verbose"])
+        assert items[0].default is None
+
+    def test_short_option_with_value(self):
+        items = parse_invocation(["-p", "5683"])
+        assert items[0].name == "p"
+        assert items[0].default == "5683"
+
+    def test_flag_followed_by_flag_has_no_value(self):
+        items = parse_invocation(["--a", "--b"])
+        assert [i.name for i in items] == ["a", "b"]
+        assert items[0].default is None
+
+    def test_duplicates_keep_first(self):
+        items = parse_invocation(["--x=1", "--x=2"])
+        assert len(items) == 1
+        assert items[0].default == "1"
+
+    def test_non_option_tokens_skipped(self):
+        items = parse_invocation(["serve", "--x=1"])
+        assert [i.name for i in items] == ["x"]
+
+
+class TestDispatch:
+    def test_string_goes_to_help_parser(self):
+        items = parse_cli_options("  --port=1\n")
+        assert items[0].name == "port"
+
+    def test_list_goes_to_invocation_parser(self):
+        items = parse_cli_options(["--port=1"])
+        assert items[0].name == "port"

@@ -1,0 +1,93 @@
+"""Tests for conflict mining over quantification probe logs."""
+
+import pytest
+
+from repro.core.conflicts import ConflictPair, conflicting_value_sets, find_conflicts
+from repro.core.entity import ConfigEntity, Flag, ValueType
+from repro.core.model import ConfigurationModel
+from repro.core.relation import RelationQuantifier
+from repro.coverage.bitmap import CoverageMap
+from repro.errors import StartupError
+
+
+def _bool_entity(name):
+    return ConfigEntity(name, ValueType.BOOLEAN, Flag.MUTABLE, (True, False))
+
+
+def _probe(assignment):
+    # a=True with c=True never boots; a=True with b=True boots fine.
+    if assignment.get("a") is True and assignment.get("c") is True:
+        raise StartupError("a conflicts with c", ("a", "c"))
+    coverage = CoverageMap(["base"])
+    for name, value in assignment.items():
+        if value is True:
+            coverage.hit("on.%s" % name)
+    return coverage
+
+
+@pytest.fixture()
+def report():
+    model = ConfigurationModel([_bool_entity(n) for n in "abc"])
+    quantifier = RelationQuantifier(_probe)
+    _, quantification_report = quantifier.quantify(model)
+    return quantification_report
+
+
+class TestFindConflicts:
+    def test_conflicting_pair_detected(self, report):
+        conflicts = find_conflicts(report)
+        pairs = {(c.entity_a, c.entity_b) for c in conflicts}
+        assert ("a", "c") in pairs
+
+    def test_clean_pairs_not_reported(self, report):
+        conflicts = find_conflicts(report)
+        pairs = {(c.entity_a, c.entity_b) for c in conflicts}
+        assert ("a", "b") not in pairs
+        assert ("b", "c") not in pairs
+
+    def test_failing_combinations_listed(self, report):
+        conflict = next(c for c in find_conflicts(report)
+                        if (c.entity_a, c.entity_b) == ("a", "c"))
+        assert (True, True) in conflict.failing
+
+    def test_partial_conflict_not_total(self, report):
+        conflict = next(c for c in find_conflicts(report)
+                        if (c.entity_a, c.entity_b) == ("a", "c"))
+        # (True, False), (False, True), (False, False) boot fine.
+        assert not conflict.total
+
+    def test_singles_and_baseline_ignored(self, report):
+        for conflict in find_conflicts(report):
+            assert conflict.entity_a != conflict.entity_b
+
+    def test_empty_report(self):
+        from repro.core.relation import QuantificationReport
+
+        assert find_conflicts(QuantificationReport()) == []
+
+
+class TestConflictingValueSets:
+    def test_lookup_form(self, report):
+        sets = conflicting_value_sets(report)
+        assert (True, True) in sets[("a", "c")]
+
+    def test_real_target_conflicts_surface(self):
+        from repro.core.extraction import extract_entities
+        from repro.targets.base import startup_probe_for
+        from repro.targets.coap.server import LibcoapTarget
+
+        entities = extract_entities(LibcoapTarget.config_sources(),
+                                    LibcoapTarget.entity_overrides())
+        quantifier = RelationQuantifier(
+            startup_probe_for(LibcoapTarget), max_combinations=8
+        )
+        _, report = quantifier.quantify(ConfigurationModel(entities))
+        sets = conflicting_value_sets(report)
+        key = tuple(sorted(("qblock", "block-transfer")))
+        assert key in sets
+        # qblock on without block-transfer is the failing shape.
+        assert any(
+            dict(zip(key, values)).get("qblock") is True
+            and dict(zip(key, values)).get("block-transfer") is False
+            for values in sets[key]
+        )

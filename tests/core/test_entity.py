@@ -1,0 +1,71 @@
+"""Tests for configuration items and 4-tuple entities."""
+
+import pytest
+
+from repro.core.entity import ConfigEntity, ConfigItem, Flag, SourceKind, ValueType
+from repro.errors import ConfigModelError
+
+
+class TestConfigItem:
+    def test_basic_construction(self):
+        item = ConfigItem(name="port", default="1883")
+        assert item.name == "port"
+        assert item.default == "1883"
+        assert item.source is SourceKind.CLI
+        assert item.candidates == ()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigModelError):
+            ConfigItem(name="")
+
+    def test_candidates_preserved_in_order(self):
+        item = ConfigItem(name="mode", default="a", candidates=("b", "c"))
+        assert item.candidates == ("b", "c")
+
+    def test_items_are_hashable_and_frozen(self):
+        item = ConfigItem(name="x", default="1")
+        assert item in {item}
+        with pytest.raises(AttributeError):
+            item.name = "y"
+
+
+class TestConfigEntity:
+    def test_four_tuple_attributes(self):
+        entity = ConfigEntity("qos", ValueType.NUMBER, Flag.MUTABLE, (0, 1, 2))
+        assert entity.name == "qos"
+        assert entity.type is ValueType.NUMBER
+        assert entity.flag is Flag.MUTABLE
+        assert entity.values == (0, 1, 2)
+
+    def test_mutable_requires_values(self):
+        with pytest.raises(ConfigModelError):
+            ConfigEntity("x", ValueType.BOOLEAN, Flag.MUTABLE, ())
+
+    def test_immutable_may_lack_values(self):
+        entity = ConfigEntity("cert", ValueType.STRING, Flag.IMMUTABLE, ())
+        assert not entity.mutable
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigModelError):
+            ConfigEntity("", ValueType.STRING, Flag.IMMUTABLE, ())
+
+    def test_with_values_returns_new_entity(self):
+        entity = ConfigEntity("n", ValueType.NUMBER, Flag.MUTABLE, (1,))
+        replaced = entity.with_values((5, 6))
+        assert replaced.values == (5, 6)
+        assert entity.values == (1,)
+        assert replaced.name == entity.name
+
+    def test_str_shows_all_four_attributes(self):
+        entity = ConfigEntity("b", ValueType.BOOLEAN, Flag.MUTABLE, (True, False))
+        text = str(entity)
+        assert "b" in text and "Boolean" in text and "MUTABLE" in text
+
+    def test_mutable_property(self):
+        assert ConfigEntity("a", ValueType.BOOLEAN, Flag.MUTABLE, (True,)).mutable
+        assert not ConfigEntity("a", ValueType.STRING, Flag.IMMUTABLE).mutable
+
+    def test_entities_hashable_for_set_membership(self):
+        entity = ConfigEntity("a", ValueType.BOOLEAN, Flag.MUTABLE, (True,))
+        same = ConfigEntity("a", ValueType.BOOLEAN, Flag.MUTABLE, (True,))
+        assert {entity} == {same}

@@ -1,0 +1,97 @@
+"""Tests for Algorithm 1: configuration items extraction."""
+
+import pytest
+
+from repro.core.entity import Flag, SourceKind, ValueType
+from repro.core.extraction import (
+    ConfigSources,
+    extract_configuration_items,
+    extract_entities,
+)
+
+
+class TestExtraction:
+    def test_empty_sources_yield_nothing(self):
+        assert extract_configuration_items(ConfigSources()) == []
+
+    def test_cli_only(self):
+        sources = ConfigSources(cli_options=("  --port=1883  broker port\n",))
+        items = extract_configuration_items(sources)
+        assert [i.name for i in items] == ["port"]
+
+    def test_file_only_key_value(self):
+        sources = ConfigSources(files=(("b.conf", "max_connections 100\n"),))
+        items = extract_configuration_items(sources)
+        assert items[0].name == "max_connections"
+        assert items[0].source is SourceKind.KEY_VALUE_FILE
+
+    def test_file_format_dispatch_json(self):
+        sources = ConfigSources(files=(("c.json", '{"mtu": 1400}'),))
+        items = extract_configuration_items(sources)
+        assert items[0].source is SourceKind.HIERARCHICAL_FILE
+
+    def test_file_format_dispatch_custom(self):
+        body = "domain-needed\nbogus-priv\nexpand-hosts\n"
+        sources = ConfigSources(files=(("d.conf", body),))
+        items = extract_configuration_items(sources)
+        assert all(i.source is SourceKind.CUSTOM_FILE for i in items)
+
+    def test_first_occurrence_wins(self):
+        sources = ConfigSources(
+            cli_options=("  --port=1000\n",),
+            files=(("a.conf", "port 2000\n"),),
+        )
+        items = extract_configuration_items(sources)
+        assert len(items) == 1
+        assert items[0].default == "1000"
+        assert items[0].source is SourceKind.CLI
+
+    def test_later_source_contributes_candidates(self):
+        sources = ConfigSources(
+            cli_options=("  --mode=a\n",),
+            files=(("a.conf", "mode b\n"),),
+        )
+        items = extract_configuration_items(sources)
+        assert items[0].candidates == ("b",)
+
+    def test_multiple_cli_sources(self):
+        sources = ConfigSources(cli_options=("  --a=1\n", ["--b=2"]))
+        names = [i.name for i in extract_configuration_items(sources)]
+        assert names == ["a", "b"]
+
+    def test_order_is_stable(self):
+        body = "x 1\ny 2\nz 3\n"
+        sources = ConfigSources(files=(("a.conf", body),))
+        names = [i.name for i in extract_configuration_items(sources)]
+        assert names == ["x", "y", "z"]
+
+
+class TestExtractEntities:
+    def test_entities_built_with_inference(self):
+        sources = ConfigSources(files=(("a.conf", "port 1883\nverbose true\n"),))
+        entities = extract_entities(sources)
+        by_name = {e.name: e for e in entities}
+        assert by_name["port"].type is ValueType.NUMBER
+        assert by_name["verbose"].type is ValueType.BOOLEAN
+
+    def test_entities_respect_overrides(self):
+        sources = ConfigSources(files=(("a.conf", "port 1883\n"),))
+        entities = extract_entities(sources, {"port": {"values": (7,)}})
+        assert entities[0].values == (7,)
+
+    def test_all_six_targets_extract_cleanly(self):
+        from repro.targets import target_registry
+
+        for cls in target_registry().values():
+            entities = extract_entities(cls.config_sources(), cls.entity_overrides())
+            assert entities, cls.NAME
+            defaults = cls.default_config()
+            for entity in entities:
+                assert entity.name in defaults, (cls.NAME, entity.name)
+
+    def test_every_target_has_mutable_entities(self):
+        from repro.targets import target_registry
+
+        for cls in target_registry().values():
+            entities = extract_entities(cls.config_sources(), cls.entity_overrides())
+            assert any(e.flag is Flag.MUTABLE for e in entities), cls.NAME

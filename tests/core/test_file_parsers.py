@@ -1,0 +1,204 @@
+"""Tests for format detection and the three file-parser families."""
+
+import pytest
+
+from repro.core.entity import SourceKind
+from repro.core.file_parsers import (
+    detect_format,
+    parse_custom,
+    parse_hierarchical,
+    parse_json,
+    parse_key_value,
+    parse_xml,
+    parse_yaml_subset,
+)
+from repro.errors import ExtractionError
+
+
+class TestDetectFormat:
+    def test_json_extension(self):
+        assert detect_format("{}", "config.json") == "hierarchical"
+
+    def test_xml_extension(self):
+        assert detect_format("<a/>", "config.xml") == "hierarchical"
+
+    def test_ini_extension(self):
+        assert detect_format("a=1", "config.ini") == "key-value"
+
+    def test_json_body_sniffed(self):
+        assert detect_format('{"a": 1}') == "hierarchical"
+
+    def test_xml_body_sniffed(self):
+        assert detect_format("<config><a>1</a></config>") == "hierarchical"
+
+    def test_key_value_lines(self):
+        assert detect_format("port 1883\nmax_connections 100\n") == "key-value"
+
+    def test_indented_yaml_is_hierarchical(self):
+        assert detect_format("general:\n  port: 1883\n") == "hierarchical"
+
+    def test_bare_directives_are_custom(self):
+        text = "domain-needed\nbogus-priv\ncache-size=150\n"
+        assert detect_format(text) == "custom"
+
+    def test_empty_defaults_to_key_value(self):
+        assert detect_format("") == "key-value"
+
+    def test_comments_ignored_for_detection(self):
+        assert detect_format("# comment\nport 1883\n") == "key-value"
+
+
+class TestParseKeyValue:
+    def test_space_separated(self):
+        items = parse_key_value("port 1883\n")
+        assert items[0].name == "port"
+        assert items[0].default == "1883"
+
+    def test_equals_separated(self):
+        items = parse_key_value("port=1883\n")
+        assert items[0].default == "1883"
+
+    def test_colon_separated(self):
+        items = parse_key_value("port: 1883\n")
+        assert items[0].default == "1883"
+
+    def test_ini_sections_prefix_keys(self):
+        items = parse_key_value("[broker]\nport 1883\n")
+        assert items[0].name == "broker.port"
+
+    def test_comments_stripped(self):
+        items = parse_key_value("port 1883  # the port\n; full comment\n")
+        assert items[0].default == "1883"
+
+    def test_repeated_key_becomes_candidates(self):
+        items = parse_key_value("mode a\nmode b\nmode c\n")
+        assert len(items) == 1
+        assert items[0].default == "a"
+        assert items[0].candidates == ("b", "c")
+
+    def test_bare_key_has_none_default(self):
+        items = parse_key_value("password_file\n")
+        assert items[0].default is None
+
+    def test_source_kind(self):
+        items = parse_key_value("a 1", origin="f.conf")
+        assert items[0].source is SourceKind.KEY_VALUE_FILE
+        assert items[0].origin == "f.conf"
+
+
+class TestParseJson:
+    def test_flat_object(self):
+        items = parse_json('{"port": 1883, "verbose": true}')
+        by_name = {i.name: i.default for i in items}
+        assert by_name == {"port": "1883", "verbose": "true"}
+
+    def test_nested_paths_dotted(self):
+        items = parse_json('{"net": {"mtu": 1400}}')
+        assert items[0].name == "net.mtu"
+
+    def test_lists_flattened(self):
+        items = parse_json('{"servers": [{"host": "a"}, {"host": "b"}]}')
+        assert items[0].name == "servers.host"
+        assert items[0].default == "a"
+        assert items[0].candidates == ("b",)
+
+    def test_null_value(self):
+        items = parse_json('{"x": null}')
+        assert items[0].default is None
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(ExtractionError):
+            parse_json("{nope")
+
+
+class TestParseXml:
+    def test_element_text(self):
+        items = parse_xml("<config><General><Port>7400</Port></General></config>")
+        assert items[0].name == "General.Port"
+        assert items[0].default == "7400"
+
+    def test_attributes_extracted(self):
+        items = parse_xml('<config><Domain id="0"><X>1</X></Domain></config>')
+        names = {i.name for i in items}
+        assert "Domain.id" in names
+
+    def test_empty_element_none_default(self):
+        items = parse_xml("<config><Flag/></config>")
+        assert items[0].default is None
+
+    def test_invalid_xml_raises(self):
+        with pytest.raises(ExtractionError):
+            parse_xml("<broken")
+
+
+class TestParseYamlSubset:
+    def test_flat_mapping(self):
+        items = parse_yaml_subset("port: 1883\nverbose: true\n")
+        assert {i.name for i in items} == {"port", "verbose"}
+
+    def test_nested_mapping(self):
+        items = parse_yaml_subset("general:\n  mtu: 1400\n  port: 5683\n")
+        names = {i.name for i in items}
+        assert names == {"general.mtu", "general.port"}
+
+    def test_deeper_nesting(self):
+        text = "a:\n  b:\n    c: 1\n"
+        items = parse_yaml_subset(text)
+        assert items[0].name == "a.b.c"
+
+    def test_dedent_pops_stack(self):
+        text = "a:\n  b: 1\nc: 2\n"
+        names = [i.name for i in parse_yaml_subset(text)]
+        assert names == ["a.b", "c"]
+
+    def test_comments_ignored(self):
+        items = parse_yaml_subset("# header\nport: 1\n")
+        assert items[0].name == "port"
+
+
+class TestParseHierarchicalDispatch:
+    def test_json_dispatch(self):
+        assert parse_hierarchical('{"a": 1}')[0].name == "a"
+
+    def test_xml_dispatch(self):
+        assert parse_hierarchical("<c><a>1</a></c>")[0].name == "a"
+
+    def test_yaml_dispatch(self):
+        assert parse_hierarchical("a: 1\n")[0].name == "a"
+
+
+class TestParseCustom:
+    def test_key_equals_value_rule(self):
+        items = parse_custom("cache-size=150\n")
+        assert items[0].name == "cache-size"
+        assert items[0].default == "150"
+
+    def test_bare_directive_rule(self):
+        items = parse_custom("domain-needed\n")
+        assert items[0].name == "domain-needed"
+        assert items[0].default is None
+
+    def test_set_command_rule(self):
+        items = parse_custom("set timeout 30\n")
+        assert items[0].name == "timeout"
+        assert items[0].default == "30"
+
+    def test_keyword_heuristic(self):
+        items = parse_custom("enable_fast_mode yes please\n")
+        assert items[0].name == "enable_fast_mode"
+        assert items[0].default == "yes"
+
+    def test_custom_rules_override(self):
+        import re
+        rules = [re.compile(r"^let (?P<key>\w+) be (?P<value>\w+)$")]
+        items = parse_custom("let speed be 9\n", rules=rules)
+        assert items[0].name == "speed"
+        assert items[0].default == "9"
+
+    def test_unmatched_lines_skipped(self):
+        items = parse_custom("some random prose line here\n")
+        assert items == []
+
+    def test_source_kind(self):
+        items = parse_custom("x=1", origin="custom.conf")
+        assert items[0].source is SourceKind.CUSTOM_FILE

@@ -1,0 +1,122 @@
+"""Tests for the configuration model and relation-aware model."""
+
+import pytest
+
+from repro.core.entity import ConfigEntity, Flag, ValueType
+from repro.core.model import ConfigurationModel, RelationAwareModel, normalize_weights
+from repro.errors import ConfigModelError
+
+
+def _entity(name, mutable=True):
+    flag = Flag.MUTABLE if mutable else Flag.IMMUTABLE
+    values = (True, False) if mutable else ()
+    return ConfigEntity(name, ValueType.BOOLEAN, flag, values)
+
+
+class TestConfigurationModel:
+    def test_add_and_get(self):
+        model = ConfigurationModel([_entity("a")])
+        assert model.get("a").name == "a"
+
+    def test_duplicate_rejected(self):
+        model = ConfigurationModel([_entity("a")])
+        with pytest.raises(ConfigModelError):
+            model.add(_entity("a"))
+
+    def test_unknown_get_raises(self):
+        with pytest.raises(ConfigModelError):
+            ConfigurationModel().get("missing")
+
+    def test_mutable_entities_filtered(self):
+        model = ConfigurationModel([_entity("a"), _entity("b", mutable=False)])
+        assert [e.name for e in model.mutable_entities()] == ["a"]
+
+    def test_len_contains_iter(self):
+        model = ConfigurationModel([_entity("a"), _entity("b")])
+        assert len(model) == 2
+        assert "a" in model and "c" not in model
+        assert [e.name for e in model] == ["a", "b"]
+
+    def test_names_order(self):
+        model = ConfigurationModel([_entity("z"), _entity("a")])
+        assert model.names() == ["z", "a"]
+
+
+class TestRelationAwareModel:
+    def _model(self):
+        return ConfigurationModel([_entity(n) for n in "abcd"])
+
+    def test_set_and_get_weight(self):
+        ram = RelationAwareModel(self._model())
+        ram.set_weight("a", "b", 0.5)
+        assert ram.weight("a", "b") == 0.5
+        assert ram.weight("b", "a") == 0.5
+
+    def test_missing_edge_is_zero(self):
+        ram = RelationAwareModel(self._model())
+        assert ram.weight("a", "b") == 0.0
+
+    def test_weight_range_enforced(self):
+        ram = RelationAwareModel(self._model())
+        with pytest.raises(ConfigModelError):
+            ram.set_weight("a", "b", 1.5)
+        with pytest.raises(ConfigModelError):
+            ram.set_weight("a", "b", -0.1)
+
+    def test_unknown_entity_rejected(self):
+        ram = RelationAwareModel(self._model())
+        with pytest.raises(ConfigModelError):
+            ram.set_weight("a", "nope", 0.5)
+
+    def test_self_relation_rejected(self):
+        ram = RelationAwareModel(self._model())
+        with pytest.raises(ConfigModelError):
+            ram.set_weight("a", "a", 0.5)
+
+    def test_edges_sorted_descending(self):
+        ram = RelationAwareModel(self._model())
+        ram.set_weight("a", "b", 0.2)
+        ram.set_weight("c", "d", 0.9)
+        ram.set_weight("a", "c", 0.5)
+        weights = [w for _, _, w in ram.edges_by_weight()]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_edge_tie_break_deterministic(self):
+        ram = RelationAwareModel(self._model())
+        ram.set_weight("c", "d", 0.5)
+        ram.set_weight("a", "b", 0.5)
+        edges = ram.edges_by_weight()
+        assert edges[0][:2] == ("a", "b")
+
+    def test_isolated_entities(self):
+        ram = RelationAwareModel(self._model())
+        ram.set_weight("a", "b", 0.3)
+        assert set(ram.isolated_entities()) == {"c", "d"}
+
+    def test_neighbors(self):
+        ram = RelationAwareModel(self._model())
+        ram.set_weight("a", "b", 0.3)
+        ram.set_weight("a", "c", 0.3)
+        assert set(ram.neighbors("a")) == {"b", "c"}
+
+
+class TestNormalizeWeights:
+    def test_scales_to_unit_interval(self):
+        raw = {("a", "b"): 4.0, ("c", "d"): 2.0}
+        normalized = normalize_weights(raw)
+        assert normalized[("a", "b")] == 1.0
+        assert normalized[("c", "d")] == 0.5
+
+    def test_zero_weights_dropped(self):
+        raw = {("a", "b"): 0.0, ("c", "d"): 3.0}
+        normalized = normalize_weights(raw)
+        assert ("a", "b") not in normalized
+
+    def test_all_zero_yields_empty(self):
+        assert normalize_weights({("a", "b"): 0.0}) == {}
+
+    def test_empty_input(self):
+        assert normalize_weights({}) == {}
+
+    def test_single_value_maps_to_one(self):
+        assert normalize_weights({("a", "b"): 7.0}) == {("a", "b"): 1.0}

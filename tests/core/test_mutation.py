@@ -1,0 +1,108 @@
+"""Tests for saturation detection and adaptive configuration mutation."""
+
+import pytest
+
+from repro.core.entity import ConfigEntity, Flag, ValueType
+from repro.core.model import ConfigurationModel
+from repro.core.mutation import ConfigMutator, SaturationDetector
+from repro.core.reassembly import ConfigBundle, reassemble_group
+
+
+def _model():
+    return ConfigurationModel([
+        ConfigEntity("a", ValueType.BOOLEAN, Flag.MUTABLE, (True, False)),
+        ConfigEntity("mode", ValueType.ENUM, Flag.MUTABLE, ("x", "y", "z")),
+        ConfigEntity("cafile", ValueType.STRING, Flag.IMMUTABLE, ()),
+        ConfigEntity("single", ValueType.NUMBER, Flag.MUTABLE, (1,)),
+    ])
+
+
+class TestSaturationDetector:
+    def test_not_saturated_initially(self):
+        detector = SaturationDetector(window=10)
+        assert not detector.saturated(0.0)
+
+    def test_saturates_after_window_without_progress(self):
+        detector = SaturationDetector(window=10)
+        detector.observe(0.0, 100)
+        assert not detector.saturated(5.0)
+        assert detector.saturated(10.0)
+
+    def test_progress_resets_window(self):
+        detector = SaturationDetector(window=10)
+        detector.observe(0.0, 100)
+        detector.observe(8.0, 101)
+        assert not detector.saturated(15.0)
+        assert detector.saturated(18.0)
+
+    def test_same_coverage_is_not_progress(self):
+        detector = SaturationDetector(window=10)
+        detector.observe(0.0, 100)
+        detector.observe(9.0, 100)
+        assert detector.saturated(10.0)
+
+    def test_explicit_reset(self):
+        detector = SaturationDetector(window=10)
+        detector.observe(0.0, 100)
+        detector.reset(9.0)
+        assert not detector.saturated(15.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SaturationDetector(window=0)
+
+
+class TestConfigMutator:
+    def test_mutates_one_value(self):
+        model = _model()
+        bundle = reassemble_group(model, ["a", "mode"])
+        mutator = ConfigMutator(model, seed=1)
+        mutated = mutator.mutate(bundle)
+        assert mutated is not None
+        changed = [k for k in mutated.assignment
+                   if mutated.assignment[k] != bundle.assignment[k]]
+        assert len(changed) == 1
+
+    def test_mutation_uses_typical_values(self):
+        model = _model()
+        bundle = reassemble_group(model, ["mode"])
+        mutator = ConfigMutator(model, seed=2)
+        mutated = mutator.mutate(bundle)
+        assert mutated.assignment["mode"] in ("y", "z")
+
+    def test_immutable_entities_never_mutated(self):
+        model = _model()
+        bundle = ConfigBundle(assignment={}, group=["cafile"])
+        mutator = ConfigMutator(model, seed=3)
+        assert mutator.mutate(bundle) is None
+
+    def test_single_value_entity_not_mutable(self):
+        model = _model()
+        bundle = reassemble_group(model, ["single"])
+        mutator = ConfigMutator(model, seed=4)
+        assert mutator.mutate(bundle) is None
+
+    def test_cycles_through_untried_values(self):
+        model = _model()
+        bundle = reassemble_group(model, ["mode"])  # starts at "x"
+        mutator = ConfigMutator(model, seed=5)
+        seen = set()
+        for _ in range(2):
+            bundle = mutator.mutate(bundle)
+            seen.add(bundle.assignment["mode"])
+        assert seen == {"y", "z"}
+
+    def test_original_bundle_untouched(self):
+        model = _model()
+        bundle = reassemble_group(model, ["a"])
+        before = dict(bundle.assignment)
+        ConfigMutator(model, seed=6).mutate(bundle)
+        assert bundle.assignment == before
+
+    def test_mutable_candidates_listed(self):
+        model = _model()
+        bundle = reassemble_group(model, ["a", "mode", "single"])
+        bundle.group.append("cafile")
+        mutator = ConfigMutator(model, seed=7)
+        names = {e.name for e in mutator.mutable_candidates(bundle)}
+        assert names == {"a", "mode"}

@@ -1,0 +1,96 @@
+"""Tests for reassembling configuration groups into runtime forms."""
+
+import pytest
+
+from repro.core.entity import ConfigEntity, Flag, ValueType
+from repro.core.model import ConfigurationModel
+from repro.core.reassembly import (
+    ConfigBundle,
+    reassemble_cli,
+    reassemble_config_file,
+    reassemble_group,
+)
+from repro.errors import ConfigModelError
+
+
+def _model():
+    return ConfigurationModel([
+        ConfigEntity("persistence", ValueType.BOOLEAN, Flag.MUTABLE, (True, False)),
+        ConfigEntity("port", ValueType.NUMBER, Flag.MUTABLE, (1883, 0)),
+        ConfigEntity("cafile", ValueType.STRING, Flag.IMMUTABLE, ()),
+        ConfigEntity("mode", ValueType.ENUM, Flag.MUTABLE, ("fast", "safe")),
+    ])
+
+
+class TestReassembleGroup:
+    def test_first_values_used(self):
+        bundle = reassemble_group(_model(), ["persistence", "port"])
+        assert bundle.assignment == {"persistence": True, "port": 1883}
+
+    def test_value_picks_override(self):
+        bundle = reassemble_group(_model(), ["port"], value_picks={"port": 0})
+        assert bundle.assignment == {"port": 0}
+
+    def test_valueless_entity_skipped(self):
+        bundle = reassemble_group(_model(), ["cafile"])
+        assert "cafile" not in bundle.assignment
+        assert bundle.group == ["cafile"]
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(ConfigModelError):
+            reassemble_group(_model(), ["missing"])
+
+    def test_with_value_returns_new_bundle(self):
+        bundle = reassemble_group(_model(), ["port"])
+        changed = bundle.with_value("port", 0)
+        assert changed.assignment["port"] == 0
+        assert bundle.assignment["port"] == 1883
+
+
+class TestRenderConfigFile:
+    def test_key_value_style(self):
+        bundle = ConfigBundle(assignment={"port": 1883, "persistence": True})
+        text = reassemble_config_file(bundle)
+        assert "port 1883" in text
+        assert "persistence true" in text
+
+    def test_ini_style(self):
+        bundle = ConfigBundle(assignment={"port": 1883})
+        assert "port = 1883" in reassemble_config_file(bundle, style="ini")
+
+    def test_booleans_lowercased(self):
+        bundle = ConfigBundle(assignment={"x": False})
+        assert "x false" in reassemble_config_file(bundle)
+
+    def test_empty_bundle_empty_file(self):
+        assert reassemble_config_file(ConfigBundle()) == ""
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ConfigModelError):
+            reassemble_config_file(ConfigBundle(), style="toml")
+
+    def test_deterministic_sorted_output(self):
+        bundle = ConfigBundle(assignment={"b": 1, "a": 2})
+        lines = reassemble_config_file(bundle).splitlines()
+        assert lines == ["a 2", "b 1"]
+
+
+class TestRenderCli:
+    def test_value_options(self):
+        argv = reassemble_cli(ConfigBundle(assignment={"port": 5683}))
+        assert argv == ["--port=5683"]
+
+    def test_true_boolean_is_flag(self):
+        argv = reassemble_cli(ConfigBundle(assignment={"dtls": True}))
+        assert argv == ["--dtls"]
+
+    def test_false_boolean_omitted(self):
+        argv = reassemble_cli(ConfigBundle(assignment={"dtls": False}))
+        assert argv == []
+
+    def test_round_trip_through_cli_parser(self):
+        from repro.core.cli_parser import parse_invocation
+
+        argv = reassemble_cli(ConfigBundle(assignment={"port": 1, "mode": "fast"}))
+        items = {i.name: i.default for i in parse_invocation(argv)}
+        assert items == {"port": "1", "mode": "fast"}

@@ -1,0 +1,69 @@
+"""Round-trip property: reassembled configurations re-extract losslessly.
+
+CMFuzz writes each group's assignment back into runtime form (config file
+/ CLI argv); re-running identification over that output must recover the
+same keys and values — the loop a real deployment depends on.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cli_parser import parse_invocation
+from repro.core.file_parsers import parse_key_value
+from repro.core.reassembly import ConfigBundle, reassemble_cli, reassemble_config_file
+
+_keys = st.text(alphabet=string.ascii_lowercase + "_", min_size=1, max_size=12)
+_word_values = st.text(alphabet=string.ascii_lowercase + string.digits,
+                       min_size=1, max_size=10)
+_values = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-10**6, max_value=10**6),
+    _word_values,
+)
+
+
+def _normalise(value):
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+class TestConfigFileRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(st.dictionaries(_keys, _values, max_size=10))
+    def test_key_value_round_trip(self, assignment):
+        bundle = ConfigBundle(assignment=assignment)
+        body = reassemble_config_file(bundle)
+        items = {item.name: item.default for item in parse_key_value(body)}
+        assert set(items) == set(assignment)
+        for key, value in assignment.items():
+            assert items[key] == _normalise(value)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.dictionaries(_keys, _values, max_size=10))
+    def test_ini_round_trip(self, assignment):
+        bundle = ConfigBundle(assignment=assignment)
+        body = reassemble_config_file(bundle, style="ini")
+        items = {item.name: item.default for item in parse_key_value(body)}
+        for key, value in assignment.items():
+            assert items[key] == _normalise(value)
+
+
+class TestCliRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(st.dictionaries(_keys, st.one_of(st.integers(0, 10**6), _word_values),
+                           max_size=10))
+    def test_value_options_round_trip(self, assignment):
+        argv = reassemble_cli(ConfigBundle(assignment=assignment))
+        items = {item.name: item.default for item in parse_invocation(argv)}
+        for key, value in assignment.items():
+            assert items[key] == str(value)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.dictionaries(_keys, st.booleans(), min_size=1, max_size=10))
+    def test_boolean_flags_round_trip(self, assignment):
+        argv = reassemble_cli(ConfigBundle(assignment=assignment))
+        names = {item.name for item in parse_invocation(argv)}
+        assert names == {key for key, value in assignment.items() if value}

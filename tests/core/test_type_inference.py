@@ -1,0 +1,151 @@
+"""Tests for Type / Flag / Values inference (Figure 2 derivation)."""
+
+import pytest
+
+from repro.core.entity import ConfigItem, Flag, ValueType
+from repro.core.type_inference import (
+    build_entity,
+    derive_values,
+    infer_flag,
+    infer_type,
+    is_boolean_literal,
+    is_number_literal,
+    is_path_like,
+    parse_boolean,
+)
+
+
+class TestLiteralClassifiers:
+    @pytest.mark.parametrize("text", ["true", "FALSE", "on", "off", "yes", "No", "1", "0"])
+    def test_boolean_literals(self, text):
+        assert is_boolean_literal(text)
+
+    @pytest.mark.parametrize("text", ["maybe", "2", "tru", ""])
+    def test_non_boolean_literals(self, text):
+        assert not is_boolean_literal(text)
+
+    def test_parse_boolean_values(self):
+        assert parse_boolean("yes") is True
+        assert parse_boolean("off") is False
+
+    def test_parse_boolean_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_boolean("sometimes")
+
+    @pytest.mark.parametrize("text", ["0", "42", "-7", "3.14", "+10"])
+    def test_number_literals(self, text):
+        assert is_number_literal(text)
+
+    @pytest.mark.parametrize("text", ["4x", "", "1.2.3", "0x10"])
+    def test_non_number_literals(self, text):
+        assert not is_number_literal(text)
+
+    @pytest.mark.parametrize("text", [
+        "/etc/mosquitto/ca.crt", "./relative", "C:\\conf",
+        "https://example.com/x", "server.key", "broker.log",
+    ])
+    def test_path_like(self, text):
+        assert is_path_like(text)
+
+    @pytest.mark.parametrize("text", ["warning", "1883", "mqttv311"])
+    def test_not_path_like(self, text):
+        assert not is_path_like(text)
+
+
+class TestInferType:
+    def test_numeric_default_infers_number(self):
+        assert infer_type(ConfigItem("port", "1883")) is ValueType.NUMBER
+
+    def test_boolean_default_infers_boolean(self):
+        assert infer_type(ConfigItem("flag", "true")) is ValueType.BOOLEAN
+
+    def test_bare_flag_infers_boolean(self):
+        assert infer_type(ConfigItem("verbose")) is ValueType.BOOLEAN
+
+    def test_multiple_word_values_infer_enum(self):
+        item = ConfigItem("level", "info", candidates=("debug", "warning"))
+        assert infer_type(item) is ValueType.ENUM
+
+    def test_path_infers_string(self):
+        assert infer_type(ConfigItem("cafile", "/etc/ca.crt")) is ValueType.STRING
+
+    def test_mixed_numeric_and_word_is_enum(self):
+        item = ConfigItem("index", "auto", candidates=("0", "5"))
+        assert infer_type(item) is ValueType.ENUM
+
+    def test_all_votes_must_be_numeric_for_number(self):
+        item = ConfigItem("size", "10", candidates=("big",))
+        assert infer_type(item) is not ValueType.NUMBER
+
+
+class TestInferFlag:
+    def test_path_value_is_immutable(self):
+        item = ConfigItem("cafile", "/etc/ca.crt")
+        assert infer_flag(item, ValueType.STRING) is Flag.IMMUTABLE
+
+    def test_pathy_name_is_immutable(self):
+        item = ConfigItem("output_dir", "somewhere")
+        assert infer_flag(item, ValueType.STRING) is Flag.IMMUTABLE
+
+    def test_numbers_are_mutable(self):
+        assert infer_flag(ConfigItem("port", "1883"), ValueType.NUMBER) is Flag.MUTABLE
+
+    def test_booleans_are_mutable(self):
+        assert infer_flag(ConfigItem("verbose"), ValueType.BOOLEAN) is Flag.MUTABLE
+
+    def test_single_free_string_immutable(self):
+        item = ConfigItem("hostname", "broker1")
+        assert infer_flag(item, ValueType.STRING) is Flag.IMMUTABLE
+
+    def test_pathy_named_number_is_immutable(self):
+        item = ConfigItem("pid_file", "7")
+        assert infer_flag(item, ValueType.NUMBER) is Flag.IMMUTABLE
+
+
+class TestDeriveValues:
+    def test_boolean_values(self):
+        assert derive_values(ConfigItem("v"), ValueType.BOOLEAN) == (True, False)
+
+    def test_numeric_expansion_starts_with_default(self):
+        values = derive_values(ConfigItem("n", "100"), ValueType.NUMBER)
+        assert values[0] == 100
+        assert 0 in values and 200 in values and 1000 in values
+
+    def test_numeric_expansion_deduplicates(self):
+        values = derive_values(ConfigItem("n", "0"), ValueType.NUMBER)
+        assert len(values) == len(set(values))
+
+    def test_float_values_preserved(self):
+        values = derive_values(ConfigItem("ratio", "1.5"), ValueType.NUMBER)
+        assert values[0] == pytest.approx(1.5)
+
+    def test_enum_values_distinct_ordered(self):
+        item = ConfigItem("m", "a", candidates=("b", "a", "c"))
+        assert derive_values(item, ValueType.ENUM) == ("a", "b", "c")
+
+    def test_no_observed_numeric_falls_back(self):
+        assert derive_values(ConfigItem("n"), ValueType.NUMBER) == (0, 1)
+
+
+class TestBuildEntity:
+    def test_full_pipeline(self):
+        entity = build_entity(ConfigItem("port", "1883"))
+        assert entity.type is ValueType.NUMBER
+        assert entity.flag is Flag.MUTABLE
+        assert entity.values[0] == 1883
+
+    def test_overrides_take_precedence(self):
+        overrides = {"port": {"values": (9, 8), "flag": Flag.IMMUTABLE}}
+        entity = build_entity(ConfigItem("port", "1883"), overrides)
+        assert entity.values == (9, 8)
+        assert entity.flag is Flag.IMMUTABLE
+
+    def test_type_override(self):
+        overrides = {"psk": {"type": ValueType.STRING, "values": ("", "k"), "flag": Flag.MUTABLE}}
+        entity = build_entity(ConfigItem("psk"), overrides)
+        assert entity.type is ValueType.STRING
+
+    def test_mutable_with_no_values_degrades_to_immutable(self):
+        overrides = {"x": {"flag": Flag.MUTABLE, "type": ValueType.STRING}}
+        entity = build_entity(ConfigItem("x"), overrides)
+        assert entity.flag is Flag.IMMUTABLE

@@ -1,0 +1,75 @@
+"""Tests for the coverage bitmap."""
+
+import pytest
+
+from repro.coverage.bitmap import CoverageMap
+
+
+class TestCoverageMap:
+    def test_empty(self):
+        cov = CoverageMap()
+        assert len(cov) == 0
+        assert not cov
+
+    def test_hit_and_membership(self):
+        cov = CoverageMap()
+        cov.hit("a")
+        assert "a" in cov
+        assert "b" not in cov
+
+    def test_counters_accumulate(self):
+        cov = CoverageMap()
+        cov.hit("a")
+        cov.hit("a", count=3)
+        assert cov.count("a") == 4
+        assert cov.count("missing") == 0
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            CoverageMap().hit("a", count=0)
+
+    def test_init_from_iterable(self):
+        cov = CoverageMap(["a", "b", "a"])
+        assert len(cov) == 2
+        assert cov.count("a") == 2
+
+    def test_merge_sums_counters(self):
+        left, right = CoverageMap(["a"]), CoverageMap(["a", "b"])
+        left.merge(right)
+        assert left.count("a") == 2
+        assert "b" in left
+
+    def test_union_leaves_operands_alone(self):
+        left, right = CoverageMap(["a"]), CoverageMap(["b"])
+        merged = left.union(right)
+        assert sorted(merged.sites()) == ["a", "b"]
+        assert "b" not in left
+
+    def test_new_sites(self):
+        seen = CoverageMap(["a"])
+        run = CoverageMap(["a", "b", "c"])
+        assert seen.new_sites(run) == {"b", "c"}
+
+    def test_copy_independent(self):
+        cov = CoverageMap(["a"])
+        clone = cov.copy()
+        clone.hit("b")
+        assert "b" not in cov
+
+    def test_clear(self):
+        cov = CoverageMap(["a"])
+        cov.clear()
+        assert len(cov) == 0
+
+    def test_equality_by_sites_not_counts(self):
+        left = CoverageMap(["a", "a"])
+        right = CoverageMap(["a"])
+        assert left == right
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(CoverageMap())
+
+    def test_iteration(self):
+        cov = CoverageMap(["a", "b"])
+        assert sorted(cov) == ["a", "b"]

@@ -1,0 +1,44 @@
+"""Tests for the branch-site registry."""
+
+from repro.coverage.registry import SiteRegistry
+
+
+class TestSiteRegistry:
+    def test_declare_and_lookup(self):
+        registry = SiteRegistry()
+        registry.declare("mqtt", ["a", "b"])
+        assert registry.sites("mqtt") == {"a", "b"}
+        assert "mqtt" in registry
+
+    def test_unknown_component_empty(self):
+        assert SiteRegistry().sites("nope") == frozenset()
+
+    def test_declarations_accumulate(self):
+        registry = SiteRegistry()
+        registry.declare("c", ["a"])
+        registry.declare("c", ["b"])
+        assert registry.sites("c") == {"a", "b"}
+
+    def test_total_sites(self):
+        registry = SiteRegistry()
+        registry.declare("x", ["a", "b"])
+        registry.declare("y", ["c"])
+        assert registry.total_sites() == 3
+
+    def test_coverage_fraction(self):
+        registry = SiteRegistry()
+        registry.declare("c", ["a", "b", "d", "e"])
+        assert registry.coverage_fraction("c", ["a", "b"]) == 0.5
+
+    def test_coverage_fraction_ignores_foreign_sites(self):
+        registry = SiteRegistry()
+        registry.declare("c", ["a"])
+        assert registry.coverage_fraction("c", ["a", "zz"]) == 1.0
+
+    def test_coverage_fraction_unknown_component(self):
+        assert SiteRegistry().coverage_fraction("c", ["a"]) == 0.0
+
+    def test_components(self):
+        registry = SiteRegistry()
+        registry.declare("x", ["a"])
+        assert registry.components() == {"x"}

@@ -1,0 +1,116 @@
+"""Tests for the field mutators."""
+
+import random
+
+import pytest
+
+from repro.fuzzing.datamodel import Blob, Choice, DataModel, Number, Size, Str
+from repro.fuzzing.mutators import (
+    DEFAULT_MUTATORS,
+    BlobMutator,
+    ChoiceSwitchMutator,
+    NumberBitFlipMutator,
+    NumberBoundaryMutator,
+    NumberRandomMutator,
+    SizeCorruptionMutator,
+    StringMutator,
+    mutators_for,
+)
+
+
+def _message():
+    model = DataModel("m", [
+        Number("num", bits=16, default=100),
+        Str("text", default="hello"),
+        Blob("data", default=b"\x00\x01\x02\x03"),
+        Size("len", of="data", bits=8),
+        Choice("pick", [Blob("a", default=b"A"), Blob("b", default=b"B")]),
+    ])
+    return model.build()
+
+
+class TestApplicability:
+    def test_number_mutators(self):
+        element = Number("n", bits=8)
+        names = {m.name for m in mutators_for(element)}
+        assert names == {"number-boundary", "number-random", "number-bitflip"}
+
+    def test_string_mutator(self):
+        assert [m.name for m in mutators_for(Str("s"))] == ["string"]
+
+    def test_blob_mutator(self):
+        assert [m.name for m in mutators_for(Blob("b"))] == ["blob"]
+
+    def test_size_gets_size_corruption(self):
+        names = {m.name for m in mutators_for(Size("l", of="x"))}
+        assert "size-corruption" in names
+
+    def test_single_option_choice_excluded(self):
+        choice = Choice("c", [Blob("a", default=b"")])
+        assert mutators_for(choice) == []
+
+    def test_multi_option_choice_included(self):
+        choice = Choice("c", [Blob("a", default=b""), Blob("b", default=b"")])
+        assert [m.name for m in mutators_for(choice)] == ["choice-switch"]
+
+
+class TestMutationEffects:
+    def test_boundary_produces_known_value(self):
+        message = _message()
+        rng = random.Random(0)
+        NumberBoundaryMutator().mutate(message, "num", rng)
+        element = message.element_at("num")
+        assert message.get("num") in (
+            0, 1, -1, element.max_value, element.max_value - 1,
+            element.min_value, element.max_value // 2, element.max_value + 1,
+        )
+
+    def test_random_stays_in_range(self):
+        message = _message()
+        rng = random.Random(1)
+        for _ in range(20):
+            NumberRandomMutator().mutate(message, "num", rng)
+            assert 0 <= message.get("num") <= 65535
+
+    def test_bitflip_changes_exactly_one_bit(self):
+        message = _message()
+        before = message.get("num")
+        NumberBitFlipMutator().mutate(message, "num", random.Random(2))
+        diff = before ^ message.get("num")
+        assert diff and (diff & (diff - 1)) == 0
+
+    def test_string_mutation_changes_value_eventually(self):
+        message = _message()
+        rng = random.Random(3)
+        original = message.get("text")
+        changed = False
+        for _ in range(10):
+            StringMutator().mutate(message, "text", rng)
+            if message.get("text") != original:
+                changed = True
+                break
+        assert changed
+
+    def test_blob_mutation_returns_bytes(self):
+        message = _message()
+        rng = random.Random(4)
+        for _ in range(10):
+            BlobMutator().mutate(message, "data", rng)
+            assert isinstance(message.get("data"), bytes)
+
+    def test_size_corruption_pins_bad_length(self):
+        message = _message()
+        SizeCorruptionMutator().mutate(message, "len", random.Random(5))
+        pinned = message.get("len")
+        assert pinned is not None
+        assert pinned != 4 or pinned in (0, 3, 5, 8, 255)
+
+    def test_choice_switch_changes_selection(self):
+        message = _message()
+        assert message.selection("pick") == "a"
+        ChoiceSwitchMutator().mutate(message, "pick", random.Random(6))
+        assert message.selection("pick") == "b"
+
+    def test_default_pool_complete(self):
+        names = {m.name for m in DEFAULT_MUTATORS}
+        assert len(names) == 7

@@ -1,0 +1,156 @@
+"""Tests for the Pit XML loader."""
+
+import pytest
+
+from repro.errors import FuzzingError
+from repro.fuzzing.pitxml import load_pit
+
+_MINIMAL = """
+<Peach>
+  <DataModel name="Msg">
+    <Number name="header" size="8" value="16"/>
+    <Size name="len" of="body" size="8"/>
+    <Block name="body">
+      <String name="proto" value="MQTT"/>
+      <Blob name="payload" valueHex="cafe"/>
+    </Block>
+  </DataModel>
+  <StateModel name="session" initialState="start">
+    <State name="start">
+      <Action type="send" dataModel="Msg"/>
+      <Transition to="done" weight="2"/>
+    </State>
+    <State name="done"/>
+  </StateModel>
+</Peach>
+"""
+
+
+class TestLoadPit:
+    def test_minimal_pit_loads(self):
+        model = load_pit(_MINIMAL)
+        assert model.name == "session"
+        assert model.initial == "start"
+        assert model.states() == ["start", "done"]
+
+    def test_data_model_encodes(self):
+        model = load_pit(_MINIMAL)
+        payload = model.data_model("Msg").build().encode()
+        assert payload[0] == 16
+        assert payload[1] == len(b"MQTT\xca\xfe")
+        assert payload[2:].startswith(b"MQTT")
+        assert payload.endswith(b"\xca\xfe")
+
+    def test_transitions_weighted(self):
+        model = load_pit(_MINIMAL)
+        assert model.state("start").transitions == [("done", 2.0)]
+
+    def test_choice_element(self):
+        xml = """
+        <Peach>
+          <DataModel name="M">
+            <Choice name="pick">
+              <Blob name="a" valueHex="01"/>
+              <Blob name="b" valueHex="02"/>
+            </Choice>
+          </DataModel>
+          <StateModel name="s" initialState="x">
+            <State name="x"><Action type="send" dataModel="M"/></State>
+          </StateModel>
+        </Peach>
+        """
+        model = load_pit(xml)
+        message = model.data_model("M").build()
+        assert message.encode() == b"\x01"
+        message.select("pick", "b")
+        assert message.encode() == b"\x02"
+
+    def test_signed_little_endian_number(self):
+        xml = """
+        <Peach>
+          <DataModel name="M">
+            <Number name="n" size="16" value="-2" endian="little" signed="true"/>
+          </DataModel>
+          <StateModel name="s" initialState="x">
+            <State name="x"><Action type="send" dataModel="M"/></State>
+          </StateModel>
+        </Peach>
+        """
+        assert load_pit(xml).data_model("M").build().encode() == b"\xfe\xff"
+
+    def test_hex_number_value(self):
+        xml = """
+        <Peach>
+          <DataModel name="M"><Number name="n" size="8" value="0x30"/></DataModel>
+          <StateModel name="s" initialState="x">
+            <State name="x"><Action type="send" dataModel="M"/></State>
+          </StateModel>
+        </Peach>
+        """
+        assert load_pit(xml).data_model("M").build().encode() == b"\x30"
+
+    def test_loaded_pit_drives_engine(self):
+        from repro.fuzzing.engine import DirectTransport, FuzzEngine
+        from repro.targets.mqtt.server import MosquittoTarget
+
+        model = load_pit(_MINIMAL)
+        target = MosquittoTarget()
+        target.startup({})
+        engine = FuzzEngine(model, DirectTransport(target), target.cov, seed=1)
+        for _ in range(50):
+            engine.run_iteration()
+        assert len(target.cov.total) > 0
+
+
+class TestErrors:
+    def test_invalid_xml(self):
+        with pytest.raises(FuzzingError):
+            load_pit("<broken")
+
+    def test_missing_state_model(self):
+        with pytest.raises(FuzzingError):
+            load_pit("<Peach><DataModel name='m'/></Peach>")
+
+    def test_unknown_element(self):
+        xml = """
+        <Peach>
+          <DataModel name="M"><Widget name="w"/></DataModel>
+          <StateModel name="s" initialState="x"><State name="x"/></StateModel>
+        </Peach>
+        """
+        with pytest.raises(FuzzingError):
+            load_pit(xml)
+
+    def test_size_without_of(self):
+        xml = """
+        <Peach>
+          <DataModel name="M"><Size name="l"/></DataModel>
+          <StateModel name="s" initialState="x"><State name="x"/></StateModel>
+        </Peach>
+        """
+        with pytest.raises(FuzzingError):
+            load_pit(xml)
+
+    def test_unknown_action_type(self):
+        xml = """
+        <Peach>
+          <DataModel name="M"><Number name="n"/></DataModel>
+          <StateModel name="s" initialState="x">
+            <State name="x"><Action type="teleport" dataModel="M"/></State>
+          </StateModel>
+        </Peach>
+        """
+        with pytest.raises(FuzzingError):
+            load_pit(xml)
+
+    def test_send_to_unknown_data_model(self):
+        xml = """
+        <Peach>
+          <DataModel name="M"><Number name="n"/></DataModel>
+          <StateModel name="s" initialState="x">
+            <State name="x"><Action type="send" dataModel="Ghost"/></State>
+          </StateModel>
+        </Peach>
+        """
+        with pytest.raises(FuzzingError):
+            load_pit(xml)

@@ -1,0 +1,140 @@
+"""Tests for state models."""
+
+import random
+
+import pytest
+
+from repro.errors import FuzzingError
+from repro.fuzzing.datamodel import Blob, DataModel
+from repro.fuzzing.statemodel import Action, State, StateModel
+
+
+def _dm(name):
+    return DataModel(name, [Blob("b", default=b"x")])
+
+
+def _linear_model():
+    states = [
+        State("a", [Action("send", "M")]).add_transition("b"),
+        State("b", [Action("send", "M")]).add_transition("c"),
+        State("c"),
+    ]
+    return StateModel("linear", "a", states, [_dm("M")])
+
+
+def _branching_model():
+    states = [
+        State("root").add_transition("x", 1.0).add_transition("y", 1.0),
+        State("x", [Action("send", "M")]).add_transition("z"),
+        State("y", [Action("send", "M")]).add_transition("z"),
+        State("z"),
+    ]
+    return StateModel("branchy", "root", states, [_dm("M")])
+
+
+class TestValidation:
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(FuzzingError):
+            StateModel("m", "missing", [State("a")], [])
+
+    def test_unknown_transition_target_rejected(self):
+        with pytest.raises(FuzzingError):
+            StateModel("m", "a", [State("a").add_transition("ghost")], [])
+
+    def test_unknown_data_model_rejected(self):
+        with pytest.raises(FuzzingError):
+            StateModel("m", "a", [State("a", [Action("send", "nope")])], [])
+
+    def test_duplicate_state_rejected(self):
+        with pytest.raises(FuzzingError):
+            StateModel("m", "a", [State("a"), State("a")], [])
+
+    def test_duplicate_data_model_rejected(self):
+        with pytest.raises(FuzzingError):
+            StateModel("m", "a", [State("a")], [_dm("M"), _dm("M")])
+
+    def test_send_requires_data_model(self):
+        with pytest.raises(FuzzingError):
+            Action("send")
+
+    def test_unknown_action_kind(self):
+        with pytest.raises(FuzzingError):
+            Action("teleport")
+
+    def test_nonpositive_transition_weight(self):
+        with pytest.raises(FuzzingError):
+            State("a").add_transition("b", 0.0)
+
+
+class TestWalk:
+    def test_linear_walk_visits_all(self):
+        model = _linear_model()
+        assert model.walk(random.Random(0)) == ["a", "b", "c"]
+
+    def test_walk_respects_max_states(self):
+        model = _linear_model()
+        assert model.walk(random.Random(0), max_states=2) == ["a", "b"]
+
+    def test_walk_deterministic_with_seed(self):
+        model = _branching_model()
+        paths = {tuple(model.walk(random.Random(7))) for _ in range(3)}
+        assert len(paths) == 1
+
+    def test_walk_explores_both_branches(self):
+        model = _branching_model()
+        rng = random.Random(0)
+        seen = {tuple(model.walk(rng)) for _ in range(50)}
+        assert ("root", "x", "z") in seen
+        assert ("root", "y", "z") in seen
+
+
+class TestSimplePaths:
+    def test_linear_single_path(self):
+        assert _linear_model().simple_paths() == [("a", "b", "c")]
+
+    def test_branching_two_paths(self):
+        paths = _branching_model().simple_paths()
+        assert set(paths) == {("root", "x", "z"), ("root", "y", "z")}
+
+    def test_cycles_not_revisited(self):
+        states = [
+            State("a", [Action("send", "M")]).add_transition("b"),
+            State("b", [Action("send", "M")]).add_transition("a").add_transition("c"),
+            State("c"),
+        ]
+        model = StateModel("cyclic", "a", states, [_dm("M")])
+        assert model.simple_paths() == [("a", "b", "c")]
+
+    def test_max_length_truncates(self):
+        paths = _linear_model().simple_paths(max_length=2)
+        assert paths == [("a", "b")]
+
+    def test_longest_paths_first(self):
+        states = [
+            State("a").add_transition("b").add_transition("d"),
+            State("b").add_transition("c"),
+            State("c"),
+            State("d"),
+        ]
+        model = StateModel("m", "a", states, [])
+        paths = model.simple_paths()
+        assert paths[0] == ("a", "b", "c")
+
+
+class TestAccessors:
+    def test_state_lookup(self):
+        model = _linear_model()
+        assert model.state("a").name == "a"
+        with pytest.raises(FuzzingError):
+            model.state("zzz")
+
+    def test_data_model_lookup(self):
+        model = _linear_model()
+        assert model.data_model("M").name == "M"
+        with pytest.raises(FuzzingError):
+            model.data_model("zzz")
+
+    def test_states_and_data_models_listed(self):
+        model = _linear_model()
+        assert model.states() == ["a", "b", "c"]
+        assert [m.name for m in model.data_models()] == ["M"]

@@ -1,0 +1,142 @@
+"""Failure-injection tests for the campaign runner's recovery paths."""
+
+import pytest
+
+from repro.core.extraction import ConfigSources
+from repro.core.reassembly import ConfigBundle
+from repro.errors import StartupError
+from repro.fuzzing.datamodel import Blob, DataModel
+from repro.fuzzing.statemodel import Action, State, StateModel
+from repro.harness.campaign import (
+    CampaignConfig,
+    _CampaignContext,
+    _safe_initial_start,
+    run_campaign,
+)
+from repro.harness.simclock import CostModel
+from repro.parallel.base import ParallelMode
+from repro.parallel.instance import FuzzingInstance
+from repro.targets.base import ProtocolTarget
+from repro.targets.faults import FaultKind, SanitizerFault
+
+
+class _CrashyTarget(ProtocolTarget):
+    """Crashes on every packet when ``always_crash`` is set."""
+
+    NAME = "crashy"
+    PROTOCOL = "CRASHY"
+    PORT = 4000
+
+    @classmethod
+    def config_sources(cls):
+        return ConfigSources()
+
+    @classmethod
+    def default_config(cls):
+        return {"always_crash": False, "startup_crash": False,
+                "startup_conflict": False}
+
+    def _startup_impl(self):
+        self.cov.hit("startup")
+        if self.enabled("startup_conflict"):
+            raise StartupError("conflict", ("startup_conflict",))
+        if self.enabled("startup_crash"):
+            raise SanitizerFault(FaultKind.SEGV, "crashy_init")
+
+    def handle_packet(self, data):
+        self.require_started()
+        self.cov.hit("packet")
+        if self.enabled("always_crash"):
+            raise SanitizerFault(FaultKind.SEGV, "crashy_parse")
+        return b"ok"
+
+
+def _pit():
+    return StateModel(
+        "crashy", "s",
+        [State("s", [Action("send", "Msg")])],
+        [DataModel("Msg", [Blob("b", default=b"x")])],
+    )
+
+
+class _FixedMode(ParallelMode):
+    """Every instance gets the same fixed assignment."""
+
+    name = "fixed"
+
+    def __init__(self, assignment):
+        self.assignment = assignment
+
+    def create_instances(self, ctx):
+        instances = []
+        for index in range(ctx.n_instances):
+            namespace = ctx.namespaces.create("crashy-%d" % index)
+            bundle = ConfigBundle(assignment=dict(self.assignment),
+                                  group=list(self.assignment))
+
+            def engine_factory(transport, collector, index=index):
+                from repro.fuzzing.engine import FuzzEngine
+                return FuzzEngine(ctx.state_model, transport, collector, seed=index)
+
+            instances.append(FuzzingInstance(index, _CrashyTarget, namespace,
+                                             engine_factory, bundle=bundle))
+        return instances
+
+
+def _config(hours=1.0):
+    return CampaignConfig(n_instances=2, duration_hours=hours, seed=1,
+                          costs=CostModel(iteration=30.0, crash_restart=120.0))
+
+
+class TestCrashRecovery:
+    def test_crashing_target_restarts_and_campaign_finishes(self):
+        result = run_campaign(_CrashyTarget, _pit(),
+                              _FixedMode({"always_crash": True}), _config())
+        assert result.iterations > 0
+        assert ("CRASHY", "SEGV", "crashy_parse") in result.bugs
+        assert all(instance.restarts > 0 for instance in result.instances)
+
+    def test_crash_downtime_reduces_iterations(self):
+        crashy = run_campaign(_CrashyTarget, _pit(),
+                              _FixedMode({"always_crash": True}), _config())
+        healthy = run_campaign(_CrashyTarget, _pit(), _FixedMode({}), _config())
+        assert crashy.iterations < healthy.iterations
+
+    def test_crash_counted_once_per_signature(self):
+        result = run_campaign(_CrashyTarget, _pit(),
+                              _FixedMode({"always_crash": True}), _config())
+        assert len(result.bugs) == 1
+        assert result.bugs.count(("CRASHY", "SEGV", "crashy_parse")) > 1
+
+
+class TestInitialStartDegradation:
+    def test_conflicting_bundle_sheds_keys(self):
+        ctx = _CampaignContext(_CrashyTarget, _pit(), _config())
+        namespace = ctx.namespaces.create("x")
+        bundle = ConfigBundle(assignment={"startup_conflict": True},
+                              group=["startup_conflict"])
+        instance = FuzzingInstance(0, _CrashyTarget, namespace,
+                                   lambda t, c: None, bundle=bundle)
+        _safe_initial_start(ctx, instance)
+        assert instance.target.started
+        assert not instance.target.enabled("startup_conflict")
+        assert ctx.startup_conflicts >= 1
+
+    def test_startup_crash_recorded_and_degraded(self):
+        ctx = _CampaignContext(_CrashyTarget, _pit(), _config())
+        namespace = ctx.namespaces.create("y")
+        bundle = ConfigBundle(assignment={"startup_crash": True},
+                              group=["startup_crash"])
+        instance = FuzzingInstance(0, _CrashyTarget, namespace,
+                                   lambda t, c: None, bundle=bundle)
+        _safe_initial_start(ctx, instance)
+        assert instance.target.started
+        assert ("CRASHY", "SEGV", "crashy_init") in ctx.bugs
+
+    def test_empty_bundle_starts_directly(self):
+        ctx = _CampaignContext(_CrashyTarget, _pit(), _config())
+        namespace = ctx.namespaces.create("z")
+        instance = FuzzingInstance(0, _CrashyTarget, namespace, lambda t, c: None)
+        _safe_initial_start(ctx, instance)
+        assert instance.target.started
+        assert ctx.startup_conflicts == 0

@@ -1,0 +1,67 @@
+"""Tests for the experiment orchestration APIs."""
+
+import pytest
+
+from repro.harness.campaign import CampaignConfig
+from repro.harness.experiments import (
+    SubjectComparison,
+    figure4_experiment,
+    table1_experiment,
+    table2_experiment,
+)
+
+
+def _quick_config():
+    return CampaignConfig(n_instances=2, duration_hours=2.0, seed=5)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return table1_experiment("dnsmasq", repetitions=2, config=_quick_config())
+
+
+class TestTable1Experiment:
+    def test_all_fuzzers_present(self, comparison):
+        assert set(comparison.results) == {"cmfuzz", "peach", "spfuzz"}
+        assert all(len(r) == 2 for r in comparison.results.values())
+
+    def test_mean_coverage_positive(self, comparison):
+        for fuzzer in comparison.results:
+            assert comparison.mean_coverage(fuzzer) > 0
+
+    def test_improvement_metric(self, comparison):
+        improvement = comparison.improvement_over("peach")
+        expected = 100.0 * (comparison.mean_coverage("cmfuzz")
+                            - comparison.mean_coverage("peach")) \
+            / comparison.mean_coverage("peach")
+        assert improvement == pytest.approx(expected)
+
+    def test_speedup_metric(self, comparison):
+        assert comparison.speedup_over("peach") > 0
+
+    def test_merged_bugs(self, comparison):
+        ledger = comparison.merged_bugs("cmfuzz")
+        for bug in ledger.unique_bugs():
+            assert bug.protocol == "DNS"
+
+    def test_unknown_subject_rejected(self):
+        with pytest.raises(KeyError):
+            table1_experiment("nope", repetitions=1, config=_quick_config())
+
+
+class TestTable2Experiment:
+    def test_merged_ledger_across_subjects(self):
+        ledger = table2_experiment(subjects=("dnsmasq",), repetitions=1,
+                                   config=_quick_config())
+        assert all(bug.protocol == "DNS" for bug in ledger.unique_bugs())
+
+
+class TestFigure4Experiment:
+    def test_panel_series(self):
+        config = _quick_config()
+        panels = figure4_experiment("dnsmasq", repetitions=1, config=config,
+                                    fuzzers=("peach",))
+        series = panels["peach"]
+        assert series.final_time == pytest.approx(2 * 3600.0)
+        values = [v for _, v in series.points()]
+        assert values == sorted(values)

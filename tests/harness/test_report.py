@@ -1,0 +1,71 @@
+"""Tests for the report renderers."""
+
+from repro.harness.report import (
+    format_speedup,
+    improvement,
+    render_bug_table,
+    render_figure4,
+    render_table,
+)
+from repro.harness.stats import TimeSeries
+from repro.targets.faults import BugLedger, CrashReport, FaultKind
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["A", "Bee"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_contains_cells(self):
+        text = render_table(["H"], [["value"]])
+        assert "value" in text
+
+
+class TestFormatting:
+    def test_improvement_positive(self):
+        assert improvement(134.4, 100.0) == "+34.4%"
+
+    def test_improvement_negative(self):
+        assert improvement(90.0, 100.0) == "-10.0%"
+
+    def test_improvement_zero_baseline(self):
+        assert improvement(5, 0) == "n/a"
+
+    def test_speedup_small(self):
+        assert format_speedup(2.5) == "2.5x"
+
+    def test_speedup_large_with_separator(self):
+        assert format_speedup(3544.0) == "3,544x"
+
+    def test_speedup_infinite(self):
+        assert format_speedup(float("inf")) == "inf"
+
+
+class TestFigure4:
+    def test_chart_renders_all_series(self):
+        cm = TimeSeries()
+        peach = TimeSeries()
+        for t in range(0, 25):
+            cm.record(t * 3600, 100 + t * 10)
+            peach.record(t * 3600, 50 + t * 5)
+        chart = render_figure4({"cmfuzz": cm, "peach": peach}, horizon=86400)
+        assert "C" in chart and "P" in chart
+        assert "cmfuzz" in chart and "peach" in chart
+
+    def test_empty_series_ok(self):
+        chart = render_figure4({"cmfuzz": TimeSeries()}, horizon=100)
+        assert "cmfuzz" in chart
+
+
+class TestBugTable:
+    def test_renders_ledger(self):
+        ledger = BugLedger()
+        ledger.record(CrashReport("MQTT", FaultKind.SEGV, "loop_accepted", sim_time=1))
+        ledger.record(CrashReport("DNS", FaultKind.HEAP_BUFFER_OVERFLOW,
+                                  "config_parse", sim_time=2))
+        text = render_bug_table(ledger)
+        assert "loop_accepted" in text
+        assert "heap-buffer-overflow" in text
+        assert text.splitlines()[2].startswith("1")

@@ -1,0 +1,47 @@
+"""Tests for Table-I row assembly from campaign results."""
+
+import pytest
+
+from repro.harness.report import table1_row
+from repro.harness.stats import TimeSeries
+from repro.targets.faults import BugLedger
+
+
+class _FakeResult:
+    def __init__(self, points):
+        self.coverage = TimeSeries()
+        for t, v in points:
+            self.coverage.record(t, v)
+        self.final_coverage = int(self.coverage.final_value)
+        self.bugs = BugLedger()
+
+
+def _results(final, t_final=86400.0, t_mid=3600.0):
+    return [_FakeResult([(0, 0), (t_mid, final // 2), (t_final, final)])]
+
+
+class TestTable1Row:
+    def test_row_structure(self):
+        row = table1_row("mqtt", _results(200), _results(100), _results(120))
+        assert len(row) == 8
+        assert row[0] == "mqtt"
+        assert row[1] == "200"
+        assert row[2] == "100"
+
+    def test_improvement_columns(self):
+        row = table1_row("x", _results(150), _results(100), _results(120))
+        assert row[3] == "+50.0%"
+        assert row[6] == "+25.0%"
+
+    def test_speedup_columns_formatted(self):
+        cmfuzz = [_FakeResult([(0, 0), (600, 100), (86400, 150)])]
+        peach = [_FakeResult([(0, 0), (86400, 100)])]
+        row = table1_row("x", cmfuzz, peach, peach)
+        assert row[4] == "144x"  # 86400 / 600
+
+    def test_averages_multiple_repetitions(self):
+        cmfuzz = _results(100) + _results(200)
+        peach = _results(100) + _results(100)
+        row = table1_row("x", cmfuzz, peach, peach)
+        assert row[1] == "150"
+        assert row[3] == "+50.0%"

@@ -1,0 +1,50 @@
+"""Tests for the simulated clock and cost model."""
+
+import pytest
+
+from repro.harness.simclock import CostModel, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(10.0).now == 10.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        clock.advance(2.5)
+        assert clock.now == 7.5
+
+    def test_advance_returns_new_time(self):
+        assert SimClock().advance(3.0) == 3.0
+
+    def test_cannot_go_backwards(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_zero_advance_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+
+class TestCostModel:
+    def test_defaults_positive(self):
+        costs = CostModel()
+        assert costs.iteration > 0
+        assert costs.crash_restart > 0
+        assert costs.config_restart > 0
+        assert costs.startup_probe > 0
+
+    def test_invalid_cost_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(iteration=0)
+        with pytest.raises(ValueError):
+            CostModel(crash_restart=-1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CostModel().iteration = 5

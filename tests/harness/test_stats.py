@@ -1,0 +1,93 @@
+"""Tests for time series and the Speedup metric."""
+
+import pytest
+
+from repro.harness.stats import TimeSeries, mean, speedup
+
+
+def _series(points):
+    series = TimeSeries()
+    for t, v in points:
+        series.record(t, v)
+    return series
+
+
+class TestTimeSeries:
+    def test_final_value_and_time(self):
+        series = _series([(0, 0), (10, 5), (20, 9)])
+        assert series.final_value == 9
+        assert series.final_time == 20
+
+    def test_empty_series(self):
+        series = TimeSeries()
+        assert series.final_value == 0.0
+        assert series.value_at(100) == 0.0
+        assert series.time_to_reach(1) is None
+
+    def test_step_function_evaluation(self):
+        series = _series([(0, 0), (10, 5), (20, 9)])
+        assert series.value_at(0) == 0
+        assert series.value_at(9.9) == 0
+        assert series.value_at(10) == 5
+        assert series.value_at(15) == 5
+        assert series.value_at(1000) == 9
+
+    def test_time_to_reach(self):
+        series = _series([(0, 0), (10, 5), (20, 9)])
+        assert series.time_to_reach(5) == 10
+        assert series.time_to_reach(6) == 20
+        assert series.time_to_reach(100) is None
+
+    def test_out_of_order_rejected(self):
+        series = _series([(10, 1)])
+        with pytest.raises(ValueError):
+            series.record(5, 2)
+
+    def test_sample_grid(self):
+        series = _series([(0, 0), (10, 4)])
+        grid = series.sample(interval=5, horizon=20)
+        assert grid == [(0, 0), (5, 0), (10, 4), (15, 4), (20, 4)]
+
+    def test_sample_invalid_interval(self):
+        with pytest.raises(ValueError):
+            _series([(0, 0)]).sample(0, 10)
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_empty_mean(self):
+        assert mean([]) == 0.0
+
+
+class TestSpeedup:
+    def test_contender_faster(self):
+        baseline = _series([(0, 0), (1000, 100)])
+        contender = _series([(0, 0), (10, 100)])
+        assert speedup(baseline, contender) == pytest.approx(100.0)
+
+    def test_equal_speed(self):
+        baseline = _series([(0, 0), (100, 50)])
+        contender = _series([(0, 0), (100, 50)])
+        assert speedup(baseline, contender) == pytest.approx(1.0)
+
+    def test_contender_never_reaches(self):
+        baseline = _series([(0, 0), (100, 100)])
+        contender = _series([(0, 0), (100, 40)])
+        assert speedup(baseline, contender) == pytest.approx(0.4)
+
+    def test_zero_baseline(self):
+        assert speedup(TimeSeries(), TimeSeries()) == 1.0
+
+    def test_floor_prevents_infinity(self):
+        baseline = _series([(0, 0), (3600, 10)])
+        contender = _series([(0, 50)])
+        value = speedup(baseline, contender, floor=1.0)
+        assert value == pytest.approx(3600.0)
+
+    def test_early_lead_gives_large_speedup(self):
+        """CMFuzz's config-at-startup coverage yields huge Table-I speedups."""
+        baseline = _series([(0, 0), (86400, 80)])
+        contender = _series([(600, 90), (86400, 120)])
+        assert speedup(baseline, contender) == pytest.approx(86400 / 600)

@@ -1,0 +1,150 @@
+"""Tests for the in-process network namespace simulation."""
+
+import pytest
+
+from repro.errors import NamespaceError
+from repro.netns.channel import Channel, Endpoint
+from repro.netns.namespace import NamespaceManager, NetworkNamespace
+
+
+class TestEndpoint:
+    def test_fifo_order(self):
+        endpoint = Endpoint("e")
+        endpoint.deliver(b"1")
+        endpoint.deliver(b"2")
+        assert endpoint.recv() == b"1"
+        assert endpoint.recv() == b"2"
+
+    def test_empty_recv_none(self):
+        assert Endpoint("e").recv() is None
+
+    def test_pending_count(self):
+        endpoint = Endpoint("e")
+        endpoint.deliver(b"x")
+        assert endpoint.pending() == 1
+
+    def test_closed_endpoint_rejects_delivery(self):
+        endpoint = Endpoint("e")
+        endpoint.close()
+        with pytest.raises(NamespaceError):
+            endpoint.deliver(b"x")
+
+    def test_close_drops_pending(self):
+        endpoint = Endpoint("e")
+        endpoint.deliver(b"x")
+        endpoint.close()
+        assert endpoint.pending() == 0
+
+
+class TestChannel:
+    def test_bidirectional(self):
+        channel = Channel("c")
+        channel.send_to_server(b"req")
+        channel.send_to_client(b"resp")
+        assert channel.server.recv() == b"req"
+        assert channel.client.recv() == b"resp"
+
+    def test_byte_accounting(self):
+        channel = Channel("c")
+        channel.send_to_server(b"12345")
+        channel.send_to_client(b"12")
+        assert channel.bytes_to_server == 5
+        assert channel.bytes_to_client == 2
+
+    def test_close_closes_both_sides(self):
+        channel = Channel("c")
+        channel.close()
+        assert channel.closed
+
+
+class TestNetworkNamespace:
+    def test_bind_and_connect(self):
+        ns = NetworkNamespace("ns0")
+        server = ns.bind(1883)
+        client = ns.connect(1883)
+        assert server is client
+
+    def test_double_bind_rejected(self):
+        ns = NetworkNamespace("ns0")
+        ns.bind(1883)
+        with pytest.raises(NamespaceError):
+            ns.bind(1883)
+
+    def test_connect_refused_when_unbound(self):
+        with pytest.raises(NamespaceError):
+            NetworkNamespace("ns0").connect(1883)
+
+    def test_invalid_port_rejected(self):
+        ns = NetworkNamespace("ns0")
+        for port in (0, -1, 70000):
+            with pytest.raises(NamespaceError):
+                ns.bind(port)
+
+    def test_release_frees_port(self):
+        ns = NetworkNamespace("ns0")
+        ns.bind(53)
+        ns.release(53)
+        ns.bind(53)
+
+    def test_release_unbound_raises(self):
+        with pytest.raises(NamespaceError):
+            NetworkNamespace("ns0").release(53)
+
+    def test_isolation_between_namespaces(self):
+        ns_a, ns_b = NetworkNamespace("a"), NetworkNamespace("b")
+        ns_a.bind(1883)
+        with pytest.raises(NamespaceError):
+            ns_b.connect(1883)
+
+    def test_same_port_bindable_in_two_namespaces(self):
+        NetworkNamespace("a").bind(1883)
+        NetworkNamespace("b").bind(1883)
+
+    def test_destroyed_namespace_unusable(self):
+        ns = NetworkNamespace("a")
+        ns.destroy()
+        with pytest.raises(NamespaceError):
+            ns.bind(80)
+
+    def test_destroy_closes_channels(self):
+        ns = NetworkNamespace("a")
+        channel = ns.bind(80)
+        ns.destroy()
+        assert channel.closed
+
+    def test_bound_ports_sorted(self):
+        ns = NetworkNamespace("a")
+        ns.bind(90)
+        ns.bind(10)
+        assert ns.bound_ports() == [10, 90]
+
+
+class TestNamespaceManager:
+    def test_create_and_get(self):
+        manager = NamespaceManager()
+        ns = manager.create("x")
+        assert manager.get("x") is ns
+
+    def test_duplicate_create_rejected(self):
+        manager = NamespaceManager()
+        manager.create("x")
+        with pytest.raises(NamespaceError):
+            manager.create("x")
+
+    def test_recreate_after_destroy_allowed(self):
+        manager = NamespaceManager()
+        manager.create("x")
+        manager.destroy("x")
+        manager.create("x")
+
+    def test_unknown_get_raises(self):
+        with pytest.raises(NamespaceError):
+            NamespaceManager().get("nope")
+
+    def test_destroy_all(self):
+        manager = NamespaceManager()
+        manager.create("a")
+        manager.create("b")
+        manager.destroy_all()
+        assert manager.active() == []
+        assert len(manager) == 0

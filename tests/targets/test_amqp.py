@@ -1,0 +1,214 @@
+"""Tests for the Qpid-style AMQP broker target."""
+
+import pytest
+
+from repro.errors import StartupError
+from repro.targets.amqp.server import QpidTarget
+from repro.targets.faults import FaultKind, SanitizerFault
+
+_HEADER = b"AMQP\x00\x01\x00\x00"
+_SASL_HEADER = b"AMQP\x03\x01\x00\x00"
+
+
+def _frame(code, channel=0, args=b"", frame_type=0, doff=2):
+    body = bytes([0x00, code]) + args
+    size = doff * 4 + len(body)
+    return size.to_bytes(4, "big") + bytes([doff, frame_type]) + channel.to_bytes(2, "big") + body
+
+
+def _broker(**config):
+    target = QpidTarget()
+    target.startup(config)
+    return target
+
+
+def _opened(**config):
+    target = _broker(**config)
+    target.handle_packet(_HEADER)
+    target.handle_packet(_frame(0x10))
+    return target
+
+
+class TestStartup:
+    def test_default(self):
+        target = _broker()
+        assert "qpid:startup.complete" in target.cov.total
+
+    def test_auth_requires_mechs(self):
+        with pytest.raises(StartupError):
+            _broker(auth=True, **{"mech-list": "  "})
+
+    def test_tiny_max_frame_rejected(self):
+        with pytest.raises(StartupError):
+            _broker(**{"max-frame-size": 128})
+
+    def test_bad_flow_ratio_rejected(self):
+        with pytest.raises(StartupError):
+            _broker(**{"flow-stop-ratio": 0})
+
+    def test_durable_branch(self):
+        target = _broker(durable=True)
+        assert "qpid:startup.store_open" in target.cov.total
+
+    def test_auth_mech_branches(self):
+        target = _broker(auth=True, **{"mech-list": "ANONYMOUS PLAIN"})
+        assert "qpid:startup.auth.plain" in target.cov.total
+        assert "qpid:startup.auth.anonymous_allowed" in target.cov.total
+
+
+class TestProtocolHeader:
+    def test_plain_header_echoed(self):
+        target = _broker()
+        assert target.handle_packet(_HEADER) == _HEADER
+
+    def test_garbage_header_malformed(self):
+        target = _broker()
+        target.handle_packet(b"HTTP/1.1 GET /")
+        assert "qpid:packet.malformed" in target.cov.total
+
+    def test_sasl_header_downgraded_without_auth(self):
+        target = _broker()
+        assert target.handle_packet(_SASL_HEADER) == _HEADER
+
+    def test_auth_demands_sasl(self):
+        target = _broker(auth=True)
+        assert target.handle_packet(_HEADER) == _SASL_HEADER
+
+
+class TestConnectionLifecycle:
+    def test_open_echoed(self):
+        target = _broker()
+        target.handle_packet(_HEADER)
+        response = target.handle_packet(_frame(0x10))
+        assert response[9] == 0x10
+
+    def test_double_open_is_error(self):
+        target = _opened()
+        target.handle_packet(_frame(0x10))
+        assert "qpid:packet.malformed" in target.cov.total
+
+    def test_performative_before_open_is_error(self):
+        target = _broker()
+        target.handle_packet(_HEADER)
+        target.handle_packet(_frame(0x11, channel=1))
+        assert "qpid:packet.malformed" in target.cov.total
+
+    def test_begin_attach_transfer_flow(self):
+        target = _opened()
+        target.handle_packet(_frame(0x11, channel=1))
+        target.handle_packet(_frame(0x12, channel=1, args=b"\x05\x00"))
+        response = target.handle_packet(_frame(0x14, channel=1, args=b"\x05\x00payload"))
+        assert response[9] == 0x15  # disposition
+
+    def test_transfer_without_attach_is_error(self):
+        target = _opened()
+        target.handle_packet(_frame(0x11, channel=1))
+        target.handle_packet(_frame(0x14, channel=1, args=b"\x05\x00x"))
+        assert "qpid:packet.malformed" in target.cov.total
+
+    def test_close_resets_connection(self):
+        target = _opened()
+        response = target.handle_packet(_frame(0x18))
+        assert response[9] == 0x18
+        assert not target._opened
+
+    def test_heartbeat_frame_empty_body(self):
+        target = _opened(heartbeat=10)
+        empty = (8).to_bytes(4, "big") + bytes([2, 0, 0, 0])
+        assert target.handle_packet(empty) == b""
+        assert "qpid:frame.heartbeat/T" in target.cov.total
+
+    def test_queue_full_detaches(self):
+        target = _opened(**{"queue-depth": 2})
+        target.handle_packet(_frame(0x11, channel=1))
+        target.handle_packet(_frame(0x12, channel=1, args=b"\x05\x00"))
+        for _ in range(2):
+            target.handle_packet(_frame(0x14, channel=1, args=b"\x05\x00x"))
+        response = target.handle_packet(_frame(0x14, channel=1, args=b"\x05\x00x"))
+        assert response[9] == 0x16  # detach
+
+    def test_bad_doff_malformed(self):
+        target = _opened()
+        target.handle_packet(_frame(0x11, channel=1, doff=1))
+        assert "qpid:packet.malformed" in target.cov.total
+
+
+class TestManagement:
+    def _session(self, **config):
+        target = _opened(**config)
+        target.handle_packet(_frame(0x11, channel=1))
+        target.handle_packet(_frame(0x12, channel=1, args=b"\x05\x00"))
+        return target
+
+    def test_get_objects_answered(self):
+        target = self._session()
+        response = target.handle_packet(
+            _frame(0x14, channel=1, args=b"\x05\x01qmf:getObjects broker"))
+        assert response[9] == 0x15
+        assert "qpid:mgmt.objects_reply" in target.cov.total
+
+    def test_get_schema_answered(self):
+        target = self._session()
+        target.handle_packet(_frame(0x14, channel=1, args=b"\x05\x01qmf:getSchema q"))
+        assert "qpid:mgmt.schema_reply" in target.cov.total
+
+    def test_method_call_with_auth_check(self):
+        target = _broker(auth=True)
+        target.handle_packet(_SASL_HEADER)
+        target.handle_packet(_frame(0x41, args=b"ANONYMOUS\x00", frame_type=1))
+        target.handle_packet(_HEADER)
+        target.handle_packet(_frame(0x10))
+        target.handle_packet(_frame(0x11, channel=1))
+        target.handle_packet(_frame(0x12, channel=1, args=b"\x05\x00"))
+        target.handle_packet(_frame(0x14, channel=1, args=b"\x05\x01qmf:method purge"))
+        assert "qpid:mgmt.method_call" in target.cov.total
+        assert "qpid:mgmt.method_auth_check" in target.cov.total
+
+    def test_disabled_management_refused(self):
+        target = self._session(**{"mgmt-enable": False})
+        response = target.handle_packet(
+            _frame(0x14, channel=1, args=b"\x05\x01qmf:getObjects broker"))
+        assert response[9] == 0x16  # detach
+        assert "qpid:mgmt.disabled_refused" in target.cov.total
+
+    def test_unknown_command_malformed(self):
+        target = self._session()
+        target.handle_packet(_frame(0x14, channel=1, args=b"\x05\x01qmf:frobnicate"))
+        assert "qpid:mgmt.unknown_command" in target.cov.total
+        assert "qpid:packet.malformed" in target.cov.total
+
+
+class TestSasl:
+    def test_anonymous_accepted(self):
+        target = _broker(auth=True)
+        target.handle_packet(_SASL_HEADER)
+        response = target.handle_packet(_frame(0x41, args=b"ANONYMOUS\x00", frame_type=1))
+        assert response == b"\x00\x44\x00"
+
+    def test_unlisted_mech_rejected(self):
+        target = _broker(auth=True)
+        target.handle_packet(_SASL_HEADER)
+        response = target.handle_packet(_frame(0x41, args=b"PLAIN\x00x", frame_type=1))
+        assert response == b"\x00\x44\x01"
+
+    def test_open_before_sasl_is_error(self):
+        target = _broker(auth=True)
+        target.handle_packet(_SASL_HEADER)
+        target.handle_packet(_frame(0x10))
+        assert "qpid:packet.malformed" in target.cov.total
+
+
+class TestTableIIBug:
+    def test_bug9_pthread_create_overflow(self):
+        target = _broker(**{"worker-threads": 128})
+        target.handle_packet(_HEADER)
+        with pytest.raises(SanitizerFault) as exc:
+            target.handle_packet(_frame(0x10))
+        assert exc.value.function == "pthread_create"
+        assert exc.value.kind is FaultKind.STACK_BUFFER_OVERFLOW
+
+    def test_bug9_needs_oversubscription(self):
+        target = _broker(**{"worker-threads": 8})
+        target.handle_packet(_HEADER)
+        response = target.handle_packet(_frame(0x10))
+        assert response[9] == 0x10

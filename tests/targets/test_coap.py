@@ -1,0 +1,213 @@
+"""Tests for the libcoap-style CoAP server target."""
+
+import pytest
+
+from repro.errors import StartupError
+from repro.targets.coap.server import LibcoapTarget
+from repro.targets.faults import FaultKind, SanitizerFault
+
+
+def _message(code, options=b"", payload=b"", mtype=0, tkl=0, token=b"", mid=0x1234):
+    header = bytes([(1 << 6) | (mtype << 4) | (tkl or len(token)), code]) + mid.to_bytes(2, "big")
+    data = header + token + options
+    if payload:
+        data += b"\xff" + payload
+    return data
+
+
+_URI_STORE = b"\xb5store"
+_URI_TEMP = b"\xb7sensors\x04temp"
+
+
+def _server(**config):
+    target = LibcoapTarget()
+    target.startup(config)
+    return target
+
+
+class TestStartup:
+    def test_default_startup(self):
+        target = _server()
+        assert "libcoap:startup.complete" in target.cov.total
+
+    def test_qblock_requires_block_transfer(self):
+        with pytest.raises(StartupError):
+            _server(qblock=True)
+
+    def test_qblock_with_block_transfer_ok(self):
+        target = _server(**{"block-transfer": True, "qblock": True})
+        assert "libcoap:startup.qblock.recovery_timers" in target.cov.total
+
+    def test_invalid_block_size(self):
+        with pytest.raises(StartupError):
+            _server(**{"block-size": 48})
+
+    def test_invalid_nstart(self):
+        with pytest.raises(StartupError):
+            _server(nstart=0)
+
+    def test_dtls_psk_vs_cert_branches(self):
+        psk = _server(dtls=True, psk="secret")
+        cert = _server(dtls=True)
+        assert "libcoap:startup.dtls.psk_ciphers" in psk.cov.total
+        assert "libcoap:startup.dtls.cert_load" in cert.cov.total
+
+
+class TestParsing:
+    def test_get_known_resource(self):
+        target = _server()
+        response = target.handle_packet(_message(0x01, _URI_TEMP))
+        assert b"21.5" in response
+
+    def test_get_unknown_resource_404(self):
+        target = _server()
+        response = target.handle_packet(_message(0x01, b"\xb4nope"))
+        assert response[1] == 0x84
+
+    def test_runt_packet_malformed(self):
+        target = _server()
+        assert target.handle_packet(b"\x40") == b""
+        assert "libcoap:packet.runt" in target.cov.total
+
+    def test_bad_version_dropped(self):
+        target = _server()
+        assert target.handle_packet(b"\x80\x01\x00\x01") == b""
+
+    def test_ping_gets_rst(self):
+        target = _server()
+        response = target.handle_packet(_message(0x00, mtype=0))
+        assert (response[0] >> 4) & 0x03 == 3
+
+    def test_put_then_get_round_trip(self):
+        target = _server()
+        target.handle_packet(_message(0x03, _URI_STORE, b"stored!"))
+        response = target.handle_packet(_message(0x01, _URI_STORE))
+        assert b"stored!" in response
+
+    def test_post_creates(self):
+        target = _server()
+        response = target.handle_packet(_message(0x02, b"\xb3new", b"v"))
+        assert response[1] == 0x41
+
+    def test_delete(self):
+        target = _server()
+        target.handle_packet(_message(0x03, _URI_STORE, b"x"))
+        response = target.handle_packet(_message(0x04, _URI_STORE))
+        assert response[1] == 0x42
+
+    def test_long_token_malformed(self):
+        target = _server()
+        data = bytes([(1 << 6) | 9, 0x01, 0, 1]) + b"123456789"
+        target.handle_packet(data)
+        assert "libcoap:packet.malformed" in target.cov.total
+
+    def test_observe_disabled_ignored(self):
+        target = _server()
+        options = b"\x60" + b"\x57sensors\x04temp"
+        target.handle_packet(_message(0x01, options))
+        assert "libcoap:request.observe_disabled" in target.cov.total
+
+    def test_observe_register(self):
+        target = _server(observe=True)
+        options = b"\x60" + b"\x57sensors\x04temp"
+        response = target.handle_packet(_message(0x01, options))
+        assert response[1] == 0x45
+
+    def test_observe_notification_on_put(self):
+        target = _server(observe=True)
+        # Register an observer on /store (after creating it).
+        target.handle_packet(_message(0x03, _URI_STORE, b"v1"))
+        target.handle_packet(_message(0x01, b"\x60" + b"\x55store"))
+        response = target.handle_packet(_message(0x03, _URI_STORE, b"v2"))
+        # Reply contains the 2.04 ACK plus a piggybacked notification.
+        assert "libcoap:observe.notification_sent" in target.cov.total
+        assert b"v2" in response
+
+    def test_no_notification_when_observe_disabled(self):
+        target = _server()
+        target.handle_packet(_message(0x03, _URI_STORE, b"v1"))
+        target.handle_packet(_message(0x03, _URI_STORE, b"v2"))
+        assert "libcoap:observe.notification_sent" not in target.cov.total
+
+    def test_no_notification_without_observer(self):
+        target = _server(observe=True)
+        target.handle_packet(_message(0x03, _URI_STORE, b"v1"))
+        assert "libcoap:observe.notify/F" in target.cov.total
+        assert "libcoap:observe.notification_sent" not in target.cov.total
+
+    def test_block2_get_requires_config(self):
+        target = _server()
+        response = target.handle_packet(_message(0x01, _URI_TEMP + b"\xc1\x02"))
+        assert response[1] == 0x80
+
+    def test_block2_get_served_when_enabled(self):
+        target = _server(**{"block-transfer": True})
+        target.handle_packet(_message(0x03, _URI_STORE, b"Z" * 100))
+        response = target.handle_packet(_message(0x01, b"\xb5store" + b"\xc1\x02"))
+        assert response[1] == 0x45
+
+
+class TestBlockwisePut:
+    def test_block1_reassembly(self):
+        target = _server(**{"block-transfer": True})
+        first = _message(0x03, _URI_STORE + b"\xd1\x03\x0a", b"A" * 16)
+        last = _message(0x03, _URI_STORE + b"\xd1\x03\x12", b"B" * 8)
+        assert target.handle_packet(first)[1] == 0x5F  # 2.31 Continue
+        assert target.handle_packet(last)[1] == 0x44   # 2.04 Changed
+        assert target._resources["store"] == b"A" * 16 + b"B" * 8
+
+    def test_block1_disabled(self):
+        target = _server()
+        response = target.handle_packet(_message(0x03, _URI_STORE + b"\xd1\x03\x0a", b"A"))
+        assert response[1] == 0x82
+
+    def test_block1_missing_first_block_recovers(self):
+        target = _server(**{"block-transfer": True})
+        only_last = _message(0x03, _URI_STORE + b"\xd1\x03\x12", b"B")
+        response = target.handle_packet(only_last)
+        assert response[1] == 0x88  # 4.08 request entity incomplete
+
+
+class TestTableIIBugs:
+    def test_bug6_segv_clean_options(self):
+        target = _server()
+        options = b"\x00" * 13 + b"\xf0"
+        with pytest.raises(SanitizerFault) as exc:
+            target.handle_packet(_message(0x01, options))
+        assert exc.value.function == "coap_clean_options"
+
+    def test_short_option_chain_reserved_delta_is_malformed(self):
+        target = _server()
+        target.handle_packet(_message(0x01, b"\x00\xf0"))
+        assert "libcoap:packet.malformed" in target.cov.total
+
+    def test_bug7_stack_overflow_get_option_delta(self):
+        target = _server()
+        with pytest.raises(SanitizerFault) as exc:
+            target.handle_packet(_message(0x01, b"\xe0\x01"))
+        assert exc.value.function == "CoapPDU::getOptionDelta"
+        assert exc.value.kind is FaultKind.STACK_BUFFER_OVERFLOW
+
+    def test_bug8_case_study_qblock_null_body(self):
+        """Figure 5: Q-Block1 final block without block 0 -> SEGV."""
+        target = _server(**{"block-transfer": True, "qblock": True})
+        only_last = _message(0x03, _URI_STORE + b"\x81\x12", b"D")
+        with pytest.raises(SanitizerFault) as exc:
+            target.handle_packet(only_last)
+        assert exc.value.function == "coap_handle_request_put_block"
+        assert exc.value.kind is FaultKind.SEGV
+
+    def test_bug8_not_triggerable_under_default_config(self):
+        """The paper stresses this bug needs non-default configuration."""
+        target = _server()
+        only_last = _message(0x03, _URI_STORE + b"\x81\x12", b"D")
+        response = target.handle_packet(only_last)
+        assert response[1] == 0x82  # rejected: q-block not enabled
+
+    def test_bug8_complete_transfer_is_safe(self):
+        target = _server(**{"block-transfer": True, "qblock": True})
+        first = _message(0x03, _URI_STORE + b"\x81\x0a", b"C" * 16)
+        last = _message(0x03, _URI_STORE + b"\x81\x12", b"D" * 8)
+        target.handle_packet(first)
+        response = target.handle_packet(last)
+        assert response[1] == 0x44

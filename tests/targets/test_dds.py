@@ -1,0 +1,164 @@
+"""Tests for the CycloneDDS-style RTPS participant target."""
+
+import pytest
+
+from repro.errors import StartupError
+from repro.targets.dds.server import CycloneDdsTarget
+
+
+def _header(minor=1, vendor=0x0110):
+    return b"RTPS" + bytes([2, minor]) + vendor.to_bytes(2, "big") + bytes(12)
+
+
+def _submessage(kind, flags, body):
+    return bytes([kind, flags]) + len(body).to_bytes(2, "big") + body
+
+
+def _data_body(writer=7, seq=1, payload=b"p"):
+    return bytes(4) + writer.to_bytes(4, "big") + seq.to_bytes(8, "big") + payload
+
+
+def _heartbeat_body(first=1, last=3):
+    return bytes(8) + first.to_bytes(8, "big") + last.to_bytes(8, "big")
+
+
+def _participant(**config):
+    target = CycloneDdsTarget()
+    target.startup(config)
+    return target
+
+
+class TestStartup:
+    def test_default(self):
+        target = _participant()
+        assert "cyclonedds:startup.complete" in target.cov.total
+
+    def test_whc_inversion_conflict(self):
+        with pytest.raises(StartupError):
+            _participant(**{"Domain.Internal.WhcLow": 1000})
+
+    def test_fragment_over_max_conflict(self):
+        with pytest.raises(StartupError):
+            _participant(**{"Domain.General.FragmentSize": 99999})
+
+    def test_auto_index_needs_positive_max(self):
+        with pytest.raises(StartupError):
+            _participant(**{"Domain.Discovery.MaxAutoParticipantIndex": 0})
+
+    def test_participant_index_branches(self):
+        fixed = _participant(**{"Domain.Discovery.ParticipantIndex": "5"})
+        none = _participant(**{"Domain.Discovery.ParticipantIndex": "none"})
+        assert "cyclonedds:startup.discovery.fixed_index" in fixed.cov.total
+        assert "cyclonedds:startup.discovery.no_index" in none.cov.total
+
+    def test_retransmit_merging_branches(self):
+        target = _participant(**{"Domain.Internal.RetransmitMerging": "adaptive"})
+        assert "cyclonedds:startup.retransmit.adaptive" in target.cov.total
+
+
+class TestParsing:
+    def test_bad_magic_rejected(self):
+        target = _participant()
+        target.handle_packet(b"FAKE" + bytes(20))
+        assert "cyclonedds:packet.malformed" in target.cov.total
+
+    def test_runt_rejected(self):
+        target = _participant()
+        target.handle_packet(b"RTPS")
+        assert "cyclonedds:packet.runt" in target.cov.total
+
+    def test_data_submessage_accepted(self):
+        target = _participant()
+        packet = _header() + _submessage(0x15, 0x00, _data_body())
+        target.handle_packet(packet)
+        assert "cyclonedds:subm.data" in target.cov.total
+        assert target._writers[7] == 1
+
+    def test_duplicate_sequence_dropped_by_default(self):
+        target = _participant()
+        packet = _header() + _submessage(0x15, 0x00, _data_body(seq=5))
+        target.handle_packet(packet)
+        target.handle_packet(packet)
+        assert "cyclonedds:subm.data.dropped_dup" in target.cov.total
+
+    def test_duplicate_sequence_merged_when_configured(self):
+        target = _participant(**{"Domain.Internal.RetransmitMerging": "always"})
+        packet = _header() + _submessage(0x15, 0x00, _data_body(seq=5))
+        target.handle_packet(packet)
+        target.handle_packet(packet)
+        assert "cyclonedds:subm.data.merge_always" in target.cov.total
+
+    def test_heartbeat_generates_acknack(self):
+        target = _participant()
+        packet = _header() + _submessage(0x07, 0x00, _heartbeat_body())
+        response = target.handle_packet(packet)
+        assert response
+        assert response[0] == 0x06
+
+    def test_final_heartbeat_silent(self):
+        target = _participant()
+        packet = _header() + _submessage(0x07, 0x02, _heartbeat_body())
+        assert target.handle_packet(packet) == b""
+
+    def test_info_ts_then_data(self):
+        target = _participant()
+        packet = (_header()
+                  + _submessage(0x09, 0x00, bytes(8))
+                  + _submessage(0x15, 0x00, _data_body(seq=9)))
+        target.handle_packet(packet)
+        assert "cyclonedds:subm.data.timestamped" in target.cov.total
+
+    def test_little_endian_length(self):
+        target = _participant()
+        body = _data_body()
+        sub = bytes([0x15, 0x01]) + len(body).to_bytes(2, "little") + body
+        target.handle_packet(_header() + sub)
+        assert "cyclonedds:subm.data" in target.cov.total
+
+    def test_unknown_must_understand_is_error(self):
+        target = _participant()
+        packet = _header() + _submessage(0x7F, 0x80, b"")
+        target.handle_packet(packet)
+        assert "cyclonedds:packet.malformed" in target.cov.total
+
+    def test_over_max_message_dropped(self):
+        target = _participant(**{"Domain.General.MaxMessageSize": 24,
+                                 "Domain.General.FragmentSize": 24})
+        packet = _header() + _submessage(0x15, 0x00, _data_body(payload=b"x" * 50))
+        assert target.handle_packet(packet) == b""
+        assert "cyclonedds:packet.over_max_message" in target.cov.total
+
+    def test_fragments_tracked(self):
+        target = _participant()
+        body = bytes(4) + (7).to_bytes(4, "big") + (2).to_bytes(8, "big") + (1).to_bytes(4, "big")
+        target.handle_packet(_header() + _submessage(0x16, 0x00, body))
+        assert (7, 2) in target._fragments
+
+
+class TestInlineQos:
+    def _qos_params(self):
+        return (b"\x00\x05\x00\x04" + b"tpc\x00"
+                + b"\x00\x71\x00\x04" + b"\x00\x00\x00\x01"
+                + b"\x00\x01\x00\x00")
+
+    def test_parameter_walk(self):
+        target = _participant()
+        body = _data_body(payload=b"") + self._qos_params()
+        target.handle_packet(_header() + _submessage(0x15, 0x02, body))
+        assert "cyclonedds:qos.walk" in target.cov.total
+        assert "cyclonedds:qos.status.disposed" in target.cov.total
+
+    def test_unaligned_parameter_is_error(self):
+        target = _participant()
+        body = _data_body(payload=b"") + b"\x00\x05\x00\x03abc"
+        target.handle_packet(_header() + _submessage(0x15, 0x02, body))
+        assert "cyclonedds:packet.malformed" in target.cov.total
+
+    def test_finest_tracing_config_gated(self):
+        plain = _participant()
+        traced = _participant(**{"Domain.Tracing.Verbosity": "finest"})
+        packet = _header() + _submessage(0x15, 0x00, _data_body())
+        plain.handle_packet(packet)
+        traced.handle_packet(packet)
+        assert "cyclonedds:trace.subm.21" in traced.cov.total
+        assert "cyclonedds:trace.subm.21" not in plain.cov.total

@@ -1,0 +1,127 @@
+"""Tests for DDS builtin discovery (SPDP/SEDP) parsing."""
+
+import pytest
+
+from repro.targets.dds.server import CycloneDdsTarget
+
+_SPDP_WRITER = 0x000100C2
+_SEDP_PUB_WRITER = 0x000003C2
+
+
+def _header():
+    return b"RTPS" + bytes([2, 1]) + (0x0110).to_bytes(2, "big") + bytes(12)
+
+
+def _submessage(kind, flags, body):
+    return bytes([kind, flags]) + len(body).to_bytes(2, "big") + body
+
+
+def _discovery_data(writer, params, encapsulation=b"\x00\x00\x00\x00",
+                    seq=1):
+    body = (bytes(4) + writer.to_bytes(4, "big") + seq.to_bytes(8, "big")
+            + encapsulation + params)
+    return _header() + _submessage(0x15, 0x00, body)
+
+
+def _guid_param(prefix=bytes(range(12))):
+    return b"\x00\x50\x00\x10" + prefix + b"\x00\x01\x00\xc1"
+
+
+_SENTINEL = b"\x00\x01\x00\x00"
+
+
+def _participant(**config):
+    target = CycloneDdsTarget()
+    target.startup(config)
+    return target
+
+
+class TestSpdp:
+    def test_participant_registered(self):
+        target = _participant()
+        target.handle_packet(_discovery_data(_SPDP_WRITER, _guid_param() + _SENTINEL))
+        assert bytes(range(12)) in target._participants
+
+    def test_endpoint_set_recorded(self):
+        target = _participant()
+        params = (_guid_param()
+                  + b"\x00\x58\x00\x04\x00\x00\x0c\x3f"
+                  + _SENTINEL)
+        target.handle_packet(_discovery_data(_SPDP_WRITER, params))
+        assert target._participants[bytes(range(12))] == 0x0C3F
+
+    def test_refresh_branch(self):
+        target = _participant()
+        packet = _discovery_data(_SPDP_WRITER, _guid_param() + _SENTINEL)
+        target.handle_packet(packet)
+        refreshed = _discovery_data(_SPDP_WRITER, _guid_param() + _SENTINEL, seq=2)
+        target.handle_packet(refreshed)
+        assert "cyclonedds:disc.participant_refresh/T" in target.cov.total
+
+    def test_missing_guid_malformed(self):
+        target = _participant()
+        target.handle_packet(_discovery_data(_SPDP_WRITER, _SENTINEL))
+        assert "cyclonedds:packet.malformed" in target.cov.total
+
+    def test_short_guid_malformed(self):
+        target = _participant()
+        params = b"\x00\x50\x00\x04" + bytes(4) + _SENTINEL
+        target.handle_packet(_discovery_data(_SPDP_WRITER, params))
+        assert "cyclonedds:disc.guid_short" in target.cov.total
+
+    def test_participant_table_capped_by_config(self):
+        target = _participant(**{"Domain.Discovery.MaxAutoParticipantIndex": 1})
+        for index in range(3):
+            prefix = bytes([index] * 12)
+            target.handle_packet(
+                _discovery_data(_SPDP_WRITER, _guid_param(prefix) + _SENTINEL,
+                                seq=index + 1))
+        assert "cyclonedds:disc.participant_table_full" in target.cov.total
+        assert len(target._participants) <= 2
+
+    def test_little_endian_encapsulation(self):
+        target = _participant()
+        params = (b"\x50\x00\x10\x00" + bytes(range(12)) + b"\x00\x01\x00\xc1"
+                  + b"\x01\x00\x00\x00")
+        target.handle_packet(
+            _discovery_data(_SPDP_WRITER, params, encapsulation=b"\x00\x02\x00\x00"))
+        assert "cyclonedds:disc.cdr_le" in target.cov.total
+        assert bytes(range(12)) in target._participants
+
+    def test_unknown_encapsulation_rejected(self):
+        target = _participant()
+        target.handle_packet(
+            _discovery_data(_SPDP_WRITER, _SENTINEL, encapsulation=b"\x7f\x7f\x00\x00"))
+        assert "cyclonedds:disc.unknown_encapsulation" in target.cov.total
+
+    def test_zero_lease_branch(self):
+        target = _participant()
+        params = (_guid_param()
+                  + b"\x00\x02\x00\x08" + bytes(8)
+                  + _SENTINEL)
+        target.handle_packet(_discovery_data(_SPDP_WRITER, params))
+        assert "cyclonedds:disc.zero_lease" in target.cov.total
+
+
+class TestSedp:
+    def test_topic_and_type_parsed(self):
+        target = _participant()
+        # Register a participant first.
+        target.handle_packet(_discovery_data(_SPDP_WRITER, _guid_param() + _SENTINEL))
+        params = (b"\x00\x05\x00\x08" + b"chatter\x00"
+                  + b"\x00\x07\x00\x08" + b"String\x00\x00"
+                  + _SENTINEL)
+        target.handle_packet(_discovery_data(_SEDP_PUB_WRITER, params, seq=2))
+        assert "cyclonedds:disc.pid.topic" in target.cov.total
+        assert "cyclonedds:disc.pid.type" in target.cov.total
+
+    def test_sedp_before_spdp_ignored(self):
+        target = _participant()
+        target.handle_packet(_discovery_data(_SEDP_PUB_WRITER, _SENTINEL))
+        assert "cyclonedds:disc.sedp_before_spdp/T" in target.cov.total
+
+    def test_truncated_parameter_malformed(self):
+        target = _participant()
+        params = b"\x00\x05\x00\x40" + b"short"
+        target.handle_packet(_discovery_data(_SEDP_PUB_WRITER, params))
+        assert "cyclonedds:disc.param_truncated" in target.cov.total

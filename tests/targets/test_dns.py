@@ -1,0 +1,221 @@
+"""Tests for the dnsmasq-style DNS server target."""
+
+import pytest
+
+from repro.errors import StartupError
+from repro.targets.dns.server import DnsmasqTarget
+from repro.targets.faults import FaultKind, SanitizerFault
+
+
+def _qname(name):
+    out = b""
+    for label in name.split("."):
+        out += bytes([len(label)]) + label.encode()
+    return out + b"\x00"
+
+
+def _query(name, qtype=1, qclass=1, rd=1, qdcount=1, arcount=0, extra=b""):
+    header = (b"\x1a\x2b" + (0x0100 if rd else 0).to_bytes(2, "big")
+              + qdcount.to_bytes(2, "big") + bytes(4) + arcount.to_bytes(2, "big"))
+    return header + _qname(name) + qtype.to_bytes(2, "big") + qclass.to_bytes(2, "big") + extra
+
+
+def _server(**config):
+    target = DnsmasqTarget()
+    target.startup(config)
+    return target
+
+
+class TestStartup:
+    def test_default(self):
+        target = _server()
+        assert "dnsmasq:startup.complete" in target.cov.total
+
+    def test_port_range_conflict(self):
+        with pytest.raises(StartupError):
+            _server(**{"min-port": 60000, "max-port": 1000})
+
+    def test_dnssec_needs_edns(self):
+        with pytest.raises(StartupError):
+            _server(dnssec=True, **{"edns-packet-max": 256})
+
+    def test_rebind_ok_needs_stop_rebind(self):
+        with pytest.raises(StartupError):
+            _server(**{"rebind-localhost-ok": True})
+
+    def test_cache_disabled_branch(self):
+        target = _server(**{"cache-size": 0})
+        assert "dnsmasq:startup.cache_disabled" in target.cov.total
+
+    def test_bug14_heap_overflow_config_parse(self):
+        """Table II #14: expand-hosts with an empty domain."""
+        with pytest.raises(SanitizerFault) as exc:
+            _server(**{"expand-hosts": True, "domain": ""})
+        assert exc.value.function == "config_parse"
+        assert exc.value.kind is FaultKind.HEAP_BUFFER_OVERFLOW
+
+    def test_expand_hosts_with_domain_is_safe(self):
+        target = _server(**{"expand-hosts": True})
+        assert "dnsmasq:startup.expand_hosts" in target.cov.total
+
+
+class TestResolution:
+    def test_local_hosts_answered(self):
+        target = _server()
+        response = target.handle_packet(_query("printer.lan"))
+        assert b"192.168.1.9" in response
+
+    def test_unqualified_name_expanded(self):
+        target = _server(**{"expand-hosts": True})
+        response = target.handle_packet(_query("router"))
+        assert b"192.168.1.1" in response
+
+    def test_unqualified_name_not_expanded_by_default(self):
+        target = _server()
+        target.handle_packet(_query("router"))
+        assert "dnsmasq:resolve.expanded" not in target.cov.total
+
+    def test_forwarded_query(self):
+        target = _server()
+        response = target.handle_packet(_query("www.example.com"))
+        assert b"93.184.216.34" in response
+
+    def test_no_recursion_refused(self):
+        target = _server()
+        response = target.handle_packet(_query("www.example.com", rd=0))
+        assert response[3] & 0x0F == 5
+
+    def test_local_domain_nxdomain(self):
+        target = _server()
+        response = target.handle_packet(_query("ghost.lan"))
+        assert response[3] & 0x0F == 3
+
+    def test_cache_hit_on_repeat(self):
+        target = _server()
+        target.handle_packet(_query("www.example.com"))
+        target.handle_packet(_query("www.example.com"))
+        assert "dnsmasq:resolve.cache_hit" in target.cov.total
+
+    def test_cache_disabled_no_hit(self):
+        target = _server(**{"cache-size": 0})
+        target.handle_packet(_query("www.example.com"))
+        target.handle_packet(_query("www.example.com"))
+        assert "dnsmasq:resolve.cache_hit" not in target.cov.total
+
+    def test_any_refused(self):
+        target = _server()
+        response = target.handle_packet(_query("example.com", qtype=255))
+        assert response[3] & 0x0F == 5
+
+    def test_domain_needed_refuses_bare_names(self):
+        target = _server(**{"domain-needed": True, "no-hosts": True})
+        response = target.handle_packet(_query("plain"))
+        assert response[3] & 0x0F == 5
+
+    def test_bogus_priv_blocks_private_ptr(self):
+        target = _server(**{"bogus-priv": True})
+        response = target.handle_packet(_query("1.1.168.192.in-addr.arpa", qtype=12))
+        assert response[3] & 0x0F == 3
+
+    def test_filterwin2k(self):
+        target = _server(filterwin2k=True)
+        response = target.handle_packet(_query("_ldap._tcp.dc.example.com", qtype=33))
+        assert response[3] & 0x0F == 5
+
+    def test_rebind_protection_blocks_private_answer(self):
+        target = _server(**{"stop-dns-rebind": True})
+        response = target.handle_packet(_query("printer.lan"))
+        assert response[3] & 0x0F == 5
+
+    def test_compressed_name_followed(self):
+        target = _server()
+        # Question name via a compression pointer to a name at offset 12.
+        packet = bytearray(_query("printer.lan"))
+        packet += b"\xc0\x0c" + (1).to_bytes(2, "big") + (1).to_bytes(2, "big")
+        packet[4:6] = (2).to_bytes(2, "big")  # qdcount 2
+        response = target.handle_packet(bytes(packet))
+        assert "dnsmasq:name.compressed/T" in target.cov.total
+        assert response
+
+    def test_forward_pointer_rejected(self):
+        target = _server()
+        header = b"\x1a\x2b\x01\x00\x00\x01" + bytes(6)
+        packet = header + b"\xc0\x20" + bytes(4)
+        target.handle_packet(packet)
+        assert "dnsmasq:name.forward_pointer" in target.cov.total
+
+    def test_zero_questions_formerr(self):
+        target = _server()
+        response = target.handle_packet(_query("x.com", qdcount=0))
+        assert response[3] & 0x0F == 1
+
+    def test_response_packets_ignored(self):
+        target = _server()
+        packet = bytearray(_query("x.com"))
+        packet[2] |= 0x80
+        assert target.handle_packet(bytes(packet)) == b""
+
+    def test_txt_answer_truncated_at_default_limit(self):
+        target = _server()
+        response = target.handle_packet(_query("big.example.com", qtype=16))
+        assert response[2] & 0x02  # TC bit
+        assert "dnsmasq:reply.tc_bit_set" in target.cov.total
+
+    def test_txt_answer_full_with_jumbo_edns(self):
+        target = _server(**{"edns-packet-max": 12320})
+        response = target.handle_packet(_query("big.example.com", qtype=16))
+        assert not response[2] & 0x02
+        assert len(response) > 1500
+
+    def test_small_answers_never_truncated(self):
+        target = _server()
+        response = target.handle_packet(_query("www.example.com"))
+        assert not response[2] & 0x02
+
+    def test_edns_opt_parsed(self):
+        target = _server()
+        opt = b"\x00" + (41).to_bytes(2, "big") + (4096).to_bytes(2, "big") + bytes(5)
+        target.handle_packet(_query("www.example.com", arcount=1, extra=opt))
+        assert "dnsmasq:edns.is_opt/T" in target.cov.total
+
+
+class TestTableIIBugs:
+    def test_bug10_get16bits_overread(self):
+        target = _server()
+        with pytest.raises(SanitizerFault) as exc:
+            target.handle_packet(b"\x1a\x2b\x01\x00\x00\x01\x00\x00\x00\x00")
+        assert exc.value.function == "get16bits"
+
+    def test_tiny_runt_is_plain_malformed(self):
+        target = _server()
+        response = target.handle_packet(b"\x1a")
+        assert response[3] & 0x0F == 1
+
+    def test_bug11_question_overread(self):
+        target = _server()
+        header = b"\x1a\x2b\x01\x00\x00\x01" + bytes(6)
+        with pytest.raises(SanitizerFault) as exc:
+            target.handle_packet(header + b"\x00")  # root name, no qtype
+        assert "dns_question_parse" in exc.value.function
+
+    def test_bug12_allocation_size_too_big(self):
+        target = _server(**{"edns-packet-max": 65535})
+        with pytest.raises(SanitizerFault) as exc:
+            target.handle_packet(_query("x.com", qdcount=5000))
+        assert exc.value.kind is FaultKind.ALLOCATION_SIZE_TOO_BIG
+
+    def test_bug12_needs_jumbo_edns(self):
+        target = _server()
+        response = target.handle_packet(_query("x.com", qdcount=5000))
+        assert response[3] & 0x0F == 1  # plain FORMERR
+
+    def test_bug13_printf_common(self):
+        target = _server(**{"log-queries": True})
+        with pytest.raises(SanitizerFault) as exc:
+            target.handle_packet(_query("%n%n.example.com"))
+        assert exc.value.function == "printf_common"
+
+    def test_bug13_needs_log_queries(self):
+        target = _server()
+        response = target.handle_packet(_query("%n%n.example.com"))
+        assert response  # handled without crashing

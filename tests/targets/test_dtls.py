@@ -1,0 +1,190 @@
+"""Tests for the OpenSSL-style DTLS server target."""
+
+import pytest
+
+from repro.errors import StartupError
+from repro.targets.dtls.server import OpenSslDtlsTarget
+
+_CIPHERS_ALL = b"\x00\x9c\xcc\xa8\x00\xae"
+
+
+def _record(content_type, body, seq=1, version=0xFEFD, epoch=0):
+    header = (bytes([content_type]) + version.to_bytes(2, "big")
+              + epoch.to_bytes(2, "big") + seq.to_bytes(6, "big")
+              + len(body).to_bytes(2, "big"))
+    return header + body
+
+
+def _handshake(msg_type, payload, msg_seq=0):
+    return (bytes([msg_type]) + len(payload).to_bytes(3, "big")
+            + msg_seq.to_bytes(2, "big") + bytes(3)
+            + len(payload).to_bytes(3, "big") + payload)
+
+
+def _client_hello(cookie=b"", ciphers=_CIPHERS_ALL, sid=b""):
+    payload = (b"\xfe\xfd" + bytes(32) + bytes([len(sid)]) + sid
+               + bytes([len(cookie)]) + cookie + ciphers)
+    return _handshake(1, payload)
+
+
+def _server(**config):
+    target = OpenSslDtlsTarget()
+    target.startup(config)
+    return target
+
+
+class TestStartup:
+    def test_default(self):
+        target = _server()
+        assert "openssl:startup.complete" in target.cov.total
+
+    def test_psk_cipher_requires_key(self):
+        with pytest.raises(StartupError):
+            _server(cipher="PSK-AES128-CBC-SHA")
+
+    def test_psk_conflicts_with_verify(self):
+        with pytest.raises(StartupError):
+            _server(psk="deadbeef", verify=1)
+
+    def test_tiny_mtu_rejected(self):
+        with pytest.raises(StartupError):
+            _server(mtu=100)
+
+    def test_cookie_exchange_branch(self):
+        target = _server(**{"cookie-exchange": True})
+        assert "openssl:startup.cookie_secret" in target.cov.total
+
+
+class TestHandshake:
+    def test_client_hello_negotiates(self, ):
+        target = _server()
+        response = target.handle_packet(_record(22, _client_hello(), seq=1))
+        assert response
+        assert response[13] == 2  # ServerHello
+        assert target._state == "hello"
+
+    def test_no_common_cipher_alert(self):
+        target = _server(cipher="CHACHA20-POLY1305")
+        response = target.handle_packet(_record(22, _client_hello(ciphers=b"\x00\x9c"), seq=1))
+        assert response[0] == 21  # alert
+
+    def test_cookie_exchange_sends_hvr(self):
+        target = _server(**{"cookie-exchange": True})
+        response = target.handle_packet(_record(22, _client_hello(), seq=1))
+        assert response[13] == 3  # HelloVerifyRequest
+        response = target.handle_packet(_record(22, _client_hello(cookie=b"C" * 32), seq=2))
+        assert response[13] == 2
+
+    def test_unexpected_cookie_rejected(self):
+        target = _server(**{"cookie-exchange": True})
+        response = target.handle_packet(_record(22, _client_hello(cookie=b"C"), seq=1))
+        assert response[0] == 21
+
+    def test_full_handshake_to_established(self):
+        target = _server()
+        target.handle_packet(_record(22, _client_hello(), seq=1))
+        target.handle_packet(_record(22, _handshake(16, b"\x00\x02id"), seq=2))
+        assert target._state == "keyed"
+        target.handle_packet(_record(20, b"\x01", seq=3))
+        assert target._epoch == 1
+        target.handle_packet(_record(22, _handshake(20, bytes(12)), seq=1, epoch=1))
+        assert target._state == "established"
+
+    def test_app_data_before_established_alerts(self):
+        target = _server()
+        response = target.handle_packet(_record(23, b"data", seq=1))
+        assert response[0] == 21
+
+    def test_replay_protection(self):
+        target = _server()
+        target.handle_packet(_record(22, _client_hello(), seq=5))
+        target.handle_packet(_record(22, _client_hello(), seq=5))
+        assert "openssl:record.replay_dropped" in target.cov.total
+
+    def test_version_pinning(self):
+        target = _server(dtls1_2=True)
+        response = target.handle_packet(_record(22, _client_hello(), seq=1, version=0xFEFF))
+        assert "openssl:record.version_rejected" in target.cov.total
+
+    def test_unknown_version_malformed(self):
+        target = _server()
+        target.handle_packet(_record(22, _client_hello(), seq=1, version=0x0303))
+        assert "openssl:record.bad_version" in target.cov.total
+
+    def test_wrong_epoch_dropped(self):
+        target = _server()
+        assert target.handle_packet(_record(22, _client_hello(), seq=1, epoch=3)) == b""
+
+    def test_psk_key_exchange_requires_identity(self):
+        target = _server(psk="deadbeef", cipher="PSK-AES128-CBC-SHA")
+        target.handle_packet(_record(22, _client_hello(ciphers=b"\x00\xae"), seq=1))
+        target.handle_packet(_record(22, _handshake(16, b""), seq=2))
+        assert "openssl:hs.cke_psk_short" in target.cov.total
+
+    def test_unsolicited_certificate_alert(self):
+        target = _server()
+        target.handle_packet(_record(22, _client_hello(), seq=1))
+        response = target.handle_packet(_record(22, _handshake(11, b"cert"), seq=2))
+        assert response[0] == 21
+
+    def test_session_cache_branch(self):
+        cached = _server(**{"session-cache": True})
+        cached.handle_packet(_record(22, _client_hello(sid=b"S" * 8), seq=1))
+        assert "openssl:hello.cache_lookup" in cached.cov.total
+
+    def test_session_resumption_fast_path(self):
+        target = _server(**{"session-cache": True})
+        sid = b"S" * 16
+        # Full handshake with a session id the server will cache.
+        target.handle_packet(_record(22, _client_hello(sid=sid), seq=1))
+        target.handle_packet(_record(22, _handshake(16, b"\x00\x02id"), seq=2))
+        target.handle_packet(_record(20, b"\x01", seq=3))
+        target.handle_packet(_record(22, _handshake(20, bytes(12)), seq=1, epoch=1))
+        assert sid in target._session_cache
+        # Reconnect: the same session id resumes without key exchange.
+        target.reset_session()
+        target.handle_packet(_record(22, _client_hello(sid=sid), seq=1))
+        assert target._state == "keyed"
+        assert "openssl:hello.resumed" in target.cov.total
+
+    def test_unknown_sid_is_full_handshake(self):
+        target = _server(**{"session-cache": True})
+        target.handle_packet(_record(22, _client_hello(sid=b"X" * 16), seq=1))
+        assert target._state == "hello"
+        assert "openssl:hello.cache_hit/F" in target.cov.total
+
+    def test_cache_survives_reconnects_not_restarts(self):
+        target = _server(**{"session-cache": True})
+        target._session_cache.add(b"Z")
+        target.reset_session()
+        assert b"Z" in target._session_cache
+        target.startup({"session-cache": True})
+        assert target._session_cache == set()
+
+    def test_renegotiation_forbidden(self):
+        target = _server(**{"no-renegotiation": True})
+        target.handle_packet(_record(22, _client_hello(), seq=1))
+        target.handle_packet(_record(22, _handshake(16, b"\x00\x02id"), seq=2))
+        target.handle_packet(_record(20, b"\x01", seq=3))
+        target.handle_packet(_record(22, _handshake(20, bytes(12)), seq=1, epoch=1))
+        # Second handshake attempt inside the same association.
+        target.handle_packet(_record(22, _client_hello(), seq=2, epoch=1))
+        target.handle_packet(_record(22, _handshake(16, b"\x00\x02id"), seq=3, epoch=1))
+        target.handle_packet(_record(20, b"\x01", seq=4, epoch=1))
+        response = target.handle_packet(
+            _record(22, _handshake(20, bytes(12)), seq=1, epoch=2))
+        assert "openssl:hs.renego_forbidden/T" in target.cov.total
+        assert response[0] == 21
+
+    def test_fatal_alert_resets_session(self):
+        target = _server()
+        target.handle_packet(_record(22, _client_hello(), seq=1))
+        target.handle_packet(_record(21, bytes([2, 40]), seq=2))
+        assert target._state == "idle"
+
+    def test_fragmented_handshake_buffered(self):
+        target = _server()
+        frag = (bytes([1]) + (100).to_bytes(3, "big") + bytes(2)
+                + bytes(3) + (10).to_bytes(3, "big") + b"x" * 10)
+        target.handle_packet(_record(22, frag, seq=1))
+        assert "openssl:hs.frag_buffered" in target.cov.total

@@ -1,0 +1,99 @@
+"""Tests for the fault taxonomy, crash reports and the bug ledger."""
+
+import pytest
+
+from repro.targets.faults import (
+    TABLE_II_BUGS,
+    BugLedger,
+    CrashReport,
+    FaultKind,
+    SanitizerFault,
+)
+
+
+class TestSanitizerFault:
+    def test_message_includes_kind_and_function(self):
+        fault = SanitizerFault(FaultKind.SEGV, "parse", "null deref")
+        assert "SEGV" in str(fault)
+        assert "parse" in str(fault)
+
+    def test_attributes(self):
+        fault = SanitizerFault(FaultKind.MEMORY_LEAK, "multiple functions")
+        assert fault.kind is FaultKind.MEMORY_LEAK
+        assert fault.function == "multiple functions"
+
+
+class TestCrashReport:
+    def test_signature(self):
+        report = CrashReport("MQTT", FaultKind.SEGV, "loop_accepted")
+        assert report.signature == ("MQTT", "SEGV", "loop_accepted")
+
+    def test_from_fault(self):
+        fault = SanitizerFault(FaultKind.SEGV, "f", "why")
+        report = CrashReport.from_fault(fault, "DNS", sim_time=3.0, instance=2)
+        assert report.protocol == "DNS"
+        assert report.detail == "why"
+        assert report.sim_time == 3.0
+        assert report.instance == 2
+
+
+class TestBugLedger:
+    def _report(self, function="f", protocol="MQTT", t=0.0):
+        return CrashReport(protocol, FaultKind.SEGV, function, sim_time=t)
+
+    def test_first_record_is_new(self):
+        ledger = BugLedger()
+        assert ledger.record(self._report()) is True
+
+    def test_duplicate_signature_not_new(self):
+        ledger = BugLedger()
+        ledger.record(self._report())
+        assert ledger.record(self._report(t=5.0)) is False
+        assert len(ledger) == 1
+
+    def test_counts_accumulate(self):
+        ledger = BugLedger()
+        for _ in range(3):
+            ledger.record(self._report())
+        assert ledger.count(("MQTT", "SEGV", "f")) == 3
+
+    def test_distinct_functions_distinct_bugs(self):
+        ledger = BugLedger()
+        ledger.record(self._report("f"))
+        ledger.record(self._report("g"))
+        assert len(ledger) == 2
+
+    def test_unique_bugs_ordered_by_discovery_time(self):
+        ledger = BugLedger()
+        ledger.record(self._report("late", t=9.0))
+        ledger.record(self._report("early", t=1.0))
+        assert [b.function for b in ledger.unique_bugs()] == ["early", "late"]
+
+    def test_merge_keeps_earliest(self):
+        left, right = BugLedger(), BugLedger()
+        left.record(self._report("f", t=5.0))
+        right.record(self._report("f", t=2.0))
+        left.merge(right)
+        assert left.unique_bugs()[0].sim_time == 2.0
+        assert left.count(("MQTT", "SEGV", "f")) == 2
+
+    def test_contains(self):
+        ledger = BugLedger()
+        ledger.record(self._report())
+        assert ("MQTT", "SEGV", "f") in ledger
+
+
+class TestTableII:
+    def test_fourteen_bugs_listed(self):
+        assert len(TABLE_II_BUGS) == 14
+
+    def test_protocol_distribution_matches_paper(self):
+        by_protocol = {}
+        for protocol, _, _ in TABLE_II_BUGS:
+            by_protocol[protocol] = by_protocol.get(protocol, 0) + 1
+        assert by_protocol == {"MQTT": 5, "CoAP": 3, "AMQP": 1, "DNS": 5}
+
+    def test_kinds_are_valid_fault_kinds(self):
+        valid = {kind.value for kind in FaultKind}
+        for _, kind, _ in TABLE_II_BUGS:
+            assert kind in valid

@@ -1,0 +1,312 @@
+"""Tests for the Mosquitto-style MQTT broker target."""
+
+import pytest
+
+from repro.errors import StartupError
+from repro.targets.faults import FaultKind, SanitizerFault
+from repro.targets.mqtt.server import MosquittoTarget
+
+
+def _u16(value):
+    return value.to_bytes(2, "big")
+
+
+def _utf8(text):
+    raw = text.encode()
+    return _u16(len(raw)) + raw
+
+
+def _packet(ptype, flags, body):
+    assert len(body) < 128
+    return bytes([(ptype << 4) | flags, len(body)]) + body
+
+
+def _connect(level=4, flags=0x02, client_id="client", proto="MQTT",
+             keepalive=60, extra=b""):
+    body = _utf8(proto) + bytes([level, flags]) + _u16(keepalive) + extra + _utf8(client_id)
+    return _packet(1, 0, body)
+
+
+def _publish(topic, payload=b"", qos=0, mid=None, dup=False, retain=False):
+    flags = (qos << 1) | (0x08 if dup else 0) | (0x01 if retain else 0)
+    body = _utf8(topic)
+    if qos > 0:
+        body += _u16(mid or 1)
+    body += payload
+    return _packet(3, flags, body)
+
+
+def _pubrel(mid):
+    return _packet(6, 2, _u16(mid))
+
+
+def _subscribe(mid, topic, options=0):
+    return _packet(8, 2, _u16(mid) + _utf8(topic) + bytes([options]))
+
+
+def _unsubscribe(mid, topic):
+    return _packet(10, 2, _u16(mid) + _utf8(topic))
+
+
+def _broker(**config):
+    target = MosquittoTarget()
+    target.startup(config)
+    return target
+
+
+class TestStartup:
+    def test_default_startup_succeeds(self):
+        target = _broker()
+        assert target.started
+        assert "mosquitto:startup.complete" in target.cov.total
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(StartupError):
+            _broker(not_a_key=True)
+
+    def test_require_certificate_needs_tls(self):
+        with pytest.raises(StartupError):
+            _broker(require_certificate=True)
+
+    def test_psk_conflicts_with_certificates(self):
+        with pytest.raises(StartupError):
+            _broker(tls_enabled=True, require_certificate=True, psk_hint="h")
+
+    def test_auth_off_needs_password_file(self):
+        with pytest.raises(StartupError):
+            _broker(allow_anonymous=False)
+
+    def test_auth_with_password_file_ok(self):
+        target = _broker(allow_anonymous=False, password_file="/etc/pw")
+        assert "mosquitto:startup.auth/T" in target.cov.total
+
+    def test_identity_username_needs_tls(self):
+        with pytest.raises(StartupError):
+            _broker(use_identity_as_username=True)
+
+    def test_invalid_max_qos(self):
+        with pytest.raises(StartupError):
+            _broker(max_qos=7)
+
+    def test_persistence_branches(self):
+        target = _broker(persistence=True, autosave_interval=30)
+        assert "mosquitto:startup.persistence.autosave_aggressive" in target.cov.total
+
+    def test_bridge_versions_distinct_branches(self):
+        v50 = _broker(bridge_enabled=True, bridge_protocol_version="mqttv50")
+        v31 = _broker(bridge_enabled=True, bridge_protocol_version="mqttv31")
+        assert "mosquitto:startup.bridge.v5_properties" in v50.cov.total
+        assert "mosquitto:startup.bridge.v31_legacy" in v31.cov.total
+
+    def test_tls_branches(self):
+        target = _broker(tls_enabled=True, tls_version="tlsv1.3",
+                         require_certificate=True)
+        assert "mosquitto:startup.tls.v13" in target.cov.total
+        assert "mosquitto:startup.tls.verify_peer" in target.cov.total
+
+    def test_config_diversity_increases_startup_coverage(self):
+        plain = _broker()
+        rich = _broker(persistence=True, bridge_enabled=True, tls_enabled=True,
+                       listener_ws=True)
+        assert len(rich.cov.total) > len(plain.cov.total)
+
+    def test_out_of_range_port_rejected(self):
+        with pytest.raises(StartupError):
+            _broker(port=0)
+
+
+class TestConnect:
+    def test_accepts_valid_connect(self):
+        target = _broker()
+        response = target.handle_packet(_connect())
+        assert response == bytes([0x20, 2, 0, 0])
+
+    def test_rejects_bad_protocol_name(self):
+        target = _broker()
+        response = target.handle_packet(_connect(proto="HTTP"))
+        assert response[3] == 0x01
+
+    def test_rejects_unknown_level(self):
+        target = _broker()
+        assert target.handle_packet(_connect(level=9))[3] == 0x01
+
+    def test_empty_client_id_without_clean_session_rejected(self):
+        target = _broker()
+        response = target.handle_packet(_connect(flags=0x00, client_id=""))
+        assert response[3] == 0x02
+
+    def test_empty_client_id_with_clean_session_assigned(self):
+        target = _broker()
+        assert target.handle_packet(_connect(client_id=""))[3] == 0x00
+
+    def test_auth_required_without_username_refused(self):
+        target = _broker(allow_anonymous=False, password_file="/etc/pw")
+        assert target.handle_packet(_connect())[3] == 0x05
+
+    def test_packets_before_connect_dropped(self):
+        target = _broker()
+        assert target.handle_packet(_publish("t")) == b""
+        assert "mosquitto:packet.before_connect" in target.cov.total
+
+    def test_reserved_flag_is_malformed(self):
+        target = _broker()
+        target.handle_packet(_connect(flags=0x03))
+        assert "mosquitto:packet.malformed" in target.cov.total
+
+    def test_v31_protocol_accepted(self):
+        target = _broker()
+        response = target.handle_packet(_connect(level=3, proto="MQIsdp"))
+        assert response[3] == 0x00
+
+
+class TestPublishSubscribe:
+    def _connected(self, **config):
+        target = _broker(**config)
+        target.handle_packet(_connect())
+        return target
+
+    def test_qos0_publish_no_reply(self):
+        target = self._connected()
+        assert target.handle_packet(_publish("a/b", b"x")) == b""
+
+    def test_qos1_publish_gets_puback(self):
+        target = self._connected()
+        response = target.handle_packet(_publish("a/b", b"x", qos=1, mid=7))
+        assert response[0] >> 4 == 4
+
+    def test_qos2_flow(self):
+        target = self._connected()
+        pubrec = target.handle_packet(_publish("a", b"x", qos=2, mid=9))
+        assert pubrec[0] >> 4 == 5
+        pubcomp = target.handle_packet(_pubrel(9))
+        assert pubcomp[0] >> 4 == 7
+
+    def test_qos_downgraded_to_max_qos(self):
+        target = self._connected(max_qos=0)
+        assert target.handle_packet(_publish("a", b"x", qos=1, mid=3)) == b""
+        assert "mosquitto:publish.qos_downgraded" in target.cov.total
+
+    def test_retain_stored_and_deleted(self):
+        target = self._connected()
+        target.handle_packet(_publish("a", b"x", retain=True))
+        assert target._retained == {"a": b"x"}
+        target.handle_packet(_publish("a", b"", retain=True))
+        assert target._retained == {}
+
+    def test_retain_unavailable_refused(self):
+        target = self._connected(retain_available=False)
+        target.handle_packet(_publish("a", b"x", retain=True))
+        assert "mosquitto:publish.retain_unavailable" in target.cov.total
+
+    def test_oversize_payload_dropped(self):
+        target = self._connected(message_size_limit=4)
+        target.handle_packet(_publish("a", b"12345"))
+        assert "mosquitto:publish.oversize_dropped" in target.cov.total
+
+    def test_subscribe_grants_capped_qos(self):
+        target = self._connected(max_qos=1)
+        suback = target.handle_packet(_subscribe(5, "a/#", options=2))
+        assert suback[-1] == 1
+
+    def test_subscribe_invalid_filter_rejected(self):
+        target = self._connected()
+        suback = target.handle_packet(_subscribe(5, "a/#/b"))
+        assert suback[-1] == 0x80
+
+    def test_unsubscribe_returns_unsuback(self):
+        target = self._connected()
+        target.handle_packet(_subscribe(5, "a/b"))
+        response = target.handle_packet(_unsubscribe(6, "a/b"))
+        assert response[0] >> 4 == 11
+
+    def test_pingreq_answered(self):
+        target = self._connected()
+        assert target.handle_packet(_packet(12, 0, b"")) == bytes([0xD0, 0])
+
+    def test_wildcard_publish_dropped(self):
+        target = self._connected()
+        assert target.handle_packet(_publish("a/#", b"x")) == b""
+
+    def test_log_type_all_adds_runtime_branches(self):
+        quiet = self._connected()
+        noisy = self._connected(log_type="all")
+        quiet.handle_packet(_publish("a", b"x"))
+        noisy.handle_packet(_publish("a", b"x"))
+        assert "mosquitto:log.packet.3" in noisy.cov.total
+        assert "mosquitto:log.packet.3" not in quiet.cov.total
+
+
+class TestTableIIBugs:
+    def test_bug1_uaf_connection_new_message(self):
+        target = _broker(persistence=True)
+        target.handle_packet(_connect())
+        target.handle_packet(_publish("a", b"x", qos=2, mid=7))
+        target.handle_packet(_pubrel(7))
+        with pytest.raises(SanitizerFault) as exc:
+            target.handle_packet(_publish("a", b"x", qos=2, mid=7, dup=True))
+        assert exc.value.function == "Connection::newMessage"
+        assert exc.value.kind is FaultKind.HEAP_USE_AFTER_FREE
+
+    def test_bug1_needs_persistence(self):
+        target = _broker()
+        target.handle_packet(_connect())
+        target.handle_packet(_publish("a", b"x", qos=2, mid=7))
+        target.handle_packet(_pubrel(7))
+        assert target.handle_packet(_publish("a", b"x", qos=2, mid=7, dup=True)) == b""
+
+    def test_bug2_uaf_bridge_addrs(self):
+        target = _broker(bridge_enabled=True)
+        target.handle_packet(_connect())
+        with pytest.raises(SanitizerFault) as exc:
+            target.handle_packet(_unsubscribe(4, "$SYS/broker/bridge/addrs"))
+        assert exc.value.function == "neu_node_manager_get_addrs_all"
+
+    def test_bug2_needs_bridge(self):
+        target = _broker()
+        target.handle_packet(_connect())
+        response = target.handle_packet(_unsubscribe(4, "$SYS/broker/bridge/addrs"))
+        assert response[0] >> 4 == 11
+
+    def test_bug3_uaf_packet_destroy(self):
+        target = _broker()
+        # v5 CONNECT whose property varint (0xff 0xff 0x01 = 32767) far
+        # exceeds the remaining bytes.
+        extra = b"\xff\xff\x01"
+        with pytest.raises(SanitizerFault) as exc:
+            target.handle_packet(_connect(level=5, extra=extra))
+        assert exc.value.function == "mqtt_packet_destroy"
+
+    def test_small_overlong_props_is_plain_malformed(self):
+        target = _broker()
+        target.handle_packet(_connect(level=5, extra=b"\x10"))
+        assert "mosquitto:packet.malformed" in target.cov.total
+
+    def test_bug4_segv_loop_accepted(self):
+        target = _broker(max_connections=0)
+        with pytest.raises(SanitizerFault) as exc:
+            target.handle_packet(_connect())
+        assert exc.value.function == "loop_accepted"
+        assert exc.value.kind is FaultKind.SEGV
+
+    def test_bug5_memory_leak_unbounded_qos0_queue(self):
+        target = _broker(queue_qos0_messages=True, max_queued_messages=0)
+        target.handle_packet(_connect())
+        payload = b"A" * 100  # body must stay under the 1-byte length cap
+        with pytest.raises(SanitizerFault) as exc:
+            for _ in range(1000):
+                target.handle_packet(_publish("t", payload))
+        assert exc.value.kind is FaultKind.MEMORY_LEAK
+
+    def test_bug5_not_triggered_with_bounded_queue(self):
+        target = _broker(queue_qos0_messages=True, max_queued_messages=10)
+        target.handle_packet(_connect())
+        for _ in range(30):
+            target.handle_packet(_publish("t", b"A" * 100))
+
+    def test_bug5_queue_full_drop_path_also_leaks(self):
+        target = _broker(queue_qos0_messages=True, max_queued_messages=1)
+        target.handle_packet(_connect())
+        with pytest.raises(SanitizerFault) as exc:
+            for _ in range(200):
+                target.handle_packet(_publish("some/topic", b"A" * 100))
+        assert exc.value.kind is FaultKind.MEMORY_LEAK

@@ -1,0 +1,97 @@
+"""Tests for MQTT v5 topic alias handling."""
+
+import pytest
+
+from repro.targets.mqtt.server import MosquittoTarget
+
+
+def _u16(value):
+    return value.to_bytes(2, "big")
+
+
+def _utf8(text):
+    raw = text.encode()
+    return _u16(len(raw)) + raw
+
+
+def _packet(ptype, flags, body):
+    return bytes([(ptype << 4) | flags, len(body)]) + body
+
+
+def _alias_props(alias):
+    return bytes([3, 0x23]) + _u16(alias)
+
+
+def _publish5(topic, alias=None, payload=b"x"):
+    body = _utf8(topic)
+    body += _alias_props(alias) if alias is not None else b"\x00"
+    body += payload
+    return _packet(3, 0, body)
+
+
+def _connected_v5(**config):
+    target = MosquittoTarget()
+    target.startup(config)
+    body = _utf8("MQTT") + bytes([5, 0x02]) + _u16(60) + b"\x00" + _utf8("alias-client")
+    assert target.handle_packet(_packet(1, 0, body))[3] == 0
+    return target
+
+
+class TestTopicAlias:
+    def test_register_then_resolve(self):
+        target = _connected_v5()
+        target.handle_packet(_publish5("room/temp", alias=2))
+        assert target._topic_aliases[2] == "room/temp"
+        # Empty topic + known alias resolves.
+        target.handle_packet(_publish5("", alias=2, payload=b"resolved"))
+        assert "mosquitto:alias.known/T" in target.cov.total
+
+    def test_unknown_alias_malformed(self):
+        target = _connected_v5()
+        target.handle_packet(_publish5("", alias=3))
+        assert "mosquitto:alias.unknown" in target.cov.total
+        assert "mosquitto:packet.malformed" in target.cov.total
+
+    def test_alias_zero_rejected(self):
+        target = _connected_v5()
+        target.handle_packet(_publish5("t", alias=0))
+        assert "mosquitto:alias.out_of_range/T" in target.cov.total
+
+    def test_alias_above_maximum_rejected(self):
+        target = _connected_v5(max_topic_alias=2)
+        target.handle_packet(_publish5("t", alias=5))
+        assert "mosquitto:alias.out_of_range/T" in target.cov.total
+
+    def test_alias_disabled_by_config(self):
+        target = _connected_v5(max_topic_alias=0)
+        target.handle_packet(_publish5("t", alias=1))
+        assert "mosquitto:alias.out_of_range/T" in target.cov.total
+
+    def test_alias_rebinding(self):
+        target = _connected_v5()
+        target.handle_packet(_publish5("first", alias=1))
+        target.handle_packet(_publish5("second", alias=1))
+        assert target._topic_aliases[1] == "second"
+
+    def test_aliases_cleared_on_session_reset(self):
+        target = _connected_v5()
+        target.handle_packet(_publish5("t", alias=1))
+        target.reset_session()
+        assert target._topic_aliases == {}
+
+    def test_v4_sessions_unaffected(self):
+        target = MosquittoTarget()
+        target.startup({})
+        body = _utf8("MQTT") + bytes([4, 0x02]) + _u16(60) + _utf8("v4c")
+        target.handle_packet(_packet(1, 0, body))
+        publish_body = _utf8("plain/topic") + b"payload"
+        assert target.handle_packet(_packet(3, 0, publish_body)) == b""
+        assert "mosquitto:publish.has_alias/T" not in target.cov.total
+
+    def test_startup_branches(self):
+        on = MosquittoTarget()
+        on.startup({})
+        off = MosquittoTarget()
+        off.startup({"max_topic_alias": 0})
+        assert "mosquitto:startup.limits.alias_table" in on.cov.total
+        assert "mosquitto:startup.limits.alias_disabled" in off.cov.total

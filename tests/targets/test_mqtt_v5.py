@@ -1,0 +1,138 @@
+"""Deeper MQTT v5 and edge-case behaviour tests."""
+
+import pytest
+
+from repro.targets.mqtt.server import MosquittoTarget
+
+
+def _u16(value):
+    return value.to_bytes(2, "big")
+
+
+def _utf8(text):
+    raw = text.encode()
+    return _u16(len(raw)) + raw
+
+
+def _packet(ptype, flags, body):
+    return bytes([(ptype << 4) | flags, len(body)]) + body
+
+
+def _connect5(props=b"\x00", client_id="v5-client"):
+    body = (_utf8("MQTT") + bytes([5, 0x02]) + _u16(60)
+            + props + _utf8(client_id))
+    return _packet(1, 0, body)
+
+
+def _broker(**config):
+    target = MosquittoTarget()
+    target.startup(config)
+    return target
+
+
+def _connected_v5(**config):
+    target = _broker(**config)
+    response = target.handle_packet(_connect5())
+    assert response[3] == 0x00
+    return target
+
+
+class TestV5Properties:
+    def test_empty_properties_accepted(self):
+        target = _broker()
+        assert target.handle_packet(_connect5(props=b"\x00"))[3] == 0x00
+
+    def test_known_byte_property(self):
+        # 0x24 Maximum QoS (byte).
+        target = _broker()
+        response = target.handle_packet(_connect5(props=b"\x02\x24\x01"))
+        assert response[3] == 0x00
+        assert "mosquitto:v5.prop.36" in target.cov.total
+
+    def test_known_u32_property(self):
+        # 0x11 Session Expiry Interval (four bytes).
+        target = _broker()
+        props = b"\x05\x11\x00\x00\x00\x3c"
+        assert target.handle_packet(_connect5(props=props))[3] == 0x00
+
+    def test_utf8_pair_property(self):
+        # 0x26 User Property: two UTF-8 strings.
+        inner = _utf8("k") + _utf8("v")
+        props = bytes([1 + len(inner), 0x26]) + inner
+        target = _broker()
+        assert target.handle_packet(_connect5(props=props))[3] == 0x00
+
+    def test_unknown_property_id_malformed(self):
+        target = _broker()
+        target.handle_packet(_connect5(props=b"\x02\x7a\x00"))
+        assert "mosquitto:v5.prop.unknown" in target.cov.total
+        assert "mosquitto:packet.malformed" in target.cov.total
+
+    def test_v5_publish_parses_properties(self):
+        target = _connected_v5()
+        body = _utf8("a/b") + b"\x00" + b"payload"
+        response = target.handle_packet(_packet(3, 0, body))
+        assert response == b""
+        assert "mosquitto:publish.qos0" in target.cov.total
+
+    def test_auth_packet_v5_only(self):
+        target = _connected_v5()
+        target.handle_packet(_packet(15, 0, b""))
+        assert "mosquitto:packet.auth.extended" in target.cov.total
+
+    def test_auth_packet_on_v4_not_extended(self):
+        target = _broker()
+        body = _utf8("MQTT") + bytes([4, 0x02]) + _u16(60) + _utf8("c4")
+        target.handle_packet(_packet(1, 0, body))
+        target.handle_packet(_packet(15, 0, b""))
+        assert "mosquitto:packet.auth.extended" not in target.cov.total
+
+
+class TestSubscribeEdgeCases:
+    def _connected(self, **config):
+        target = _broker(**config)
+        body = _utf8("MQTT") + bytes([4, 0x02]) + _u16(60) + _utf8("c")
+        target.handle_packet(_packet(1, 0, body))
+        return target
+
+    def test_shared_subscription_v4_rejected(self):
+        target = self._connected()
+        body = _u16(4) + _utf8("$share/g/t") + bytes([0])
+        suback = target.handle_packet(_packet(8, 2, body))
+        assert suback[-1] == 0x80
+
+    def test_sys_topic_subscription_gated_on_sys_interval(self):
+        enabled = self._connected()
+        body = _u16(4) + _utf8("$SYS/broker/uptime") + bytes([0])
+        assert enabled.handle_packet(_packet(8, 2, body))[-1] == 0
+
+        disabled = self._connected(sys_interval=0)
+        assert disabled.handle_packet(_packet(8, 2, body))[-1] == 0x80
+
+    def test_subscribe_without_filters_malformed(self):
+        target = self._connected()
+        target.handle_packet(_packet(8, 2, _u16(4)))
+        assert "mosquitto:packet.malformed" in target.cov.total
+
+    def test_retained_replay_on_subscribe(self):
+        target = self._connected()
+        publish_body = _utf8("news") + b"breaking"
+        target.handle_packet(_packet(3, 0x01, publish_body))  # retained
+        body = _u16(5) + _utf8("news") + bytes([0])
+        target.handle_packet(_packet(8, 2, body))
+        assert "mosquitto:subscribe.retained_delivery" in target.cov.total
+
+
+class TestKeepalive:
+    def _connect(self, keepalive):
+        return _packet(1, 0, _utf8("MQTT") + bytes([4, 0x02]) + _u16(keepalive) + _utf8("kc"))
+
+    def test_zero_keepalive_branch(self):
+        target = _broker()
+        target.handle_packet(self._connect(0))
+        assert "mosquitto:connect.keepalive_disabled" in target.cov.total
+
+    def test_keepalive_capped_branch(self):
+        target = _broker(max_keepalive=30)
+        target.handle_packet(self._connect(120))
+        assert "mosquitto:connect.keepalive_capped" in target.cov.total

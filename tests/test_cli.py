@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestTargetsCommand:
+    def test_lists_all_six(self):
+        code, text = _run(["targets"])
+        assert code == 0
+        for name in ("mosquitto", "libcoap", "cyclonedds", "openssl", "qpid", "dnsmasq"):
+            assert name in text
+
+
+class TestModelCommand:
+    def test_prints_entities(self):
+        code, text = _run(["model", "--target", "libcoap"])
+        assert code == 0
+        assert "block-transfer" in text
+        assert "MUTABLE" in text
+
+    def test_relations_flag_adds_allocation(self):
+        code, text = _run(["model", "--target", "libcoap", "--relations"])
+        assert code == 0
+        assert "instance 0:" in text
+        assert "relations from" in text
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            _run(["model", "--target", "nope"])
+
+
+class TestCampaignCommand:
+    def test_short_cmfuzz_campaign(self):
+        code, text = _run([
+            "campaign", "--target", "dnsmasq", "--mode", "cmfuzz",
+            "--hours", "2", "--instances", "2", "--seed", "3",
+        ])
+        assert code == 0
+        assert "branches=" in text
+        assert "mode=cmfuzz" in text
+
+    def test_peach_campaign(self):
+        code, text = _run([
+            "campaign", "--target", "dnsmasq", "--mode", "peach",
+            "--hours", "1", "--instances", "2",
+        ])
+        assert code == 0
+        assert "mode=peach" in text
+
+    def test_hybrid_campaign(self):
+        code, text = _run([
+            "campaign", "--target", "dnsmasq", "--mode", "hybrid",
+            "--hours", "1", "--instances", "2",
+        ])
+        assert code == 0
+        assert "mode=hybrid" in text
+
+
+class TestCompareCommand:
+    def test_compare_outputs_table_and_chart(self):
+        code, text = _run([
+            "compare", "--target", "dnsmasq", "--hours", "2",
+            "--instances", "2", "--seed", "5",
+        ])
+        assert code == 0
+        assert "cmfuzz vs peach" in text
+        assert "Branches" in text
+        assert "+" in text  # chart axis
+
+
+class TestParsing:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            _run([])

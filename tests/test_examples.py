@@ -1,0 +1,37 @@
+"""The shipped examples stay importable and (where fast) runnable."""
+
+import os
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                             "examples")
+_ALL = sorted(name for name in os.listdir(_EXAMPLES_DIR) if name.endswith(".py"))
+
+#: Examples cheap enough to execute inside the test suite.
+_FAST = ("coap_blockwise.py",)
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        assert "quickstart.py" in _ALL
+        assert len(_ALL) >= 5
+
+    @pytest.mark.parametrize("name", _ALL)
+    def test_example_compiles(self, name):
+        py_compile.compile(os.path.join(_EXAMPLES_DIR, name), doraise=True)
+
+    @pytest.mark.parametrize("name", _FAST)
+    def test_fast_example_runs(self, name):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(_EXAMPLES_DIR), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, os.path.join(_EXAMPLES_DIR, name)],
+            capture_output=True, text=True, timeout=300, env=env,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout

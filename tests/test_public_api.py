@@ -1,0 +1,73 @@
+"""The public API surface: everything advertised imports and works."""
+
+import pytest
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_core_package_exports(self):
+        import repro.core
+
+        for name in repro.core.__all__:
+            assert hasattr(repro.core, name), name
+
+    def test_harness_package_exports(self):
+        import repro.harness
+
+        for name in repro.harness.__all__:
+            assert hasattr(repro.harness, name), name
+
+    def test_parallel_package_exports(self):
+        import repro.parallel
+
+        for name in repro.parallel.__all__:
+            assert hasattr(repro.parallel, name), name
+
+    def test_fuzzing_package_exports(self):
+        import repro.fuzzing
+
+        for name in repro.fuzzing.__all__:
+            assert hasattr(repro.fuzzing, name), name
+
+    def test_modes_registry_complete(self):
+        from repro.parallel import MODES
+
+        assert set(MODES) == {"cmfuzz", "peach", "spfuzz", "hybrid"}
+
+    def test_target_and_pit_registries_aligned(self):
+        from repro.pits import pit_registry
+        from repro.targets import target_registry
+
+        assert set(pit_registry()) == set(target_registry())
+
+
+class TestReadmeWorkflow:
+    """The README quickstart snippet, executed."""
+
+    def test_quickstart_snippet(self):
+        from repro.core.allocation import allocate
+        from repro.core.extraction import extract_entities
+        from repro.core.model import ConfigurationModel
+        from repro.core.relation import RelationQuantifier
+        from repro.targets.base import startup_probe_for
+        from repro.targets.mqtt.server import MosquittoTarget
+
+        entities = extract_entities(MosquittoTarget.config_sources(),
+                                    MosquittoTarget.entity_overrides())
+        model = ConfigurationModel(entities)
+        quantifier = RelationQuantifier(startup_probe_for(MosquittoTarget),
+                                        max_combinations=4)
+        relation_model, _ = quantifier.quantify(model)
+        groups = allocate(relation_model, n_instances=4)
+        assert len(groups.groups) <= 4
+        assert groups.assignment
