@@ -10,7 +10,6 @@ Demonstrates the paper's case-study mechanics end-to-end:
    dereferences it — SEGV in ``coap_handle_request_put_block``.
 """
 
-import pytest
 
 from repro.targets.coap.server import LibcoapTarget
 from repro.targets.faults import FaultKind, SanitizerFault

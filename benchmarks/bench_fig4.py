@@ -8,10 +8,15 @@ CMFuzz keeps growing via adaptive configuration mutation.
 
 import pytest
 
+from conftest import (  # adds src/ to sys.path for standalone runs
+    DURATION_HOURS,
+    REPETITIONS,
+    SUBJECTS,
+    campaign_config,
+)
+
 from repro.harness.report import render_figure4
 from repro.harness.stats import TimeSeries, mean
-
-from conftest import DURATION_HOURS, SUBJECTS
 
 _HORIZON = DURATION_HOURS * 3600.0
 
@@ -72,3 +77,50 @@ def test_fig4_baselines_saturate_cmfuzz_grows(benchmark, campaign_cache):
         return grew
 
     assert benchmark.pedantic(late_growth_count, rounds=1, iterations=1) >= 1
+
+
+def _main(argv=None):
+    """Standalone driver: ``python benchmarks/bench_fig4.py --workers 4``."""
+    import argparse
+    import time
+
+    from repro.harness.executor import execute_specs, results, specs_for_repeated
+
+    parser = argparse.ArgumentParser(description="Reproduce Figure 4")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--repetitions", type=int, default=REPETITIONS)
+    args = parser.parse_args(argv)
+
+    modes = ("cmfuzz", "peach", "spfuzz")
+    specs = []
+    for subject in SUBJECTS:
+        for mode in modes:
+            specs.extend(specs_for_repeated(
+                subject, mode, args.repetitions, campaign_config(seed=17),
+            ))
+    start = time.perf_counter()
+    cells = execute_specs(specs, workers=args.workers, cache=not args.no_cache)
+    elapsed = time.perf_counter() - start
+    campaigns = results(cells)
+
+    cursor = 0
+    for subject in SUBJECTS:
+        panel = {}
+        for mode in modes:
+            panel[mode] = _mean_series(campaigns[cursor:cursor + args.repetitions])
+            cursor += args.repetitions
+        print("Figure 4 — %s (avg over %d repetitions, 4 instances)"
+              % (subject, args.repetitions))
+        print(render_figure4(panel, horizon=_HORIZON))
+        print()
+    hits = sum(1 for cell in cells if cell.from_cache)
+    print("%d cells (%d from cache) in %.1fs with %d worker(s)"
+          % (len(cells), hits, elapsed, args.workers))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(_main())

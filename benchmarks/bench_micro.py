@@ -7,7 +7,6 @@ an adopter of the paper's technique pays once per campaign.
 
 import random
 
-import pytest
 
 from repro.core.allocation import allocate
 from repro.core.entity import ConfigEntity, Flag, ValueType

@@ -10,10 +10,10 @@ baselines' final coverage faster.
 
 import pytest
 
+from conftest import REPETITIONS, SUBJECTS, campaign_config  # adds src/ to sys.path
+
 from repro.harness.report import render_table, table1_row
 from repro.harness.stats import mean, speedup
-
-from conftest import SUBJECTS
 
 _HEADERS = ["Subject", "CMFuzz", "Peach", "Improv", "Speedup",
             "SPFuzz", "Improv", "Speedup"]
@@ -65,3 +65,52 @@ def test_table1_render(benchmark, campaign_cache):
     # (paper: +34.4% over Peach, +28.5% over SPFuzz).
     improvs = [float(row[3].rstrip("%")) for row in rows]
     assert mean(improvs) > 10.0
+
+
+def _main(argv=None):
+    """Standalone driver: ``python benchmarks/bench_table1.py --workers 4``."""
+    import argparse
+    import time
+
+    from repro.harness.executor import execute_specs, results, specs_for_repeated
+
+    parser = argparse.ArgumentParser(description="Reproduce Table I")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--repetitions", type=int, default=REPETITIONS)
+    args = parser.parse_args(argv)
+
+    modes = ("cmfuzz", "peach", "spfuzz")
+    specs = []
+    for subject in SUBJECTS:
+        for mode in modes:
+            specs.extend(specs_for_repeated(
+                subject, mode, args.repetitions, campaign_config(seed=17),
+            ))
+    start = time.perf_counter()
+    cells = execute_specs(specs, workers=args.workers, cache=not args.no_cache)
+    elapsed = time.perf_counter() - start
+    campaigns = results(cells)
+
+    grouped, cursor = {}, 0
+    for subject in SUBJECTS:
+        for mode in modes:
+            grouped[(subject, mode)] = campaigns[cursor:cursor + args.repetitions]
+            cursor += args.repetitions
+    rows = [
+        table1_row(subject, grouped[(subject, "cmfuzz")],
+                   grouped[(subject, "peach")], grouped[(subject, "spfuzz")])
+        for subject in SUBJECTS
+    ]
+    print("TABLE I (reproduced, simulated substrate)")
+    print(render_table(_HEADERS, rows))
+    hits = sum(1 for cell in cells if cell.from_cache)
+    print("%d cells (%d from cache) in %.1fs with %d worker(s)"
+          % (len(cells), hits, elapsed, args.workers))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(_main())

@@ -6,7 +6,8 @@ Table-II entries, and the configuration-gated subset must include bugs
 the default-configuration baselines cannot reach.
 """
 
-import pytest
+
+from conftest import REPETITIONS, campaign_config  # adds src/ to sys.path
 
 from repro.harness.report import render_bug_table
 from repro.targets.faults import TABLE_II_BUGS, BugLedger
@@ -67,3 +68,42 @@ def test_table2_baselines_miss_config_gated_bugs(benchmark, campaign_cache):
     assert not peach_found & _CONFIG_GATED, sorted(peach_found & _CONFIG_GATED)
     assert cm_found & _CONFIG_GATED
     assert len(cm_found) > len(peach_found)
+
+
+def _main(argv=None):
+    """Standalone driver: ``python benchmarks/bench_table2.py --workers 4``."""
+    import argparse
+    import time
+
+    from repro.harness.executor import execute_specs, results, specs_for_repeated
+
+    parser = argparse.ArgumentParser(description="Reproduce Table II")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--repetitions", type=int, default=REPETITIONS)
+    args = parser.parse_args(argv)
+
+    specs = []
+    for subject in _BUG_SUBJECTS:
+        specs.extend(specs_for_repeated(
+            subject, "cmfuzz", args.repetitions, campaign_config(seed=17),
+        ))
+    start = time.perf_counter()
+    cells = execute_specs(specs, workers=args.workers, cache=not args.no_cache)
+    elapsed = time.perf_counter() - start
+
+    merged = BugLedger()
+    for campaign in results(cells):
+        merged.merge(campaign.bugs)
+    print("TABLE II (reproduced, simulated substrate)")
+    print(render_bug_table(merged))
+    hits = sum(1 for cell in cells if cell.from_cache)
+    print("%d cells (%d from cache) in %.1fs with %d worker(s)"
+          % (len(cells), hits, elapsed, args.workers))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(_main())

@@ -10,8 +10,8 @@ if _SRC not in sys.path:
 import pytest
 
 from repro.harness.campaign import CampaignConfig, run_repeated
+from repro.harness.executor import execute_specs, results, specs_for_repeated
 from repro.harness.simclock import CostModel
-from repro.parallel import MODES
 from repro.pits import pit_registry
 from repro.targets import target_registry
 
@@ -34,28 +34,58 @@ def campaign_config(seed=0):
     )
 
 
-def repeated(target_name, mode_name, seed=0, repetitions=None, mode_factory=None):
-    """Run the paper's repeated-campaign protocol for one (subject, fuzzer)."""
-    targets, pits = target_registry(), pit_registry()
-    return run_repeated(
-        targets[target_name],
-        pits[target_name],
-        mode_factory or MODES[mode_name],
-        repetitions=repetitions or REPETITIONS,
-        config=campaign_config(seed=seed),
+def pytest_addoption(parser):
+    group = parser.getgroup("cmfuzz")
+    group.addoption(
+        "--workers", type=int,
+        default=int(os.environ.get("CMFUZZ_BENCH_WORKERS", "1")),
+        help="campaign cells run in parallel worker processes (default: 1)",
+    )
+    group.addoption(
+        "--no-cache", action="store_true",
+        default=os.environ.get("CMFUZZ_BENCH_NO_CACHE") == "1",
+        help="skip the on-disk campaign result cache under .cmfuzz-cache/",
     )
 
 
+def repeated(target_name, mode_name, seed=0, repetitions=None, mode_factory=None,
+             workers=1, cache=False):
+    """Run the paper's repeated-campaign protocol for one (subject, fuzzer).
+
+    Registry modes fan out through the multiprocess executor (bit-identical
+    to the serial path); custom ``mode_factory`` callables are usually
+    closures, which cannot cross a process boundary, so they stay serial.
+    """
+    if mode_factory is not None:
+        targets, pits = target_registry(), pit_registry()
+        return run_repeated(
+            targets[target_name],
+            pits[target_name],
+            mode_factory,
+            repetitions=repetitions or REPETITIONS,
+            config=campaign_config(seed=seed),
+        )
+    specs = specs_for_repeated(
+        target_name, mode_name, repetitions or REPETITIONS,
+        config=campaign_config(seed=seed),
+    )
+    return results(execute_specs(specs, workers=workers, cache=cache))
+
+
 @pytest.fixture(scope="session")
-def campaign_cache():
+def campaign_cache(request):
     """Memoises (subject, fuzzer) -> results so Table I, Figure 4 and
-    Table II benches share campaign runs instead of re-fuzzing."""
+    Table II benches share campaign runs instead of re-fuzzing. Honours
+    ``--workers`` and the on-disk cache (disable with ``--no-cache``)."""
+    workers = int(request.config.getoption("--workers"))
+    use_cache = not request.config.getoption("--no-cache")
     cache = {}
 
     def get(target_name, mode_name):
         key = (target_name, mode_name)
         if key not in cache:
-            cache[key] = repeated(target_name, mode_name, seed=17)
+            cache[key] = repeated(target_name, mode_name, seed=17,
+                                  workers=workers, cache=use_cache)
         return cache[key]
 
     return get

@@ -18,7 +18,8 @@ from repro.core.allocation import allocate
 from repro.core.extraction import extract_entities
 from repro.core.model import ConfigurationModel
 from repro.core.relation import RelationQuantifier
-from repro.harness.campaign import CampaignConfig, run_campaign
+from repro.harness.campaign import CampaignConfig
+from repro.harness.executor import CampaignSpec, execute_specs, results
 from repro.harness.report import (
     format_speedup,
     improvement,
@@ -28,9 +29,18 @@ from repro.harness.report import (
 )
 from repro.harness.stats import speedup
 from repro.parallel import MODES
-from repro.pits import pit_registry
 from repro.targets import target_registry
 from repro.targets.base import startup_probe_for
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--instances", type=int, default=4)
+    parser.add_argument("--hours", type=float, default=24.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="campaign cells run in parallel (default: 1, in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the on-disk result cache under .cmfuzz-cache/")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -45,15 +55,11 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign = sub.add_parser("campaign", help="run one fuzzing campaign")
     campaign.add_argument("--target", choices=targets, required=True)
     campaign.add_argument("--mode", choices=sorted(MODES), default="cmfuzz")
-    campaign.add_argument("--instances", type=int, default=4)
-    campaign.add_argument("--hours", type=float, default=24.0)
-    campaign.add_argument("--seed", type=int, default=0)
+    _add_run_options(campaign)
 
     compare = sub.add_parser("compare", help="run all three fuzzers and compare")
     compare.add_argument("--target", choices=targets, required=True)
-    compare.add_argument("--instances", type=int, default=4)
-    compare.add_argument("--hours", type=float, default=24.0)
-    compare.add_argument("--seed", type=int, default=0)
+    _add_run_options(compare)
 
     model = sub.add_parser("model", help="print a target's configuration model")
     model.add_argument("--target", choices=targets, required=True)
@@ -100,19 +106,24 @@ def _cmd_model(args, out) -> int:
     return 0
 
 
-def _run(args, mode_name: str):
-    target_cls = target_registry()[args.target]
-    return run_campaign(
-        target_cls,
-        pit_registry()[args.target](),
-        MODES[mode_name](),
-        CampaignConfig(n_instances=args.instances, duration_hours=args.hours,
-                       seed=args.seed),
+def _specs(args, mode_names):
+    config = CampaignConfig(n_instances=args.instances,
+                            duration_hours=args.hours, seed=args.seed)
+    return [CampaignSpec(target=args.target, mode=name, config=config)
+            for name in mode_names]
+
+
+def _execute(args, mode_names):
+    cells = execute_specs(
+        _specs(args, mode_names),
+        workers=args.workers,
+        cache=not args.no_cache,
     )
+    return dict(zip(mode_names, results(cells)))
 
 
 def _cmd_campaign(args, out) -> int:
-    result = _run(args, args.mode)
+    result = _execute(args, (args.mode,))[args.mode]
     out.write("target=%s mode=%s branches=%d bugs=%d iterations=%d\n"
               % (result.target, result.mode, result.final_coverage,
                  len(result.bugs), result.iterations))
@@ -122,20 +133,20 @@ def _cmd_campaign(args, out) -> int:
 
 
 def _cmd_compare(args, out) -> int:
-    results = {name: _run(args, name) for name in ("peach", "spfuzz", "cmfuzz")}
-    cmfuzz = results["cmfuzz"]
+    by_mode = _execute(args, ("peach", "spfuzz", "cmfuzz"))
+    cmfuzz = by_mode["cmfuzz"]
     rows = []
-    for name, result in results.items():
+    for name, result in by_mode.items():
         rows.append([name, str(result.final_coverage), str(len(result.bugs))])
     out.write(render_table(["Fuzzer", "Branches", "Bugs"], rows) + "\n")
     for baseline in ("peach", "spfuzz"):
         out.write("cmfuzz vs %s: %s coverage, speedup %s\n" % (
             baseline,
-            improvement(cmfuzz.final_coverage, results[baseline].final_coverage),
-            format_speedup(speedup(results[baseline].coverage, cmfuzz.coverage)),
+            improvement(cmfuzz.final_coverage, by_mode[baseline].final_coverage),
+            format_speedup(speedup(by_mode[baseline].coverage, cmfuzz.coverage)),
         ))
     out.write(render_figure4(
-        {name: result.coverage for name, result in results.items()},
+        {name: result.coverage for name, result in by_mode.items()},
         horizon=args.hours * 3600.0,
     ) + "\n")
     return 0

@@ -15,7 +15,7 @@ pulls the unassigned endpoint into that group, preserving the connection.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Sequence
 
 from repro.core.model import RelationAwareModel
 from repro.errors import AllocationError

@@ -7,7 +7,7 @@ configuration items, optionally lifted into 4-tuple entities.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.cli_parser import parse_cli_options

@@ -8,7 +8,7 @@ produced by pairwise startup-coverage quantification (§III-B1, Figure 3).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 import networkx as nx
 

@@ -9,7 +9,7 @@ coverage has **saturated** — no new branches for a set duration.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.core.entity import ConfigEntity, Flag
 from repro.core.model import ConfigurationModel

@@ -8,9 +8,8 @@ file body, CLI options, or a plain assignment mapping.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.core.entity import ConfigEntity
 from repro.core.model import ConfigurationModel
 from repro.errors import ConfigModelError
 

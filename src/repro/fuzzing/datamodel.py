@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 import struct
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import FuzzingError
 

@@ -9,7 +9,7 @@ applies to; :func:`mutators_for` selects the applicable set for a field.
 from __future__ import annotations
 
 import random
-from typing import Any, List
+from typing import List
 
 from repro.fuzzing.datamodel import (
     Blob,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.fuzzing.datamodel import Message
 from repro.fuzzing.mutators import DEFAULT_MUTATORS, Mutator, mutators_for

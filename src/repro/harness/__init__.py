@@ -1,21 +1,45 @@
 """Campaign harness: simulated clock, statistics, campaign runner, reports."""
 
 from repro.harness.campaign import CampaignConfig, CampaignResult, run_campaign, run_repeated
+from repro.harness.executor import (
+    CampaignOutcome,
+    CampaignSpec,
+    CellFailure,
+    CellResult,
+    ExecutorError,
+    ResultCache,
+    execute_specs,
+    outcomes,
+    results,
+    run_spec,
+    specs_for_repeated,
+)
 from repro.harness.export import comparison_summary, result_to_dict, results_to_json
 from repro.harness.simclock import CostModel, SimClock
 from repro.harness.stats import TimeSeries, mean, speedup
 
 __all__ = [
     "CampaignConfig",
+    "CampaignOutcome",
     "CampaignResult",
+    "CampaignSpec",
+    "CellFailure",
+    "CellResult",
     "CostModel",
+    "ExecutorError",
+    "ResultCache",
     "SimClock",
     "TimeSeries",
     "comparison_summary",
+    "execute_specs",
     "mean",
+    "outcomes",
     "result_to_dict",
+    "results",
     "results_to_json",
     "run_campaign",
     "run_repeated",
+    "run_spec",
+    "specs_for_repeated",
     "speedup",
 ]

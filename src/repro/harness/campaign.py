@@ -10,7 +10,7 @@ and restarts crashed targets with the appropriate simulated downtime.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, List, Optional, Set
 
 from repro.errors import HarnessError, StartupError
 from repro.fuzzing.statemodel import StateModel

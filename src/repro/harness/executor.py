@@ -1,0 +1,562 @@
+"""Multiprocess campaign executor: the evaluation grid, fanned out.
+
+The paper's evaluation is a grid of independent campaign cells — subject
+x fuzzer x repetition — each fully determined by a seed. This module
+runs that grid across a pool of worker processes without giving up the
+bit-for-bit determinism of the serial path:
+
+- :class:`CampaignSpec` is the picklable description of one cell (target
+  name, pit, mode name + kwargs, :class:`CampaignConfig`). Live objects
+  — engines, namespaces, targets — are reconstructed *inside* the
+  worker from the registries, so nothing unpicklable crosses the
+  process boundary.
+- :class:`CampaignOutcome` is the slim, serializable result shipped
+  back: the coverage time series, the deduplicated bug ledger, and
+  per-instance counters. :meth:`CampaignOutcome.to_result` rebuilds a
+  :class:`CampaignResult` (without live instances) so every downstream
+  consumer of the serial API keeps working.
+- :func:`execute_specs` schedules cells onto one worker process per
+  in-flight cell, applies per-cell timeouts, retries transient failures
+  in a fresh worker, and converts worker crashes into structured
+  :class:`CellFailure` records instead of a hung pool. Results come
+  back ordered by spec index regardless of completion order.
+- :class:`ResultCache` memoises successful outcomes on disk under
+  ``.cmfuzz-cache/`` keyed by a stable content hash of the spec, so
+  re-running an expensive grid after an unrelated edit is free.
+
+``workers=1`` short-circuits to an in-process loop with identical
+results (the golden-equivalence suite pins this down).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import HarnessError
+from repro.harness.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.harness.stats import TimeSeries
+from repro.targets.faults import BugLedger, CrashReport
+
+#: Bumped whenever the outcome layout or the key derivation changes;
+#: stale cache entries from older versions are treated as misses.
+CACHE_VERSION = 1
+
+#: Default on-disk cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".cmfuzz-cache"
+
+
+def default_cache_dir() -> str:
+    """The cache root: ``$CMFUZZ_CACHE_DIR`` or ``.cmfuzz-cache/``."""
+    return os.environ.get("CMFUZZ_CACHE_DIR") or DEFAULT_CACHE_DIR
+
+
+# ---------------------------------------------------------------------------
+# Specs and outcomes
+# ---------------------------------------------------------------------------
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to a JSON-stable shape for cache-key hashing.
+
+    Dict key order never matters (``json.dumps(sort_keys=True)`` on the
+    stringified keys), callables hash by qualified name, dataclasses by
+    field dict.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, enum.Enum):
+        return [type(value).__name__, value.value]
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(json.dumps(_canonical(v), sort_keys=True) for v in value)
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if callable(value):
+        return "%s:%s" % (
+            getattr(value, "__module__", "?"),
+            getattr(value, "__qualname__", repr(value)),
+        )
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A picklable description of one experiment cell.
+
+    Everything a worker needs to reconstruct the live campaign: the
+    target and pit come from the registries by ``target`` name, the mode
+    is instantiated as ``MODES[mode](**mode_kwargs)``, and ``config``
+    carries the seed that makes the run deterministic.
+    """
+
+    target: str
+    mode: str
+    mode_kwargs: Dict[str, Any] = field(default_factory=dict)
+    config: CampaignConfig = field(default_factory=CampaignConfig)
+
+    def cache_key(self, runner: Optional[Callable] = None) -> str:
+        """Stable content hash of this spec (and a non-default runner)."""
+        payload = {
+            "version": CACHE_VERSION,
+            "target": self.target,
+            "mode": self.mode,
+            "mode_kwargs": _canonical(self.mode_kwargs),
+            "config": _canonical(self.config),
+            "runner": None if runner in (None, run_spec) else _canonical(runner),
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        )
+        return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class InstanceStats:
+    """Per-instance counters surviving the process boundary."""
+
+    index: int
+    coverage: int
+    restarts: int
+    config_mutations: int
+    dead: bool
+    group: Tuple[str, ...]
+    assignment: Tuple[Tuple[str, Any], ...]
+
+
+@dataclass
+class CampaignOutcome:
+    """The slim serializable form of a campaign's results.
+
+    Carries everything the evaluation consumes — the coverage series,
+    the deduplicated bug ledger, iteration counts, per-instance counters
+    — and none of the live engine/namespace state a
+    :class:`CampaignResult` drags along.
+    """
+
+    mode: str
+    target: str
+    coverage_points: List[Tuple[float, float]]
+    bug_entries: List[Tuple[CrashReport, int]]
+    instance_stats: List[InstanceStats]
+    startup_conflicts: int = 0
+    iterations: int = 0
+
+    @classmethod
+    def from_result(cls, result: CampaignResult) -> "CampaignOutcome":
+        return cls(
+            mode=result.mode,
+            target=result.target,
+            coverage_points=result.coverage.points(),
+            bug_entries=result.bugs.snapshot(),
+            instance_stats=[
+                InstanceStats(
+                    index=instance.index,
+                    coverage=instance.coverage,
+                    restarts=instance.restarts,
+                    config_mutations=instance.config_mutations,
+                    dead=instance.dead,
+                    group=tuple(instance.bundle.group),
+                    assignment=tuple(sorted(instance.bundle.assignment.items())),
+                )
+                for instance in result.instances
+            ],
+            startup_conflicts=result.startup_conflicts,
+            iterations=result.iterations,
+        )
+
+    def to_result(self) -> CampaignResult:
+        """Rebuild a :class:`CampaignResult` (live instances excepted)."""
+        coverage = TimeSeries()
+        for t, v in self.coverage_points:
+            coverage.record(t, v)
+        return CampaignResult(
+            mode=self.mode,
+            target=self.target,
+            coverage=coverage,
+            bugs=BugLedger.from_snapshot(self.bug_entries),
+            instances=[],
+            startup_conflicts=self.startup_conflicts,
+            iterations=self.iterations,
+        )
+
+    @property
+    def final_coverage(self) -> int:
+        return int(self.coverage_points[-1][1]) if self.coverage_points else 0
+
+
+def run_spec(spec: CampaignSpec) -> CampaignOutcome:
+    """Reconstruct one cell's live objects and run it (the worker body)."""
+    from repro.parallel import MODES
+    from repro.pits import pit_registry
+    from repro.targets import target_registry
+
+    targets = target_registry()
+    if spec.target not in targets:
+        raise KeyError("unknown target %r" % spec.target)
+    if spec.mode not in MODES:
+        raise KeyError("unknown mode %r" % spec.mode)
+    result = run_campaign(
+        targets[spec.target],
+        pit_registry()[spec.target](),
+        MODES[spec.mode](**dict(spec.mode_kwargs)),
+        spec.config,
+    )
+    return CampaignOutcome.from_result(result)
+
+
+def specs_for_repeated(
+    target: str,
+    mode: str,
+    repetitions: int,
+    config: Optional[CampaignConfig] = None,
+    mode_kwargs: Optional[Dict[str, Any]] = None,
+) -> List[CampaignSpec]:
+    """The spec grid matching :func:`run_repeated`'s seed schedule."""
+    base = config or CampaignConfig()
+    return [
+        CampaignSpec(
+            target=target,
+            mode=mode,
+            mode_kwargs=dict(mode_kwargs or {}),
+            config=dataclasses.replace(base, seed=base.seed + repetition * 101),
+        )
+        for repetition in range(repetitions)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Failure records and cell results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CellFailure:
+    """A structured record of why a cell could not produce an outcome."""
+
+    kind: str  # "exception" | "timeout" | "worker-died"
+    message: str
+    traceback: str = ""
+    exitcode: Optional[int] = None
+
+    def __str__(self) -> str:
+        return "[%s] %s" % (self.kind, self.message)
+
+
+@dataclass
+class CellResult:
+    """One cell's execution record: outcome or failure, plus provenance."""
+
+    index: int
+    spec: CampaignSpec
+    outcome: Optional[CampaignOutcome] = None
+    failure: Optional[CellFailure] = None
+    from_cache: bool = False
+    attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is not None
+
+
+class ExecutorError(HarnessError):
+    """Raised when a grid finished with failed cells."""
+
+    def __init__(self, failed: Sequence[CellResult]):
+        self.failed = list(failed)
+        details = "; ".join(
+            "cell %d (%s/%s): %s" % (c.index, c.spec.target, c.spec.mode, c.failure)
+            for c in self.failed
+        )
+        super().__init__("%d cell(s) failed: %s" % (len(self.failed), details))
+
+
+def outcomes(cells: Sequence[CellResult]) -> List[CampaignOutcome]:
+    """Extract outcomes in spec order, raising if any cell failed."""
+    failed = [cell for cell in cells if not cell.ok]
+    if failed:
+        raise ExecutorError(failed)
+    return [cell.outcome for cell in cells]
+
+
+def results(cells: Sequence[CellResult]) -> List[CampaignResult]:
+    """Outcomes rebuilt as :class:`CampaignResult`, in spec order."""
+    return [outcome.to_result() for outcome in outcomes(cells)]
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache
+# ---------------------------------------------------------------------------
+
+
+class ResultCache:
+    """Pickle-per-key outcome cache under a cache directory.
+
+    The key is a content hash of the spec, so the only invalidation rule
+    is the spec itself changing (or :data:`CACHE_VERSION` bumping);
+    unrelated source edits never invalidate entries. Writes are atomic
+    (temp file + rename) so parallel writers cannot tear an entry.
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root or default_cache_dir()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key + ".pkl")
+
+    def get(self, key: str) -> Optional[CampaignOutcome]:
+        try:
+            with open(self._path(key), "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != CACHE_VERSION or payload.get("key") != key:
+            return None
+        outcome = payload.get("outcome")
+        return outcome if isinstance(outcome, CampaignOutcome) else None
+
+    def put(self, key: str, outcome: CampaignOutcome) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        path = self._path(key)
+        temp = "%s.tmp.%d" % (path, os.getpid())
+        with open(temp, "wb") as handle:
+            pickle.dump(
+                {"version": CACHE_VERSION, "key": key, "outcome": outcome},
+                handle,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        os.replace(temp, path)
+
+
+# ---------------------------------------------------------------------------
+# The pool
+# ---------------------------------------------------------------------------
+
+
+def _cell_entry(runner: Callable, spec: CampaignSpec, conn) -> None:
+    """Worker process entry point: run the cell, ship one message back."""
+    try:
+        outcome = runner(spec)
+        conn.send(("ok", outcome))
+    except BaseException as exc:  # noqa: BLE001 - converted to a record
+        try:
+            conn.send(("error", type(exc).__name__, str(exc),
+                       traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+@dataclass
+class _Cell:
+    index: int
+    spec: CampaignSpec
+    key: Optional[str]
+    attempts: int = 0
+
+
+@dataclass
+class _Running:
+    cell: _Cell
+    process: Any
+    conn: Any
+    deadline: Optional[float]
+
+
+def _default_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def execute_specs(
+    specs: Iterable[CampaignSpec],
+    workers: int = 1,
+    runner: Optional[Callable[[CampaignSpec], CampaignOutcome]] = None,
+    cache: bool = False,
+    cache_dir: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    mp_context=None,
+) -> List[CellResult]:
+    """Run a grid of campaign cells, optionally across worker processes.
+
+    Args:
+        specs: The cells, in the order results should come back.
+        workers: Max cells in flight. ``1`` runs in-process (identical
+            results, no subprocesses, no timeout enforcement).
+        runner: Cell body; defaults to :func:`run_spec`. Must be a
+            picklable module-level callable for ``workers > 1``.
+        cache: Memoise successful outcomes on disk.
+        cache_dir: Cache directory (default ``.cmfuzz-cache/``).
+        timeout: Per-cell wall-clock budget in seconds (pooled only); an
+            expired worker is terminated and the cell recorded/retried.
+        retries: How many times a failed cell is re-run in a fresh
+            worker before its failure record becomes final.
+
+    Returns:
+        One :class:`CellResult` per spec, ordered like ``specs``
+        regardless of completion order.
+    """
+    spec_list = list(specs)
+    runner = runner or run_spec
+    store = ResultCache(cache_dir) if cache else None
+    cells: List[Optional[CellResult]] = [None] * len(spec_list)
+
+    pending: deque = deque()
+    for index, spec in enumerate(spec_list):
+        key = spec.cache_key(runner) if store else None
+        if store is not None:
+            hit = store.get(key)
+            if hit is not None:
+                cells[index] = CellResult(
+                    index=index, spec=spec, outcome=hit, from_cache=True,
+                )
+                continue
+        pending.append(_Cell(index=index, spec=spec, key=key))
+
+    if workers <= 1:
+        for cell in pending:
+            cells[cell.index] = _run_inline(cell, runner, retries, store)
+    else:
+        _run_pool(pending, cells, workers, runner, retries, timeout, store,
+                  mp_context or _default_context())
+    return [cell for cell in cells if cell is not None]
+
+
+def _finish_ok(cell: _Cell, outcome: CampaignOutcome,
+               store: Optional[ResultCache]) -> CellResult:
+    if store is not None and cell.key is not None:
+        store.put(cell.key, outcome)
+    return CellResult(
+        index=cell.index, spec=cell.spec, outcome=outcome, attempts=cell.attempts,
+    )
+
+
+def _run_inline(cell: _Cell, runner: Callable, retries: int,
+                store: Optional[ResultCache]) -> CellResult:
+    """The ``workers=1`` path: same retry contract, no subprocesses."""
+    failure = None
+    while cell.attempts <= retries:
+        cell.attempts += 1
+        try:
+            return _finish_ok(cell, runner(cell.spec), store)
+        except Exception as exc:
+            failure = CellFailure(
+                kind="exception",
+                message="%s: %s" % (type(exc).__name__, exc),
+                traceback=traceback.format_exc(),
+            )
+    return CellResult(
+        index=cell.index, spec=cell.spec, failure=failure, attempts=cell.attempts,
+    )
+
+
+def _run_pool(pending, cells, workers, runner, retries, timeout, store, ctx):
+    running: Dict[Any, _Running] = {}
+
+    def launch(cell: _Cell) -> None:
+        cell.attempts += 1
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_cell_entry, args=(runner, cell.spec, child_conn), daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        deadline = (time.monotonic() + timeout) if timeout else None
+        running[parent_conn] = _Running(
+            cell=cell, process=process, conn=parent_conn, deadline=deadline,
+        )
+
+    def settle(run: _Running, failure: CellFailure) -> None:
+        """Record a failure or requeue the cell for a fresh worker."""
+        if run.cell.attempts <= retries:
+            pending.append(run.cell)
+        else:
+            cells[run.cell.index] = CellResult(
+                index=run.cell.index, spec=run.cell.spec,
+                failure=failure, attempts=run.cell.attempts,
+            )
+
+    try:
+        while pending or running:
+            while pending and len(running) < workers:
+                launch(pending.popleft())
+
+            wait_timeout = None
+            deadlines = [r.deadline for r in running.values()
+                         if r.deadline is not None]
+            if deadlines:
+                wait_timeout = max(0.0, min(deadlines) - time.monotonic())
+            ready = mp_connection.wait(list(running), timeout=wait_timeout)
+
+            for conn in ready:
+                run = running.pop(conn)
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    message = None
+                conn.close()
+                run.process.join()
+                if message is None:
+                    settle(run, CellFailure(
+                        kind="worker-died",
+                        message="worker exited without a result (exitcode %s)"
+                                % run.process.exitcode,
+                        exitcode=run.process.exitcode,
+                    ))
+                elif message[0] == "ok":
+                    cells[run.cell.index] = _finish_ok(run.cell, message[1], store)
+                else:
+                    _, name, text, trace = message
+                    settle(run, CellFailure(
+                        kind="exception",
+                        message="%s: %s" % (name, text),
+                        traceback=trace,
+                    ))
+
+            now = time.monotonic()
+            for conn in [c for c, r in running.items()
+                         if r.deadline is not None and now >= r.deadline]:
+                run = running.pop(conn)
+                _terminate(run.process)
+                conn.close()
+                settle(run, CellFailure(
+                    kind="timeout",
+                    message="cell exceeded the %.1fs budget" % timeout,
+                ))
+    finally:
+        for run in running.values():
+            _terminate(run.process)
+            run.conn.close()
+
+
+def _terminate(process) -> None:
+    process.terminate()
+    process.join(5.0)
+    if process.is_alive():  # pragma: no cover - stuck in uninterruptible state
+        process.kill()
+        process.join(5.0)

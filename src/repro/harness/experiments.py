@@ -14,10 +14,11 @@ implementation:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.harness.campaign import CampaignConfig, CampaignResult, run_repeated
+from repro.harness.executor import execute_specs, results, specs_for_repeated
 from repro.harness.stats import TimeSeries, mean, speedup
 from repro.parallel import MODES
 from repro.pits import pit_registry
@@ -60,19 +61,42 @@ def _run_fuzzers(
     repetitions: int,
     config: Optional[CampaignConfig],
     mode_factories: Optional[Dict[str, Callable]] = None,
+    workers: int = 1,
+    cache: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> SubjectComparison:
     targets, pits = target_registry(), pit_registry()
     if subject not in targets:
         raise KeyError("unknown subject %r" % subject)
     factories = mode_factories or {}
-    results = {}
     for fuzzer in fuzzers:
-        factory = factories.get(fuzzer) or MODES[fuzzer]
-        results[fuzzer] = run_repeated(
-            targets[subject], pits[subject], factory,
-            repetitions=repetitions, config=config,
-        )
-    return SubjectComparison(subject=subject, results=results)
+        if fuzzer not in factories and fuzzer not in MODES:
+            raise KeyError(fuzzer)
+
+    # Registry fuzzers go through the executor as picklable specs (the
+    # workers=1 path is in-process and bit-identical to run_repeated);
+    # custom factories cannot cross a process boundary and stay serial.
+    spec_fuzzers = [f for f in fuzzers if f not in factories]
+    by_fuzzer: Dict[str, List[CampaignResult]] = {}
+    if spec_fuzzers:
+        specs = []
+        for fuzzer in spec_fuzzers:
+            specs.extend(specs_for_repeated(subject, fuzzer, repetitions, config))
+        campaigns = results(execute_specs(
+            specs, workers=workers, cache=cache, cache_dir=cache_dir,
+        ))
+        for position, fuzzer in enumerate(spec_fuzzers):
+            start = position * repetitions
+            by_fuzzer[fuzzer] = campaigns[start:start + repetitions]
+    for fuzzer in fuzzers:
+        if fuzzer in factories:
+            by_fuzzer[fuzzer] = run_repeated(
+                targets[subject], pits[subject], factories[fuzzer],
+                repetitions=repetitions, config=config,
+            )
+    return SubjectComparison(
+        subject=subject, results={f: by_fuzzer[f] for f in fuzzers},
+    )
 
 
 def table1_experiment(
@@ -80,9 +104,13 @@ def table1_experiment(
     repetitions: int = 3,
     config: Optional[CampaignConfig] = None,
     fuzzers: Sequence[str] = DEFAULT_FUZZERS,
+    workers: int = 1,
+    cache: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> SubjectComparison:
     """Run one Table-I row's worth of campaigns."""
-    return _run_fuzzers(subject, fuzzers, repetitions, config)
+    return _run_fuzzers(subject, fuzzers, repetitions, config,
+                        workers=workers, cache=cache, cache_dir=cache_dir)
 
 
 def table2_experiment(
@@ -90,11 +118,16 @@ def table2_experiment(
     repetitions: int = 3,
     config: Optional[CampaignConfig] = None,
     fuzzer: str = "cmfuzz",
+    workers: int = 1,
+    cache: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> BugLedger:
     """Run Table II: merged unique bugs across the bug-bearing subjects."""
     merged = BugLedger()
     for subject in subjects:
-        comparison = _run_fuzzers(subject, (fuzzer,), repetitions, config)
+        comparison = _run_fuzzers(subject, (fuzzer,), repetitions, config,
+                                  workers=workers, cache=cache,
+                                  cache_dir=cache_dir)
         merged.merge(comparison.merged_bugs(fuzzer))
     return merged
 
@@ -105,10 +138,15 @@ def figure4_experiment(
     config: Optional[CampaignConfig] = None,
     fuzzers: Sequence[str] = DEFAULT_FUZZERS,
     grid_step: float = 3600.0,
+    workers: int = 1,
+    cache: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, TimeSeries]:
     """One Figure-4 panel: averaged coverage series per fuzzer."""
     config = config or CampaignConfig()
-    comparison = _run_fuzzers(subject, fuzzers, repetitions, config)
+    comparison = _run_fuzzers(subject, fuzzers, repetitions, config,
+                              workers=workers, cache=cache,
+                              cache_dir=cache_dir)
     horizon = config.duration_hours * 3600.0
     panels: Dict[str, TimeSeries] = {}
     for fuzzer, results in comparison.results.items():

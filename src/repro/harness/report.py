@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.harness.stats import TimeSeries, mean, speedup
 from repro.targets.faults import BugLedger

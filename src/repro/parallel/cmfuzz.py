@@ -25,14 +25,14 @@ from repro.core.allocation import AllocationResult, allocate
 from repro.core.extraction import extract_entities
 from repro.core.model import ConfigurationModel
 from repro.core.mutation import ConfigMutator, GuidedConfigMutator, SaturationDetector
-from repro.core.reassembly import ConfigBundle, reassemble_group
+from repro.core.reassembly import reassemble_group
 from repro.core.relation import RelationQuantifier
 from repro.errors import StartupError
 from repro.fuzzing.engine import FuzzEngine
 from repro.parallel.base import ParallelMode
 from repro.parallel.instance import FuzzingInstance
 from repro.targets.base import startup_probe_for
-from repro.targets.faults import CrashReport, SanitizerFault
+from repro.targets.faults import SanitizerFault
 
 
 class CmFuzzMode(ParallelMode):

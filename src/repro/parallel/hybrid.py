@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.fuzzing.engine import FuzzEngine
 from repro.parallel.cmfuzz import CmFuzzMode
 from repro.parallel.instance import FuzzingInstance
 from repro.parallel.sync import SeedSynchronizer

@@ -6,11 +6,9 @@ from typing import Any, Dict, Optional
 
 from repro.core.reassembly import ConfigBundle
 from repro.coverage.collector import CoverageCollector
-from repro.errors import StartupError
 from repro.fuzzing.engine import ChannelTransport, FuzzEngine, IterationResult
 from repro.netns.namespace import NetworkNamespace
 from repro.targets.base import ProtocolTarget
-from repro.targets.faults import SanitizerFault
 
 
 class FuzzingInstance:

@@ -1,6 +1,6 @@
 """Pit for the Qpid target: AMQP 1.0 headers, frames and performatives."""
 
-from repro.fuzzing.datamodel import Blob, Block, DataModel, Number, Size, Str
+from repro.fuzzing.datamodel import Blob, Block, DataModel, Number, Size
 from repro.fuzzing.statemodel import Action, State, StateModel
 
 

@@ -5,7 +5,7 @@ bytes); mutators corrupt the encoding, which is exactly where CoAP
 parsers historically break.
 """
 
-from repro.fuzzing.datamodel import Blob, Block, DataModel, Number, Str
+from repro.fuzzing.datamodel import Blob, DataModel, Number
 from repro.fuzzing.statemodel import Action, State, StateModel
 
 # Delta-encoded option bytes for "Uri-Path: sensors / temp":

@@ -1,6 +1,6 @@
 """Pit for the CycloneDDS target: RTPS message formats."""
 
-from repro.fuzzing.datamodel import Blob, Block, DataModel, Number, Size, Str
+from repro.fuzzing.datamodel import Blob, Block, DataModel, Number, Str
 from repro.fuzzing.statemodel import Action, State, StateModel
 
 _GUID_PREFIX = bytes(range(12))

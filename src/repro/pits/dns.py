@@ -1,6 +1,6 @@
 """Pit for the dnsmasq target: DNS query formats (RFC 1035)."""
 
-from repro.fuzzing.datamodel import Blob, Block, DataModel, Number, Str
+from repro.fuzzing.datamodel import Blob, DataModel, Number
 from repro.fuzzing.statemodel import Action, State, StateModel
 
 

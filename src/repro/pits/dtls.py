@@ -1,6 +1,6 @@
 """Pit for the OpenSSL DTLS target: record + handshake formats."""
 
-from repro.fuzzing.datamodel import Blob, Block, DataModel, Number, Size, Str
+from repro.fuzzing.datamodel import Blob, Block, DataModel, Number, Size
 from repro.fuzzing.statemodel import Action, State, StateModel
 
 

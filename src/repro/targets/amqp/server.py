@@ -10,7 +10,7 @@ oversubscribed worker pool.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from repro.errors import StartupError
 from repro.targets.amqp import config as amqp_config

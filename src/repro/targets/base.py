@@ -18,7 +18,7 @@ harness:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.core.extraction import ConfigSources
 from repro.coverage.bitmap import CoverageMap

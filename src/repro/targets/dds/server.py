@@ -16,7 +16,6 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import StartupError
 from repro.targets.base import ProtocolTarget
 from repro.targets.dds import config as dds_config
-from repro.targets.faults import FaultKind, SanitizerFault
 
 # Submessage kinds (RTPS 2.2).
 PAD = 0x01

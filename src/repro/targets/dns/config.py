@@ -5,7 +5,7 @@
 the heuristic extractor with configurable rules.
 """
 
-from repro.core.entity import Flag, ValueType
+from repro.core.entity import Flag
 from repro.core.extraction import ConfigSources
 
 CONFIG_FILE = """\

@@ -10,7 +10,7 @@ paper's observation for OpenSSL.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from repro.errors import StartupError
 from repro.targets.base import ProtocolTarget

@@ -10,8 +10,8 @@ deduplicates reports by signature, mirroring crash triage.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 
 class FaultKind(enum.Enum):
@@ -95,6 +95,23 @@ class BugLedger:
 
     def count(self, signature: Tuple[str, str, str]) -> int:
         return self._counts.get(signature, 0)
+
+    def snapshot(self) -> List[Tuple["CrashReport", int]]:
+        """First-seen reports with their observation counts, in insertion
+        order — a picklable, order-preserving serialization of the ledger."""
+        return [
+            (report, self._counts[signature])
+            for signature, report in self._first_seen.items()
+        ]
+
+    @classmethod
+    def from_snapshot(cls, entries: List[Tuple["CrashReport", int]]) -> "BugLedger":
+        """Rebuild a ledger from :meth:`snapshot` output, bit-for-bit."""
+        ledger = cls()
+        for report, count in entries:
+            ledger._first_seen[report.signature] = report
+            ledger._counts[report.signature] = count
+        return ledger
 
     def merge(self, other: "BugLedger") -> None:
         for signature, report in other._first_seen.items():

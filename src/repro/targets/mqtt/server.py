@@ -10,7 +10,7 @@ and/or specific packet shapes.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List
 
 from repro.errors import StartupError
 from repro.targets.base import ProtocolTarget

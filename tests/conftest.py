@@ -3,6 +3,14 @@
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep the executor's on-disk cache out of the repository during tests."""
+    monkeypatch.setenv("CMFUZZ_CACHE_DIR", str(tmp_path / "cmfuzz-cache"))

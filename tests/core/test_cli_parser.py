@@ -1,6 +1,5 @@
 """Tests for the pattern-matching CLI option parser."""
 
-import pytest
 
 from repro.core.cli_parser import parse_cli_options, parse_help_text, parse_invocation
 from repro.core.entity import SourceKind

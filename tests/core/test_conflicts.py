@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.conflicts import ConflictPair, conflicting_value_sets, find_conflicts
+from repro.core.conflicts import conflicting_value_sets, find_conflicts
 from repro.core.entity import ConfigEntity, Flag, ValueType
 from repro.core.model import ConfigurationModel
 from repro.core.relation import RelationQuantifier

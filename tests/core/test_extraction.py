@@ -1,6 +1,5 @@
 """Tests for Algorithm 1: configuration items extraction."""
 
-import pytest
 
 from repro.core.entity import Flag, SourceKind, ValueType
 from repro.core.extraction import (

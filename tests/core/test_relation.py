@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.entity import ConfigEntity, Flag, ValueType
 from repro.core.model import ConfigurationModel
-from repro.core.relation import ProbeRecord, QuantificationReport, RelationQuantifier
+from repro.core.relation import RelationQuantifier
 from repro.coverage.bitmap import CoverageMap
 from repro.errors import StartupError
 

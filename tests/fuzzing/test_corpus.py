@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import FuzzingError
 from repro.fuzzing.corpus import (
     dump_corpus,
     load_corpus,

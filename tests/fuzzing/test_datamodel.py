@@ -3,16 +3,7 @@
 import pytest
 
 from repro.errors import FuzzingError
-from repro.fuzzing.datamodel import (
-    Blob,
-    Block,
-    Choice,
-    DataModel,
-    Message,
-    Number,
-    Size,
-    Str,
-)
+from repro.fuzzing.datamodel import Blob, Block, Choice, DataModel, Number, Size, Str
 
 
 class TestNumber:

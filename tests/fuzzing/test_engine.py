@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.coverage.collector import CoverageCollector
 from repro.fuzzing.datamodel import Blob, DataModel
 from repro.fuzzing.engine import ChannelTransport, DirectTransport, FuzzEngine
 from repro.fuzzing.statemodel import Action, State, StateModel

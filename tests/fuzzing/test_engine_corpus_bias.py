@@ -1,8 +1,6 @@
 """Engine corpus behaviour under replay bias and cross-model seeds."""
 
-import pytest
 
-from repro.coverage.collector import CoverageCollector
 from repro.fuzzing.engine import DirectTransport, FuzzEngine
 from repro.fuzzing.strategies import RandomFieldStrategy
 from repro.pits.mqtt import state_model

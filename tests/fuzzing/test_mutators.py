@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.fuzzing.datamodel import Blob, Choice, DataModel, Number, Size, Str
 from repro.fuzzing.mutators import (

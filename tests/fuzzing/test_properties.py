@@ -5,7 +5,7 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.fuzzing.datamodel import Blob, Block, DataModel, Number, Size, Str
+from repro.fuzzing.datamodel import Blob, DataModel, Number, Size
 from repro.fuzzing.mutators import DEFAULT_MUTATORS, mutators_for
 from repro.fuzzing.strategies import RandomFieldStrategy
 from repro.pits import pit_registry

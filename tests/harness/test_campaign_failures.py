@@ -1,6 +1,5 @@
 """Failure-injection tests for the campaign runner's recovery paths."""
 
-import pytest
 
 from repro.core.extraction import ConfigSources
 from repro.core.reassembly import ConfigBundle

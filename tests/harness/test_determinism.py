@@ -1,6 +1,5 @@
 """Determinism and isolation of campaigns (no hidden global state)."""
 
-import pytest
 
 from repro.harness.campaign import CampaignConfig, run_campaign
 from repro.parallel.cmfuzz import CmFuzzMode

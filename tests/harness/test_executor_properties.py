@@ -1,0 +1,97 @@
+"""Hypothesis property tests for the executor plumbing.
+
+Specs must survive the process boundary (pickle round-trip), and the
+on-disk cache key must be a pure function of the spec's *content*: key
+order of mode kwargs never matters, distinct seeds never collide.
+"""
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.campaign import CampaignConfig
+from repro.harness.executor import CampaignSpec
+
+_SETTINGS = dict(max_examples=50, deadline=None)
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-2**31, max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+_keys = st.text(min_size=1, max_size=12)
+_kwargs = st.dictionaries(
+    _keys,
+    st.one_of(_scalars, st.dictionaries(_keys, _scalars, max_size=3)),
+    max_size=5,
+)
+_names = st.text(min_size=1, max_size=16)
+
+
+def _spec(target, mode, kwargs, seed=0, hours=1.0):
+    return CampaignSpec(
+        target=target,
+        mode=mode,
+        mode_kwargs=kwargs,
+        config=CampaignConfig(seed=seed, duration_hours=hours),
+    )
+
+
+class TestSpecPickling:
+    @settings(**_SETTINGS)
+    @given(target=_names, mode=_names, kwargs=_kwargs,
+           seed=st.integers(min_value=0, max_value=2**31),
+           hours=st.floats(min_value=0.1, max_value=48.0,
+                           allow_nan=False, allow_infinity=False))
+    def test_round_trip_preserves_spec_and_key(self, target, mode, kwargs,
+                                               seed, hours):
+        spec = _spec(target, mode, kwargs, seed=seed, hours=hours)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.cache_key() == spec.cache_key()
+
+
+class TestCacheKeyStability:
+    @settings(**_SETTINGS)
+    @given(kwargs=_kwargs, data=st.data())
+    def test_kwarg_key_order_never_matters(self, kwargs, data):
+        items = list(kwargs.items())
+        shuffled = data.draw(st.permutations(items))
+        original = _spec("dnsmasq", "cmfuzz", dict(items))
+        permuted = _spec("dnsmasq", "cmfuzz", dict(shuffled))
+        assert original.cache_key() == permuted.cache_key()
+
+    @settings(**_SETTINGS)
+    @given(kwargs=_kwargs)
+    def test_key_is_reproducible(self, kwargs):
+        spec = _spec("dnsmasq", "cmfuzz", kwargs)
+        assert spec.cache_key() == spec.cache_key()
+        assert spec.cache_key() == _spec("dnsmasq", "cmfuzz", dict(kwargs)).cache_key()
+
+
+class TestCacheKeySensitivity:
+    @settings(**_SETTINGS)
+    @given(seeds=st.lists(st.integers(min_value=0, max_value=2**31),
+                          min_size=2, max_size=2, unique=True))
+    def test_distinct_seeds_never_collide(self, seeds):
+        first = _spec("dnsmasq", "cmfuzz", {}, seed=seeds[0])
+        second = _spec("dnsmasq", "cmfuzz", {}, seed=seeds[1])
+        assert first.cache_key() != second.cache_key()
+
+    @settings(**_SETTINGS)
+    @given(targets=st.lists(_names, min_size=2, max_size=2, unique=True))
+    def test_distinct_targets_never_collide(self, targets):
+        assert _spec(targets[0], "cmfuzz", {}).cache_key() != \
+            _spec(targets[1], "cmfuzz", {}).cache_key()
+
+    def test_mode_kwargs_values_change_the_key(self):
+        base = _spec("dnsmasq", "cmfuzz", {"max_combinations": 16})
+        other = _spec("dnsmasq", "cmfuzz", {"max_combinations": 8})
+        assert base.cache_key() != other.cache_key()
+
+    def test_duration_changes_the_key(self):
+        assert _spec("dnsmasq", "cmfuzz", {}, hours=1.0).cache_key() != \
+            _spec("dnsmasq", "cmfuzz", {}, hours=2.0).cache_key()

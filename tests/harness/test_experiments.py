@@ -3,12 +3,7 @@
 import pytest
 
 from repro.harness.campaign import CampaignConfig
-from repro.harness.experiments import (
-    SubjectComparison,
-    figure4_experiment,
-    table1_experiment,
-    table2_experiment,
-)
+from repro.harness.experiments import figure4_experiment, table1_experiment, table2_experiment
 
 
 def _quick_config():

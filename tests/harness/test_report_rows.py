@@ -1,6 +1,5 @@
 """Tests for Table-I row assembly from campaign results."""
 
-import pytest
 
 from repro.harness.report import table1_row
 from repro.harness.stats import TimeSeries

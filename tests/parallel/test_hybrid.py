@@ -1,6 +1,5 @@
 """Tests for the hybrid CMFuzz x SPFuzz extension mode."""
 
-import pytest
 
 from repro.harness.campaign import (
     CampaignConfig,

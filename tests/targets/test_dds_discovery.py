@@ -1,6 +1,5 @@
 """Tests for DDS builtin discovery (SPDP/SEDP) parsing."""
 
-import pytest
 
 from repro.targets.dds.server import CycloneDdsTarget
 

@@ -1,6 +1,5 @@
 """Tests for the fault taxonomy, crash reports and the bug ledger."""
 
-import pytest
 
 from repro.targets.faults import (
     TABLE_II_BUGS,

@@ -1,6 +1,5 @@
 """Tests for MQTT v5 topic alias handling."""
 
-import pytest
 
 from repro.targets.mqtt.server import MosquittoTarget
 

@@ -1,6 +1,5 @@
 """Deeper MQTT v5 and edge-case behaviour tests."""
 
-import pytest
 
 from repro.targets.mqtt.server import MosquittoTarget
 

@@ -2,14 +2,12 @@
 branch sets on every target (the property relation quantification needs).
 """
 
-import itertools
 
 import pytest
 
 from repro.errors import StartupError
 from repro.targets import target_registry
 from repro.targets.base import startup_probe_for
-from repro.targets.faults import SanitizerFault
 
 #: For each target: two single-entity assignments expected to produce
 #: *different* startup coverage from each other and from the default.

@@ -1,6 +1,5 @@
 """The public API surface: everything advertised imports and works."""
 
-import pytest
 
 
 class TestTopLevelExports:
