@@ -1,0 +1,117 @@
+"""Resilience benchmark: coverage retention under rising chaos levels.
+
+Not a table from the paper — a robustness surface for the harness
+itself: every fuzzer runs the same campaigns with deterministic fault
+injection (transient startup failures, hangs, garbled responses, silent
+deaths) at increasing intensity, and the bench asserts that supervised
+campaigns degrade gracefully instead of collapsing. Supervisor event
+counts land in the benchmark JSON (``--benchmark-json``) via
+``extra_info`` so CI can trend quarantine/revival behaviour over time.
+"""
+
+import pytest
+
+from conftest import campaign_config  # adds src/ to sys.path
+
+from repro.harness.experiments import resilience_experiment, retention
+from repro.harness.report import render_table
+
+#: Chaos-free baseline plus two escalating fault intensities.
+CHAOS_LEVELS = (0.0, 0.15, 0.3)
+FUZZERS = ("cmfuzz", "peach", "spfuzz")
+SUBJECT = "dnsmasq"
+#: Fraction of chaos-free coverage every fuzzer must retain at the
+#: harshest level (the supervision PR's acceptance bar).
+MIN_RETENTION = 0.75
+
+
+def _grid(workers=1, cache=False, cache_dir=None, repetitions=2):
+    return resilience_experiment(
+        SUBJECT, chaos_levels=CHAOS_LEVELS, fuzzers=FUZZERS,
+        repetitions=repetitions, config=campaign_config(seed=17),
+        workers=workers, cache=cache, cache_dir=cache_dir,
+    )
+
+
+@pytest.fixture(scope="module")
+def resilience_grid(request):
+    workers = int(request.config.getoption("--workers"))
+    cache = not request.config.getoption("--no-cache")
+    return _grid(workers=workers, cache=cache)
+
+
+@pytest.mark.parametrize("fuzzer", FUZZERS)
+def test_resilience_retention(benchmark, resilience_grid, fuzzer):
+    grid = benchmark.pedantic(lambda: resilience_grid, rounds=1, iterations=1)
+    for level in CHAOS_LEVELS[1:]:
+        cell = grid[level][fuzzer]
+        kept = retention(grid, level, fuzzer)
+        assert kept >= MIN_RETENTION, (fuzzer, level, kept)
+        benchmark.extra_info["retention_%g" % level] = kept
+        for kind, count in cell.supervisor_event_counts.items():
+            benchmark.extra_info["events_%g_%s" % (level, kind)] = count
+    benchmark.extra_info["baseline_coverage"] = grid[0.0][fuzzer].mean_coverage
+
+
+def test_supervisor_keeps_campaigns_alive(benchmark, resilience_grid):
+    """At the harshest level every campaign still reaches the horizon."""
+    grid = benchmark.pedantic(lambda: resilience_grid, rounds=1, iterations=1)
+    horizon = campaign_config().duration_hours * 3600.0
+    total_events = 0
+    for fuzzer in FUZZERS:
+        for result in grid[CHAOS_LEVELS[-1]][fuzzer].results:
+            assert result.coverage.points()[-1][0] == horizon, fuzzer
+            total_events += len(result.supervisor_events)
+    assert total_events > 0  # chaos actually exercised the supervisor
+    benchmark.extra_info["total_supervisor_events"] = total_events
+
+
+def _render(grid):
+    headers = ["Fuzzer"] + ["level %g" % level for level in CHAOS_LEVELS]
+    rows = []
+    for fuzzer in FUZZERS:
+        cells = ["%.0f" % grid[0.0][fuzzer].mean_coverage]
+        for level in CHAOS_LEVELS[1:]:
+            cells.append("%.0f (%.0f%%)" % (
+                grid[level][fuzzer].mean_coverage,
+                100.0 * retention(grid, level, fuzzer),
+            ))
+        rows.append([fuzzer] + cells)
+    return render_table(headers, rows)
+
+
+def _main(argv=None):
+    """Standalone driver: ``python benchmarks/bench_resilience.py``."""
+    import argparse
+    import time
+
+    parser = argparse.ArgumentParser(
+        description="Coverage retention under deterministic chaos")
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--repetitions", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    grid = _grid(workers=args.workers, cache=not args.no_cache,
+                 repetitions=args.repetitions)
+    elapsed = time.perf_counter() - start
+    print("RESILIENCE: branches kept under chaos (subject: %s)" % SUBJECT)
+    print(_render(grid))
+    for level in CHAOS_LEVELS[1:]:
+        merged = {}
+        for fuzzer in FUZZERS:
+            for kind, count in grid[level][fuzzer].supervisor_event_counts.items():
+                merged[kind] = merged.get(kind, 0) + count
+        print("level %g supervisor events: %s" % (
+            level, ", ".join("%s=%d" % kv for kv in sorted(merged.items()))
+            or "none",
+        ))
+    print("completed in %.1fs with %d worker(s)" % (elapsed, args.workers))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(_main())

@@ -20,11 +20,13 @@ from repro.core.model import ConfigurationModel
 from repro.core.relation import RelationQuantifier
 from repro.harness.campaign import CampaignConfig
 from repro.harness.executor import CampaignSpec, execute_specs, results
+from repro.harness.experiments import chaos_config
 from repro.harness.report import (
     format_speedup,
     improvement,
     render_bug_table,
     render_figure4,
+    render_supervisor_summary,
     render_table,
 )
 from repro.harness.stats import speedup
@@ -41,6 +43,12 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                         help="campaign cells run in parallel (default: 1, in-process)")
     parser.add_argument("--no-cache", action="store_true",
                         help="skip the on-disk result cache under .cmfuzz-cache/")
+    parser.add_argument("--chaos-level", type=float, default=0.0,
+                        metavar="LEVEL",
+                        help="inject deterministic target faults at this "
+                             "intensity in [0, 1] (default: 0, disabled)")
+    parser.add_argument("--chaos-seed", type=int, default=0,
+                        help="seed for the chaos fault schedule (default: 0)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -109,6 +117,7 @@ def _cmd_model(args, out) -> int:
 def _specs(args, mode_names):
     config = CampaignConfig(n_instances=args.instances,
                             duration_hours=args.hours, seed=args.seed)
+    config = chaos_config(config, args.chaos_level, chaos_seed=args.chaos_seed)
     return [CampaignSpec(target=args.target, mode=name, config=config)
             for name in mode_names]
 
@@ -129,6 +138,8 @@ def _cmd_campaign(args, out) -> int:
                  len(result.bugs), result.iterations))
     if len(result.bugs):
         out.write(render_bug_table(result.bugs) + "\n")
+    if result.supervisor_events:
+        out.write(render_supervisor_summary(result.supervisor_events) + "\n")
     return 0
 
 

@@ -33,6 +33,15 @@ class TargetError(ReproError):
     """Raised for invalid use of a protocol target."""
 
 
+class TargetHang(TargetError):
+    """Raised when a target stops responding within the send timeout.
+
+    Real SUTs hang on startup or mid-session; the harness observes this
+    as a timed-out send. The chaos layer raises it deterministically and
+    the supervisor's watchdog charges the timeout to simulated time.
+    """
+
+
 class FuzzingError(ReproError):
     """Raised for invalid data/state model or engine usage."""
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.coverage.collector import CoverageCollector
+from repro.errors import TargetHang
 from repro.fuzzing.datamodel import Message
 from repro.fuzzing.statemodel import StateModel
 from repro.fuzzing.strategies import MutationStrategy, RandomFieldStrategy
@@ -72,6 +73,10 @@ class IterationResult:
     fault: Optional[SanitizerFault] = None
     path: List[str] = field(default_factory=list)
     messages_sent: int = 0
+    #: Non-empty responses observed (zero while a target is silently dead).
+    responses: int = 0
+    #: The target stopped responding mid-send (chaos hang / send timeout).
+    hung: bool = False
 
     @property
     def found_new_coverage(self) -> bool:
@@ -122,6 +127,7 @@ class FuzzEngine:
         self.iterations = 0
         self.total_messages = 0
         self.faults_seen = 0
+        self.hangs_seen = 0
 
     # -- corpus ------------------------------------------------------------
 
@@ -155,8 +161,10 @@ class FuzzEngine:
         self.collector.start_run()
         path = self._choose_path()
         fault: Optional[SanitizerFault] = None
+        hung = False
         sent_messages: List[Message] = []
         messages_sent = 0
+        responses = 0
         for state_name in path:
             state = self.state_model.state(state_name)
             for action in state.actions:
@@ -168,18 +176,26 @@ class FuzzEngine:
                 sent_messages.append(message)
                 messages_sent += 1
                 try:
-                    self.transport.send(payload)
+                    reply = self.transport.send(payload)
                 except SanitizerFault as caught:
                     fault = caught
                     break
-            if fault:
+                except TargetHang:
+                    hung = True
+                    break
+                if reply:
+                    responses += 1
+            if fault or hung:
                 break
         new_sites = frozenset(self.collector.run_new)
-        if new_sites and not fault:
+        if new_sites and not fault and not hung:
             for message in sent_messages:
                 self.add_seed(message)
         if fault:
             self.faults_seen += 1
+            self.transport.reset()
+        if hung:
+            self.hangs_seen += 1
             self.transport.reset()
         self.iterations += 1
         self.total_messages += messages_sent
@@ -188,4 +204,6 @@ class FuzzEngine:
             fault=fault,
             path=path,
             messages_sent=messages_sent,
+            responses=responses,
+            hung=hung,
         )

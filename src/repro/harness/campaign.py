@@ -9,17 +9,24 @@ and restarts crashed targets with the appropriate simulated downtime.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Set
 
-from repro.errors import HarnessError, StartupError
+from repro.errors import HarnessError, StartupError, TargetHang
 from repro.fuzzing.statemodel import StateModel
 from repro.fuzzing.strategies import MutationStrategy, RandomFieldStrategy
 from repro.harness.simclock import CostModel, SimClock
 from repro.harness.stats import TimeSeries
+from repro.harness.supervisor import (
+    InstanceSupervisor,
+    SupervisorEvent,
+    SupervisorPolicy,
+)
 from repro.netns.namespace import NamespaceManager
 from repro.parallel.base import ParallelMode
 from repro.parallel.instance import FuzzingInstance
+from repro.targets.chaos import ChaosPolicy, chaos_wrapper
 from repro.targets.faults import BugLedger, CrashReport, SanitizerFault
 
 
@@ -34,6 +41,14 @@ class CampaignConfig:
     sample_interval: float = 600.0
     sync_interval: float = 600.0
     strategy_factory: Callable[[], MutationStrategy] = RandomFieldStrategy
+    #: Fault-injection policy applied to every instance's target; None
+    #: (the default) runs the target unmodified.
+    chaos: Optional[ChaosPolicy] = None
+    #: Seed of the chaos fault schedule (independent of the fuzzing seed
+    #: so the same campaign can be replayed under different weather).
+    chaos_seed: int = 0
+    #: Supervision policy: backoff, quarantine, revival, watchdogs.
+    supervisor: SupervisorPolicy = field(default_factory=SupervisorPolicy)
 
     def __post_init__(self):
         if self.n_instances < 1:
@@ -53,6 +68,8 @@ class CampaignResult:
     instances: List[FuzzingInstance]
     startup_conflicts: int = 0
     iterations: int = 0
+    #: Structured supervision log: restart/backoff/quarantine/revive/...
+    supervisor_events: List[SupervisorEvent] = field(default_factory=list)
 
     @property
     def final_coverage(self) -> int:
@@ -76,6 +93,9 @@ class _CampaignContext:
         self.instances: List[FuzzingInstance] = []
         self.bugs = BugLedger()
         self.startup_conflicts = 0
+        #: Set by run_campaign once the instances exist; modes may use it
+        #: to quarantine instead of killing (graceful degradation).
+        self.supervisor: Optional[InstanceSupervisor] = None
         self._strategy_factory = config.strategy_factory
 
     def make_strategy(self) -> MutationStrategy:
@@ -102,6 +122,8 @@ def _safe_initial_start(ctx: _CampaignContext, instance: FuzzingInstance) -> Non
         try:
             instance.restart(assignment)
             return
+        except TargetHang:
+            continue  # transient startup hang: retry the same assignment
         except StartupError as error:
             ctx.startup_conflicts += 1
             dropped = False
@@ -115,7 +137,21 @@ def _safe_initial_start(ctx: _CampaignContext, instance: FuzzingInstance) -> Non
             ctx.record_startup_fault(fault, instance=instance.index)
             if assignment:
                 assignment.popitem()
-    instance.restart({})
+    try:
+        instance.restart({})
+    except (StartupError, SanitizerFault, TargetHang) as error:
+        # Even the default configuration refuses to boot. Pre-supervisor
+        # this aborted the whole campaign; now the instance is handed to
+        # the supervisor as quarantined and revival probes take over.
+        if isinstance(error, SanitizerFault):
+            ctx.record_startup_fault(error, instance=instance.index)
+        if ctx.supervisor is not None:
+            ctx.supervisor.quarantine(
+                instance, ctx.clock.now,
+                "default configuration failed at initial start",
+            )
+        else:
+            instance.dead = True
 
 
 def run_campaign(
@@ -128,6 +164,13 @@ def run_campaign(
     config = config or CampaignConfig()
     ctx = _CampaignContext(target_cls, state_model, config)
     ctx.instances = mode.create_instances(ctx)
+    if config.chaos is not None and config.chaos.enabled:
+        for instance in ctx.instances:
+            instance.target_wrapper = chaos_wrapper(
+                config.chaos, config.chaos_seed, instance.index
+            )
+    supervisor = InstanceSupervisor(ctx, mode, config.supervisor)
+    ctx.supervisor = supervisor
     for instance in ctx.instances:
         _safe_initial_start(ctx, instance)
 
@@ -144,6 +187,7 @@ def run_campaign(
 
     while ctx.clock.now < horizon:
         now = ctx.clock.now
+        supervisor.poll(now)
         for instance in ctx.instances:
             if not instance.available(now):
                 continue
@@ -152,6 +196,10 @@ def run_campaign(
             if result.new_sites:
                 global_sites.update(result.new_sites)
             mode.after_iteration(ctx, instance, result)
+            if result.hung:
+                supervisor.handle_hang(instance, now)
+                continue
+            supervisor.observe(instance, result, now)
             if result.fault:
                 ctx.bugs.record(
                     CrashReport.from_fault(
@@ -159,14 +207,7 @@ def run_campaign(
                         sim_time=now, instance=instance.index,
                     )
                 )
-                instance.down_until = now + config.costs.crash_restart
-                try:
-                    instance.restart(dict(instance.bundle.assignment))
-                except StartupError:
-                    instance.dead = True
-                except SanitizerFault as fault:
-                    ctx.record_startup_fault(fault, instance=instance.index)
-                    instance.dead = True
+                supervisor.handle_crash(instance, now)
         ctx.clock.advance(config.costs.iteration)
         if ctx.clock.now >= next_sample:
             coverage.record(ctx.clock.now, len(global_sites))
@@ -185,6 +226,7 @@ def run_campaign(
         instances=ctx.instances,
         startup_conflicts=ctx.startup_conflicts,
         iterations=iterations,
+        supervisor_events=supervisor.events,
     )
 
 
@@ -199,15 +241,7 @@ def run_repeated(
     base = config or CampaignConfig()
     results = []
     for repetition in range(repetitions):
-        rep_config = CampaignConfig(
-            n_instances=base.n_instances,
-            duration_hours=base.duration_hours,
-            seed=base.seed + repetition * 101,
-            costs=base.costs,
-            sample_interval=base.sample_interval,
-            sync_interval=base.sync_interval,
-            strategy_factory=base.strategy_factory,
-        )
+        rep_config = dataclasses.replace(base, seed=base.seed + repetition * 101)
         results.append(
             run_campaign(target_cls, state_model_factory(), mode_factory(), rep_config)
         )

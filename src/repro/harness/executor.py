@@ -47,11 +47,12 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.errors import HarnessError
 from repro.harness.campaign import CampaignConfig, CampaignResult, run_campaign
 from repro.harness.stats import TimeSeries
+from repro.harness.supervisor import SupervisorEvent
 from repro.targets.faults import BugLedger, CrashReport
 
 #: Bumped whenever the outcome layout or the key derivation changes;
 #: stale cache entries from older versions are treated as misses.
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: Default on-disk cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".cmfuzz-cache"
@@ -139,6 +140,8 @@ class InstanceStats:
     dead: bool
     group: Tuple[str, ...]
     assignment: Tuple[Tuple[str, Any], ...]
+    quarantined: bool = False
+    hangs: int = 0
 
 
 @dataclass
@@ -158,6 +161,8 @@ class CampaignOutcome:
     instance_stats: List[InstanceStats]
     startup_conflicts: int = 0
     iterations: int = 0
+    supervisor_events: List[SupervisorEvent] = dataclasses.field(
+        default_factory=list)
 
     @classmethod
     def from_result(cls, result: CampaignResult) -> "CampaignOutcome":
@@ -175,11 +180,14 @@ class CampaignOutcome:
                     dead=instance.dead,
                     group=tuple(instance.bundle.group),
                     assignment=tuple(sorted(instance.bundle.assignment.items())),
+                    quarantined=instance.quarantined,
+                    hangs=instance.hangs,
                 )
                 for instance in result.instances
             ],
             startup_conflicts=result.startup_conflicts,
             iterations=result.iterations,
+            supervisor_events=list(result.supervisor_events),
         )
 
     def to_result(self) -> CampaignResult:
@@ -195,6 +203,7 @@ class CampaignOutcome:
             instances=[],
             startup_conflicts=self.startup_conflicts,
             iterations=self.iterations,
+            supervisor_events=list(self.supervisor_events),
         )
 
     @property

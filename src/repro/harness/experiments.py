@@ -14,15 +14,18 @@ implementation:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.harness.campaign import CampaignConfig, CampaignResult, run_repeated
 from repro.harness.executor import execute_specs, results, specs_for_repeated
 from repro.harness.stats import TimeSeries, mean, speedup
+from repro.harness.supervisor import SupervisorPolicy, event_counts
 from repro.parallel import MODES
 from repro.pits import pit_registry
 from repro.targets import target_registry
+from repro.targets.chaos import ChaosPolicy
 from repro.targets.faults import BugLedger
 
 DEFAULT_FUZZERS = ("cmfuzz", "peach", "spfuzz")
@@ -130,6 +133,82 @@ def table2_experiment(
                                   cache_dir=cache_dir)
         merged.merge(comparison.merged_bugs(fuzzer))
     return merged
+
+
+@dataclass
+class ResilienceCell:
+    """One (chaos level, fuzzer) cell of the resilience experiment."""
+
+    level: float
+    fuzzer: str
+    results: List[CampaignResult]
+
+    @property
+    def mean_coverage(self) -> float:
+        return mean([r.final_coverage for r in self.results])
+
+    @property
+    def supervisor_event_counts(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for result in self.results:
+            for kind, count in event_counts(result.supervisor_events).items():
+                merged[kind] = merged.get(kind, 0) + count
+        return merged
+
+
+def chaos_config(config: CampaignConfig, level: float,
+                 chaos_seed: int = 0) -> CampaignConfig:
+    """Derive a chaos-enabled copy of ``config`` for one chaos level."""
+    if level <= 0.0:
+        return config
+    return dataclasses.replace(
+        config,
+        chaos=ChaosPolicy.from_level(level),
+        chaos_seed=chaos_seed,
+        supervisor=SupervisorPolicy.for_chaos(),
+    )
+
+
+def resilience_experiment(
+    subject: str,
+    chaos_levels: Sequence[float] = (0.0, 0.15, 0.3),
+    fuzzers: Sequence[str] = DEFAULT_FUZZERS,
+    repetitions: int = 2,
+    config: Optional[CampaignConfig] = None,
+    chaos_seed: int = 0,
+    workers: int = 1,
+    cache: bool = False,
+    cache_dir: Optional[str] = None,
+) -> Dict[float, Dict[str, ResilienceCell]]:
+    """Coverage retention under rising chaos levels.
+
+    Runs every fuzzer at every chaos level (level 0 is the chaos-free
+    baseline retention is measured against) and returns the grid as
+    ``{level: {fuzzer: ResilienceCell}}``. Use
+    :func:`retention` to compare a cell against its baseline.
+    """
+    base = config or CampaignConfig()
+    grid: Dict[float, Dict[str, ResilienceCell]] = {}
+    for level in chaos_levels:
+        level_config = chaos_config(base, level, chaos_seed=chaos_seed)
+        comparison = _run_fuzzers(subject, fuzzers, repetitions, level_config,
+                                  workers=workers, cache=cache,
+                                  cache_dir=cache_dir)
+        grid[level] = {
+            fuzzer: ResilienceCell(level=level, fuzzer=fuzzer,
+                                   results=comparison.results[fuzzer])
+            for fuzzer in fuzzers
+        }
+    return grid
+
+
+def retention(grid: Dict[float, Dict[str, "ResilienceCell"]],
+              level: float, fuzzer: str) -> float:
+    """Final coverage at ``level`` as a fraction of the chaos-free run."""
+    baseline = grid[0.0][fuzzer].mean_coverage
+    if baseline <= 0:
+        return 0.0
+    return grid[level][fuzzer].mean_coverage / baseline
 
 
 def figure4_experiment(

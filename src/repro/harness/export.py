@@ -11,6 +11,7 @@ import json
 from typing import Any, Dict, Iterable, List
 
 from repro.harness.campaign import CampaignResult
+from repro.harness.supervisor import event_counts
 
 
 def result_to_dict(result: CampaignResult) -> Dict[str, Any]:
@@ -21,6 +22,16 @@ def result_to_dict(result: CampaignResult) -> Dict[str, Any]:
         "final_coverage": result.final_coverage,
         "iterations": result.iterations,
         "startup_conflicts": result.startup_conflicts,
+        "supervisor_events": [
+            {
+                "time": event.time,
+                "instance": event.instance,
+                "kind": event.kind,
+                "detail": event.detail,
+            }
+            for event in result.supervisor_events
+        ],
+        "supervisor_event_counts": event_counts(result.supervisor_events),
         "coverage": [[t, v] for t, v in result.coverage.points()],
         "bugs": [
             {
@@ -40,6 +51,8 @@ def result_to_dict(result: CampaignResult) -> Dict[str, Any]:
                 "restarts": instance.restarts,
                 "config_mutations": instance.config_mutations,
                 "dead": instance.dead,
+                "quarantined": instance.quarantined,
+                "hangs": instance.hangs,
                 "group": list(instance.bundle.group),
                 "assignment": {
                     key: value for key, value in instance.bundle.assignment.items()

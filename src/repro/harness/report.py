@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.harness.stats import TimeSeries, mean, speedup
+from repro.harness.supervisor import SupervisorEvent
 from repro.targets.faults import BugLedger
 
 
@@ -89,6 +90,32 @@ def render_figure4(series_by_fuzzer: Dict[str, TimeSeries],
     legend = "  ".join("%s=%s" % (symbols[name], name) for name in series_by_fuzzer)
     lines.append("       " + legend)
     return "\n".join(lines)
+
+
+#: Column order of the supervision summary (also its kind vocabulary).
+_SUPERVISOR_KINDS = ("restart", "backoff", "quarantine", "revive-probe",
+                     "revive", "give-up", "watchdog")
+
+
+def render_supervisor_summary(events: Sequence[SupervisorEvent]) -> str:
+    """Per-instance supervision counters (restarts, quarantines, ...)."""
+    per_instance: Dict[int, Dict[str, int]] = {}
+    for event in events:
+        counters = per_instance.setdefault(event.instance, {})
+        counters[event.kind] = counters.get(event.kind, 0) + 1
+    headers = ["Instance"] + [kind.title() for kind in _SUPERVISOR_KINDS]
+    rows = []
+    for index in sorted(per_instance):
+        counters = per_instance[index]
+        rows.append([str(index)] + [
+            str(counters.get(kind, 0)) for kind in _SUPERVISOR_KINDS
+        ])
+    totals = ["total"] + [
+        str(sum(1 for e in events if e.kind == kind))
+        for kind in _SUPERVISOR_KINDS
+    ]
+    rows.append(totals)
+    return render_table(headers, rows)
 
 
 def render_bug_table(ledger: BugLedger) -> str:

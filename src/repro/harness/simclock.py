@@ -25,9 +25,12 @@ class CostModel:
     crash_restart: float = 120.0
     config_restart: float = 240.0
     startup_probe: float = 0.2
+    #: Send timeout charged when a target hangs (watchdog detection cost).
+    hang_timeout: float = 90.0
 
     def __post_init__(self):
-        for field_name in ("iteration", "crash_restart", "config_restart", "startup_probe"):
+        for field_name in ("iteration", "crash_restart", "config_restart",
+                           "startup_probe", "hang_timeout"):
             if getattr(self, field_name) <= 0:
                 raise ValueError("%s cost must be positive" % field_name)
 

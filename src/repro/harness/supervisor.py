@@ -1,0 +1,331 @@
+"""Instance supervision: backoff, quarantine, revival and watchdogs.
+
+The campaign loop used to mark an instance permanently dead after a
+single failed restart, silently forfeiting that instance's configuration
+group for the rest of the run. The supervisor replaces that ad-hoc
+handling with a proper lifecycle, all in deterministic simulated time::
+
+    running --crash--> restarting --success--> running
+                          | failure
+                          v
+                       backoff (exponential delay + seeded jitter)
+                          | budget exhausted within window
+                          v
+                     quarantined --revival probe ok--> running (revived)
+                          | max probes failed
+                          v
+                       given-up (dead)
+
+Two watchdogs feed the same machinery: consecutive hangs (send
+timeouts, charged via :attr:`CostModel.hang_timeout`) and "dead air"
+(iterations with traffic but no responses and no coverage — a silently
+dead target). Every transition is recorded as a
+:class:`SupervisorEvent` carried on the campaign result.
+
+Quarantine and revival invoke the parallel mode's
+``on_instance_lost`` / ``on_instance_revived`` hooks so schedulers can
+reallocate the lost instance's share of the model space (CMFuzz moves
+its entity group to survivors; SPFuzz redistributes its state paths).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Sequence
+
+from repro.errors import StartupError, TargetHang
+from repro.parallel.instance import FuzzingInstance
+from repro.targets.faults import SanitizerFault
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Knobs for the supervision state machine (simulated seconds)."""
+
+    #: First restart-retry delay after a failed restart.
+    backoff_base: float = 120.0
+    #: Multiplier applied per consecutive failure.
+    backoff_factor: float = 2.0
+    #: Ceiling on a single backoff delay.
+    backoff_max: float = 3840.0
+    #: Deterministic jitter fraction (delay scaled by 1 +/- jitter).
+    backoff_jitter: float = 0.1
+    #: Failed restarts tolerated within the window before quarantine.
+    restart_budget: int = 3
+    #: Sliding window for the restart budget.
+    budget_window: float = 3600.0
+    #: Delay before the first revival probe of a quarantined instance.
+    quarantine_backoff: float = 1800.0
+    #: Multiplier applied to the probe delay per failed probe.
+    quarantine_factor: float = 2.0
+    #: Failed revival probes before the supervisor gives an instance up.
+    max_revival_probes: int = 3
+    #: Consecutive hung iterations before a watchdog restart.
+    hang_limit: int = 3
+    #: Consecutive no-response, no-coverage iterations before a watchdog
+    #: restart; 0 disables the silent-death detector (the default, so
+    #: chaos-free campaigns stay bit-identical to the historic runner).
+    dead_air_limit: int = 0
+
+    def __post_init__(self):
+        for name in ("backoff_base", "backoff_max", "budget_window",
+                     "quarantine_backoff"):
+            if getattr(self, name) <= 0:
+                raise ValueError("%s must be positive" % name)
+        for name in ("backoff_factor", "quarantine_factor"):
+            if getattr(self, name) < 1.0:
+                raise ValueError("%s must be >= 1" % name)
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError("backoff_jitter must be within [0, 1)")
+        for name in ("restart_budget", "max_revival_probes", "hang_limit"):
+            if getattr(self, name) < 1:
+                raise ValueError("%s must be >= 1" % name)
+        if self.dead_air_limit < 0:
+            raise ValueError("dead_air_limit must be >= 0")
+
+    @classmethod
+    def for_chaos(cls) -> "SupervisorPolicy":
+        """Defaults tuned for chaotic targets: watchdogs armed, faster
+        revival so quarantined instances rejoin within the horizon."""
+        return cls(quarantine_backoff=900.0, dead_air_limit=6)
+
+
+class InstanceState(enum.Enum):
+    """Supervision lifecycle state of one instance."""
+
+    RUNNING = "running"
+    BACKOFF = "backoff"
+    QUARANTINED = "quarantined"
+    GIVEN_UP = "given-up"
+
+
+@dataclass(frozen=True)
+class SupervisorEvent:
+    """One structured supervision transition, in simulated time."""
+
+    time: float
+    instance: int
+    kind: str  # restart | backoff | quarantine | revive-probe | revive | give-up | watchdog
+    detail: str = ""
+
+
+def event_counts(events: Sequence[SupervisorEvent]) -> Dict[str, int]:
+    """Events aggregated by kind (the resilience-benchmark surface)."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return counts
+
+
+@dataclass
+class _Record:
+    """Mutable supervision state for one instance."""
+
+    rng: random.Random
+    state: InstanceState = InstanceState.RUNNING
+    failures: int = 0
+    failure_times: Deque[float] = field(default_factory=deque)
+    probes: int = 0
+    next_probe: float = 0.0
+    consecutive_hangs: int = 0
+    dead_air: int = 0
+
+
+class InstanceSupervisor:
+    """Keeps every fuzzing instance alive, or retires it gracefully.
+
+    Owned by :func:`repro.harness.campaign.run_campaign`; everything is
+    driven by simulated time and per-instance seeded RNGs, so the same
+    campaign seed yields a bit-identical event log on every run.
+    """
+
+    def __init__(self, ctx, mode, policy: SupervisorPolicy):
+        self.ctx = ctx
+        self.mode = mode
+        self.policy = policy
+        self.costs = ctx.costs
+        self.events: List[SupervisorEvent] = []
+        self._records: Dict[int, _Record] = {
+            instance.index: _Record(
+                rng=random.Random(ctx.seed * 9_176 + instance.index * 131 + 7)
+            )
+            for instance in ctx.instances
+        }
+
+    # -- event log ---------------------------------------------------------
+
+    def _emit(self, now: float, instance: FuzzingInstance, kind: str,
+              detail: str = "") -> None:
+        self.events.append(SupervisorEvent(
+            time=now, instance=instance.index, kind=kind, detail=detail,
+        ))
+
+    def state_of(self, instance: FuzzingInstance) -> InstanceState:
+        return self._records[instance.index].state
+
+    # -- backoff schedule --------------------------------------------------
+
+    def backoff_delay(self, attempt: int, instance_index: int) -> float:
+        """Exponential delay for the ``attempt``-th consecutive failure,
+        with deterministic jitter from the instance's supervision RNG."""
+        record = self._records[instance_index]
+        raw = self.policy.backoff_base * (
+            self.policy.backoff_factor ** max(attempt - 1, 0)
+        )
+        delay = min(raw, self.policy.backoff_max)
+        if self.policy.backoff_jitter:
+            delay *= 1.0 + self.policy.backoff_jitter * (
+                2.0 * record.rng.random() - 1.0
+            )
+        return delay
+
+    # -- entry points driven by the campaign loop --------------------------
+
+    def handle_crash(self, instance: FuzzingInstance, now: float) -> None:
+        """A fault fired mid-fuzzing: charge the restart and recover."""
+        instance.down_until = now + self.costs.crash_restart
+        self._attempt_restart(instance, now, reason="crash")
+
+    def handle_hang(self, instance: FuzzingInstance, now: float) -> None:
+        """The target hung mid-send: charge the timeout; the hang
+        watchdog restarts it after ``hang_limit`` consecutive hangs."""
+        record = self._records[instance.index]
+        instance.hangs += 1
+        record.consecutive_hangs += 1
+        record.dead_air = 0
+        instance.down_until = now + self.costs.hang_timeout
+        if record.consecutive_hangs >= self.policy.hang_limit:
+            record.consecutive_hangs = 0
+            self._emit(now, instance, "watchdog",
+                       "hung %d consecutive iterations" % self.policy.hang_limit)
+            instance.down_until = now + self.costs.hang_timeout + self.costs.crash_restart
+            self._attempt_restart(instance, now, reason="watchdog-hang")
+
+    def observe(self, instance: FuzzingInstance, result, now: float) -> None:
+        """Bookkeeping for a completed (non-hung) iteration; runs the
+        dead-air watchdog when armed."""
+        record = self._records[instance.index]
+        record.consecutive_hangs = 0
+        if self.policy.dead_air_limit <= 0:
+            return
+        silent = (result.messages_sent > 0 and result.responses == 0
+                  and not result.new_sites)
+        if not silent:
+            record.dead_air = 0
+            return
+        record.dead_air += 1
+        if record.dead_air >= self.policy.dead_air_limit:
+            record.dead_air = 0
+            self._emit(now, instance, "watchdog",
+                       "no responses for %d iterations"
+                       % self.policy.dead_air_limit)
+            instance.down_until = now + self.costs.crash_restart
+            self._attempt_restart(instance, now, reason="watchdog-silent")
+
+    def poll(self, now: float) -> None:
+        """Advance pending transitions: backoff retries, revival probes."""
+        for instance in self.ctx.instances:
+            record = self._records[instance.index]
+            if record.state is InstanceState.BACKOFF and now >= instance.down_until:
+                self._attempt_restart(instance, now, reason="backoff-retry")
+            elif (record.state is InstanceState.QUARANTINED
+                  and now >= record.next_probe):
+                self._revival_probe(instance, now)
+
+    # -- transitions -------------------------------------------------------
+
+    def _attempt_restart(self, instance: FuzzingInstance, now: float,
+                         reason: str) -> None:
+        record = self._records[instance.index]
+        try:
+            instance.restart(dict(instance.bundle.assignment))
+        except StartupError as error:
+            self._restart_failed(instance, now, "startup failed: %s" % error)
+        except TargetHang:
+            instance.down_until = now + self.costs.hang_timeout
+            self._restart_failed(instance, now, "hung during startup")
+        except SanitizerFault as fault:
+            self.ctx.record_startup_fault(fault, instance=instance.index)
+            self._restart_failed(instance, now, "crashed during startup")
+        else:
+            record.state = InstanceState.RUNNING
+            record.failures = 0
+            record.dead_air = 0
+            record.consecutive_hangs = 0
+            instance.down_until = max(
+                instance.down_until, now + self.costs.crash_restart
+            )
+            self._emit(now, instance, "restart", reason)
+
+    def _restart_failed(self, instance: FuzzingInstance, now: float,
+                        detail: str) -> None:
+        record = self._records[instance.index]
+        record.failures += 1
+        record.failure_times.append(now)
+        floor = now - self.policy.budget_window
+        while record.failure_times and record.failure_times[0] < floor:
+            record.failure_times.popleft()
+        if len(record.failure_times) > self.policy.restart_budget:
+            self.quarantine(
+                instance, now,
+                "%d failed restarts within %.0fs"
+                % (len(record.failure_times), self.policy.budget_window),
+            )
+            return
+        delay = self.backoff_delay(record.failures, instance.index)
+        record.state = InstanceState.BACKOFF
+        instance.down_until = now + delay
+        self._emit(now, instance, "backoff",
+                   "%s; retry in %.0fs" % (detail, delay))
+
+    def quarantine(self, instance: FuzzingInstance, now: float,
+                   reason: str) -> None:
+        """Circuit-break a flapping instance; the scheduler reallocates
+        its share of the model space until a revival probe succeeds."""
+        record = self._records[instance.index]
+        record.state = InstanceState.QUARANTINED
+        record.probes = 0
+        record.failure_times.clear()
+        instance.quarantined = True
+        record.next_probe = now + self.policy.quarantine_backoff
+        self._emit(now, instance, "quarantine", reason)
+        self.mode.on_instance_lost(self.ctx, instance)
+
+    def _revival_probe(self, instance: FuzzingInstance, now: float) -> None:
+        record = self._records[instance.index]
+        self._emit(now, instance, "revive-probe",
+                   "attempt %d" % (record.probes + 1))
+        try:
+            instance.restart(dict(instance.bundle.assignment))
+        except (StartupError, TargetHang):
+            revived = False
+        except SanitizerFault as fault:
+            self.ctx.record_startup_fault(fault, instance=instance.index)
+            revived = False
+        else:
+            revived = True
+        if revived:
+            record.state = InstanceState.RUNNING
+            record.failures = 0
+            record.probes = 0
+            record.dead_air = 0
+            record.consecutive_hangs = 0
+            instance.quarantined = False
+            instance.down_until = now + self.costs.crash_restart
+            self._emit(now, instance, "revive", "")
+            self.mode.on_instance_revived(self.ctx, instance)
+            return
+        record.probes += 1
+        if record.probes >= self.policy.max_revival_probes:
+            record.state = InstanceState.GIVEN_UP
+            instance.quarantined = False
+            instance.dead = True
+            self._emit(now, instance, "give-up",
+                       "after %d failed revival probes" % record.probes)
+            return
+        record.next_probe = now + self.policy.quarantine_backoff * (
+            self.policy.quarantine_factor ** record.probes
+        )

@@ -20,6 +20,11 @@ class ParallelMode:
        instance's result.
     3. Every ``ctx.sync_interval`` of simulated time, :meth:`on_sync`
        runs (seed synchronisation, saturation checks).
+    4. When the supervisor quarantines or gives up on an instance,
+       :meth:`on_instance_lost` runs so the scheduler can reallocate
+       that instance's share of the model space across survivors;
+       :meth:`on_instance_revived` undoes the reallocation when a
+       revival probe brings the instance back.
     """
 
     name = "abstract"
@@ -33,3 +38,9 @@ class ParallelMode:
 
     def on_sync(self, ctx) -> None:
         """Periodic hook; default: nothing."""
+
+    def on_instance_lost(self, ctx, instance: FuzzingInstance) -> None:
+        """An instance was quarantined; default: nothing."""
+
+    def on_instance_revived(self, ctx, instance: FuzzingInstance) -> None:
+        """A quarantined instance came back; default: nothing."""

@@ -25,9 +25,9 @@ from repro.core.allocation import AllocationResult, allocate
 from repro.core.extraction import extract_entities
 from repro.core.model import ConfigurationModel
 from repro.core.mutation import ConfigMutator, GuidedConfigMutator, SaturationDetector
-from repro.core.reassembly import reassemble_group
+from repro.core.reassembly import ConfigBundle, reassemble_group
 from repro.core.relation import RelationQuantifier
-from repro.errors import StartupError
+from repro.errors import StartupError, TargetHang
 from repro.fuzzing.engine import FuzzEngine
 from repro.parallel.base import ParallelMode
 from repro.parallel.instance import FuzzingInstance
@@ -62,6 +62,8 @@ class CmFuzzMode(ParallelMode):
         self.quantification_report = None
         self._detectors: Dict[int, SaturationDetector] = {}
         self._mutators: Dict[int, ConfigMutator] = {}
+        #: lost instance index -> [(survivor index, donated entity)].
+        self._donations: Dict[int, List] = {}
 
     # -- pipeline ----------------------------------------------------------
 
@@ -148,6 +150,10 @@ class CmFuzzMode(ParallelMode):
                 ctx.startup_conflicts += 1
                 instance.bundle = previous
                 continue
+            except TargetHang:
+                instance.bundle = previous
+                instance.down_until = now + ctx.costs.hang_timeout
+                continue
             except SanitizerFault as fault:
                 ctx.record_startup_fault(fault, instance=instance.index)
                 instance.bundle = previous
@@ -160,5 +166,118 @@ class CmFuzzMode(ParallelMode):
         # All mutation attempts failed to boot: restore the old config.
         try:
             instance.restart(previous.assignment)
-        except (StartupError, SanitizerFault):
-            instance.dead = True
+        except (StartupError, SanitizerFault, TargetHang):
+            supervisor = getattr(ctx, "supervisor", None)
+            if supervisor is not None:
+                supervisor.quarantine(instance, now,
+                                      "known-good configuration no longer boots")
+            else:
+                instance.dead = True
+
+    # -- graceful degradation -----------------------------------------------
+
+    def _survivors(self, ctx, lost: FuzzingInstance) -> List[FuzzingInstance]:
+        return [
+            instance for instance in ctx.instances
+            if instance is not lost
+            and not instance.dead and not instance.quarantined
+        ]
+
+    def _apply_bundle(self, ctx, instance: FuzzingInstance,
+                      bundle: ConfigBundle) -> bool:
+        """Restart ``instance`` under ``bundle``; False reverts cleanly.
+
+        A failed restart leaves the previous target process serving, so
+        reverting is just restoring the old bundle object.
+        """
+        previous = instance.bundle
+        if instance.engine is None:
+            # Not started yet (initial-start phase): adopt the bundle and
+            # let _safe_initial_start boot it.
+            instance.bundle = bundle
+            return True
+        try:
+            instance.restart(bundle.assignment)
+        except StartupError:
+            ctx.startup_conflicts += 1
+            instance.bundle = previous
+            return False
+        except TargetHang:
+            instance.bundle = previous
+            instance.down_until = max(
+                instance.down_until, ctx.clock.now + ctx.costs.hang_timeout
+            )
+            return False
+        except SanitizerFault as fault:
+            ctx.record_startup_fault(fault, instance=instance.index)
+            instance.bundle = previous
+            return False
+        instance.bundle = ConfigBundle(assignment=dict(bundle.assignment),
+                                       group=list(bundle.group))
+        instance.down_until = max(
+            instance.down_until, ctx.clock.now + ctx.costs.config_restart
+        )
+        return True
+
+    def on_instance_lost(self, ctx, instance: FuzzingInstance) -> None:
+        """Reallocate the lost instance's entity group across survivors.
+
+        Coverage must not silently lose 1/N of the configuration model:
+        each donated entity joins the survivor with the smallest group
+        (keeping groups cohesive) and that survivor restarts under the
+        widened configuration, charged at the config-restart cost.
+        """
+        if self.model is None or instance.index in self._donations:
+            return
+        survivors = self._survivors(ctx, instance)
+        group = list(instance.bundle.group)
+        if not survivors or not group:
+            return
+        best_values = (self.quantification_report.best_values
+                       if self.quantification_report else {})
+        planned: Dict[int, List[str]] = {}
+        for entity in group:
+            survivor = min(
+                survivors,
+                key=lambda i: (len(i.bundle.group)
+                               + len(planned.get(i.index, [])), i.index),
+            )
+            if (entity in survivor.bundle.group
+                    or entity in planned.get(survivor.index, [])):
+                continue
+            planned.setdefault(survivor.index, []).append(entity)
+        donations: List = []
+        by_index = {i.index: i for i in survivors}
+        for survivor_index, entities in planned.items():
+            survivor = by_index[survivor_index]
+            picks = dict(best_values)
+            picks.update(survivor.bundle.assignment)
+            widened = reassemble_group(
+                self.model, list(survivor.bundle.group) + entities,
+                value_picks=picks,
+            )
+            if self._apply_bundle(ctx, survivor, widened):
+                donations.extend((survivor_index, entity)
+                                 for entity in entities)
+        self._donations[instance.index] = donations
+
+    def on_instance_revived(self, ctx, instance: FuzzingInstance) -> None:
+        """Hand donated entities back to the revived instance's group."""
+        donations = self._donations.pop(instance.index, [])
+        returned: Dict[int, List[str]] = {}
+        for survivor_index, entity in donations:
+            returned.setdefault(survivor_index, []).append(entity)
+        by_index = {i.index: i for i in ctx.instances}
+        best_values = (self.quantification_report.best_values
+                       if self.quantification_report else {})
+        for survivor_index, entities in returned.items():
+            survivor = by_index.get(survivor_index)
+            if survivor is None or survivor.dead or survivor.quarantined:
+                continue
+            trimmed = [name for name in survivor.bundle.group
+                       if name not in entities]
+            picks = dict(best_values)
+            picks.update(survivor.bundle.assignment)
+            self._apply_bundle(ctx, survivor, reassemble_group(
+                self.model, trimmed, value_picks=picks,
+            ))

@@ -34,12 +34,18 @@ class FuzzingInstance:
         self.collector = CoverageCollector(component=target_cls.NAME)
         #: Instance is unavailable until this simulated time (restarting).
         self.down_until = 0.0
-        #: Permanently disabled (unrecoverable startup configuration).
+        #: Permanently disabled (supervisor gave up on revival).
         self.dead = False
+        #: Circuit-breaker state: parked by the supervisor, revivable.
+        self.quarantined = False
         self.restarts = 0
         self.config_mutations = 0
+        self.hangs = 0
         self.target: Optional[ProtocolTarget] = None
         self.channel = None
+        #: Optional chaos proxy applied to every freshly built target.
+        self.target_wrapper = None
+        self._bound_port: Optional[int] = None
         self._engine_factory = engine_factory
         self.engine: Optional[FuzzEngine] = None
 
@@ -53,10 +59,17 @@ class FuzzingInstance:
         faults as bugs).
         """
         target = self.target_cls(collector=self.collector)
+        if self.target_wrapper is not None:
+            target = self.target_wrapper(target)
         target.startup(dict(self.bundle.assignment))
         port = int(target.config.get("port", target.PORT) or target.PORT)
-        if self.channel is None:
+        if self.channel is None or port != self._bound_port:
+            # Rebind when an adaptive config mutation moved the port;
+            # leaving the transport on the old port strands the engine.
+            if self.channel is not None:
+                self.namespace.release(self._bound_port)
             self.channel = self.namespace.bind(port)
+            self._bound_port = port
         self.target = target
         transport = ChannelTransport(self.channel, target)
         if self.engine is None:
@@ -76,7 +89,7 @@ class FuzzingInstance:
     # -- stepping ----------------------------------------------------------
 
     def available(self, now: float) -> bool:
-        return not self.dead and now >= self.down_until
+        return not self.dead and not self.quarantined and now >= self.down_until
 
     def step(self) -> IterationResult:
         if self.engine is None:

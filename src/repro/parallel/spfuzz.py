@@ -8,7 +8,7 @@ configuration — the axis CMFuzz adds.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 from repro.fuzzing.engine import FuzzEngine
 from repro.parallel.base import ParallelMode
@@ -24,6 +24,10 @@ class SpFuzzMode(ParallelMode):
     def __init__(self, max_path_length: int = 8, max_seeds_per_sync: int = 16):
         self.max_path_length = max_path_length
         self.synchronizer = SeedSynchronizer(max_per_sync=max_seeds_per_sync)
+        #: instance index -> the path partition it was assigned.
+        self._partitions: Dict[int, List[tuple]] = {}
+        #: lost instance index -> [(survivor index, donated path)].
+        self._donations: Dict[int, List] = {}
 
     def create_instances(self, ctx) -> List[FuzzingInstance]:
         paths = ctx.state_model.simple_paths(max_length=self.max_path_length)
@@ -34,6 +38,7 @@ class SpFuzzMode(ParallelMode):
         for index in range(ctx.n_instances):
             namespace = ctx.namespaces.create("%s-spfuzz-%d" % (ctx.target_cls.NAME, index))
             assigned = partitions[index] or paths  # never leave an instance idle
+            self._partitions[index] = list(assigned)
             seed = ctx.seed * 2000 + index
 
             def engine_factory(transport, collector, seed=seed, assigned=assigned):
@@ -53,3 +58,38 @@ class SpFuzzMode(ParallelMode):
 
     def on_sync(self, ctx) -> None:
         self.synchronizer.sync(ctx.instances)
+
+    # -- graceful degradation -----------------------------------------------
+
+    def on_instance_lost(self, ctx, instance: FuzzingInstance) -> None:
+        """Redistribute the lost instance's state paths to survivors so
+        its slice of the state space keeps being explored."""
+        if instance.index in self._donations:
+            return
+        survivors = [
+            i for i in ctx.instances
+            if i is not instance and not i.dead and not i.quarantined
+            and i.engine is not None and i.engine.allowed_paths is not None
+        ]
+        lost_paths = self._partitions.get(instance.index, [])
+        if not survivors or not lost_paths:
+            return
+        donations: List = []
+        for position, path in enumerate(lost_paths):
+            survivor = survivors[position % len(survivors)]
+            if path in survivor.engine.allowed_paths:
+                continue
+            survivor.engine.allowed_paths.append(path)
+            donations.append((survivor.index, path))
+        self._donations[instance.index] = donations
+
+    def on_instance_revived(self, ctx, instance: FuzzingInstance) -> None:
+        """Take donated paths back; the revived instance owns them again."""
+        by_index = {i.index: i for i in ctx.instances}
+        for survivor_index, path in self._donations.pop(instance.index, []):
+            survivor = by_index.get(survivor_index)
+            if (survivor is None or survivor.engine is None
+                    or survivor.engine.allowed_paths is None):
+                continue
+            if path in survivor.engine.allowed_paths:
+                survivor.engine.allowed_paths.remove(path)

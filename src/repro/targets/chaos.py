@@ -1,0 +1,202 @@
+"""Deterministic chaos injection for protocol targets.
+
+The paper's evaluation assumes targets that fail cleanly and restart
+instantly; real IoT SUTs flake at startup, hang mid-session, garble
+responses and die silently. :class:`ChaosTarget` wraps any
+:class:`~repro.targets.base.ProtocolTarget` behind a policy-driven,
+*seeded* fault proxy so campaigns can be stress-tested under realistic
+target misbehaviour without giving up reproducibility: the same
+``(policy, seed, instance)`` triple produces the same fault schedule on
+every run and on every worker count.
+
+Failure modes (all rates are per-event probabilities in ``[0, 1]``):
+
+- **transient startup failure** — ``startup()`` raises
+  :class:`~repro.errors.StartupError`; a later retry may succeed.
+- **startup hang** — ``startup()`` raises :class:`~repro.errors.TargetHang`.
+- **packet hang** — ``handle_packet()`` raises ``TargetHang`` (the send
+  timed out); the session survives.
+- **garbled response** — the real response is replaced with random bytes.
+- **spurious session reset** — the target silently drops its session
+  state and swallows the packet.
+- **silent death** — the target stops responding entirely (no error, no
+  coverage) until the supervisor's watchdog notices and restarts it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Optional
+
+from repro.errors import StartupError, TargetHang
+from repro.targets.base import ProtocolTarget
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Per-event fault probabilities for one chaos proxy."""
+
+    startup_failure_rate: float = 0.0
+    startup_hang_rate: float = 0.0
+    packet_hang_rate: float = 0.0
+    garble_rate: float = 0.0
+    session_reset_rate: float = 0.0
+    silent_death_rate: float = 0.0
+
+    def __post_init__(self):
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    "%s must be within [0, 1], got %r" % (spec.name, value)
+                )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault can actually fire."""
+        return any(getattr(self, spec.name) > 0.0 for spec in fields(self))
+
+    @classmethod
+    def from_level(cls, level: float) -> "ChaosPolicy":
+        """Scale the canonical fault mix by one ``--chaos-level`` knob.
+
+        ``level=0`` disables everything; ``level=1`` is hostile but still
+        survivable: startup flakes dominate (they exercise the backoff /
+        quarantine path), hangs and silent deaths stay rare enough that
+        the watchdog keeps the campaign moving.
+        """
+        if not 0.0 <= level <= 1.0:
+            raise ValueError("chaos level must be within [0, 1], got %r" % level)
+        return cls(
+            startup_failure_rate=0.5 * level,
+            startup_hang_rate=0.1 * level,
+            packet_hang_rate=0.02 * level,
+            garble_rate=0.15 * level,
+            session_reset_rate=0.05 * level,
+            silent_death_rate=0.004 * level,
+        )
+
+
+class ChaosInjector:
+    """The persistent, seeded decision stream behind one instance's proxy.
+
+    Lives *outside* the :class:`ChaosTarget` wrapper so the fault
+    schedule advances across target restarts instead of replaying the
+    same prefix after every reboot.
+    """
+
+    def __init__(self, policy: ChaosPolicy, seed: int, instance: int):
+        self.policy = policy
+        # Mix the chaos seed with the instance index arithmetically
+        # (hash() is randomized per interpreter) for independent streams.
+        self.rng = random.Random(seed * 1_000_003 + instance * 7_919 + 17)
+        self.instance = instance
+        self.startup_failures = 0
+        self.startup_hangs = 0
+        self.packet_hangs = 0
+        self.garbles = 0
+        self.session_resets = 0
+        self.silent_deaths = 0
+
+    def _fire(self, rate: float) -> bool:
+        return rate > 0.0 and self.rng.random() < rate
+
+    def on_startup(self) -> None:
+        """Roll the startup faults; raises when one fires."""
+        if self._fire(self.policy.startup_hang_rate):
+            self.startup_hangs += 1
+            raise TargetHang("chaos: target hung during startup")
+        if self._fire(self.policy.startup_failure_rate):
+            self.startup_failures += 1
+            raise StartupError("chaos: transient startup failure")
+
+    def on_packet(self) -> str:
+        """Roll the per-packet faults; returns the action to apply."""
+        if self._fire(self.policy.packet_hang_rate):
+            self.packet_hangs += 1
+            return "hang"
+        if self._fire(self.policy.silent_death_rate):
+            self.silent_deaths += 1
+            return "die"
+        if self._fire(self.policy.session_reset_rate):
+            self.session_resets += 1
+            return "reset"
+        if self._fire(self.policy.garble_rate):
+            self.garbles += 1
+            return "garble"
+        return "pass"
+
+    def garble(self, response: Optional[bytes]) -> bytes:
+        """Replace a response with deterministic garbage of similar size."""
+        length = max(1, len(response) if response else 4)
+        return bytes(self.rng.randrange(256) for _ in range(length))
+
+
+class ChaosTarget:
+    """A fault-injecting proxy around a live :class:`ProtocolTarget`.
+
+    Transparent to the engine and the instance: unknown attributes
+    delegate to the wrapped target, so ``config``, ``started``, ``cov``
+    and the class constants all read through. Only the lifecycle entry
+    points are intercepted.
+    """
+
+    def __init__(self, inner: ProtocolTarget, injector: ChaosInjector):
+        # Bypass __setattr__-style surprises: plain attributes only.
+        self.inner = inner
+        self.injector = injector
+        self.silently_dead = False
+
+    # -- intercepted lifecycle ------------------------------------------------
+
+    def startup(self, assignment=None) -> None:
+        self.injector.on_startup()
+        self.inner.startup(assignment)
+        self.silently_dead = False
+
+    def handle_packet(self, data: bytes) -> Optional[bytes]:
+        if self.silently_dead:
+            return None
+        action = self.injector.on_packet()
+        if action == "hang":
+            raise TargetHang("chaos: send timed out")
+        if action == "die":
+            self.silently_dead = True
+            return None
+        if action == "reset":
+            self.inner.reset_session()
+            return None
+        response = self.inner.handle_packet(data)
+        if action == "garble":
+            return self.injector.garble(response)
+        return response
+
+    def reset_session(self) -> None:
+        self.inner.reset_session()
+
+    # -- delegation -----------------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:
+        return "ChaosTarget(%r)" % (self.inner,)
+
+
+def chaos_wrapper(
+    policy: ChaosPolicy, seed: int, instance: int
+) -> Callable[[ProtocolTarget], ChaosTarget]:
+    """Build the per-instance target wrapper the campaign installs.
+
+    The returned callable owns one persistent :class:`ChaosInjector`, so
+    every restart wraps the fresh target in a proxy that *continues* the
+    instance's fault schedule deterministically.
+    """
+    injector = ChaosInjector(policy, seed, instance)
+
+    def wrap(target: ProtocolTarget) -> ChaosTarget:
+        return ChaosTarget(target, injector)
+
+    wrap.injector = injector  # exposed for tests and stats surfaces
+    return wrap

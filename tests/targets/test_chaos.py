@@ -1,0 +1,219 @@
+"""Tests for the deterministic chaos-injection proxy layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.extraction import ConfigSources
+from repro.core.reassembly import ConfigBundle
+from repro.errors import StartupError, TargetHang
+from repro.fuzzing.datamodel import Blob, DataModel
+from repro.fuzzing.statemodel import Action, State, StateModel
+from repro.harness.campaign import CampaignConfig, run_campaign
+from repro.harness.supervisor import SupervisorPolicy
+from repro.parallel.base import ParallelMode
+from repro.parallel.instance import FuzzingInstance
+from repro.targets.base import ProtocolTarget
+from repro.targets.chaos import (
+    ChaosInjector,
+    ChaosPolicy,
+    ChaosTarget,
+    chaos_wrapper,
+)
+
+
+class _EchoTarget(ProtocolTarget):
+    NAME = "echo"
+    PROTOCOL = "ECHO"
+    PORT = 4200
+
+    @classmethod
+    def config_sources(cls):
+        return ConfigSources()
+
+    @classmethod
+    def default_config(cls):
+        return {}
+
+    def _startup_impl(self):
+        self.cov.hit("startup")
+
+    def handle_packet(self, data):
+        self.require_started()
+        self.cov.hit("packet")
+        return b"echo:" + data
+
+
+def _started(policy, seed=1, instance=0):
+    injector = ChaosInjector(policy, seed, instance)
+    target = _EchoTarget()
+    wrapped = ChaosTarget(target, injector)
+    target.startup({})  # boot the inner directly: startup chaos not under test
+    return wrapped, injector
+
+
+class TestChaosPolicy:
+    @pytest.mark.parametrize("field", [
+        "startup_failure_rate", "startup_hang_rate", "packet_hang_rate",
+        "garble_rate", "session_reset_rate", "silent_death_rate",
+    ])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rates_outside_unit_interval_rejected(self, field, bad):
+        with pytest.raises(ValueError):
+            ChaosPolicy(**{field: bad})
+
+    def test_enabled_reflects_any_positive_rate(self):
+        assert not ChaosPolicy().enabled
+        assert ChaosPolicy(garble_rate=0.01).enabled
+
+    def test_from_level_zero_is_disabled(self):
+        assert not ChaosPolicy.from_level(0.0).enabled
+
+    def test_from_level_scales_linearly(self):
+        half, full = ChaosPolicy.from_level(0.5), ChaosPolicy.from_level(1.0)
+        assert half.startup_failure_rate == pytest.approx(
+            full.startup_failure_rate / 2
+        )
+        assert full.enabled
+
+    def test_from_level_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosPolicy.from_level(1.5)
+
+
+class TestChaosTargetFaults:
+    def test_certain_startup_failure(self):
+        injector = ChaosInjector(ChaosPolicy(startup_failure_rate=1.0), 1, 0)
+        wrapped = ChaosTarget(_EchoTarget(), injector)
+        with pytest.raises(StartupError):
+            wrapped.startup({})
+        assert injector.startup_failures == 1
+
+    def test_certain_startup_hang(self):
+        injector = ChaosInjector(ChaosPolicy(startup_hang_rate=1.0), 1, 0)
+        wrapped = ChaosTarget(_EchoTarget(), injector)
+        with pytest.raises(TargetHang):
+            wrapped.startup({})
+        assert injector.startup_hangs == 1
+
+    def test_certain_packet_hang(self):
+        wrapped, injector = _started(ChaosPolicy(packet_hang_rate=1.0))
+        with pytest.raises(TargetHang):
+            wrapped.handle_packet(b"hi")
+        assert injector.packet_hangs == 1
+
+    def test_garbled_response_differs_from_real_one(self):
+        wrapped, injector = _started(ChaosPolicy(garble_rate=1.0))
+        response = wrapped.handle_packet(b"payload")
+        assert injector.garbles == 1
+        assert response is not None and response != b"echo:payload"
+
+    def test_session_reset_swallows_the_packet(self):
+        wrapped, injector = _started(ChaosPolicy(session_reset_rate=1.0))
+        assert wrapped.handle_packet(b"hi") is None
+        assert injector.session_resets == 1
+
+    def test_silent_death_persists_until_restart(self):
+        wrapped, injector = _started(ChaosPolicy(silent_death_rate=1.0))
+        assert wrapped.handle_packet(b"a") is None
+        assert wrapped.handle_packet(b"b") is None
+        assert injector.silent_deaths == 1  # already dead: no second roll
+        wrapped.startup({})
+        assert not wrapped.silently_dead
+
+    def test_clean_policy_is_transparent(self):
+        wrapped, _ = _started(ChaosPolicy())
+        assert wrapped.handle_packet(b"hi") == b"echo:hi"
+        assert wrapped.PROTOCOL == "ECHO"  # attribute delegation
+        assert wrapped.started
+
+
+class TestDeterminism:
+    def test_same_triple_same_schedule(self):
+        policy = ChaosPolicy.from_level(0.7)
+        streams = []
+        for _ in range(2):
+            injector = ChaosInjector(policy, seed=5, instance=2)
+            streams.append([injector.on_packet() for _ in range(200)])
+        assert streams[0] == streams[1]
+
+    def test_instances_get_independent_streams(self):
+        policy = ChaosPolicy.from_level(0.7)
+        a = ChaosInjector(policy, seed=5, instance=0)
+        b = ChaosInjector(policy, seed=5, instance=1)
+        assert ([a.on_packet() for _ in range(200)]
+                != [b.on_packet() for _ in range(200)])
+
+    def test_wrapper_schedule_survives_restarts(self):
+        wrap = chaos_wrapper(ChaosPolicy(garble_rate=0.5), seed=3, instance=0)
+        decisions = []
+        for _ in range(3):  # three target generations, one injector
+            target = _EchoTarget()
+            target.startup({})
+            wrapped = wrap(target)
+            decisions.append([wrapped.injector.on_packet() for _ in range(20)])
+        assert decisions[0] != decisions[1] or decisions[1] != decisions[2]
+        replay = chaos_wrapper(ChaosPolicy(garble_rate=0.5), seed=3, instance=0)
+        assert [replay.injector.on_packet() for _ in range(60)] == [
+            d for chunk in decisions for d in chunk
+        ]
+
+
+class _SoloMode(ParallelMode):
+    """One instance, empty assignment: the smallest real campaign."""
+
+    name = "solo"
+
+    def create_instances(self, ctx):
+        instances = []
+        for index in range(ctx.n_instances):
+            namespace = ctx.namespaces.create("echo-%d" % index)
+
+            def engine_factory(transport, collector, index=index):
+                from repro.fuzzing.engine import FuzzEngine
+                return FuzzEngine(ctx.state_model, transport, collector,
+                                  seed=index)
+
+            instances.append(FuzzingInstance(
+                index, _EchoTarget, namespace, engine_factory,
+                bundle=ConfigBundle(),
+            ))
+        return instances
+
+
+def _echo_pit():
+    return StateModel(
+        "echo", "s",
+        [State("s", [Action("send", "Msg")])],
+        [DataModel("Msg", [Blob("b", default=b"x")])],
+    )
+
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestCampaignsTerminateUnderAnyPolicy:
+    @settings(max_examples=20, deadline=None)
+    @given(startup_failure=unit, startup_hang=unit, packet_hang=unit,
+           garble=unit, session_reset=unit, silent_death=unit)
+    def test_any_rates_in_unit_interval_terminate(
+        self, startup_failure, startup_hang, packet_hang, garble,
+        session_reset, silent_death,
+    ):
+        policy = ChaosPolicy(
+            startup_failure_rate=startup_failure,
+            startup_hang_rate=startup_hang,
+            packet_hang_rate=packet_hang,
+            garble_rate=garble,
+            session_reset_rate=session_reset,
+            silent_death_rate=silent_death,
+        )
+        config = CampaignConfig(
+            n_instances=2, duration_hours=0.5, seed=3,
+            chaos=policy, chaos_seed=11,
+            supervisor=SupervisorPolicy.for_chaos(),
+        )
+        result = run_campaign(_EchoTarget, _echo_pit(), _SoloMode(), config)
+        horizon = config.duration_hours * 3600.0
+        assert result.coverage.points()[-1][0] == horizon
+        assert result.final_coverage >= 0
