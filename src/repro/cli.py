@@ -26,6 +26,7 @@ from repro.harness.report import (
     improvement,
     render_bug_table,
     render_figure4,
+    render_metrics_summary,
     render_supervisor_summary,
     render_table,
 )
@@ -33,6 +34,7 @@ from repro.harness.stats import speedup
 from repro.parallel import MODES
 from repro.targets import target_registry
 from repro.targets.base import startup_probe_for
+from repro.telemetry import TelemetryConfig
 
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
@@ -49,6 +51,12 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                              "intensity in [0, 1] (default: 0, disabled)")
     parser.add_argument("--chaos-seed", type=int, default=0,
                         help="seed for the chaos fault schedule (default: 0)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="enable campaign telemetry and print the "
+                             "metrics summary")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="enable telemetry and append JSONL trace "
+                             "records (spans + events) to PATH")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -114,9 +122,16 @@ def _cmd_model(args, out) -> int:
     return 0
 
 
+def _telemetry_config(args) -> Optional[TelemetryConfig]:
+    if not (args.metrics or args.trace_out):
+        return None
+    return TelemetryConfig(enabled=True, trace_path=args.trace_out)
+
+
 def _specs(args, mode_names):
     config = CampaignConfig(n_instances=args.instances,
-                            duration_hours=args.hours, seed=args.seed)
+                            duration_hours=args.hours, seed=args.seed,
+                            telemetry=_telemetry_config(args))
     config = chaos_config(config, args.chaos_level, chaos_seed=args.chaos_seed)
     return [CampaignSpec(target=args.target, mode=name, config=config)
             for name in mode_names]
@@ -140,6 +155,8 @@ def _cmd_campaign(args, out) -> int:
         out.write(render_bug_table(result.bugs) + "\n")
     if result.supervisor_events:
         out.write(render_supervisor_summary(result.supervisor_events) + "\n")
+    if args.metrics:
+        out.write(render_metrics_summary(result.metrics) + "\n")
     return 0
 
 
@@ -160,6 +177,10 @@ def _cmd_compare(args, out) -> int:
         {name: result.coverage for name, result in by_mode.items()},
         horizon=args.hours * 3600.0,
     ) + "\n")
+    if args.metrics:
+        for name, result in by_mode.items():
+            out.write("\n[%s metrics]\n%s\n"
+                      % (name, render_metrics_summary(result.metrics)))
     return 0
 
 

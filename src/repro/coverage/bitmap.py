@@ -48,6 +48,14 @@ class CoverageMap:
         """Sites present in ``other`` but not in this map."""
         return frozenset(s for s in other._hits if s not in self._hits)
 
+    def same_sites(self, other: "CoverageMap") -> bool:
+        """Set equality on hit sites, ignoring per-site counters.
+
+        Use this for "did these runs reach the same branches"; ``==``
+        additionally requires identical hit counts.
+        """
+        return self._hits.keys() == other._hits.keys()
+
     def copy(self) -> "CoverageMap":
         clone = CoverageMap()
         clone._hits = dict(self._hits)
@@ -69,9 +77,17 @@ class CoverageMap:
         return bool(self._hits)
 
     def __eq__(self, other: object) -> bool:
+        """Full-state equality: same sites *and* same per-site counts.
+
+        ``merge``/``hit`` maintain per-site counters, so two maps that
+        reached the same branches different numbers of times are
+        distinct states; comparing only site keys (the old behaviour)
+        made hit-count divergence invisible. Use :meth:`same_sites`
+        when counter-insensitive comparison is what you mean.
+        """
         if not isinstance(other, CoverageMap):
             return NotImplemented
-        return self._hits.keys() == other._hits.keys()
+        return self._hits == other._hits
 
     def __hash__(self):
         raise TypeError("CoverageMap is mutable and unhashable")

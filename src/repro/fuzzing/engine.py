@@ -21,6 +21,7 @@ from repro.fuzzing.statemodel import StateModel
 from repro.fuzzing.strategies import MutationStrategy, RandomFieldStrategy
 from repro.targets.base import ProtocolTarget
 from repro.targets.faults import SanitizerFault
+from repro.telemetry import NULL_TELEMETRY
 
 
 class DirectTransport:
@@ -98,6 +99,13 @@ class FuzzEngine:
         corpus_limit: Maximum retained seeds (FIFO eviction).
         allowed_paths: Optional whitelist of state paths (tuples); used
             by SPFuzz to restrict an instance to its assigned paths.
+        telemetry: Optional :class:`repro.telemetry.Telemetry`; defaults
+            to the shared no-op instance (near-zero cost).
+        labels: Metric labels attached to this engine's series (the
+            parallel modes pass ``instance=<index>``).
+        outbox_limit: Safety ceiling on queued-but-unsynced seeds; on
+            overflow the oldest pending seed is dropped and counted in
+            ``sync.seeds_dropped`` (zero on healthy campaigns).
     """
 
     def __init__(
@@ -111,6 +119,9 @@ class FuzzEngine:
         corpus_limit: int = 256,
         allowed_paths: Optional[List[tuple]] = None,
         session_length: int = 8,
+        telemetry=None,
+        labels: Optional[dict] = None,
+        outbox_limit: int = 4096,
     ):
         self.state_model = state_model
         self.transport = transport
@@ -122,20 +133,68 @@ class FuzzEngine:
         self.allowed_paths = list(allowed_paths) if allowed_paths else None
         if session_length < 1:
             raise ValueError("session_length must be >= 1")
+        if outbox_limit < 1:
+            raise ValueError("outbox_limit must be >= 1")
         self.session_length = session_length
         self.corpus: List[Message] = []
+        #: Locally discovered seeds awaiting cross-instance broadcast;
+        #: drained by :class:`repro.parallel.sync.SeedSynchronizer`.
+        self.sync_outbox: List[Message] = []
+        self.outbox_limit = outbox_limit
+        self.sync_seeds_dropped = 0
         self.iterations = 0
         self.total_messages = 0
         self.faults_seen = 0
         self.hangs_seen = 0
+        tele = telemetry or NULL_TELEMETRY
+        labels = dict(labels or {})
+        self.telemetry = tele
+        self._c_execs = tele.counter("engine.execs", **labels)
+        self._c_messages = tele.counter("engine.messages", **labels)
+        self._c_responses = tele.counter("engine.responses", **labels)
+        self._c_new_cov = tele.counter("engine.new_coverage_events", **labels)
+        self._c_new_sites = tele.counter("engine.new_sites", **labels)
+        self._c_faults = tele.counter("engine.faults", **labels)
+        self._c_hangs = tele.counter("engine.hangs", **labels)
+        self._c_seeds_local = tele.counter("engine.seeds_discovered", **labels)
+        self._c_seeds_received = tele.counter("engine.seeds_received", **labels)
+        self._c_strategy = tele.counter(
+            "engine.strategy_picks",
+            strategy=type(self.strategy).__name__, **labels,
+        )
+        self._c_sync_dropped = tele.counter("sync.seeds_dropped", **labels)
+        self._g_corpus = tele.gauge("engine.corpus_size", **labels)
 
     # -- corpus ------------------------------------------------------------
 
-    def add_seed(self, message: Message) -> None:
-        """Add a seed message (used by cross-instance synchronisation)."""
+    def _retain(self, message: Message) -> None:
         self.corpus.append(message.copy())
         if len(self.corpus) > self.corpus_limit:
             self.corpus.pop(0)
+        self._g_corpus.set(len(self.corpus))
+
+    def add_seed(self, message: Message) -> None:
+        """Add a locally discovered (or externally injected) seed.
+
+        The seed joins the replay corpus *and* the sync outbox, so the
+        synchronizer will eventually broadcast it to the other instances
+        exactly once. Seeds arriving *from* synchronisation must go
+        through :meth:`receive_seed` instead, or they would be
+        rebroadcast forever.
+        """
+        self._retain(message)
+        self.sync_outbox.append(message.copy())
+        if len(self.sync_outbox) > self.outbox_limit:
+            self.sync_outbox.pop(0)
+            self.sync_seeds_dropped += 1
+            self._c_sync_dropped.inc()
+        self._c_seeds_local.inc()
+
+    def receive_seed(self, message: Message) -> None:
+        """Adopt a seed broadcast by another instance (corpus only —
+        received seeds are never queued for rebroadcast)."""
+        self._retain(message)
+        self._c_seeds_received.inc()
 
     def _base_message(self, model_name: str) -> Message:
         model = self.state_model.data_model(model_name)
@@ -172,6 +231,7 @@ class FuzzEngine:
                     continue
                 base = self._base_message(action.data_model)
                 message = self.strategy.apply(base, self.rng)
+                self._c_strategy.inc()
                 payload = message.encode()
                 sent_messages.append(message)
                 messages_sent += 1
@@ -189,16 +249,23 @@ class FuzzEngine:
                 break
         new_sites = frozenset(self.collector.run_new)
         if new_sites and not fault and not hung:
+            self._c_new_cov.inc()
+            self._c_new_sites.inc(len(new_sites))
             for message in sent_messages:
                 self.add_seed(message)
         if fault:
             self.faults_seen += 1
+            self._c_faults.inc()
             self.transport.reset()
         if hung:
             self.hangs_seen += 1
+            self._c_hangs.inc()
             self.transport.reset()
         self.iterations += 1
         self.total_messages += messages_sent
+        self._c_execs.inc()
+        self._c_messages.inc(messages_sent)
+        self._c_responses.inc(responses)
         return IterationResult(
             new_sites=new_sites,
             fault=fault,

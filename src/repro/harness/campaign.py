@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.errors import HarnessError, StartupError, TargetHang
 from repro.fuzzing.statemodel import StateModel
@@ -28,6 +28,7 @@ from repro.parallel.base import ParallelMode
 from repro.parallel.instance import FuzzingInstance
 from repro.targets.chaos import ChaosPolicy, chaos_wrapper
 from repro.targets.faults import BugLedger, CrashReport, SanitizerFault
+from repro.telemetry import Telemetry, TelemetryConfig
 
 
 @dataclass
@@ -49,6 +50,9 @@ class CampaignConfig:
     chaos_seed: int = 0
     #: Supervision policy: backoff, quarantine, revival, watchdogs.
     supervisor: SupervisorPolicy = field(default_factory=SupervisorPolicy)
+    #: Observability: None (the default) runs with the no-op telemetry,
+    #: keeping campaigns bit-identical to the un-instrumented runner.
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self):
         if self.n_instances < 1:
@@ -70,6 +74,9 @@ class CampaignResult:
     iterations: int = 0
     #: Structured supervision log: restart/backoff/quarantine/revive/...
     supervisor_events: List[SupervisorEvent] = field(default_factory=list)
+    #: MetricsRegistry.snapshot() of the campaign's telemetry; None when
+    #: telemetry was disabled (so exports stay bit-identical).
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def final_coverage(self) -> int:
@@ -93,6 +100,10 @@ class _CampaignContext:
         self.instances: List[FuzzingInstance] = []
         self.bugs = BugLedger()
         self.startup_conflicts = 0
+        #: Campaign-wide telemetry; the shared no-op when not configured.
+        self.telemetry = Telemetry.from_config(
+            config.telemetry, now_fn=lambda: self.clock.now,
+        )
         #: Set by run_campaign once the instances exist; modes may use it
         #: to quarantine instead of killing (graceful degradation).
         self.supervisor: Optional[InstanceSupervisor] = None
@@ -102,6 +113,7 @@ class _CampaignContext:
         return self._strategy_factory()
 
     def record_startup_fault(self, fault: SanitizerFault, instance: int) -> None:
+        self.telemetry.counter("campaign.startup_faults").inc()
         self.bugs.record(
             CrashReport.from_fault(
                 fault, self.target_cls.PROTOCOL,
@@ -163,7 +175,10 @@ def run_campaign(
     """Run one parallel fuzzing campaign and return its results."""
     config = config or CampaignConfig()
     ctx = _CampaignContext(target_cls, state_model, config)
-    ctx.instances = mode.create_instances(ctx)
+    telemetry = ctx.telemetry
+    with telemetry.span("campaign.setup", mode=mode.name,
+                        target=target_cls.NAME):
+        ctx.instances = mode.create_instances(ctx)
     if config.chaos is not None and config.chaos.enabled:
         for instance in ctx.instances:
             instance.target_wrapper = chaos_wrapper(
@@ -184,6 +199,11 @@ def run_campaign(
     next_sample = ctx.clock.now + config.sample_interval
     next_sync = ctx.clock.now + config.sync_interval
     iterations = 0
+    sync_rounds = 0
+    g_global_sites = telemetry.gauge("campaign.global_sites")
+    g_sim_time = telemetry.gauge("campaign.sim_time")
+    c_sync_rounds = telemetry.counter("campaign.sync_rounds")
+    c_samples = telemetry.counter("campaign.samples")
 
     while ctx.clock.now < horizon:
         now = ctx.clock.now
@@ -211,13 +231,23 @@ def run_campaign(
         ctx.clock.advance(config.costs.iteration)
         if ctx.clock.now >= next_sample:
             coverage.record(ctx.clock.now, len(global_sites))
+            c_samples.inc()
+            g_global_sites.set(len(global_sites))
+            g_sim_time.set(ctx.clock.now)
             next_sample += config.sample_interval
         if ctx.clock.now >= next_sync:
-            mode.on_sync(ctx)
+            sync_rounds += 1
+            c_sync_rounds.inc()
+            with telemetry.span("campaign.sync", round=sync_rounds):
+                mode.on_sync(ctx)
             next_sync += config.sync_interval
 
     coverage.record(horizon, len(global_sites))
+    g_global_sites.set(len(global_sites))
+    g_sim_time.set(horizon)
     ctx.namespaces.destroy_all()
+    metrics = telemetry.snapshot() if telemetry.enabled else None
+    telemetry.close()
     return CampaignResult(
         mode=mode.name,
         target=target_cls.NAME,
@@ -227,6 +257,7 @@ def run_campaign(
         startup_conflicts=ctx.startup_conflicts,
         iterations=iterations,
         supervisor_events=supervisor.events,
+        metrics=metrics,
     )
 
 

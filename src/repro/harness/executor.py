@@ -49,10 +49,11 @@ from repro.harness.campaign import CampaignConfig, CampaignResult, run_campaign
 from repro.harness.stats import TimeSeries
 from repro.harness.supervisor import SupervisorEvent
 from repro.targets.faults import BugLedger, CrashReport
+from repro.telemetry import NULL_TELEMETRY
 
 #: Bumped whenever the outcome layout or the key derivation changes;
 #: stale cache entries from older versions are treated as misses.
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 #: Default on-disk cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".cmfuzz-cache"
@@ -163,6 +164,8 @@ class CampaignOutcome:
     iterations: int = 0
     supervisor_events: List[SupervisorEvent] = dataclasses.field(
         default_factory=list)
+    #: Telemetry snapshot of the worker's campaign (None when disabled).
+    metrics: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_result(cls, result: CampaignResult) -> "CampaignOutcome":
@@ -188,6 +191,7 @@ class CampaignOutcome:
             startup_conflicts=result.startup_conflicts,
             iterations=result.iterations,
             supervisor_events=list(result.supervisor_events),
+            metrics=result.metrics,
         )
 
     def to_result(self) -> CampaignResult:
@@ -204,6 +208,7 @@ class CampaignOutcome:
             startup_conflicts=self.startup_conflicts,
             iterations=self.iterations,
             supervisor_events=list(self.supervisor_events),
+            metrics=self.metrics,
         )
 
     @property
@@ -394,6 +399,7 @@ class _Running:
     process: Any
     conn: Any
     deadline: Optional[float]
+    started: float = 0.0
 
 
 def _default_context():
@@ -410,6 +416,7 @@ def execute_specs(
     timeout: Optional[float] = None,
     retries: int = 1,
     mp_context=None,
+    telemetry=None,
 ) -> List[CellResult]:
     """Run a grid of campaign cells, optionally across worker processes.
 
@@ -425,6 +432,9 @@ def execute_specs(
             expired worker is terminated and the cell recorded/retried.
         retries: How many times a failed cell is re-run in a fresh
             worker before its failure record becomes final.
+        telemetry: Optional :class:`repro.telemetry.Telemetry` recording
+            grid-level metrics: per-cell wall time
+            (``executor.cell_seconds``), cache hits, retries, failures.
 
     Returns:
         One :class:`CellResult` per spec, ordered like ``specs``
@@ -433,7 +443,9 @@ def execute_specs(
     spec_list = list(specs)
     runner = runner or run_spec
     store = ResultCache(cache_dir) if cache else None
+    tele = telemetry or NULL_TELEMETRY
     cells: List[Optional[CellResult]] = [None] * len(spec_list)
+    tele.counter("executor.cells").inc(len(spec_list))
 
     pending: deque = deque()
     for index, spec in enumerate(spec_list):
@@ -444,15 +456,19 @@ def execute_specs(
                 cells[index] = CellResult(
                     index=index, spec=spec, outcome=hit, from_cache=True,
                 )
+                tele.counter("executor.cache_hits").inc()
                 continue
         pending.append(_Cell(index=index, spec=spec, key=key))
 
     if workers <= 1:
         for cell in pending:
-            cells[cell.index] = _run_inline(cell, runner, retries, store)
+            cells[cell.index] = _run_inline(cell, runner, retries, store, tele)
     else:
         _run_pool(pending, cells, workers, runner, retries, timeout, store,
-                  mp_context or _default_context())
+                  mp_context or _default_context(), tele)
+    for cell in cells:
+        if cell is not None and cell.failure is not None:
+            tele.counter("executor.failures", kind=cell.failure.kind).inc()
     return [cell for cell in cells if cell is not None]
 
 
@@ -466,28 +482,41 @@ def _finish_ok(cell: _Cell, outcome: CampaignOutcome,
 
 
 def _run_inline(cell: _Cell, runner: Callable, retries: int,
-                store: Optional[ResultCache]) -> CellResult:
+                store: Optional[ResultCache],
+                tele=NULL_TELEMETRY) -> CellResult:
     """The ``workers=1`` path: same retry contract, no subprocesses."""
     failure = None
     while cell.attempts <= retries:
+        if cell.attempts:
+            tele.counter("executor.retries").inc()
         cell.attempts += 1
+        started = time.monotonic()
         try:
-            return _finish_ok(cell, runner(cell.spec), store)
+            outcome = runner(cell.spec)
         except Exception as exc:
+            tele.histogram("executor.cell_seconds").observe(
+                time.monotonic() - started)
             failure = CellFailure(
                 kind="exception",
                 message="%s: %s" % (type(exc).__name__, exc),
                 traceback=traceback.format_exc(),
             )
+        else:
+            tele.histogram("executor.cell_seconds").observe(
+                time.monotonic() - started)
+            return _finish_ok(cell, outcome, store)
     return CellResult(
         index=cell.index, spec=cell.spec, failure=failure, attempts=cell.attempts,
     )
 
 
-def _run_pool(pending, cells, workers, runner, retries, timeout, store, ctx):
+def _run_pool(pending, cells, workers, runner, retries, timeout, store, ctx,
+              tele=NULL_TELEMETRY):
     running: Dict[Any, _Running] = {}
 
     def launch(cell: _Cell) -> None:
+        if cell.attempts:
+            tele.counter("executor.retries").inc()
         cell.attempts += 1
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(
@@ -495,13 +524,17 @@ def _run_pool(pending, cells, workers, runner, retries, timeout, store, ctx):
         )
         process.start()
         child_conn.close()
-        deadline = (time.monotonic() + timeout) if timeout else None
+        started = time.monotonic()
+        deadline = (started + timeout) if timeout else None
         running[parent_conn] = _Running(
             cell=cell, process=process, conn=parent_conn, deadline=deadline,
+            started=started,
         )
 
     def settle(run: _Running, failure: CellFailure) -> None:
         """Record a failure or requeue the cell for a fresh worker."""
+        tele.histogram("executor.cell_seconds").observe(
+            time.monotonic() - run.started)
         if run.cell.attempts <= retries:
             pending.append(run.cell)
         else:
@@ -538,6 +571,8 @@ def _run_pool(pending, cells, workers, runner, retries, timeout, store, ctx):
                         exitcode=run.process.exitcode,
                     ))
                 elif message[0] == "ok":
+                    tele.histogram("executor.cell_seconds").observe(
+                        time.monotonic() - run.started)
                     cells[run.cell.index] = _finish_ok(run.cell, message[1], store)
                 else:
                     _, name, text, trace = message

@@ -15,8 +15,13 @@ from repro.harness.supervisor import event_counts
 
 
 def result_to_dict(result: CampaignResult) -> Dict[str, Any]:
-    """One campaign as a JSON-friendly dict."""
-    return {
+    """One campaign as a JSON-friendly dict.
+
+    The ``metrics`` key (the telemetry snapshot) is present only when
+    the campaign ran with telemetry enabled, so telemetry-off exports
+    stay byte-identical to the historic layout.
+    """
+    data = {
         "mode": result.mode,
         "target": result.target,
         "final_coverage": result.final_coverage,
@@ -61,6 +66,9 @@ def result_to_dict(result: CampaignResult) -> Dict[str, Any]:
             for instance in result.instances
         ],
     }
+    if result.metrics is not None:
+        data["metrics"] = result.metrics
+    return data
 
 
 def results_to_json(results: Iterable[CampaignResult], indent: int = 2) -> str:

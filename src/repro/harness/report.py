@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.harness.stats import TimeSeries, mean, speedup
 from repro.harness.supervisor import SupervisorEvent
@@ -116,6 +116,41 @@ def render_supervisor_summary(events: Sequence[SupervisorEvent]) -> str:
     ]
     rows.append(totals)
     return render_table(headers, rows)
+
+
+def render_metrics_summary(metrics: Optional[Dict[str, Any]]) -> str:
+    """Campaign telemetry snapshot as monospace tables (``--metrics``).
+
+    Counters and gauges are listed by series key; histograms collapse to
+    count/mean/min/max. An absent snapshot renders as a hint rather than
+    an empty table, so piping a telemetry-off run through ``--metrics``
+    explains itself.
+    """
+    if not metrics:
+        return "(telemetry disabled: no metrics recorded)"
+    sections: List[str] = []
+    counters = metrics.get("counters") or {}
+    if counters:
+        rows = [[key, str(value)] for key, value in sorted(counters.items())]
+        sections.append(render_table(["Counter", "Value"], rows))
+    gauges = metrics.get("gauges") or {}
+    if gauges:
+        rows = [[key, "%g" % value] for key, value in sorted(gauges.items())]
+        sections.append(render_table(["Gauge", "Value"], rows))
+    histograms = metrics.get("histograms") or {}
+    if histograms:
+        rows = []
+        for key, h in sorted(histograms.items()):
+            count = h.get("count", 0)
+            total = h.get("sum", 0.0)
+            mean_value = total / count if count else 0.0
+            rows.append([
+                key, str(count), "%.4f" % mean_value,
+                "%.4f" % (h.get("min") or 0.0), "%.4f" % (h.get("max") or 0.0),
+            ])
+        sections.append(
+            render_table(["Histogram", "Count", "Mean", "Min", "Max"], rows))
+    return "\n\n".join(sections) if sections else "(no metric series recorded)"
 
 
 def render_bug_table(ledger: BugLedger) -> str:

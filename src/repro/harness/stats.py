@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from typing import List, Optional, Sequence, Tuple
 
 
@@ -10,11 +12,14 @@ class TimeSeries:
 
     def __init__(self):
         self._points: List[Tuple[float, float]] = []
+        #: Recorded times, kept alongside for O(log n) bisect lookups.
+        self._times: List[float] = []
 
     def record(self, time: float, value: float) -> None:
         if self._points and time < self._points[-1][0]:
             raise ValueError("time series must be recorded in time order")
         self._points.append((time, value))
+        self._times.append(time)
 
     def points(self) -> List[Tuple[float, float]]:
         return list(self._points)
@@ -28,13 +33,14 @@ class TimeSeries:
         return self._points[-1][0] if self._points else 0.0
 
     def value_at(self, time: float) -> float:
-        """Step-function evaluation: the last value at or before ``time``."""
-        value = 0.0
-        for t, v in self._points:
-            if t > time:
-                break
-            value = v
-        return value
+        """Step-function evaluation: the last value at or before ``time``.
+
+        O(log n) via bisect over the recorded times (``sample`` calls
+        this once per grid point; a linear scan made long-horizon grids
+        quadratic).
+        """
+        index = bisect_right(self._times, time) - 1
+        return self._points[index][1] if index >= 0 else 0.0
 
     def time_to_reach(self, value: float) -> Optional[float]:
         """First time the series reaches at least ``value`` (None if never)."""
@@ -44,15 +50,21 @@ class TimeSeries:
         return None
 
     def sample(self, interval: float, horizon: float) -> List[Tuple[float, float]]:
-        """Resample onto a uniform grid for plotting (Figure 4)."""
+        """Resample onto a uniform grid for plotting (Figure 4).
+
+        Grid points are indexed as ``i * interval`` rather than by a
+        running ``t += interval`` sum, whose accumulated float error
+        dropped or shifted the final grid point on long horizons (e.g.
+        86400 s at 0.1 s spacing drifts by microseconds — past the old
+        1e-9 tolerance).
+        """
         if interval <= 0:
             raise ValueError("interval must be positive")
-        grid = []
-        t = 0.0
-        while t <= horizon + 1e-9:
-            grid.append((t, self.value_at(t)))
-            t += interval
-        return grid
+        steps = int(math.floor(horizon / interval + 1e-9))
+        return [
+            (i * interval, self.value_at(i * interval))
+            for i in range(steps + 1)
+        ]
 
     def __len__(self) -> int:
         return len(self._points)

@@ -39,6 +39,7 @@ from typing import Deque, Dict, List, Sequence
 from repro.errors import StartupError, TargetHang
 from repro.parallel.instance import FuzzingInstance
 from repro.targets.faults import SanitizerFault
+from repro.telemetry import NULL_TELEMETRY
 
 
 @dataclass(frozen=True)
@@ -148,6 +149,9 @@ class InstanceSupervisor:
         self.policy = policy
         self.costs = ctx.costs
         self.events: List[SupervisorEvent] = []
+        #: Every transition also lands on the campaign telemetry bus as
+        #: a ``supervisor.events{kind=...}`` counter and a trace event.
+        self.telemetry = getattr(ctx, "telemetry", NULL_TELEMETRY)
         self._records: Dict[int, _Record] = {
             instance.index: _Record(
                 rng=random.Random(ctx.seed * 9_176 + instance.index * 131 + 7)
@@ -162,6 +166,10 @@ class InstanceSupervisor:
         self.events.append(SupervisorEvent(
             time=now, instance=instance.index, kind=kind, detail=detail,
         ))
+        self.telemetry.counter("supervisor.events", kind=kind).inc()
+        self.telemetry.event(
+            "supervisor." + kind, instance=instance.index, detail=detail,
+        )
 
     def state_of(self, instance: FuzzingInstance) -> InstanceState:
         return self._records[instance.index].state

@@ -33,6 +33,7 @@ from repro.parallel.base import ParallelMode
 from repro.parallel.instance import FuzzingInstance
 from repro.targets.base import startup_probe_for
 from repro.targets.faults import SanitizerFault
+from repro.telemetry import NULL_TELEMETRY
 
 
 class CmFuzzMode(ParallelMode):
@@ -64,11 +65,14 @@ class CmFuzzMode(ParallelMode):
         self._mutators: Dict[int, ConfigMutator] = {}
         #: lost instance index -> [(survivor index, donated entity)].
         self._donations: Dict[int, List] = {}
+        self._telemetry = NULL_TELEMETRY
 
     # -- pipeline ----------------------------------------------------------
 
     def create_instances(self, ctx) -> List[FuzzingInstance]:
         target_cls = ctx.target_cls
+        telemetry = getattr(ctx, "telemetry", None) or NULL_TELEMETRY
+        self._telemetry = telemetry
         entities = extract_entities(
             target_cls.config_sources(), target_cls.entity_overrides()
         )
@@ -84,7 +88,13 @@ class CmFuzzMode(ParallelMode):
         quantifier = RelationQuantifier(
             probe, max_combinations=self.max_combinations, aggregate=self.aggregate
         )
-        self.relation_model, self.quantification_report = quantifier.quantify(self.model)
+        with telemetry.span("cmfuzz.quantify", target=target_cls.NAME):
+            self.relation_model, self.quantification_report = (
+                quantifier.quantify(self.model)
+            )
+        telemetry.counter("cmfuzz.probe_launches").inc(
+            self.quantification_report.launches
+        )
         ctx.clock.advance(
             self.quantification_report.launches * ctx.costs.startup_probe
         )
@@ -100,10 +110,11 @@ class CmFuzzMode(ParallelMode):
             bundle = reassemble_group(self.model, groups[index], value_picks=best_values)
             seed = ctx.seed * 3000 + index
 
-            def engine_factory(transport, collector, seed=seed):
+            def engine_factory(transport, collector, seed=seed, index=index):
                 return FuzzEngine(
                     ctx.state_model, transport, collector,
                     strategy=ctx.make_strategy(), seed=seed,
+                    telemetry=telemetry, labels={"instance": index},
                 )
 
             instance = FuzzingInstance(
@@ -133,6 +144,7 @@ class CmFuzzMode(ParallelMode):
 
     def _mutate_instance(self, ctx, instance: FuzzingInstance, now: float) -> None:
         """Move one configuration value and restart the target."""
+        telemetry = self._telemetry
         mutator = self._mutators[instance.index]
         if self.guided_mutation:
             # Credit the previous mutation with the coverage it unlocked.
@@ -162,8 +174,14 @@ class CmFuzzMode(ParallelMode):
             instance.config_mutations += 1
             instance.down_until = now + ctx.costs.config_restart
             self._coverage_at_mutation[instance.index] = instance.coverage
+            telemetry.counter("cmfuzz.config_mutations",
+                              instance=instance.index).inc()
+            telemetry.event("cmfuzz.mutate", instance=instance.index,
+                            attempts=_attempt + 1)
             return
         # All mutation attempts failed to boot: restore the old config.
+        telemetry.counter("cmfuzz.mutation_exhausted",
+                          instance=instance.index).inc()
         try:
             instance.restart(previous.assignment)
         except (StartupError, SanitizerFault, TargetHang):
@@ -260,10 +278,17 @@ class CmFuzzMode(ParallelMode):
                 donations.extend((survivor_index, entity)
                                  for entity in entities)
         self._donations[instance.index] = donations
+        if donations:
+            self._telemetry.counter("cmfuzz.entities_donated").inc(len(donations))
+            self._telemetry.event("cmfuzz.donate", lost=instance.index,
+                                  entities=len(donations))
 
     def on_instance_revived(self, ctx, instance: FuzzingInstance) -> None:
         """Hand donated entities back to the revived instance's group."""
         donations = self._donations.pop(instance.index, [])
+        if donations:
+            self._telemetry.counter("cmfuzz.entities_reclaimed").inc(
+                len(donations))
         returned: Dict[int, List[str]] = {}
         for survivor_index, entity in donations:
             returned.setdefault(survivor_index, []).append(entity)

@@ -28,6 +28,7 @@ class HybridMode(CmFuzzMode):
 
     def create_instances(self, ctx) -> List[FuzzingInstance]:
         instances = super().create_instances(ctx)
+        self.synchronizer.bind_telemetry(getattr(ctx, "telemetry", None))
         paths = ctx.state_model.simple_paths(max_length=self.max_path_length)
         partitions: List[List[tuple]] = [[] for _ in instances]
         for position, path in enumerate(paths):

@@ -21,15 +21,17 @@ class PeachParallelMode(ParallelMode):
     name = "peach"
 
     def create_instances(self, ctx) -> List[FuzzingInstance]:
+        telemetry = getattr(ctx, "telemetry", None)
         instances = []
         for index in range(ctx.n_instances):
             namespace = ctx.namespaces.create("%s-peach-%d" % (ctx.target_cls.NAME, index))
             seed = ctx.seed * 1000 + index
 
-            def engine_factory(transport, collector, seed=seed):
+            def engine_factory(transport, collector, seed=seed, index=index):
                 return FuzzEngine(
                     ctx.state_model, transport, collector,
                     strategy=ctx.make_strategy(), seed=seed,
+                    telemetry=telemetry, labels={"instance": index},
                 )
 
             instances.append(

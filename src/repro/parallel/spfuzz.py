@@ -30,6 +30,8 @@ class SpFuzzMode(ParallelMode):
         self._donations: Dict[int, List] = {}
 
     def create_instances(self, ctx) -> List[FuzzingInstance]:
+        telemetry = getattr(ctx, "telemetry", None)
+        self.synchronizer.bind_telemetry(telemetry)
         paths = ctx.state_model.simple_paths(max_length=self.max_path_length)
         partitions: List[List[tuple]] = [[] for _ in range(ctx.n_instances)]
         for position, path in enumerate(paths):
@@ -41,7 +43,8 @@ class SpFuzzMode(ParallelMode):
             self._partitions[index] = list(assigned)
             seed = ctx.seed * 2000 + index
 
-            def engine_factory(transport, collector, seed=seed, assigned=assigned):
+            def engine_factory(transport, collector, seed=seed, assigned=assigned,
+                               index=index):
                 # State-aware scheduling leans harder on the shared corpus
                 # than Peach's independent instances do.
                 return FuzzEngine(
@@ -49,6 +52,7 @@ class SpFuzzMode(ParallelMode):
                     strategy=ctx.make_strategy(), seed=seed,
                     allowed_paths=assigned,
                     replay_probability=0.5,
+                    telemetry=telemetry, labels={"instance": index},
                 )
 
             instances.append(
@@ -82,11 +86,20 @@ class SpFuzzMode(ParallelMode):
             survivor.engine.allowed_paths.append(path)
             donations.append((survivor.index, path))
         self._donations[instance.index] = donations
+        telemetry = getattr(ctx, "telemetry", None)
+        if telemetry is not None and donations:
+            telemetry.counter("spfuzz.paths_redistributed").inc(len(donations))
+            telemetry.event("spfuzz.redistribute", lost=instance.index,
+                            paths=len(donations))
 
     def on_instance_revived(self, ctx, instance: FuzzingInstance) -> None:
         """Take donated paths back; the revived instance owns them again."""
         by_index = {i.index: i for i in ctx.instances}
-        for survivor_index, path in self._donations.pop(instance.index, []):
+        donations = self._donations.pop(instance.index, [])
+        telemetry = getattr(ctx, "telemetry", None)
+        if telemetry is not None and donations:
+            telemetry.counter("spfuzz.paths_reclaimed").inc(len(donations))
+        for survivor_index, path in donations:
             survivor = by_index.get(survivor_index)
             if (survivor is None or survivor.engine is None
                     or survivor.engine.allowed_paths is None):

@@ -5,46 +5,84 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.parallel.instance import FuzzingInstance
+from repro.telemetry import NULL_TELEMETRY
 
 
 class SeedSynchronizer:
     """Broadcasts newly interesting seeds between instances.
 
-    Each instance's engine corpus grows as it discovers coverage; at each
-    sync point, seeds appended since the last sync are pushed to every
-    other instance (bounded per sync to avoid corpus flooding).
+    Each engine queues its locally discovered seeds in its
+    ``sync_outbox``; a sync round drains up to ``max_per_sync`` seeds
+    per instance from those outboxes and delivers each one to every
+    other instance via :meth:`FuzzEngine.receive_seed` (which never
+    re-queues, so nothing is rebroadcast). Seeds beyond the per-round
+    cap *stay queued* and go out on later rounds — the per-round bound
+    throttles corpus flooding without ever losing a seed.
+
+    (The previous implementation advanced a per-instance cursor to
+    ``len(corpus)`` after every round, silently discarding both the
+    over-cap overflow and any seed discovered concurrently during the
+    round; the ``sync.seeds_dropped`` counter now pins that class of
+    bug at zero.)
     """
 
     def __init__(self, max_per_sync: int = 16):
         if max_per_sync < 1:
             raise ValueError("max_per_sync must be >= 1")
         self.max_per_sync = max_per_sync
-        self._cursors: dict = {}
         self.broadcasts = 0
+        self.seeds_taken = 0
+        self.rounds = 0
+        self._telemetry = NULL_TELEMETRY
+        self._bind(NULL_TELEMETRY)
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach campaign telemetry (modes call this from
+        ``create_instances`` once the context exists)."""
+        self._bind(telemetry or NULL_TELEMETRY)
+
+    def _bind(self, telemetry) -> None:
+        self._telemetry = telemetry
+        self._c_rounds = telemetry.counter("sync.rounds")
+        self._c_discovered = telemetry.counter("sync.seeds_discovered")
+        self._c_broadcast = telemetry.counter("sync.seeds_broadcast")
+        self._g_backlog = telemetry.gauge("sync.backlog")
+
+    def pending(self, instances: Sequence[FuzzingInstance]) -> int:
+        """Seeds still queued for broadcast across all instances."""
+        return sum(
+            len(i.engine.sync_outbox) for i in instances if i.engine is not None
+        )
 
     def sync(self, instances: Sequence[FuzzingInstance]) -> int:
         """Run one synchronisation round; returns seeds broadcast."""
-        shared = 0
         fresh: List[tuple] = []
         for instance in instances:
             engine = instance.engine
             if engine is None:
                 continue
-            cursor = self._cursors.get(instance.index, 0)
-            new_seeds = engine.corpus[cursor : cursor + self.max_per_sync]
-            self._cursors[instance.index] = cursor + len(new_seeds)
-            fresh.extend((instance.index, seed) for seed in new_seeds)
+            batch = engine.sync_outbox[: self.max_per_sync]
+            del engine.sync_outbox[: len(batch)]
+            fresh.extend((instance.index, seed) for seed in batch)
+        shared = 0
         for origin, seed in fresh:
             for instance in instances:
                 if instance.index == origin or instance.engine is None:
                     continue
-                instance.engine.add_seed(seed)
+                instance.engine.receive_seed(seed)
                 shared += 1
-        # Seeds received via sync are not rebroadcast: advance every
-        # receiver's cursor past them.
-        if shared:
-            for instance in instances:
-                if instance.engine is not None:
-                    self._cursors[instance.index] = len(instance.engine.corpus)
+        self.rounds += 1
+        self.seeds_taken += len(fresh)
         self.broadcasts += shared
+        self._c_rounds.inc()
+        self._c_discovered.inc(len(fresh))
+        self._c_broadcast.inc(shared)
+        self._g_backlog.set(self.pending(instances))
         return shared
+
+    def seeds_dropped(self, instances: Sequence[FuzzingInstance]) -> int:
+        """Total seeds lost to outbox overflow (0 on healthy campaigns)."""
+        return sum(
+            i.engine.sync_seeds_dropped
+            for i in instances if i.engine is not None
+        )

@@ -1,0 +1,130 @@
+"""repro.telemetry: always-on observability for the fuzzing loop.
+
+A lightweight, dependency-free metrics/tracing layer threaded through
+the campaign's hot paths: engine iterations, scheduler decisions, sync
+rounds, supervisor transitions and the experiment executor. It exists
+so accounting regressions (silent seed-sync drops, miscounted coverage)
+surface as numbers instead of as quietly wrong evaluation tables.
+
+Usage::
+
+    config = CampaignConfig(telemetry=TelemetryConfig(enabled=True))
+    result = run_campaign(target, pit, mode, config)
+    result.metrics["counters"]["sync.seeds_dropped"]   # -> 0 when healthy
+
+Disabled (the default) the campaign carries :data:`NULL_TELEMETRY`: one
+shared object whose instruments are no-ops, so the hot path pays a few
+no-op method calls and chaos-free campaigns stay bit-identical to the
+un-instrumented runner.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    render_key,
+)
+from repro.telemetry.tracing import (
+    NullTracer,
+    TraceSink,
+    Tracer,
+    validate_record,
+    validate_trace_file,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "NULL_TELEMETRY",
+    "Telemetry",
+    "TelemetryConfig",
+    "TraceSink",
+    "Tracer",
+    "render_key",
+    "validate_record",
+    "validate_trace_file",
+]
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Picklable description of a campaign's telemetry (crosses the
+    executor's process boundary; the live objects are rebuilt inside)."""
+
+    enabled: bool = False
+    #: JSONL trace file; appended to, shared safely across workers.
+    trace_path: Optional[str] = None
+
+
+class Telemetry:
+    """Facade bundling one registry, one tracer and one optional sink."""
+
+    def __init__(self, registry: MetricsRegistry, tracer: Tracer,
+                 sink: Optional[TraceSink] = None, enabled: bool = True):
+        self.registry = registry
+        self.tracer = tracer
+        self.sink = sink
+        self.enabled = enabled
+
+    @classmethod
+    def from_config(cls, config: Optional[TelemetryConfig],
+                    now_fn: Optional[Callable[[], float]] = None) -> "Telemetry":
+        """Build live telemetry for a campaign (or the shared no-op)."""
+        if config is None or not config.enabled:
+            return NULL_TELEMETRY
+        sink = TraceSink(config.trace_path) if config.trace_path else None
+        return cls(
+            registry=MetricsRegistry(),
+            tracer=Tracer(now_fn or time.monotonic, sink=sink),
+            sink=sink,
+            enabled=True,
+        )
+
+    # -- instruments -------------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self.registry.gauge(name, **labels)
+
+    def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        return self.registry.histogram(name, bounds, **labels)
+
+    # -- tracing -----------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self.tracer.event(name, **attrs)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self.registry.snapshot()
+
+    def close(self) -> None:
+        if self.sink is not None:
+            self.sink.close()
+
+
+#: The shared disabled instance: every instrument is a no-op, nothing is
+#: ever recorded, snapshot() is empty. Safe to share between campaigns.
+NULL_TELEMETRY = Telemetry(
+    registry=NullRegistry(), tracer=NullTracer(), sink=None, enabled=False,
+)

@@ -1,0 +1,47 @@
+"""Validate JSONL trace files against the trace schema.
+
+Usage::
+
+    python -m repro.telemetry trace.jsonl [more.jsonl ...]
+
+Exits 0 when every record in every file validates, 1 otherwise (or when
+a file is missing/empty). The CI metrics-smoke job runs this over the
+trace a short campaign produced.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.telemetry.tracing import validate_trace_file
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    out = out or sys.stdout
+    if not argv:
+        out.write("usage: python -m repro.telemetry TRACE.jsonl [...]\n")
+        return 2
+    status = 0
+    for path in argv:
+        try:
+            count, errors = validate_trace_file(path)
+        except OSError as exc:
+            out.write("%s: unreadable (%s)\n" % (path, exc))
+            status = 1
+            continue
+        if errors:
+            for problem in errors:
+                out.write("%s: %s\n" % (path, problem))
+            status = 1
+        elif count == 0:
+            out.write("%s: no trace records\n" % path)
+            status = 1
+        else:
+            out.write("%s: %d records ok\n" % (path, count))
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

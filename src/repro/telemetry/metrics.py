@@ -1,0 +1,227 @@
+"""Dependency-free metrics: counters, gauges, histograms with labels.
+
+A :class:`MetricsRegistry` owns every metric series created during a
+campaign. A series is identified by a metric name plus a (sorted) label
+set, so the same code path can emit per-instance or per-strategy series
+without pre-declaring them::
+
+    registry.counter("engine.execs", instance=0).inc()
+    registry.counter("sync.seeds_dropped").value  # -> 0 on healthy runs
+
+Snapshots are plain, deterministically ordered dicts (JSON-ready):
+metric series appear sorted by rendered key, so two identical campaigns
+produce byte-identical snapshots.
+
+When telemetry is disabled the campaign holds a :class:`NullRegistry`
+instead: it hands out one shared no-op instrument per type, so hot-path
+instrumentation costs a couple of no-op method calls and allocates
+nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+#: Upper bounds of the default histogram buckets (seconds-ish scale);
+#: the final bucket is unbounded.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+)
+
+
+def render_key(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    """Stable series key: ``name{k1=v1,k2=v2}`` with sorted labels."""
+    if not labels:
+        return name
+    return "%s{%s}" % (name, ",".join("%s=%s" % kv for kv in labels))
+
+
+def _label_items(labels: Dict[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up, got %r" % (amount,))
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """A distribution: count/sum/min/max plus cumulative buckets."""
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts",
+                 "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = (),
+                 bounds: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Creates and retains every metric series of one campaign."""
+
+    enabled = True
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        items = _label_items(labels)
+        key = render_key(name, items)
+        series = self._counters.get(key)
+        if series is None:
+            series = self._counters[key] = Counter(name, items)
+        return series
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        items = _label_items(labels)
+        key = render_key(name, items)
+        series = self._gauges.get(key)
+        if series is None:
+            series = self._gauges[key] = Gauge(name, items)
+        return series
+
+    def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        items = _label_items(labels)
+        key = render_key(name, items)
+        series = self._histograms.get(key)
+        if series is None:
+            series = self._histograms[key] = Histogram(name, items, bounds)
+        return series
+
+    def counter_total(self, name: str) -> int:
+        """Sum of a counter across every label combination."""
+        return sum(c.value for c in self._counters.values() if c.name == name)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A deterministic, JSON-ready dump of every series."""
+        return {
+            "counters": {
+                key: self._counters[key].value
+                for key in sorted(self._counters)
+            },
+            "gauges": {
+                key: self._gauges[key].value
+                for key in sorted(self._gauges)
+            },
+            "histograms": {
+                key: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.minimum,
+                    "max": h.maximum,
+                    "buckets": [
+                        [bound, count] for bound, count in zip(
+                            list(h.bounds) + ["inf"], h.bucket_counts,
+                        )
+                    ],
+                }
+                for key, h in sorted(self._histograms.items())
+            },
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """Hands out shared no-op instruments; snapshot is always empty."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+        self._counter = _NullCounter("null")
+        self._gauge = _NullGauge("null")
+        self._histogram = _NullHistogram("null", bounds=())
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._counter
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._gauge
+
+    def histogram(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        return self._histogram
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,179 @@
+"""Span tracing keyed to the simulated clock, with a JSONL sink.
+
+Records are timestamped with *simulated* seconds (``ts``) so traces line
+up with the campaign's coverage time axis; span ``duration`` is measured
+in real (wall-clock, monotonic) seconds because that is the quantity the
+overhead budget constrains. One line of JSON per record:
+
+- span:  ``{"type": "span", "name": ..., "ts": ..., "duration": ...,
+  "attrs": {...}}``
+- event: ``{"type": "event", "name": ..., "ts": ..., "attrs": {...}}``
+
+The sink appends with ``O_APPEND`` semantics and one ``write()`` call
+per record, so several worker processes can share one trace file
+without interleaving partial lines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional, TextIO, Tuple
+
+#: Allowed values of a record's "type" field.
+TRACE_RECORD_TYPES = ("span", "event")
+
+
+class TraceSink:
+    """Process-safe JSONL appender for trace records."""
+
+    def __init__(self, path: str):
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle: Optional[TextIO] = open(path, "a", encoding="utf-8")
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            return
+        line = json.dumps(record, sort_keys=True, default=str)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class _SpanHandle:
+    """Context manager recording one span on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_sim_start", "_wall_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._sim_start = 0.0
+        self._wall_start = 0.0
+
+    def __enter__(self) -> "_SpanHandle":
+        self._sim_start = self._tracer.now()
+        self._wall_start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer.emit({
+            "type": "span",
+            "name": self.name,
+            "ts": self._sim_start,
+            "duration": time.perf_counter() - self._wall_start,
+            "attrs": self.attrs,
+        })
+
+
+class _NullSpan:
+    """A reusable no-op span handle."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Creates spans and point events timestamped with simulated time."""
+
+    enabled = True
+
+    def __init__(self, now_fn: Callable[[], float],
+                 sink: Optional[TraceSink] = None):
+        self.now = now_fn
+        self.sink = sink
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        if self.sink is not None:
+            self.sink.emit(record)
+
+    def span(self, name: str, **attrs: Any):
+        return _SpanHandle(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self.emit({
+            "type": "event", "name": name, "ts": self.now(), "attrs": attrs,
+        })
+
+
+class NullTracer(Tracer):
+    """Discards everything; span() returns one shared no-op handle."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(now_fn=lambda: 0.0, sink=None)
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        pass
+
+    def span(self, name: str, **attrs: Any):
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Trace schema validation (used by tests and the CI metrics-smoke job)
+# ---------------------------------------------------------------------------
+
+
+def validate_record(record: Any) -> List[str]:
+    """Validate one decoded trace record; returns a list of problems."""
+    errors: List[str] = []
+    if not isinstance(record, dict):
+        return ["record is not an object"]
+    kind = record.get("type")
+    if kind not in TRACE_RECORD_TYPES:
+        errors.append("invalid type %r" % (kind,))
+    name = record.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append("missing or empty name")
+    ts = record.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+        errors.append("ts must be a non-negative number")
+    if not isinstance(record.get("attrs"), dict):
+        errors.append("attrs must be an object")
+    if kind == "span":
+        duration = record.get("duration")
+        if (not isinstance(duration, (int, float))
+                or isinstance(duration, bool) or duration < 0):
+            errors.append("span duration must be a non-negative number")
+    return errors
+
+
+def validate_trace_file(path: str) -> Tuple[int, List[str]]:
+    """Validate a JSONL trace file; returns (record count, problems)."""
+    count = 0
+    errors: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                errors.append("line %d: invalid JSON (%s)" % (lineno, exc))
+                continue
+            count += 1
+            for problem in validate_record(record):
+                errors.append("line %d: %s" % (lineno, problem))
+    return count, errors

@@ -61,10 +61,35 @@ class TestCoverageMap:
         cov.clear()
         assert len(cov) == 0
 
-    def test_equality_by_sites_not_counts(self):
+    def test_equality_includes_counts(self):
         left = CoverageMap(["a", "a"])
         right = CoverageMap(["a"])
+        assert left != right
+        right.hit("a")
         assert left == right
+
+    def test_equality_not_a_coverage_map(self):
+        assert CoverageMap(["a"]) != {"a"}
+
+    def test_same_sites_ignores_counts(self):
+        left = CoverageMap(["a", "a"])
+        right = CoverageMap(["a"])
+        assert left.same_sites(right)
+        assert right.same_sites(left)
+        right.hit("b")
+        assert not left.same_sites(right)
+
+    def test_merge_preserves_equality_semantics(self):
+        # Merging the same map into two equal maps keeps them equal;
+        # merging it twice into one of them does not.
+        left, right = CoverageMap(["a"]), CoverageMap(["a"])
+        extra = CoverageMap(["a", "b"])
+        left.merge(extra)
+        right.merge(extra)
+        assert left == right
+        left.merge(extra)
+        assert left != right
+        assert left.same_sites(right)
 
     def test_unhashable(self):
         with pytest.raises(TypeError):

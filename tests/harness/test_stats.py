@@ -52,6 +52,36 @@ class TestTimeSeries:
         with pytest.raises(ValueError):
             _series([(0, 0)]).sample(0, 10)
 
+    def test_sample_long_horizon_grid_length_exact(self):
+        # The old running-sum grid (t += interval) accumulated float
+        # error and dropped/shifted the final point on long horizons;
+        # indexing the grid as i * interval pins the length exactly.
+        series = _series([(0, 0), (86400, 7)])
+        grid = series.sample(interval=0.1, horizon=86400.0)
+        assert len(grid) == 864001
+        assert grid[0][0] == 0.0
+        assert grid[-1][0] == pytest.approx(86400.0, abs=1e-6)
+        assert grid[-1][1] == 7
+
+    def test_sample_fractional_interval_hits_every_point(self):
+        series = _series([(0, 1)])
+        grid = series.sample(interval=0.7, horizon=7.0)
+        assert len(grid) == 11
+        assert grid[-1][0] == pytest.approx(7.0)
+
+    def test_value_at_bisects_equal_times(self):
+        # Multiple samples at the same time: the last one wins, exactly
+        # as the linear scan behaved.
+        series = _series([(0, 0), (10, 3), (10, 5)])
+        assert series.value_at(10) == 5
+        assert series.value_at(9.999) == 0
+
+    def test_value_at_before_first_point(self):
+        series = _series([(5, 2)])
+        assert series.value_at(0) == 0.0
+        assert series.value_at(4.999) == 0.0
+        assert series.value_at(5) == 2
+
 
 class TestMean:
     def test_mean(self):

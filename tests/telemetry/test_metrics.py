@@ -1,0 +1,147 @@
+"""Unit tests for the metrics layer: instruments, registry, null path."""
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    render_key,
+)
+
+
+class TestRenderKey:
+    def test_bare_name_without_labels(self):
+        assert render_key("engine.execs", ()) == "engine.execs"
+
+    def test_labels_rendered_sorted(self):
+        key = render_key("engine.execs", (("a", "1"), ("b", "x")))
+        assert key == "engine.execs{a=1,b=x}"
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = Histogram("h")
+        for value in (0.5, 1.5, 4.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 6.0
+        assert histogram.minimum == 0.5
+        assert histogram.maximum == 4.0
+        assert histogram.mean == 2.0
+
+    def test_bucket_assignment_including_overflow(self):
+        histogram = Histogram("h", bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [2, 1, 1]
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+
+class TestMetricsRegistry:
+    def test_same_name_and_labels_share_one_series(self):
+        registry = MetricsRegistry()
+        registry.counter("execs", instance=0).inc()
+        registry.counter("execs", instance=0).inc()
+        assert registry.counter("execs", instance=0).value == 2
+
+    def test_distinct_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("execs", instance=0).inc(2)
+        registry.counter("execs", instance=1).inc(5)
+        assert registry.counter("execs", instance=0).value == 2
+        assert registry.counter("execs", instance=1).value == 5
+
+    def test_counter_total_sums_across_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("execs", instance=0).inc(2)
+        registry.counter("execs", instance=1).inc(5)
+        registry.counter("other").inc(100)
+        assert registry.counter_total("execs") == 7
+
+    def test_snapshot_sections(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.2)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 3}
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        assert snapshot["histograms"]["h"]["sum"] == 0.2
+
+    def test_snapshot_is_deterministic_and_json_ready(self):
+        def build():
+            registry = MetricsRegistry()
+            # Insertion order deliberately differs from sorted order.
+            registry.counter("z.last", instance=1).inc()
+            registry.counter("a.first").inc(2)
+            registry.gauge("mid", shard=3).set(7)
+            registry.histogram("lat").observe(0.01)
+            return registry.snapshot()
+
+        first, second = build(), build()
+        assert json.dumps(first, sort_keys=True) == \
+            json.dumps(second, sort_keys=True)
+        assert list(first["counters"]) == sorted(first["counters"])
+
+    def test_histogram_snapshot_buckets_cover_bounds_plus_overflow(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1e9)
+        buckets = registry.snapshot()["histograms"]["h"]["buckets"]
+        assert len(buckets) == len(DEFAULT_BUCKETS) + 1
+        assert buckets[-1] == ["inf", 1]
+
+
+class TestNullRegistry:
+    def test_instruments_are_shared_no_ops(self):
+        registry = NullRegistry()
+        counter = registry.counter("anything", instance=1)
+        assert counter is registry.counter("other")
+        counter.inc(10)
+        assert counter.value == 0
+        gauge = registry.gauge("g")
+        gauge.set(5)
+        assert gauge.value == 0.0
+        histogram = registry.histogram("h")
+        histogram.observe(1.0)
+        assert histogram.count == 0
+
+    def test_snapshot_always_empty(self):
+        registry = NullRegistry()
+        registry.counter("c").inc()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_enabled_flags(self):
+        assert MetricsRegistry.enabled is True
+        assert NullRegistry.enabled is False

@@ -1,0 +1,201 @@
+"""Unit tests for tracing: sink, spans/events, schema validation."""
+
+import io
+import json
+
+from repro.telemetry import NULL_TELEMETRY, Telemetry, TelemetryConfig
+from repro.telemetry.__main__ import main as validate_main
+from repro.telemetry.tracing import (
+    NullTracer,
+    TraceSink,
+    Tracer,
+    validate_record,
+    validate_trace_file,
+)
+
+
+def _read_records(path):
+    with open(path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestTraceSink:
+    def test_one_json_line_per_record(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = TraceSink(path)
+        sink.emit({"type": "event", "name": "a", "ts": 0.0, "attrs": {}})
+        sink.emit({"type": "event", "name": "b", "ts": 1.0, "attrs": {}})
+        sink.close()
+        records = _read_records(path)
+        assert [r["name"] for r in records] == ["a", "b"]
+
+    def test_appends_rather_than_truncates(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        for name in ("first", "second"):
+            sink = TraceSink(path)
+            sink.emit({"type": "event", "name": name, "ts": 0.0, "attrs": {}})
+            sink.close()
+        assert [r["name"] for r in _read_records(path)] == ["first", "second"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "trace.jsonl")
+        sink = TraceSink(path)
+        sink.emit({"type": "event", "name": "a", "ts": 0.0, "attrs": {}})
+        sink.close()
+        assert len(_read_records(path)) == 1
+
+    def test_emit_after_close_is_a_no_op(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = TraceSink(path)
+        sink.close()
+        sink.emit({"type": "event", "name": "late", "ts": 0.0, "attrs": {}})
+        assert _read_records(path) == []
+
+
+class TestTracer:
+    def test_span_uses_sim_time_for_ts_and_wall_time_for_duration(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = TraceSink(path)
+        clock = [120.0]
+        tracer = Tracer(now_fn=lambda: clock[0], sink=sink)
+        with tracer.span("campaign.sync", round=3):
+            clock[0] = 500.0  # sim time advances; ts must stay the start
+        sink.close()
+        (record,) = _read_records(path)
+        assert record["type"] == "span"
+        assert record["name"] == "campaign.sync"
+        assert record["ts"] == 120.0
+        assert record["duration"] >= 0.0
+        assert record["attrs"] == {"round": 3}
+        assert validate_record(record) == []
+
+    def test_event_record_shape(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = TraceSink(path)
+        tracer = Tracer(now_fn=lambda: 42.0, sink=sink)
+        tracer.event("supervisor.restart", instance=1, detail="crash")
+        sink.close()
+        (record,) = _read_records(path)
+        assert record == {
+            "type": "event", "name": "supervisor.restart", "ts": 42.0,
+            "attrs": {"instance": 1, "detail": "crash"},
+        }
+        assert validate_record(record) == []
+
+    def test_sinkless_tracer_discards_records(self):
+        tracer = Tracer(now_fn=lambda: 0.0, sink=None)
+        with tracer.span("s"):
+            pass
+        tracer.event("e")  # must not raise
+
+    def test_null_tracer_shares_one_span_handle(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b", x=1)
+        with tracer.span("a"):
+            pass
+        tracer.event("e", key="value")
+
+
+class TestValidateRecord:
+    def test_valid_span_and_event(self):
+        assert validate_record({"type": "span", "name": "s", "ts": 0.0,
+                                "duration": 0.1, "attrs": {}}) == []
+        assert validate_record({"type": "event", "name": "e", "ts": 5,
+                                "attrs": {"k": "v"}}) == []
+
+    def test_rejects_non_object(self):
+        assert validate_record([1, 2]) == ["record is not an object"]
+
+    def test_rejects_bad_type_name_ts_attrs(self):
+        problems = validate_record({"type": "bogus", "name": "", "ts": -1,
+                                    "attrs": None})
+        assert len(problems) == 4
+
+    def test_rejects_boolean_timestamps(self):
+        problems = validate_record({"type": "event", "name": "e", "ts": True,
+                                    "attrs": {}})
+        assert problems == ["ts must be a non-negative number"]
+
+    def test_span_requires_non_negative_duration(self):
+        problems = validate_record({"type": "span", "name": "s", "ts": 0.0,
+                                    "duration": -0.5, "attrs": {}})
+        assert problems == ["span duration must be a non-negative number"]
+
+
+class TestValidateTraceFile:
+    def test_counts_records_and_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"type": "event", "name": "a", "ts": 0.0, "attrs": {}}\n'
+            "\n"
+            '{"type": "span", "name": "b", "ts": 1.0, "duration": 0.1, '
+            '"attrs": {}}\n'
+        )
+        count, errors = validate_trace_file(str(path))
+        assert count == 2
+        assert errors == []
+
+    def test_reports_invalid_json_with_line_numbers(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "event", "name": "a", "ts": 0, "attrs": {}}\n'
+                        "not json\n")
+        count, errors = validate_trace_file(str(path))
+        assert count == 1
+        assert len(errors) == 1
+        assert errors[0].startswith("line 2:")
+
+
+class TestValidatorCli:
+    def test_valid_file_exits_zero(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "event", "name": "a", "ts": 0, "attrs": {}}\n')
+        out = io.StringIO()
+        assert validate_main([str(path)], out=out) == 0
+        assert "1 records ok" in out.getvalue()
+
+    def test_invalid_and_empty_files_exit_one(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "bogus"}\n')
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert validate_main([str(bad)], out=io.StringIO()) == 1
+        assert validate_main([str(empty)], out=io.StringIO()) == 1
+        assert validate_main([str(tmp_path / "missing.jsonl")],
+                             out=io.StringIO()) == 1
+
+    def test_no_arguments_is_a_usage_error(self):
+        assert validate_main([], out=io.StringIO()) == 2
+
+
+class TestTelemetryFacade:
+    def test_disabled_config_returns_the_shared_null_instance(self):
+        assert Telemetry.from_config(None) is NULL_TELEMETRY
+        assert Telemetry.from_config(TelemetryConfig()) is NULL_TELEMETRY
+        assert NULL_TELEMETRY.enabled is False
+        assert NULL_TELEMETRY.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_enabled_facade_records_and_traces(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        config = TelemetryConfig(enabled=True, trace_path=path)
+        telemetry = Telemetry.from_config(config, now_fn=lambda: 7.0)
+        telemetry.counter("c", instance=0).inc(3)
+        telemetry.gauge("g").set(2.5)
+        telemetry.histogram("h").observe(0.01)
+        with telemetry.span("work", step=1):
+            pass
+        telemetry.event("tick")
+        snapshot = telemetry.snapshot()
+        telemetry.close()
+        assert snapshot["counters"] == {"c{instance=0}": 3}
+        assert snapshot["gauges"] == {"g": 2.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        count, errors = validate_trace_file(path)
+        assert (count, errors) == (2, [])
+
+    def test_config_is_picklable(self):
+        import pickle
+
+        config = TelemetryConfig(enabled=True, trace_path="/tmp/t.jsonl")
+        assert pickle.loads(pickle.dumps(config)) == config
