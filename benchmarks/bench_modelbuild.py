@@ -1,0 +1,135 @@
+"""Model-build pipeline benchmark: sequential vs pooled vs warm cache.
+
+Quantifies the relation graph of the DNS entity set (the paper's best
+subject) three ways and records the wall-clock in
+``BENCH_modelbuild.json``:
+
+1. sequential — one in-process probe at a time;
+2. pooled — the same probes fanned across worker processes;
+3. warm cache — a rebuild served entirely from the content-addressed
+   probe cache (zero launches).
+
+Startup launches of a real SUT cost milliseconds-to-seconds of process
+spawn; the simulation's in-process probes cost microseconds, which would
+make any scheduling comparison meaningless. The ``startup_latency``
+probe shim restores a realistic per-launch cost (default 5 ms, override
+with ``CMFUZZ_BENCH_PROBE_MS``) — because the cost is sleep-bound, the
+pooled speedup is robust even on two-core CI runners.
+
+All three runs must produce bit-identical relation weights and best
+values; the warm rebuild must execute zero probes. Runs with the bench
+suite (``pytest benchmarks/bench_modelbuild.py``) or standalone
+(``python benchmarks/bench_modelbuild.py``).
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+import conftest  # noqa: F401  (adds src/ to sys.path)
+
+from repro.api import extract_model
+from repro.core.probes import build_probe_executor
+from repro.core.relation import RelationQuantifier
+
+TARGET = "dnsmasq"
+PROBE_LATENCY = float(os.environ.get("CMFUZZ_BENCH_PROBE_MS", "5")) / 1000.0
+MAX_COMBINATIONS = int(os.environ.get("CMFUZZ_BENCH_COMBOS", "8"))
+WORKERS = int(os.environ.get("CMFUZZ_BENCH_PROBE_WORKERS", "4"))
+MIN_SPEEDUP = float(os.environ.get("CMFUZZ_BENCH_MIN_SPEEDUP", "2.0"))
+RECORD_PATH = os.environ.get(
+    "CMFUZZ_BENCH_OUT",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                 "BENCH_modelbuild.json"),
+)
+
+
+def _quantify(workers=1, cache=False, cache_dir=None):
+    model = extract_model(TARGET)
+    executor = build_probe_executor(
+        TARGET, workers=workers, cache=cache, cache_dir=cache_dir,
+        startup_latency=PROBE_LATENCY,
+    )
+    quantifier = RelationQuantifier(executor=executor,
+                                    max_combinations=MAX_COMBINATIONS)
+    start = time.perf_counter()
+    relation_model, report = quantifier.quantify(model)
+    elapsed = time.perf_counter() - start
+    snapshot = {
+        "raw": sorted(report.raw_weights.items()),
+        "best": sorted(report.best_values.items(), key=lambda kv: kv[0]),
+        "edges": sorted(relation_model.edges_by_weight()),
+        "launches": report.launches,
+    }
+    return elapsed, quantifier.last_run_stats, snapshot
+
+
+def run_bench():
+    """Returns the ``BENCH_modelbuild.json`` record."""
+    with tempfile.TemporaryDirectory(prefix="cmfuzz-bench-cache-") as cache_dir:
+        sequential_s, sequential_stats, sequential_snap = _quantify(workers=1)
+        pooled_s, _, pooled_snap = _quantify(workers=WORKERS)
+        cold_s, _, cold_snap = _quantify(cache=True, cache_dir=cache_dir)
+        warm_s, warm_stats, warm_snap = _quantify(cache=True,
+                                                  cache_dir=cache_dir)
+    identical = sequential_snap == pooled_snap == cold_snap == warm_snap
+    return {
+        "bench": "modelbuild",
+        "target": TARGET,
+        "max_combinations": MAX_COMBINATIONS,
+        "probe_latency_ms": PROBE_LATENCY * 1000.0,
+        "workers": WORKERS,
+        "launches": sequential_snap["launches"],
+        "unique_probes": sequential_stats["executed"],
+        "sequential_seconds": round(sequential_s, 4),
+        "parallel_seconds": round(pooled_s, 4),
+        "cold_cache_seconds": round(cold_s, 4),
+        "warm_cache_seconds": round(warm_s, 4),
+        "speedup": round(sequential_s / pooled_s, 2) if pooled_s else None,
+        "warm_probes_executed": warm_stats["executed"],
+        "warm_cache_hits": warm_stats["cache_hits"],
+        "identical": identical,
+    }
+
+
+def _write_record(record):
+    with open(RECORD_PATH, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_modelbuild_parallel_and_cache():
+    record = run_bench()
+    _write_record(record)
+    print("\nmodelbuild: %d probes  seq %.2fs  x%d workers %.2fs "
+          "(%.1fx)  warm %.3fs (%d hits, %d executed)"
+          % (record["unique_probes"], record["sequential_seconds"],
+             record["workers"], record["parallel_seconds"],
+             record["speedup"], record["warm_cache_seconds"],
+             record["warm_cache_hits"], record["warm_probes_executed"]))
+    assert record["identical"], "pipeline variants diverged"
+    assert record["warm_probes_executed"] == 0, (
+        "warm-cache rebuild launched %d probes"
+        % record["warm_probes_executed"])
+    assert record["speedup"] >= MIN_SPEEDUP, (
+        "parallel model build speedup %.2fx below the %.1fx floor"
+        % (record["speedup"], MIN_SPEEDUP))
+
+
+def main() -> int:
+    record = run_bench()
+    _write_record(record)
+    print(json.dumps(record, indent=2, sort_keys=True))
+    ok = (record["identical"] and record["warm_probes_executed"] == 0
+          and record["speedup"] >= MIN_SPEEDUP)
+    if not ok:
+        print("FAILED: identical=%s warm_executed=%d speedup=%sx (floor %.1fx)"
+              % (record["identical"], record["warm_probes_executed"],
+                 record["speedup"], MIN_SPEEDUP), file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

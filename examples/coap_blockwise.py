@@ -11,10 +11,7 @@ and a final block arriving without block 0 dereferences the NULL
     python examples/coap_blockwise.py
 """
 
-from repro.core.extraction import extract_entities
-from repro.core.model import ConfigurationModel
-from repro.core.relation import RelationQuantifier
-from repro.targets.base import startup_probe_for
+from repro import ModelBuildConfig, quantify_relations
 from repro.targets.coap.server import LibcoapTarget
 from repro.targets.faults import SanitizerFault
 
@@ -38,11 +35,8 @@ def main():
     print("the vulnerable path is unreachable: qblock is off by default\n")
 
     print("=== CMFuzz discovers the relation ===")
-    entities = extract_entities(LibcoapTarget.config_sources(),
-                                LibcoapTarget.entity_overrides())
-    quantifier = RelationQuantifier(startup_probe_for(LibcoapTarget),
-                                    max_combinations=8)
-    relation_model, _ = quantifier.quantify(ConfigurationModel(entities))
+    relation_model, _ = quantify_relations(
+        "libcoap", config=ModelBuildConfig(max_combinations=8))
     weight = relation_model.weight("block-transfer", "qblock")
     print("relation weight (block-transfer, qblock): %.2f" % weight)
     print("-> the pair unlocks new startup paths, so Algorithm 2 schedules")

@@ -11,12 +11,8 @@ print the cohesive groups Algorithm 2 would hand to four instances.
 
 import sys
 
-from repro.core.allocation import allocate
-from repro.core.extraction import extract_entities
-from repro.core.model import ConfigurationModel
-from repro.core.relation import RelationQuantifier
+from repro import ModelBuildConfig, allocate_groups, extract_model, quantify_relations
 from repro.targets import target_registry
-from repro.targets.base import startup_probe_for
 
 
 def explore(name, target_cls):
@@ -24,20 +20,19 @@ def explore(name, target_cls):
     print("%s (%s, port %d)" % (name, target_cls.PROTOCOL, target_cls.PORT))
     print("=" * 72)
 
-    entities = extract_entities(target_cls.config_sources(),
-                                target_cls.entity_overrides())
-    model = ConfigurationModel(entities)
+    model = extract_model(name)
     mutable = model.mutable_entities()
     print("entities: %d total, %d mutable" % (len(model), len(mutable)))
-    for entity in entities:
+    for entity in model.entities():
         marker = "*" if entity.mutable else " "
         print(" %s %-28s %-7s %s" % (marker, entity.name, entity.type.value,
                                      list(entity.values)[:4]))
 
     startup_bugs = []
-    probe = startup_probe_for(target_cls, on_fault=startup_bugs.append)
-    quantifier = RelationQuantifier(probe, max_combinations=8)
-    relation_model, report = quantifier.quantify(model)
+    relation_model, report = quantify_relations(
+        name, model, ModelBuildConfig(max_combinations=8),
+        on_fault=startup_bugs.append,
+    )
     for fault in {str(f) for f in startup_bugs}:
         print("  !! startup crash while probing:", fault)
     print("\nrelations: %d edges (%d launches, %d startup conflicts)"
@@ -46,7 +41,7 @@ def explore(name, target_cls):
     for a, b, weight in relation_model.edges_by_weight()[:8]:
         print("  %.2f  %s <-> %s" % (weight, a, b))
 
-    allocation = allocate(relation_model, 4)
+    allocation = allocate_groups(relation_model, 4)
     print("\nallocation to 4 instances (cohesion %.2f):" % allocation.cohesion)
     for index, group in enumerate(allocation.groups):
         print("  #%d: %s" % (index, ", ".join(sorted(group))))

@@ -11,11 +11,8 @@ relation quantification itself (a crash while probing the
     python examples/dns_bug_hunt.py
 """
 
-from repro.harness.campaign import CampaignConfig, run_campaign
+from repro import CampaignConfig, run_campaign
 from repro.harness.report import render_bug_table
-from repro.parallel import MODES
-from repro.pits import pit_registry
-from repro.targets.dns.server import DnsmasqTarget
 from repro.targets.faults import TABLE_II_BUGS
 
 
@@ -24,9 +21,8 @@ def main():
     results = {}
     for mode_name in ("peach", "cmfuzz"):
         print("running %s on dnsmasq (simulated 24h)..." % mode_name)
-        results[mode_name] = run_campaign(
-            DnsmasqTarget, pit_registry()["dnsmasq"](), MODES[mode_name](), config,
-        )
+        results[mode_name] = run_campaign("dnsmasq", mode=mode_name,
+                                          config=config)
 
     table_dns = {sig for sig in TABLE_II_BUGS if sig[0] == "DNS"}
     for mode_name, result in results.items():

@@ -8,23 +8,17 @@ and an ASCII coverage-over-time chart (one Figure-4 panel).
     python examples/mqtt_campaign.py
 """
 
-from repro.harness.campaign import CampaignConfig, run_campaign
+from repro import CampaignConfig, compare_modes
 from repro.harness.report import format_speedup, improvement, render_figure4
 from repro.harness.stats import speedup
-from repro.parallel import MODES
-from repro.pits import pit_registry
-from repro.targets.mqtt.server import MosquittoTarget
 
 
 def main():
     config = CampaignConfig(n_instances=4, duration_hours=24.0, seed=7)
-    results = {}
-    for mode_name in ("peach", "spfuzz", "cmfuzz"):
-        print("running %s..." % mode_name)
-        results[mode_name] = run_campaign(
-            MosquittoTarget, pit_registry()["mosquitto"](),
-            MODES[mode_name](), config,
-        )
+    print("running peach, spfuzz and cmfuzz on mosquitto...")
+    comparison = compare_modes("mosquitto", modes=("peach", "spfuzz", "cmfuzz"),
+                               config=config)
+    results = {name: runs[0] for name, runs in comparison.results.items()}
 
     cmfuzz, peach, spfuzz = results["cmfuzz"], results["peach"], results["spfuzz"]
     print("\n%-8s %10s %8s %8s" % ("fuzzer", "branches", "bugs", "iters"))

@@ -4,52 +4,49 @@
 Runs configuration model identification, relation quantification,
 cohesive allocation and a short parallel campaign against the
 Mosquitto-style MQTT broker, then prints what each stage produced.
+Everything goes through the stable facade in :mod:`repro.api`.
 
     python examples/quickstart.py
 """
 
-from repro.core.allocation import allocate
-from repro.core.extraction import extract_entities
-from repro.core.model import ConfigurationModel
-from repro.core.relation import RelationQuantifier
-from repro.harness.campaign import CampaignConfig, run_campaign
-from repro.parallel.cmfuzz import CmFuzzMode
-from repro.pits import pit_registry
-from repro.targets.base import startup_probe_for
-from repro.targets.mqtt.server import MosquittoTarget
+from repro import (
+    CampaignConfig,
+    ModelBuildConfig,
+    allocate_groups,
+    extract_model,
+    quantify_relations,
+    run_campaign,
+)
 
 
 def main():
     # 1. Identification: extract configuration items -> 4-tuple entities.
-    entities = extract_entities(
-        MosquittoTarget.config_sources(), MosquittoTarget.entity_overrides()
-    )
-    model = ConfigurationModel(entities)
+    model = extract_model("mosquitto")
     print("Identified %d configuration entities, e.g.:" % len(model))
-    for entity in entities[:5]:
+    for entity in model.entities()[:5]:
         print("  ", entity)
 
     # 2. Scheduling: quantify pairwise relations via startup coverage.
-    quantifier = RelationQuantifier(startup_probe_for(MosquittoTarget),
-                                    max_combinations=8)
-    relation_model, report = quantifier.quantify(model)
+    #    workers=2 fans the probes across processes; results are
+    #    bit-identical to a serial run.
+    relation_model, report = quantify_relations(
+        "mosquitto", model, ModelBuildConfig(max_combinations=8, workers=2)
+    )
     print("\nQuantified relations: %d edges from %d startup launches "
           "(%d conflicting combinations)"
           % (relation_model.graph.number_of_edges(), report.launches,
              report.failures))
 
     # 3. Cohesive grouping: one configuration group per fuzzing instance.
-    allocation = allocate(relation_model, n_instances=4)
+    allocation = allocate_groups(relation_model, n_instances=4)
     for index, group in enumerate(allocation.groups):
         print("  instance %d <- %s" % (index, ", ".join(sorted(group))))
     print("cohesion (intra-group weight share): %.2f" % allocation.cohesion)
 
     # 4. Run a short parallel campaign (simulated 4 hours).
     result = run_campaign(
-        MosquittoTarget,
-        pit_registry()["mosquitto"](),
-        CmFuzzMode(),
-        CampaignConfig(n_instances=4, duration_hours=4.0, seed=42),
+        "mosquitto", mode="cmfuzz",
+        config=CampaignConfig(n_instances=4, duration_hours=4.0, seed=42),
     )
     print("\nCampaign: %d branches covered, %d unique bugs, %d iterations"
           % (result.final_coverage, len(result.bugs), result.iterations))

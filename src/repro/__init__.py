@@ -1,16 +1,31 @@
 """CMFuzz reproduction: parallel fuzzing of IoT protocols by configuration
 model identification and scheduling (DAC 2025).
 
-Top-level convenience exports cover the common workflow::
+The stable entry points live in :mod:`repro.api` and are re-exported
+here::
 
     from repro import (
-        ConfigSources, extract_entities, ConfigurationModel,
-        RelationQuantifier, allocate, run_campaign,
+        ModelBuildConfig, extract_model, quantify_relations,
+        allocate_groups, run_campaign, compare_modes,
     )
+
+    model = extract_model("mosquitto")
+    relation_model, report = quantify_relations(
+        "mosquitto", model, ModelBuildConfig(workers=4, cache=True))
+    allocation = allocate_groups(relation_model, n_instances=4)
+    result = run_campaign("mosquitto", mode="cmfuzz")
 
 See ``DESIGN.md`` for the system inventory and the per-experiment index.
 """
 
+from repro.api import (
+    ModelBuildConfig,
+    allocate_groups,
+    compare_modes,
+    extract_model,
+    quantify_relations,
+    run_campaign,
+)
 from repro.core.allocation import AllocationResult, allocate
 from repro.core.entity import ConfigEntity, ConfigItem, Flag, ValueType
 from repro.core.extraction import ConfigSources, extract_configuration_items, extract_entities
@@ -18,14 +33,15 @@ from repro.core.model import ConfigurationModel, RelationAwareModel
 from repro.core.mutation import ConfigMutator, SaturationDetector
 from repro.core.relation import RelationQuantifier
 from repro.coverage import CoverageCollector, CoverageMap
-from repro.errors import ReproError, StartupError
-from repro.harness.campaign import CampaignConfig, CampaignResult, run_campaign, run_repeated
+from repro.errors import CacheUnavailableError, ReproError, StartupError
+from repro.harness.campaign import CampaignConfig, CampaignResult, run_repeated
 from repro.targets.base import startup_probe_for
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AllocationResult",
+    "CacheUnavailableError",
     "CampaignConfig",
     "CampaignResult",
     "ConfigEntity",
@@ -36,6 +52,7 @@ __all__ = [
     "CoverageCollector",
     "CoverageMap",
     "Flag",
+    "ModelBuildConfig",
     "RelationAwareModel",
     "RelationQuantifier",
     "ReproError",
@@ -44,8 +61,12 @@ __all__ = [
     "ValueType",
     "__version__",
     "allocate",
+    "allocate_groups",
+    "compare_modes",
     "extract_configuration_items",
     "extract_entities",
+    "extract_model",
+    "quantify_relations",
     "run_campaign",
     "run_repeated",
     "startup_probe_for",

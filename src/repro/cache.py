@@ -1,0 +1,72 @@
+"""Shared on-disk cache plumbing for the result and probe caches.
+
+Both caches live under one root — ``$CMFUZZ_CACHE_DIR`` or
+``.cmfuzz-cache/`` — and share the same failure contract: an unusable
+cache directory fails fast at construction with
+:class:`~repro.errors.CacheUnavailableError` instead of surfacing an
+opaque ``OSError`` mid-campaign.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import uuid
+from typing import Any, Optional
+
+from repro.errors import CacheUnavailableError
+
+#: Default on-disk cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".cmfuzz-cache"
+
+
+def default_cache_dir() -> str:
+    """The cache root: ``$CMFUZZ_CACHE_DIR`` or ``.cmfuzz-cache/``."""
+    return os.environ.get("CMFUZZ_CACHE_DIR") or DEFAULT_CACHE_DIR
+
+
+def validate_cache_dir(root: str) -> str:
+    """Ensure ``root`` exists and is writable, or fail fast.
+
+    Creates the directory if needed and verifies a file can actually be
+    written there (covers read-only mounts and permission problems that
+    ``makedirs`` alone would miss).
+
+    Returns:
+        The validated root, for chaining.
+
+    Raises:
+        CacheUnavailableError: With the underlying OS error and a
+            ``--no-cache`` hint.
+    """
+    probe_path = os.path.join(root, ".write-probe-%s" % uuid.uuid4().hex)
+    try:
+        os.makedirs(root, exist_ok=True)
+        with open(probe_path, "wb") as handle:
+            handle.write(b"ok")
+        os.remove(probe_path)
+    except OSError as exc:
+        raise CacheUnavailableError(
+            "cache directory %r is not writable (%s); pass --no-cache "
+            "(or cache=False / unset CMFUZZ_CACHE_DIR) to run without the "
+            "on-disk cache" % (root, exc)
+        )
+    return root
+
+
+def atomic_pickle(path: str, payload: Any) -> None:
+    """Write ``payload`` pickled to ``path`` atomically (temp + rename)."""
+    temp = "%s.tmp.%d" % (path, os.getpid())
+    with open(temp, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(temp, path)
+
+
+def load_pickle(path: str) -> Optional[Any]:
+    """Load a pickled payload, mapping every corruption mode to ``None``."""
+    try:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    except (OSError, pickle.PickleError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return None

@@ -14,12 +14,15 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.allocation import allocate
-from repro.core.extraction import extract_entities
-from repro.core.model import ConfigurationModel
-from repro.core.relation import RelationQuantifier
+from repro.api import (
+    ModelBuildConfig,
+    allocate_groups,
+    compare_modes,
+    extract_model,
+    quantify_relations,
+    run_campaign,
+)
 from repro.harness.campaign import CampaignConfig
-from repro.harness.executor import CampaignSpec, execute_specs, results
 from repro.harness.experiments import chaos_config
 from repro.harness.report import (
     format_speedup,
@@ -33,7 +36,6 @@ from repro.harness.report import (
 from repro.harness.stats import speedup
 from repro.parallel import MODES
 from repro.targets import target_registry
-from repro.targets.base import startup_probe_for
 from repro.telemetry import TelemetryConfig
 
 
@@ -45,6 +47,12 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                         help="campaign cells run in parallel (default: 1, in-process)")
     parser.add_argument("--no-cache", action="store_true",
                         help="skip the on-disk result cache under .cmfuzz-cache/")
+    parser.add_argument("--probe-workers", type=int, default=1,
+                        help="worker processes for the model-build probe "
+                             "fan-out (default: 1, serial)")
+    parser.add_argument("--probe-cache", action="store_true",
+                        help="memoise startup-probe outcomes under "
+                             ".cmfuzz-cache/probes/")
     parser.add_argument("--chaos-level", type=float, default=0.0,
                         metavar="LEVEL",
                         help="inject deterministic target faults at this "
@@ -82,6 +90,12 @@ def _build_parser() -> argparse.ArgumentParser:
     model.add_argument("--instances", type=int, default=4)
     model.add_argument("--relations", action="store_true",
                        help="also quantify relations and show the allocation")
+    model.add_argument("--workers", type=int, default=1,
+                       help="worker processes for relation probing "
+                            "(default: 1, serial)")
+    model.add_argument("--no-cache", action="store_true",
+                       help="skip the on-disk probe cache under "
+                            ".cmfuzz-cache/probes/")
 
     sub.add_parser("targets", help="list available protocol targets")
     return parser
@@ -97,26 +111,27 @@ def _cmd_targets(out) -> int:
 
 
 def _cmd_model(args, out) -> int:
-    target_cls = target_registry()[args.target]
-    entities = extract_entities(target_cls.config_sources(),
-                                target_cls.entity_overrides())
+    model = extract_model(args.target)
     rows = [
         [e.name, e.type.value, e.flag.value, ", ".join(map(str, e.values[:4]))]
-        for e in entities
+        for e in model.entities()
     ]
     out.write(render_table(["Name", "Type", "Flag", "Values"], rows) + "\n")
     if not args.relations:
         return 0
     faults: List = []
-    probe = startup_probe_for(target_cls, on_fault=faults.append)
-    quantifier = RelationQuantifier(probe, max_combinations=8)
-    relation_model, report = quantifier.quantify(ConfigurationModel(entities))
+    relation_model, report = quantify_relations(
+        args.target, model,
+        ModelBuildConfig(max_combinations=8, workers=args.workers,
+                         cache=not args.no_cache),
+        on_fault=faults.append,
+    )
     out.write("\n%d relations from %d launches (%d conflicts)\n"
               % (relation_model.graph.number_of_edges(), report.launches,
                  report.failures))
     for fault in sorted({str(f) for f in faults}):
         out.write("startup crash while probing: %s\n" % fault)
-    allocation = allocate(relation_model, args.instances)
+    allocation = allocate_groups(relation_model, args.instances)
     for index, group in enumerate(allocation.groups):
         out.write("instance %d: %s\n" % (index, ", ".join(sorted(group))))
     return 0
@@ -128,26 +143,28 @@ def _telemetry_config(args) -> Optional[TelemetryConfig]:
     return TelemetryConfig(enabled=True, trace_path=args.trace_out)
 
 
-def _specs(args, mode_names):
+def _campaign_config(args) -> CampaignConfig:
     config = CampaignConfig(n_instances=args.instances,
                             duration_hours=args.hours, seed=args.seed,
-                            telemetry=_telemetry_config(args))
-    config = chaos_config(config, args.chaos_level, chaos_seed=args.chaos_seed)
-    return [CampaignSpec(target=args.target, mode=name, config=config)
-            for name in mode_names]
+                            telemetry=_telemetry_config(args),
+                            probe_workers=args.probe_workers,
+                            probe_cache=args.probe_cache)
+    return chaos_config(config, args.chaos_level, chaos_seed=args.chaos_seed)
 
 
 def _execute(args, mode_names):
-    cells = execute_specs(
-        _specs(args, mode_names),
-        workers=args.workers,
+    comparison = compare_modes(
+        args.target, modes=mode_names, repetitions=1,
+        config=_campaign_config(args), workers=args.workers,
         cache=not args.no_cache,
     )
-    return dict(zip(mode_names, results(cells)))
+    return {name: comparison.results[name][0] for name in mode_names}
 
 
 def _cmd_campaign(args, out) -> int:
-    result = _execute(args, (args.mode,))[args.mode]
+    result = run_campaign(args.target, mode=args.mode,
+                          config=_campaign_config(args),
+                          cache=not args.no_cache)
     out.write("target=%s mode=%s branches=%d bugs=%d iterations=%d\n"
               % (result.target, result.mode, result.final_coverage,
                  len(result.bugs), result.iterations))

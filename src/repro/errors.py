@@ -52,3 +52,13 @@ class NamespaceError(ReproError):
 
 class HarnessError(ReproError):
     """Raised for invalid campaign configuration."""
+
+
+class CacheUnavailableError(HarnessError):
+    """Raised when the on-disk cache directory cannot be created or written.
+
+    Validated eagerly when a cache is constructed — before any campaign
+    or probe work starts — so a bad ``CMFUZZ_CACHE_DIR`` fails with a
+    clear message (and a ``--no-cache`` hint) instead of an opaque
+    ``OSError`` mid-run.
+    """

@@ -53,12 +53,26 @@ class CampaignConfig:
     #: Observability: None (the default) runs with the no-op telemetry,
     #: keeping campaigns bit-identical to the un-instrumented runner.
     telemetry: Optional[TelemetryConfig] = None
+    #: Worker processes for the model-build probe fan-out (relation
+    #: quantification). 1 (the default) probes serially in-process;
+    #: inside a pooled campaign cell the value is forced back to serial
+    #: because daemonic workers cannot spawn children.
+    probe_workers: int = 1
+    #: Memoise startup-probe outcomes in the content-addressed on-disk
+    #: cache (``.cmfuzz-cache/probes/``); a warm cache rebuilds the
+    #: relation model without a single target launch.
+    probe_cache: bool = False
+    #: Probe-cache root override (default ``$CMFUZZ_CACHE_DIR`` or
+    #: ``.cmfuzz-cache/``).
+    probe_cache_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.n_instances < 1:
             raise HarnessError("need at least one instance")
         if self.duration_hours <= 0:
             raise HarnessError("duration must be positive")
+        if self.probe_workers < 1:
+            raise HarnessError("need at least one probe worker")
 
 
 @dataclass
@@ -100,6 +114,11 @@ class _CampaignContext:
         self.instances: List[FuzzingInstance] = []
         self.bugs = BugLedger()
         self.startup_conflicts = 0
+        #: Model-build probe scheduling knobs, consumed by modes that
+        #: quantify relations (CMFuzz, hybrid).
+        self.probe_workers = config.probe_workers
+        self.probe_cache = config.probe_cache
+        self.probe_cache_dir = config.probe_cache_dir
         #: Campaign-wide telemetry; the shared no-op when not configured.
         self.telemetry = Telemetry.from_config(
             config.telemetry, now_fn=lambda: self.clock.now,

@@ -15,14 +15,17 @@ bit-for-bit determinism of the serial path:
   per-instance counters. :meth:`CampaignOutcome.to_result` rebuilds a
   :class:`CampaignResult` (without live instances) so every downstream
   consumer of the serial API keeps working.
-- :func:`execute_specs` schedules cells onto one worker process per
-  in-flight cell, applies per-cell timeouts, retries transient failures
-  in a fresh worker, and converts worker crashes into structured
-  :class:`CellFailure` records instead of a hung pool. Results come
-  back ordered by spec index regardless of completion order.
+- :func:`execute_specs` schedules cells onto the generic task pool
+  (:mod:`repro.harness.pool`): per-cell timeouts, bounded retries in a
+  fresh worker, structured :class:`CellFailure` records instead of a
+  hung pool, results ordered by spec index regardless of completion
+  order.
 - :class:`ResultCache` memoises successful outcomes on disk under
   ``.cmfuzz-cache/`` keyed by a stable content hash of the spec, so
-  re-running an expensive grid after an unrelated edit is free.
+  re-running an expensive grid after an unrelated edit is free. The
+  cache directory is validated eagerly: an unwritable
+  ``$CMFUZZ_CACHE_DIR`` raises
+  :class:`~repro.errors.CacheUnavailableError` before any cell runs.
 
 ``workers=1`` short-circuits to an in-process loop with identical
 results (the golden-equivalence suite pins this down).
@@ -34,34 +37,51 @@ import dataclasses
 import enum
 import hashlib
 import json
-import multiprocessing
 import os
-import pickle
-import time
-import traceback
-from collections import deque
 from dataclasses import dataclass, field
-from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import HarnessError
+from repro.cache import (
+    DEFAULT_CACHE_DIR,
+    atomic_pickle,
+    default_cache_dir,
+    load_pickle,
+    validate_cache_dir,
+)
 from repro.harness.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.harness.pool import (
+    CellFailure,
+    CellResult,
+    ExecutorError,
+    Task,
+    execute_tasks,
+)
 from repro.harness.stats import TimeSeries
 from repro.harness.supervisor import SupervisorEvent
 from repro.targets.faults import BugLedger, CrashReport
 from repro.telemetry import NULL_TELEMETRY
 
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "CampaignOutcome",
+    "CampaignSpec",
+    "CellFailure",
+    "CellResult",
+    "ExecutorError",
+    "InstanceStats",
+    "ResultCache",
+    "default_cache_dir",
+    "execute_specs",
+    "outcomes",
+    "results",
+    "run_spec",
+    "specs_for_repeated",
+]
+
 #: Bumped whenever the outcome layout or the key derivation changes;
 #: stale cache entries from older versions are treated as misses.
-CACHE_VERSION = 3
-
-#: Default on-disk cache location, relative to the working directory.
-DEFAULT_CACHE_DIR = ".cmfuzz-cache"
-
-
-def default_cache_dir() -> str:
-    """The cache root: ``$CMFUZZ_CACHE_DIR`` or ``.cmfuzz-cache/``."""
-    return os.environ.get("CMFUZZ_CACHE_DIR") or DEFAULT_CACHE_DIR
+CACHE_VERSION = 4
 
 
 # ---------------------------------------------------------------------------
@@ -257,49 +277,8 @@ def specs_for_repeated(
 
 
 # ---------------------------------------------------------------------------
-# Failure records and cell results
+# Cell results
 # ---------------------------------------------------------------------------
-
-
-@dataclass
-class CellFailure:
-    """A structured record of why a cell could not produce an outcome."""
-
-    kind: str  # "exception" | "timeout" | "worker-died"
-    message: str
-    traceback: str = ""
-    exitcode: Optional[int] = None
-
-    def __str__(self) -> str:
-        return "[%s] %s" % (self.kind, self.message)
-
-
-@dataclass
-class CellResult:
-    """One cell's execution record: outcome or failure, plus provenance."""
-
-    index: int
-    spec: CampaignSpec
-    outcome: Optional[CampaignOutcome] = None
-    failure: Optional[CellFailure] = None
-    from_cache: bool = False
-    attempts: int = 0
-
-    @property
-    def ok(self) -> bool:
-        return self.outcome is not None
-
-
-class ExecutorError(HarnessError):
-    """Raised when a grid finished with failed cells."""
-
-    def __init__(self, failed: Sequence[CellResult]):
-        self.failed = list(failed)
-        details = "; ".join(
-            "cell %d (%s/%s): %s" % (c.index, c.spec.target, c.spec.mode, c.failure)
-            for c in self.failed
-        )
-        super().__init__("%d cell(s) failed: %s" % (len(self.failed), details))
 
 
 def outcomes(cells: Sequence[CellResult]) -> List[CampaignOutcome]:
@@ -327,21 +306,21 @@ class ResultCache:
     is the spec itself changing (or :data:`CACHE_VERSION` bumping);
     unrelated source edits never invalidate entries. Writes are atomic
     (temp file + rename) so parallel writers cannot tear an entry.
+
+    The directory is validated at construction: an unwritable root
+    raises :class:`~repro.errors.CacheUnavailableError` immediately,
+    with a ``--no-cache`` hint, instead of an opaque ``OSError`` after
+    hours of campaigning.
     """
 
     def __init__(self, root: Optional[str] = None):
-        self.root = root or default_cache_dir()
+        self.root = validate_cache_dir(root or default_cache_dir())
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key + ".pkl")
 
     def get(self, key: str) -> Optional[CampaignOutcome]:
-        try:
-            with open(self._path(key), "rb") as handle:
-                payload = pickle.load(handle)
-        except (OSError, pickle.PickleError, EOFError, AttributeError,
-                ImportError, IndexError):
-            return None
+        payload = load_pickle(self._path(key))
         if not isinstance(payload, dict):
             return None
         if payload.get("version") != CACHE_VERSION or payload.get("key") != key:
@@ -350,61 +329,15 @@ class ResultCache:
         return outcome if isinstance(outcome, CampaignOutcome) else None
 
     def put(self, key: str, outcome: CampaignOutcome) -> None:
-        os.makedirs(self.root, exist_ok=True)
-        path = self._path(key)
-        temp = "%s.tmp.%d" % (path, os.getpid())
-        with open(temp, "wb") as handle:
-            pickle.dump(
-                {"version": CACHE_VERSION, "key": key, "outcome": outcome},
-                handle,
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
-        os.replace(temp, path)
+        atomic_pickle(
+            self._path(key),
+            {"version": CACHE_VERSION, "key": key, "outcome": outcome},
+        )
 
 
 # ---------------------------------------------------------------------------
-# The pool
+# The grid front-end over the generic pool
 # ---------------------------------------------------------------------------
-
-
-def _cell_entry(runner: Callable, spec: CampaignSpec, conn) -> None:
-    """Worker process entry point: run the cell, ship one message back."""
-    try:
-        outcome = runner(spec)
-        conn.send(("ok", outcome))
-    except BaseException as exc:  # noqa: BLE001 - converted to a record
-        try:
-            conn.send(("error", type(exc).__name__, str(exc),
-                       traceback.format_exc()))
-        except Exception:
-            pass
-    finally:
-        try:
-            conn.close()
-        except Exception:
-            pass
-
-
-@dataclass
-class _Cell:
-    index: int
-    spec: CampaignSpec
-    key: Optional[str]
-    attempts: int = 0
-
-
-@dataclass
-class _Running:
-    cell: _Cell
-    process: Any
-    conn: Any
-    deadline: Optional[float]
-    started: float = 0.0
-
-
-def _default_context():
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
 def execute_specs(
@@ -434,11 +367,15 @@ def execute_specs(
             worker before its failure record becomes final.
         telemetry: Optional :class:`repro.telemetry.Telemetry` recording
             grid-level metrics: per-cell wall time
-            (``executor.cell_seconds``), cache hits, retries, failures.
+            (``executor.task_seconds``), cache hits, retries, failures.
 
     Returns:
         One :class:`CellResult` per spec, ordered like ``specs``
         regardless of completion order.
+
+    Raises:
+        CacheUnavailableError: When ``cache`` is enabled but the cache
+            directory cannot be created or written.
     """
     spec_list = list(specs)
     runner = runner or run_spec
@@ -447,10 +384,10 @@ def execute_specs(
     cells: List[Optional[CellResult]] = [None] * len(spec_list)
     tele.counter("executor.cells").inc(len(spec_list))
 
-    pending: deque = deque()
+    tasks: List[Task] = []
     for index, spec in enumerate(spec_list):
-        key = spec.cache_key(runner) if store else None
         if store is not None:
+            key = spec.cache_key(runner)
             hit = store.get(key)
             if hit is not None:
                 cells[index] = CellResult(
@@ -458,149 +395,22 @@ def execute_specs(
                 )
                 tele.counter("executor.cache_hits").inc()
                 continue
-        pending.append(_Cell(index=index, spec=spec, key=key))
+            tasks.append(Task(index=index, payload=spec, meta=key))
+        else:
+            tasks.append(Task(index=index, payload=spec))
 
-    if workers <= 1:
-        for cell in pending:
-            cells[cell.index] = _run_inline(cell, runner, retries, store, tele)
-    else:
-        _run_pool(pending, cells, workers, runner, retries, timeout, store,
-                  mp_context or _default_context(), tele)
+    on_success = None
+    if store is not None:
+        on_success = lambda task, outcome: store.put(task.meta, outcome)  # noqa: E731
+
+    for result in execute_tasks(
+        tasks, runner, workers=workers, timeout=timeout, retries=retries,
+        mp_context=mp_context, telemetry=tele, on_success=on_success,
+        metric_prefix="executor",
+    ):
+        cells[result.index] = result
+
     for cell in cells:
         if cell is not None and cell.failure is not None:
             tele.counter("executor.failures", kind=cell.failure.kind).inc()
     return [cell for cell in cells if cell is not None]
-
-
-def _finish_ok(cell: _Cell, outcome: CampaignOutcome,
-               store: Optional[ResultCache]) -> CellResult:
-    if store is not None and cell.key is not None:
-        store.put(cell.key, outcome)
-    return CellResult(
-        index=cell.index, spec=cell.spec, outcome=outcome, attempts=cell.attempts,
-    )
-
-
-def _run_inline(cell: _Cell, runner: Callable, retries: int,
-                store: Optional[ResultCache],
-                tele=NULL_TELEMETRY) -> CellResult:
-    """The ``workers=1`` path: same retry contract, no subprocesses."""
-    failure = None
-    while cell.attempts <= retries:
-        if cell.attempts:
-            tele.counter("executor.retries").inc()
-        cell.attempts += 1
-        started = time.monotonic()
-        try:
-            outcome = runner(cell.spec)
-        except Exception as exc:
-            tele.histogram("executor.cell_seconds").observe(
-                time.monotonic() - started)
-            failure = CellFailure(
-                kind="exception",
-                message="%s: %s" % (type(exc).__name__, exc),
-                traceback=traceback.format_exc(),
-            )
-        else:
-            tele.histogram("executor.cell_seconds").observe(
-                time.monotonic() - started)
-            return _finish_ok(cell, outcome, store)
-    return CellResult(
-        index=cell.index, spec=cell.spec, failure=failure, attempts=cell.attempts,
-    )
-
-
-def _run_pool(pending, cells, workers, runner, retries, timeout, store, ctx,
-              tele=NULL_TELEMETRY):
-    running: Dict[Any, _Running] = {}
-
-    def launch(cell: _Cell) -> None:
-        if cell.attempts:
-            tele.counter("executor.retries").inc()
-        cell.attempts += 1
-        parent_conn, child_conn = ctx.Pipe(duplex=False)
-        process = ctx.Process(
-            target=_cell_entry, args=(runner, cell.spec, child_conn), daemon=True,
-        )
-        process.start()
-        child_conn.close()
-        started = time.monotonic()
-        deadline = (started + timeout) if timeout else None
-        running[parent_conn] = _Running(
-            cell=cell, process=process, conn=parent_conn, deadline=deadline,
-            started=started,
-        )
-
-    def settle(run: _Running, failure: CellFailure) -> None:
-        """Record a failure or requeue the cell for a fresh worker."""
-        tele.histogram("executor.cell_seconds").observe(
-            time.monotonic() - run.started)
-        if run.cell.attempts <= retries:
-            pending.append(run.cell)
-        else:
-            cells[run.cell.index] = CellResult(
-                index=run.cell.index, spec=run.cell.spec,
-                failure=failure, attempts=run.cell.attempts,
-            )
-
-    try:
-        while pending or running:
-            while pending and len(running) < workers:
-                launch(pending.popleft())
-
-            wait_timeout = None
-            deadlines = [r.deadline for r in running.values()
-                         if r.deadline is not None]
-            if deadlines:
-                wait_timeout = max(0.0, min(deadlines) - time.monotonic())
-            ready = mp_connection.wait(list(running), timeout=wait_timeout)
-
-            for conn in ready:
-                run = running.pop(conn)
-                try:
-                    message = conn.recv()
-                except (EOFError, OSError):
-                    message = None
-                conn.close()
-                run.process.join()
-                if message is None:
-                    settle(run, CellFailure(
-                        kind="worker-died",
-                        message="worker exited without a result (exitcode %s)"
-                                % run.process.exitcode,
-                        exitcode=run.process.exitcode,
-                    ))
-                elif message[0] == "ok":
-                    tele.histogram("executor.cell_seconds").observe(
-                        time.monotonic() - run.started)
-                    cells[run.cell.index] = _finish_ok(run.cell, message[1], store)
-                else:
-                    _, name, text, trace = message
-                    settle(run, CellFailure(
-                        kind="exception",
-                        message="%s: %s" % (name, text),
-                        traceback=trace,
-                    ))
-
-            now = time.monotonic()
-            for conn in [c for c, r in running.items()
-                         if r.deadline is not None and now >= r.deadline]:
-                run = running.pop(conn)
-                _terminate(run.process)
-                conn.close()
-                settle(run, CellFailure(
-                    kind="timeout",
-                    message="cell exceeded the %.1fs budget" % timeout,
-                ))
-    finally:
-        for run in running.values():
-            _terminate(run.process)
-            run.conn.close()
-
-
-def _terminate(process) -> None:
-    process.terminate()
-    process.join(5.0)
-    if process.is_alive():  # pragma: no cover - stuck in uninterruptible state
-        process.kill()
-        process.join(5.0)

@@ -2,19 +2,28 @@
 
 Wraps the campaign runner into the exact experimental protocols of the
 evaluation section, so benches, the CLI and notebooks share one
-implementation:
+implementation. Campaign execution goes through the public facade —
+:func:`repro.api.compare_modes` — which fans cells across workers and
+memoises outcomes on disk.
 
 - :func:`table1_experiment` — one subject, three fuzzers, repeated runs,
   averaged coverage / improvement / speedup (one Table-I row).
+  *Deprecated*: call :func:`repro.api.compare_modes` directly.
 - :func:`table2_experiment` — CMFuzz over the bug-bearing subjects,
-  merged deduplicated ledger (Table II).
+  merged deduplicated ledger (Table II). *Deprecated*: merge
+  ``compare_modes(...).merged_bugs()`` ledgers.
 - :func:`figure4_experiment` — averaged coverage-over-time series per
-  fuzzer (one Figure-4 panel).
+  fuzzer (one Figure-4 panel). *Deprecated*: feed a
+  :class:`SubjectComparison` to :func:`coverage_panels`.
+
+The deprecated spellings keep working for one release and emit
+:class:`DeprecationWarning` pointing at the replacement.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -102,6 +111,14 @@ def _run_fuzzers(
     )
 
 
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        "%s is deprecated and will be removed in a future release; use %s "
+        "instead" % (old, new),
+        DeprecationWarning, stacklevel=3,
+    )
+
+
 def table1_experiment(
     subject: str,
     repetitions: int = 3,
@@ -111,9 +128,16 @@ def table1_experiment(
     cache: bool = False,
     cache_dir: Optional[str] = None,
 ) -> SubjectComparison:
-    """Run one Table-I row's worth of campaigns."""
-    return _run_fuzzers(subject, fuzzers, repetitions, config,
-                        workers=workers, cache=cache, cache_dir=cache_dir)
+    """Run one Table-I row's worth of campaigns.
+
+    .. deprecated:: call :func:`repro.api.compare_modes` instead.
+    """
+    from repro.api import compare_modes
+
+    _warn_deprecated("table1_experiment()", "repro.api.compare_modes()")
+    return compare_modes(subject, modes=fuzzers, repetitions=repetitions,
+                         config=config, workers=workers, cache=cache,
+                         cache_dir=cache_dir)
 
 
 def table2_experiment(
@@ -125,12 +149,20 @@ def table2_experiment(
     cache: bool = False,
     cache_dir: Optional[str] = None,
 ) -> BugLedger:
-    """Run Table II: merged unique bugs across the bug-bearing subjects."""
+    """Run Table II: merged unique bugs across the bug-bearing subjects.
+
+    .. deprecated:: merge :func:`repro.api.compare_modes` ledgers instead.
+    """
+    from repro.api import compare_modes
+
+    _warn_deprecated("table2_experiment()",
+                     "repro.api.compare_modes() + SubjectComparison.merged_bugs()")
     merged = BugLedger()
     for subject in subjects:
-        comparison = _run_fuzzers(subject, (fuzzer,), repetitions, config,
-                                  workers=workers, cache=cache,
-                                  cache_dir=cache_dir)
+        comparison = compare_modes(subject, modes=(fuzzer,),
+                                   repetitions=repetitions, config=config,
+                                   workers=workers, cache=cache,
+                                   cache_dir=cache_dir)
         merged.merge(comparison.merged_bugs(fuzzer))
     return merged
 
@@ -187,13 +219,16 @@ def resilience_experiment(
     ``{level: {fuzzer: ResilienceCell}}``. Use
     :func:`retention` to compare a cell against its baseline.
     """
+    from repro.api import compare_modes
+
     base = config or CampaignConfig()
     grid: Dict[float, Dict[str, ResilienceCell]] = {}
     for level in chaos_levels:
         level_config = chaos_config(base, level, chaos_seed=chaos_seed)
-        comparison = _run_fuzzers(subject, fuzzers, repetitions, level_config,
-                                  workers=workers, cache=cache,
-                                  cache_dir=cache_dir)
+        comparison = compare_modes(subject, modes=fuzzers,
+                                   repetitions=repetitions,
+                                   config=level_config, workers=workers,
+                                   cache=cache, cache_dir=cache_dir)
         grid[level] = {
             fuzzer: ResilienceCell(level=level, fuzzer=fuzzer,
                                    results=comparison.results[fuzzer])
@@ -211,6 +246,23 @@ def retention(grid: Dict[float, Dict[str, "ResilienceCell"]],
     return grid[level][fuzzer].mean_coverage / baseline
 
 
+def coverage_panels(
+    comparison: SubjectComparison,
+    horizon: float,
+    grid_step: float = 3600.0,
+) -> Dict[str, TimeSeries]:
+    """Average each fuzzer's coverage series over a regular time grid."""
+    panels: Dict[str, TimeSeries] = {}
+    for fuzzer, results in comparison.results.items():
+        averaged = TimeSeries()
+        t = 0.0
+        while t <= horizon + 1e-9:
+            averaged.record(t, mean([r.coverage.value_at(t) for r in results]))
+            t += grid_step
+        panels[fuzzer] = averaged
+    return panels
+
+
 def figure4_experiment(
     subject: str,
     repetitions: int = 3,
@@ -221,18 +273,19 @@ def figure4_experiment(
     cache: bool = False,
     cache_dir: Optional[str] = None,
 ) -> Dict[str, TimeSeries]:
-    """One Figure-4 panel: averaged coverage series per fuzzer."""
+    """One Figure-4 panel: averaged coverage series per fuzzer.
+
+    .. deprecated:: feed :func:`repro.api.compare_modes` output to
+       :func:`coverage_panels` instead.
+    """
+    from repro.api import compare_modes
+
+    _warn_deprecated("figure4_experiment()",
+                     "repro.api.compare_modes() + coverage_panels()")
     config = config or CampaignConfig()
-    comparison = _run_fuzzers(subject, fuzzers, repetitions, config,
-                              workers=workers, cache=cache,
-                              cache_dir=cache_dir)
-    horizon = config.duration_hours * 3600.0
-    panels: Dict[str, TimeSeries] = {}
-    for fuzzer, results in comparison.results.items():
-        averaged = TimeSeries()
-        t = 0.0
-        while t <= horizon + 1e-9:
-            averaged.record(t, mean([r.coverage.value_at(t) for r in results]))
-            t += grid_step
-        panels[fuzzer] = averaged
-    return panels
+    comparison = compare_modes(subject, modes=fuzzers,
+                               repetitions=repetitions, config=config,
+                               workers=workers, cache=cache,
+                               cache_dir=cache_dir)
+    return coverage_panels(comparison, config.duration_hours * 3600.0,
+                           grid_step)

@@ -1,0 +1,335 @@
+"""A generic bounded process pool with timeouts, retries and failure records.
+
+Extracted from the campaign executor so any picklable fan-out — campaign
+cells, relation-probe batches — shares one battle-tested scheduling core:
+
+- :class:`Task` wraps one unit of work: a picklable ``payload`` handed to
+  the runner, the ``index`` results are keyed by, optional caller
+  ``meta`` (e.g. a cache key) and an optional per-task ``timeout``
+  overriding the pool-wide budget.
+- :func:`execute_tasks` schedules tasks onto one worker process per
+  in-flight task, applies per-task deadlines, retries failed tasks in a
+  fresh worker and converts worker crashes into structured
+  :class:`CellFailure` records instead of a hung pool. Results come back
+  ordered like the input regardless of completion order.
+- ``workers=1`` short-circuits to an in-process loop with the identical
+  retry contract (and no timeout enforcement).
+
+The campaign-specific layers — spec construction, outcome caching —
+stay in :mod:`repro.harness.executor`; the probe fan-out lives in
+:mod:`repro.core.probes`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import HarnessError
+from repro.telemetry import NULL_TELEMETRY
+
+
+@dataclass
+class CellFailure:
+    """A structured record of why a task could not produce a result."""
+
+    kind: str  # "exception" | "timeout" | "worker-died"
+    message: str
+    traceback: str = ""
+    exitcode: Optional[int] = None
+
+    def __str__(self) -> str:
+        return "[%s] %s" % (self.kind, self.message)
+
+
+@dataclass
+class CellResult:
+    """One task's execution record: outcome or failure, plus provenance."""
+
+    index: int
+    spec: Any
+    outcome: Optional[Any] = None
+    failure: Optional[CellFailure] = None
+    from_cache: bool = False
+    attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is not None
+
+
+def _describe_spec(spec: Any) -> str:
+    target = getattr(spec, "target", None)
+    mode = getattr(spec, "mode", None)
+    if target is not None and mode is not None:
+        return "%s/%s" % (target, mode)
+    if target is not None:
+        return str(target)
+    return type(spec).__name__
+
+
+class ExecutorError(HarnessError):
+    """Raised when a grid finished with failed cells."""
+
+    def __init__(self, failed: Sequence[CellResult]):
+        self.failed = list(failed)
+        details = "; ".join(
+            "cell %d (%s): %s" % (c.index, _describe_spec(c.spec), c.failure)
+            for c in self.failed
+        )
+        super().__init__("%d cell(s) failed: %s" % (len(self.failed), details))
+
+
+@dataclass
+class Task:
+    """One unit of pool work.
+
+    Attributes:
+        index: The slot results are keyed by (callers own the numbering).
+        payload: The picklable argument handed to the runner.
+        meta: Opaque caller bookkeeping (e.g. a cache key); never crosses
+            the process boundary.
+        timeout: Per-task wall-clock budget overriding the pool default
+            (batched tasks scale their deadline with batch size).
+        attempts: Internal retry counter.
+    """
+
+    index: int
+    payload: Any
+    meta: Any = None
+    timeout: Optional[float] = None
+    attempts: int = field(default=0, repr=False)
+
+
+def _task_entry(runner: Callable, payload: Any, conn) -> None:
+    """Worker process entry point: run the task, ship one message back."""
+    try:
+        outcome = runner(payload)
+        conn.send(("ok", outcome))
+    except BaseException as exc:  # noqa: BLE001 - converted to a record
+        try:
+            conn.send(("error", type(exc).__name__, str(exc),
+                       traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+@dataclass
+class _Running:
+    task: Task
+    process: Any
+    conn: Any
+    deadline: Optional[float]
+    budget: Optional[float]
+    started: float = 0.0
+
+
+def default_context():
+    """Fork when available (cheap, inherits the import state), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def in_daemon_worker() -> bool:
+    """True inside a daemonic pool worker, which cannot spawn children."""
+    return multiprocessing.current_process().daemon
+
+
+def execute_tasks(
+    tasks: Sequence[Task],
+    runner: Callable[[Any], Any],
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    mp_context=None,
+    telemetry=None,
+    on_success: Optional[Callable[[Task, Any], None]] = None,
+    metric_prefix: str = "executor",
+) -> List[CellResult]:
+    """Run tasks, optionally across worker processes.
+
+    Args:
+        tasks: The work items, in the order results should come back.
+        runner: Task body mapping ``task.payload`` to a result. Must be a
+            picklable module-level callable for ``workers > 1``.
+        workers: Max tasks in flight. ``1`` runs in-process (identical
+            results, no subprocesses, no timeout enforcement).
+        timeout: Default per-task wall-clock budget in seconds (pooled
+            only); ``Task.timeout`` overrides it per task.
+        retries: How many times a failed task is re-run in a fresh worker
+            before its failure record becomes final.
+        telemetry: Optional :class:`repro.telemetry.Telemetry`; records
+            ``<prefix>.task_seconds`` and ``<prefix>.retries``.
+        on_success: Invoked as ``on_success(task, outcome)`` before the
+            success record is built (cache writes hook in here).
+        metric_prefix: Namespace for the pool's telemetry instruments.
+
+    Returns:
+        One :class:`CellResult` per task, ordered like ``tasks``
+        regardless of completion order, each carrying the task's
+        ``index``.
+    """
+    tele = telemetry or NULL_TELEMETRY
+    slots: Dict[int, CellResult] = {}
+    pending: deque = deque(tasks)
+    for task in pending:
+        task.attempts = 0
+
+    if workers <= 1:
+        for task in pending:
+            slots[id(task)] = _run_inline(task, runner, retries, on_success,
+                                          tele, metric_prefix)
+    else:
+        _run_pool(pending, slots, workers, runner, retries, timeout,
+                  on_success, mp_context or default_context(), tele,
+                  metric_prefix)
+    return [slots[id(task)] for task in tasks]
+
+
+def _finish_ok(task: Task, outcome: Any,
+               on_success: Optional[Callable]) -> CellResult:
+    if on_success is not None:
+        on_success(task, outcome)
+    return CellResult(
+        index=task.index, spec=task.payload, outcome=outcome,
+        attempts=task.attempts,
+    )
+
+
+def _run_inline(task: Task, runner: Callable, retries: int,
+                on_success: Optional[Callable], tele,
+                metric_prefix: str) -> CellResult:
+    """The ``workers=1`` path: same retry contract, no subprocesses."""
+    failure = None
+    while task.attempts <= retries:
+        if task.attempts:
+            tele.counter(metric_prefix + ".retries").inc()
+        task.attempts += 1
+        started = time.monotonic()
+        try:
+            outcome = runner(task.payload)
+        except Exception as exc:
+            tele.histogram(metric_prefix + ".task_seconds").observe(
+                time.monotonic() - started)
+            failure = CellFailure(
+                kind="exception",
+                message="%s: %s" % (type(exc).__name__, exc),
+                traceback=traceback.format_exc(),
+            )
+        else:
+            tele.histogram(metric_prefix + ".task_seconds").observe(
+                time.monotonic() - started)
+            return _finish_ok(task, outcome, on_success)
+    return CellResult(
+        index=task.index, spec=task.payload, failure=failure,
+        attempts=task.attempts,
+    )
+
+
+def _run_pool(pending, slots, workers, runner, retries, timeout,
+              on_success, ctx, tele, metric_prefix):
+    running: Dict[Any, _Running] = {}
+
+    def launch(task: Task) -> None:
+        if task.attempts:
+            tele.counter(metric_prefix + ".retries").inc()
+        task.attempts += 1
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_task_entry, args=(runner, task.payload, child_conn),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        started = time.monotonic()
+        budget = task.timeout if task.timeout is not None else timeout
+        deadline = (started + budget) if budget else None
+        running[parent_conn] = _Running(
+            task=task, process=process, conn=parent_conn, deadline=deadline,
+            budget=budget, started=started,
+        )
+
+    def settle(run: _Running, failure: CellFailure) -> None:
+        """Record a failure or requeue the task for a fresh worker."""
+        tele.histogram(metric_prefix + ".task_seconds").observe(
+            time.monotonic() - run.started)
+        if run.task.attempts <= retries:
+            pending.append(run.task)
+        else:
+            slots[id(run.task)] = CellResult(
+                index=run.task.index, spec=run.task.payload,
+                failure=failure, attempts=run.task.attempts,
+            )
+
+    try:
+        while pending or running:
+            while pending and len(running) < workers:
+                launch(pending.popleft())
+
+            wait_timeout = None
+            deadlines = [r.deadline for r in running.values()
+                         if r.deadline is not None]
+            if deadlines:
+                wait_timeout = max(0.0, min(deadlines) - time.monotonic())
+            ready = mp_connection.wait(list(running), timeout=wait_timeout)
+
+            for conn in ready:
+                run = running.pop(conn)
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    message = None
+                conn.close()
+                run.process.join()
+                if message is None:
+                    settle(run, CellFailure(
+                        kind="worker-died",
+                        message="worker exited without a result (exitcode %s)"
+                                % run.process.exitcode,
+                        exitcode=run.process.exitcode,
+                    ))
+                elif message[0] == "ok":
+                    tele.histogram(metric_prefix + ".task_seconds").observe(
+                        time.monotonic() - run.started)
+                    slots[id(run.task)] = _finish_ok(
+                        run.task, message[1], on_success)
+                else:
+                    _, name, text, trace = message
+                    settle(run, CellFailure(
+                        kind="exception",
+                        message="%s: %s" % (name, text),
+                        traceback=trace,
+                    ))
+
+            now = time.monotonic()
+            for conn in [c for c, r in running.items()
+                         if r.deadline is not None and now >= r.deadline]:
+                run = running.pop(conn)
+                _terminate(run.process)
+                conn.close()
+                settle(run, CellFailure(
+                    kind="timeout",
+                    message="task exceeded the %.1fs budget" % run.budget,
+                ))
+    finally:
+        for run in running.values():
+            _terminate(run.process)
+            run.conn.close()
+
+
+def _terminate(process) -> None:
+    process.terminate()
+    process.join(5.0)
+    if process.is_alive():  # pragma: no cover - stuck in uninterruptible state
+        process.kill()
+        process.join(5.0)

@@ -49,6 +49,9 @@ class CmFuzzMode(ParallelMode):
         allocator=allocate,
         adaptive_mutation: bool = True,
         guided_mutation: bool = False,
+        probe_workers: Optional[int] = None,
+        probe_cache: Optional[bool] = None,
+        probe_cache_dir: Optional[str] = None,
     ):
         self.saturation_window = saturation_window
         self.max_combinations = max_combinations
@@ -56,6 +59,11 @@ class CmFuzzMode(ParallelMode):
         self.allocator = allocator
         self.adaptive_mutation = adaptive_mutation
         self.guided_mutation = guided_mutation
+        #: Probe scheduling: None inherits the campaign config's
+        #: ``probe_workers`` / ``probe_cache`` (via the context).
+        self.probe_workers = probe_workers
+        self.probe_cache = probe_cache
+        self.probe_cache_dir = probe_cache_dir
         self._coverage_at_mutation: Dict[int, int] = {}
         self.model: Optional[ConfigurationModel] = None
         self.relation_model = None
@@ -79,15 +87,39 @@ class CmFuzzMode(ParallelMode):
         self.model = ConfigurationModel(entities)
 
         # A configuration combination that crashes the target during
-        # startup is both a finding and zero startup coverage.
-        probe = startup_probe_for(
-            target_cls,
-            on_fault=lambda fault: ctx.record_startup_fault(fault, instance=-1),
-        )
+        # startup is both a finding and zero startup coverage. With
+        # probe workers or the probe cache enabled, execution goes
+        # through the probe-executor stack; faults travel inside the
+        # outcomes and replay through on_fault, so the bug ledger is
+        # identical either way (and on warm-cache rebuilds).
+        workers = (self.probe_workers if self.probe_workers is not None
+                   else getattr(ctx, "probe_workers", 1))
+        cache = (self.probe_cache if self.probe_cache is not None
+                 else getattr(ctx, "probe_cache", False))
+        cache_dir = (self.probe_cache_dir if self.probe_cache_dir is not None
+                     else getattr(ctx, "probe_cache_dir", None))
 
-        quantifier = RelationQuantifier(
-            probe, max_combinations=self.max_combinations, aggregate=self.aggregate
-        )
+        def on_fault(fault):
+            ctx.record_startup_fault(fault, instance=-1)
+
+        if workers > 1 or cache:
+            from repro.core.probes import build_probe_executor
+
+            executor = build_probe_executor(
+                target_cls.NAME, workers=workers, cache=cache,
+                cache_dir=cache_dir, telemetry=telemetry,
+            )
+            quantifier = RelationQuantifier(
+                max_combinations=self.max_combinations,
+                aggregate=self.aggregate, executor=executor,
+                on_fault=on_fault, telemetry=telemetry,
+            )
+        else:
+            probe = startup_probe_for(target_cls, on_fault=on_fault)
+            quantifier = RelationQuantifier(
+                probe, max_combinations=self.max_combinations,
+                aggregate=self.aggregate, telemetry=telemetry,
+            )
         with telemetry.span("cmfuzz.quantify", target=target_cls.NAME):
             self.relation_model, self.quantification_report = (
                 quantifier.quantify(self.model)

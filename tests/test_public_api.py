@@ -1,5 +1,119 @@
 """The public API surface: everything advertised imports and works."""
 
+import dataclasses
+import inspect
+
+
+#: The frozen facade surface. A mismatch here means a breaking API
+#: change: either revert it, or bump it consciously alongside the
+#: deprecation policy (old spellings keep working for one release).
+FACADE_SIGNATURES = {
+    "extract_model":
+        "(target: 'TargetLike') -> 'ConfigurationModel'",
+    "quantify_relations":
+        "(target: 'TargetLike', model: 'Optional[ConfigurationModel]' = None,"
+        " config: 'Optional[ModelBuildConfig]' = None, on_fault=None,"
+        " telemetry=None)"
+        " -> 'Tuple[RelationAwareModel, QuantificationReport]'",
+    "allocate_groups":
+        "(relation_model: 'RelationAwareModel', n_instances: 'int' = 4)"
+        " -> 'AllocationResult'",
+    "run_campaign":
+        "(target, mode='cmfuzz', config: 'Optional[CampaignConfig]' = None,"
+        " legacy_config: 'Optional[CampaignConfig]' = None,"
+        " mode_kwargs: 'Optional[Dict[str, Any]]' = None,"
+        " cache: 'bool' = False, cache_dir: 'Optional[str]' = None)"
+        " -> 'CampaignResult'",
+    "compare_modes":
+        "(target: 'TargetLike',"
+        " modes: 'Sequence[str]' = ('cmfuzz', 'peach', 'spfuzz'),"
+        " repetitions: 'int' = 1, config: 'Optional[CampaignConfig]' = None,"
+        " workers: 'int' = 1, cache: 'bool' = False,"
+        " cache_dir: 'Optional[str]' = None,"
+        " mode_factories: 'Optional[Dict[str, Any]]' = None)",
+}
+
+MODEL_BUILD_CONFIG_FIELDS = [
+    ("max_combinations", 36),
+    ("aggregate", "max"),
+    ("synergy", True),
+    ("workers", 1),
+    ("cache", False),
+    ("cache_dir", None),
+    ("probe_timeout", None),
+    ("retries", 1),
+]
+
+TOP_LEVEL_ALL = [
+    "AllocationResult",
+    "CacheUnavailableError",
+    "CampaignConfig",
+    "CampaignResult",
+    "ConfigEntity",
+    "ConfigItem",
+    "ConfigMutator",
+    "ConfigSources",
+    "ConfigurationModel",
+    "CoverageCollector",
+    "CoverageMap",
+    "Flag",
+    "ModelBuildConfig",
+    "RelationAwareModel",
+    "RelationQuantifier",
+    "ReproError",
+    "SaturationDetector",
+    "StartupError",
+    "ValueType",
+    "__version__",
+    "allocate",
+    "allocate_groups",
+    "compare_modes",
+    "extract_configuration_items",
+    "extract_entities",
+    "extract_model",
+    "quantify_relations",
+    "run_campaign",
+    "run_repeated",
+    "startup_probe_for",
+]
+
+
+class TestFrozenSurface:
+    """Snapshot of the stable facade: names, signatures, config fields."""
+
+    def test_facade_exports_exactly_the_five_entry_points(self):
+        import repro.api as api
+
+        assert sorted(n for n in api.__all__ if n != "ModelBuildConfig") == \
+            sorted(FACADE_SIGNATURES)
+
+    def test_facade_signatures_are_frozen(self):
+        import repro.api as api
+
+        for name, expected in FACADE_SIGNATURES.items():
+            actual = str(inspect.signature(getattr(api, name)))
+            assert actual == expected, (
+                "%s signature changed:\n  was   %s\n  is now %s"
+                % (name, expected, actual))
+
+    def test_model_build_config_fields_are_frozen(self):
+        from repro.api import ModelBuildConfig
+
+        fields = [(f.name, f.default)
+                  for f in dataclasses.fields(ModelBuildConfig)]
+        assert fields == MODEL_BUILD_CONFIG_FIELDS
+
+    def test_top_level_all_is_frozen(self):
+        import repro
+
+        assert sorted(repro.__all__) == TOP_LEVEL_ALL
+
+    def test_facade_reexported_at_top_level(self):
+        import repro
+        import repro.api as api
+
+        for name in api.__all__:
+            assert getattr(repro, name) is getattr(api, name), name
 
 
 class TestTopLevelExports:
