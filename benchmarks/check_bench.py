@@ -1,0 +1,88 @@
+"""CI benchmark regression gate for the model-build bench.
+
+Compares a freshly produced ``BENCH_modelbuild.json`` against the
+committed baseline. Wall-clock numbers on shared CI runners are noisy,
+so timing drift outside the tolerance only *warns* (GitHub ``::warning``
+annotations); the gate hard-fails only on the structural invariants —
+the warm cache must execute zero probes and the pipeline variants must
+stay bit-identical — which no amount of runner noise can excuse.
+
+Usage::
+
+    python benchmarks/check_bench.py FRESH.json BASELINE.json [--tolerance 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Wall-clock fields compared against the baseline (warn-only).
+TIMING_FIELDS = (
+    "sequential_seconds",
+    "parallel_seconds",
+    "cold_cache_seconds",
+    "warm_cache_seconds",
+)
+
+
+def load_record(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    if not isinstance(record, dict):
+        raise SystemExit("%s: not a bench record" % path)
+    return record
+
+
+def check(fresh, baseline, tolerance):
+    """Returns (hard_failures, warnings) message lists."""
+    failures = []
+    warnings = []
+    if fresh.get("warm_probes_executed") != 0:
+        failures.append(
+            "warm cache executed %r probes (must be 0): the probe cache "
+            "no longer short-circuits rebuilds"
+            % fresh.get("warm_probes_executed"))
+    if fresh.get("identical") is not True:
+        failures.append("pipeline variants diverged (identical=%r): the "
+                        "parallel/cached paths are no longer bit-identical"
+                        % fresh.get("identical"))
+    for name in TIMING_FIELDS:
+        base = baseline.get(name)
+        now = fresh.get(name)
+        if not isinstance(base, (int, float)) or not isinstance(now, (int, float)):
+            warnings.append("%s: missing in fresh or baseline record" % name)
+            continue
+        if base <= 0:
+            continue
+        drift = (now - base) / base
+        if abs(drift) > tolerance:
+            warnings.append(
+                "%s drifted %+.0f%% (baseline %.4fs, fresh %.4fs, "
+                "tolerance ±%.0f%%)"
+                % (name, drift * 100.0, base, now, tolerance * 100.0))
+    return failures, warnings
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly generated BENCH_modelbuild.json")
+    parser.add_argument("baseline", help="committed baseline record")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="relative wall-clock tolerance (default 0.2)")
+    args = parser.parse_args(argv)
+    failures, warnings = check(load_record(args.fresh),
+                               load_record(args.baseline), args.tolerance)
+    for message in warnings:
+        print("::warning title=bench drift::%s" % message)
+    for message in failures:
+        print("::error title=bench invariant::%s" % message)
+    if failures:
+        return 1
+    print("bench gate: ok (%d timing warning(s))" % len(warnings))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

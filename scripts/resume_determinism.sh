@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# CI gate: a SIGTERM'd campaign resumed from its checkpoint must export
+# byte-identical JSON to an uninterrupted run of the same seed.
+#
+# Flow: (1) run the reference campaign to completion; (2) run the same
+# campaign with --checkpoint-every and SIGTERM it mid-run (expect exit
+# 75, the EX_TEMPFAIL "rerun with --resume" code); (3) --resume it to
+# completion; (4) byte-compare the two export files.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+ARGS=(campaign --target dnsmasq --mode cmfuzz --instances 4 --hours 48
+      --seed 7 --no-cache --checkpoint-every 1800)
+
+echo "== uninterrupted reference run"
+CMFUZZ_CACHE_DIR="$WORK/cache-ref" python -m repro "${ARGS[@]}" \
+    --export "$WORK/reference.json"
+
+echo "== checkpointing run, killed mid-campaign"
+CMFUZZ_CACHE_DIR="$WORK/cache-resume" python -m repro "${ARGS[@]}" \
+    --export "$WORK/resumed.json" &
+PID=$!
+sleep 2
+kill -TERM "$PID" 2>/dev/null || true
+set +e
+wait "$PID"
+CODE=$?
+set -e
+if [ "$CODE" -ne 75 ]; then
+    echo "FAIL: expected interrupt exit code 75, got $CODE" >&2
+    echo "(the campaign may have finished before the SIGTERM landed;" >&2
+    echo " raise --hours or shorten the sleep)" >&2
+    exit 1
+fi
+
+echo "== resumed run"
+CMFUZZ_CACHE_DIR="$WORK/cache-resume" python -m repro "${ARGS[@]}" \
+    --resume --export "$WORK/resumed.json"
+
+echo "== byte-comparing exports"
+if ! diff "$WORK/reference.json" "$WORK/resumed.json"; then
+    echo "FAIL: resumed export differs from the uninterrupted run" >&2
+    exit 1
+fi
+echo "resume determinism: OK (exports byte-identical)"

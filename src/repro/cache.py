@@ -9,6 +9,9 @@ opaque ``OSError`` mid-campaign.
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import json
 import os
 import pickle
 import uuid
@@ -18,6 +21,39 @@ from repro.errors import CacheUnavailableError
 
 #: Default on-disk cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".cmfuzz-cache"
+
+
+def canonical_payload(value: Any) -> Any:
+    """Reduce ``value`` to a JSON-stable shape for cache-key hashing.
+
+    Dict key order never matters (``json.dumps(sort_keys=True)`` on the
+    stringified keys), callables hash by qualified name, dataclasses by
+    field dict. Shared by the result-cache spec keys and the checkpoint
+    campaign keys so both derive identity the same way.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, enum.Enum):
+        return [type(value).__name__, value.value]
+    if isinstance(value, (list, tuple)):
+        return [canonical_payload(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(
+            json.dumps(canonical_payload(v), sort_keys=True) for v in value
+        )
+    if isinstance(value, dict):
+        return {str(k): canonical_payload(v) for k, v in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: canonical_payload(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if callable(value):
+        return "%s:%s" % (
+            getattr(value, "__module__", "?"),
+            getattr(value, "__qualname__", repr(value)),
+        )
+    return repr(value)
 
 
 def default_cache_dir() -> str:

@@ -11,6 +11,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -22,8 +23,10 @@ from repro.api import (
     quantify_relations,
     run_campaign,
 )
+from repro.errors import CampaignInterrupted
 from repro.harness.campaign import CampaignConfig
 from repro.harness.experiments import chaos_config
+from repro.harness.export import results_to_json
 from repro.harness.report import (
     format_speedup,
     improvement,
@@ -80,6 +83,24 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--target", choices=targets, required=True)
     campaign.add_argument("--mode", choices=sorted(MODES), default="cmfuzz")
     _add_run_options(campaign)
+    campaign.add_argument("--checkpoint-every", type=float, default=None,
+                          metavar="SIM_SECONDS",
+                          help="checkpoint the full campaign state every "
+                               "SIM_SECONDS simulated seconds under "
+                               ".cmfuzz-cache/checkpoints/; SIGTERM/SIGINT "
+                               "save a final checkpoint and exit with "
+                               "code 75")
+    campaign.add_argument("--resume", action="store_true",
+                          help="continue from the newest intact checkpoint "
+                               "of this campaign (starts fresh when none "
+                               "exists); the finished run is byte-identical "
+                               "to an uninterrupted one")
+    campaign.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                          help="checkpoint root override (default "
+                               "$CMFUZZ_CACHE_DIR/checkpoints)")
+    campaign.add_argument("--export", metavar="PATH", default=None,
+                          help="write the campaign's export JSON "
+                               "(schema-versioned) to PATH")
 
     compare = sub.add_parser("compare", help="run all three fuzzers and compare")
     compare.add_argument("--target", choices=targets, required=True)
@@ -161,10 +182,33 @@ def _execute(args, mode_names):
     return {name: comparison.results[name][0] for name in mode_names}
 
 
+#: Exit code of an interrupted-but-checkpointed campaign (EX_TEMPFAIL:
+#: rerun with --resume to continue).
+EXIT_INTERRUPTED = 75
+
+
 def _cmd_campaign(args, out) -> int:
-    result = run_campaign(args.target, mode=args.mode,
-                          config=_campaign_config(args),
-                          cache=not args.no_cache)
+    config = _campaign_config(args)
+    checkpointing = args.checkpoint_every is not None or args.resume
+    if checkpointing:
+        config = dataclasses.replace(
+            config, checkpoint_every=args.checkpoint_every,
+            resume=args.resume, checkpoint_dir=args.checkpoint_dir,
+        )
+    try:
+        # Checkpointing runs take the live path: the result cache would
+        # serve a stale hit instead of resuming, and the pool's retry
+        # must not swallow the interrupt.
+        result = run_campaign(args.target, mode=args.mode, config=config,
+                              cache=not args.no_cache and not checkpointing)
+    except CampaignInterrupted as stop:
+        out.write("interrupted at sim %.0fs after %d iterations; "
+                  "checkpoint saved — rerun with --resume to continue\n"
+                  % (stop.sim_time, stop.iterations))
+        return EXIT_INTERRUPTED
+    if args.export:
+        with open(args.export, "w", encoding="utf-8") as handle:
+            handle.write(results_to_json([result]) + "\n")
     out.write("target=%s mode=%s branches=%d bugs=%d iterations=%d\n"
               % (result.target, result.mode, result.final_coverage,
                  len(result.bugs), result.iterations))

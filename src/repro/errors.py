@@ -62,3 +62,42 @@ class CacheUnavailableError(HarnessError):
     clear message (and a ``--no-cache`` hint) instead of an opaque
     ``OSError`` mid-run.
     """
+
+
+class CheckpointError(HarnessError):
+    """Raised when a campaign checkpoint cannot be written or restored."""
+
+
+class SchemaVersionError(ReproError):
+    """Raised when a persisted artifact carries an incompatible schema.
+
+    Covers both checkpoint manifests and export JSON: rather than
+    mis-deserializing state written by an older (or newer) layout, the
+    loader refuses with the found vs. supported version spelled out.
+    """
+
+    def __init__(self, artifact, found, supported):
+        super().__init__(
+            "%s carries schema_version %r but this build supports %r; "
+            "regenerate it with the current code (or delete the stale "
+            "artifact)" % (artifact, found, supported)
+        )
+        self.artifact = artifact
+        self.found = found
+        self.supported = supported
+
+
+class CampaignInterrupted(HarnessError):
+    """Raised when SIGTERM/SIGINT stops a checkpointing campaign.
+
+    The final checkpoint has already been persisted when this is
+    raised; re-running the same campaign with ``resume=True`` (CLI
+    ``--resume``) continues from exactly the interrupted iteration.
+    """
+
+    def __init__(self, message, checkpoint_path=None, sim_time=0.0,
+                 iterations=0):
+        super().__init__(message)
+        self.checkpoint_path = checkpoint_path
+        self.sim_time = sim_time
+        self.iterations = iterations

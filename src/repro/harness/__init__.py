@@ -1,6 +1,12 @@
 """Campaign harness: simulated clock, statistics, campaign runner, reports."""
 
 from repro.harness.campaign import CampaignConfig, CampaignResult, run_campaign, run_repeated
+from repro.harness.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointPayload,
+    CheckpointStore,
+    campaign_key,
+)
 from repro.harness.executor import (
     CampaignOutcome,
     CampaignSpec,
@@ -14,24 +20,37 @@ from repro.harness.executor import (
     run_spec,
     specs_for_repeated,
 )
-from repro.harness.export import comparison_summary, result_to_dict, results_to_json
+from repro.harness.export import (
+    EXPORT_SCHEMA_VERSION,
+    comparison_summary,
+    load_export_json,
+    result_to_dict,
+    results_to_json,
+    validate_export_dict,
+)
 from repro.harness.simclock import CostModel, SimClock
 from repro.harness.stats import TimeSeries, mean, speedup
 
 __all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "EXPORT_SCHEMA_VERSION",
     "CampaignConfig",
     "CampaignOutcome",
     "CampaignResult",
     "CampaignSpec",
     "CellFailure",
     "CellResult",
+    "CheckpointPayload",
+    "CheckpointStore",
     "CostModel",
     "ExecutorError",
     "ResultCache",
     "SimClock",
     "TimeSeries",
+    "campaign_key",
     "comparison_summary",
     "execute_specs",
+    "load_export_json",
     "mean",
     "outcomes",
     "result_to_dict",
@@ -42,4 +61,5 @@ __all__ = [
     "run_spec",
     "specs_for_repeated",
     "speedup",
+    "validate_export_dict",
 ]

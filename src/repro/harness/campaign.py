@@ -5,15 +5,26 @@ CMFuzz) sets up four isolated instances which fuzz for 24 simulated
 hours; the harness tracks the global branch-coverage time series (the
 union across instances), triages crashes into a deduplicated bug ledger,
 and restarts crashed targets with the appropriate simulated downtime.
+
+With ``checkpoint_every`` set the loop additionally persists its entire
+state (one pickled object graph: engines, RNG streams, corpus, bug
+ledger, supervisor, scheduler cursors) at fixed simulated intervals, and
+SIGTERM/SIGINT trigger one final checkpoint before
+:class:`~repro.errors.CampaignInterrupted` unwinds the run; ``resume``
+continues from the newest intact save and the finished campaign is
+byte-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
+import signal
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set
 
-from repro.errors import HarnessError, StartupError, TargetHang
+from repro.errors import CampaignInterrupted, HarnessError, StartupError, TargetHang
 from repro.fuzzing.statemodel import StateModel
 from repro.fuzzing.strategies import MutationStrategy, RandomFieldStrategy
 from repro.harness.simclock import CostModel, SimClock
@@ -65,6 +76,21 @@ class CampaignConfig:
     #: Probe-cache root override (default ``$CMFUZZ_CACHE_DIR`` or
     #: ``.cmfuzz-cache/``).
     probe_cache_dir: Optional[str] = None
+    #: Checkpoint the full campaign state every this many *simulated*
+    #: seconds (``.cmfuzz-cache/checkpoints/``). None (the default)
+    #: disables checkpointing and keeps the run byte-identical to the
+    #: historic loop.
+    checkpoint_every: Optional[float] = None
+    #: Continue from the newest intact checkpoint when one exists;
+    #: silently starts fresh otherwise, so ``resume=True`` is always
+    #: safe to pass.
+    resume: bool = False
+    #: Checkpoint root override (default
+    #: ``$CMFUZZ_CACHE_DIR/checkpoints`` or ``.cmfuzz-cache/checkpoints``).
+    checkpoint_dir: Optional[str] = None
+    #: How many checkpoints to retain per campaign; older blobs are
+    #: pruned so corruption of the newest save still leaves fallbacks.
+    checkpoint_keep: int = 3
 
     def __post_init__(self):
         if self.n_instances < 1:
@@ -73,6 +99,10 @@ class CampaignConfig:
             raise HarnessError("duration must be positive")
         if self.probe_workers < 1:
             raise HarnessError("need at least one probe worker")
+        if self.checkpoint_every is not None and self.checkpoint_every <= 0:
+            raise HarnessError("checkpoint interval must be positive")
+        if self.checkpoint_keep < 1:
+            raise HarnessError("need to keep at least one checkpoint")
 
 
 @dataclass
@@ -100,6 +130,22 @@ class CampaignResult:
         return len(self.bugs)
 
 
+class _ClockNow:
+    """Picklable ``now_fn`` reading the campaign's simulated clock.
+
+    A bound lambda would pin telemetry timestamps to the clock just as
+    well, but lambdas cannot cross the checkpoint pickle boundary.
+    """
+
+    __slots__ = ("clock",)
+
+    def __init__(self, clock):
+        self.clock = clock
+
+    def __call__(self) -> float:
+        return self.clock.now
+
+
 class _CampaignContext:
     """The state bag parallel modes interact with."""
 
@@ -121,7 +167,7 @@ class _CampaignContext:
         self.probe_cache_dir = config.probe_cache_dir
         #: Campaign-wide telemetry; the shared no-op when not configured.
         self.telemetry = Telemetry.from_config(
-            config.telemetry, now_fn=lambda: self.clock.now,
+            config.telemetry, now_fn=_ClockNow(self.clock),
         )
         #: Set by run_campaign once the instances exist; modes may use it
         #: to quarantine instead of killing (graceful degradation).
@@ -185,14 +231,65 @@ def _safe_initial_start(ctx: _CampaignContext, instance: FuzzingInstance) -> Non
             instance.dead = True
 
 
-def run_campaign(
-    target_cls,
-    state_model: StateModel,
-    mode: ParallelMode,
-    config: Optional[CampaignConfig] = None,
-) -> CampaignResult:
-    """Run one parallel fuzzing campaign and return its results."""
-    config = config or CampaignConfig()
+@dataclass
+class _LoopState:
+    """The complete resumable state of one campaign's main loop.
+
+    Checkpointing pickles this object — one graph, so every shared
+    reference (engines' cached counters, the supervisor's view of the
+    context, sync outboxes) is preserved with identity intact and the
+    restored loop is indistinguishable from the uninterrupted one.
+    """
+
+    ctx: _CampaignContext
+    mode: ParallelMode
+    supervisor: InstanceSupervisor
+    coverage: TimeSeries
+    global_sites: Set[str]
+    next_sample: float
+    next_sync: float
+    iterations: int = 0
+    sync_rounds: int = 0
+
+
+class _InterruptWatch:
+    """Latches SIGTERM/SIGINT while a checkpointing campaign runs.
+
+    The handler only records the signal; the loop notices the latch at
+    its next iteration boundary, writes a final checkpoint and raises
+    :class:`CampaignInterrupted`. Installed only on the main thread
+    (signal handlers cannot be set elsewhere) and only when
+    checkpointing is active, so non-checkpointing campaigns keep the
+    default Ctrl-C behaviour.
+    """
+
+    def __init__(self, active: bool):
+        self.active = active
+        self.signum: Optional[int] = None
+        self._previous = []
+
+    @property
+    def triggered(self) -> bool:
+        return self.signum is not None
+
+    def _handle(self, signum, frame) -> None:
+        self.signum = signum
+
+    def __enter__(self) -> "_InterruptWatch":
+        if self.active and threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                self._previous.append((signum, signal.signal(signum, self._handle)))
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for signum, previous in self._previous:
+            signal.signal(signum, previous)
+        self._previous = []
+
+
+def _fresh_state(target_cls, state_model: StateModel, mode: ParallelMode,
+                 config: CampaignConfig) -> _LoopState:
+    """Build the campaign's instances and pre-loop accounting."""
     ctx = _CampaignContext(target_cls, state_model, config)
     telemetry = ctx.telemetry
     with telemetry.span("campaign.setup", mode=mode.name,
@@ -208,64 +305,145 @@ def run_campaign(
     for instance in ctx.instances:
         _safe_initial_start(ctx, instance)
 
-    horizon = config.duration_hours * 3600.0
     coverage = TimeSeries()
     global_sites: Set[str] = set()
     for instance in ctx.instances:
         global_sites.update(instance.collector.total.sites())
     coverage.record(ctx.clock.now, len(global_sites))
+    return _LoopState(
+        ctx=ctx,
+        mode=mode,
+        supervisor=supervisor,
+        coverage=coverage,
+        global_sites=global_sites,
+        next_sample=ctx.clock.now + config.sample_interval,
+        next_sync=ctx.clock.now + config.sync_interval,
+    )
 
-    next_sample = ctx.clock.now + config.sample_interval
-    next_sync = ctx.clock.now + config.sync_interval
-    iterations = 0
-    sync_rounds = 0
+
+def _save_checkpoint(store, state: _LoopState, reason: str) -> str:
+    """One atomic checkpoint plus its operational telemetry."""
+    telemetry = state.ctx.telemetry
+    path = store.save(state, sim_time=state.ctx.clock.now,
+                      iterations=state.iterations)
+    telemetry.counter("checkpoint.saves", reason=reason).inc()
+    telemetry.event("checkpoint.save", reason=reason,
+                    iterations=state.iterations)
+    return path
+
+
+def _strip_operational_metrics(metrics: Optional[Dict[str, Any]]):
+    """Drop ``checkpoint.*`` series from an exported snapshot.
+
+    Checkpoint counters depend on *when* a campaign was killed and
+    resumed — exactly what the byte-identical-export invariant must not
+    depend on. They stay visible in traces and the live registry;
+    only the deterministic export snapshot omits them.
+    """
+    if not metrics:
+        return metrics
+    for kind in ("counters", "gauges", "histograms"):
+        series = metrics.get(kind)
+        if isinstance(series, dict):
+            metrics[kind] = {
+                key: value for key, value in series.items()
+                if not key.startswith("checkpoint.")
+            }
+    return metrics
+
+
+def _drive(state: _LoopState, config: CampaignConfig, store=None,
+           abort_hook: Optional[Callable[[int, float], bool]] = None,
+           ) -> CampaignResult:
+    """Run the (possibly restored) loop state to the horizon."""
+    ctx = state.ctx
+    mode = state.mode
+    supervisor = state.supervisor
+    target_cls = ctx.target_cls
+    telemetry = ctx.telemetry
+    coverage = state.coverage
+    global_sites = state.global_sites
+    horizon = config.duration_hours * 3600.0
     g_global_sites = telemetry.gauge("campaign.global_sites")
     g_sim_time = telemetry.gauge("campaign.sim_time")
     c_sync_rounds = telemetry.counter("campaign.sync_rounds")
     c_samples = telemetry.counter("campaign.samples")
 
-    while ctx.clock.now < horizon:
-        now = ctx.clock.now
-        supervisor.poll(now)
-        for instance in ctx.instances:
-            if not instance.available(now):
-                continue
-            result = instance.step()
-            iterations += 1
-            if result.new_sites:
-                global_sites.update(result.new_sites)
-            mode.after_iteration(ctx, instance, result)
-            if result.hung:
-                supervisor.handle_hang(instance, now)
-                continue
-            supervisor.observe(instance, result, now)
-            if result.fault:
-                ctx.bugs.record(
-                    CrashReport.from_fault(
-                        result.fault, target_cls.PROTOCOL,
-                        sim_time=now, instance=instance.index,
-                    )
+    every = config.checkpoint_every
+    next_checkpoint: Optional[float] = None
+    if store is not None and every is not None:
+        # Recomputed from simulated time, not carried in the state, so
+        # a resumed loop lands on the same grid as an uninterrupted one.
+        next_checkpoint = (math.floor(ctx.clock.now / every) + 1) * every
+
+    with _InterruptWatch(store is not None) as watch:
+        while ctx.clock.now < horizon:
+            aborted = watch.triggered or (
+                abort_hook is not None
+                and abort_hook(state.iterations, ctx.clock.now)
+            )
+            if aborted:
+                path = None
+                if store is not None:
+                    path = _save_checkpoint(store, state, reason="interrupt")
+                raise CampaignInterrupted(
+                    "campaign interrupted at %.0f simulated seconds "
+                    "(%d iterations); state saved — rerun with resume=True "
+                    "(--resume) to continue" % (ctx.clock.now, state.iterations),
+                    checkpoint_path=path,
+                    sim_time=ctx.clock.now,
+                    iterations=state.iterations,
                 )
-                supervisor.handle_crash(instance, now)
-        ctx.clock.advance(config.costs.iteration)
-        if ctx.clock.now >= next_sample:
-            coverage.record(ctx.clock.now, len(global_sites))
-            c_samples.inc()
-            g_global_sites.set(len(global_sites))
-            g_sim_time.set(ctx.clock.now)
-            next_sample += config.sample_interval
-        if ctx.clock.now >= next_sync:
-            sync_rounds += 1
-            c_sync_rounds.inc()
-            with telemetry.span("campaign.sync", round=sync_rounds):
-                mode.on_sync(ctx)
-            next_sync += config.sync_interval
+            if next_checkpoint is not None and ctx.clock.now >= next_checkpoint:
+                _save_checkpoint(store, state, reason="periodic")
+                while next_checkpoint <= ctx.clock.now:
+                    next_checkpoint += every
+            now = ctx.clock.now
+            supervisor.poll(now)
+            for instance in ctx.instances:
+                if not instance.available(now):
+                    continue
+                result = instance.step()
+                state.iterations += 1
+                if result.new_sites:
+                    global_sites.update(result.new_sites)
+                mode.after_iteration(ctx, instance, result)
+                if result.hung:
+                    supervisor.handle_hang(instance, now)
+                    continue
+                supervisor.observe(instance, result, now)
+                if result.fault:
+                    ctx.bugs.record(
+                        CrashReport.from_fault(
+                            result.fault, target_cls.PROTOCOL,
+                            sim_time=now, instance=instance.index,
+                        )
+                    )
+                    supervisor.handle_crash(instance, now)
+            ctx.clock.advance(config.costs.iteration)
+            if ctx.clock.now >= state.next_sample:
+                coverage.record(ctx.clock.now, len(global_sites))
+                c_samples.inc()
+                g_global_sites.set(len(global_sites))
+                g_sim_time.set(ctx.clock.now)
+                state.next_sample += config.sample_interval
+            if ctx.clock.now >= state.next_sync:
+                state.sync_rounds += 1
+                c_sync_rounds.inc()
+                with telemetry.span("campaign.sync", round=state.sync_rounds):
+                    mode.on_sync(ctx)
+                state.next_sync += config.sync_interval
 
     coverage.record(horizon, len(global_sites))
     g_global_sites.set(len(global_sites))
     g_sim_time.set(horizon)
     ctx.namespaces.destroy_all()
+    if store is not None:
+        # A completed campaign has nothing to resume; a surviving
+        # checkpoint directory therefore always means "interrupted".
+        store.clear()
     metrics = telemetry.snapshot() if telemetry.enabled else None
+    metrics = _strip_operational_metrics(metrics)
     telemetry.close()
     return CampaignResult(
         mode=mode.name,
@@ -274,10 +452,52 @@ def run_campaign(
         bugs=ctx.bugs,
         instances=ctx.instances,
         startup_conflicts=ctx.startup_conflicts,
-        iterations=iterations,
+        iterations=state.iterations,
         supervisor_events=supervisor.events,
         metrics=metrics,
     )
+
+
+def run_campaign(
+    target_cls,
+    state_model: StateModel,
+    mode: ParallelMode,
+    config: Optional[CampaignConfig] = None,
+    abort_hook: Optional[Callable[[int, float], bool]] = None,
+) -> CampaignResult:
+    """Run one parallel fuzzing campaign and return its results.
+
+    With ``config.checkpoint_every`` set, the loop state is persisted
+    every that-many simulated seconds and on SIGTERM/SIGINT (which then
+    raise :class:`~repro.errors.CampaignInterrupted`);
+    ``config.resume=True`` continues from the newest intact checkpoint
+    when one exists. ``abort_hook(iterations, sim_time) -> bool`` is a
+    test seam triggering the same interrupt path deterministically.
+    """
+    config = config or CampaignConfig()
+    store = None
+    if config.checkpoint_every is not None or config.resume:
+        from repro.harness.checkpoint import CheckpointStore, campaign_key
+
+        store = CheckpointStore(
+            campaign_key(target_cls.NAME, mode.name, config),
+            root=config.checkpoint_dir,
+            keep=config.checkpoint_keep,
+            target=target_cls.NAME,
+            mode=mode.name,
+        )
+    state = None
+    if store is not None and config.resume:
+        payload = store.load_latest()
+        if payload is not None:
+            state = payload.state
+            telemetry = state.ctx.telemetry
+            telemetry.counter("checkpoint.resumes").inc()
+            telemetry.event("checkpoint.resume", sequence=payload.sequence,
+                            iterations=payload.iterations)
+    if state is None:
+        state = _fresh_state(target_cls, state_model, mode, config)
+    return _drive(state, config, store=store, abort_hook=abort_hook)
 
 
 def run_repeated(

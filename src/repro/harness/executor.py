@@ -34,7 +34,6 @@ results (the golden-equivalence suite pins this down).
 from __future__ import annotations
 
 import dataclasses
-import enum
 import hashlib
 import json
 import os
@@ -44,6 +43,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.cache import (
     DEFAULT_CACHE_DIR,
     atomic_pickle,
+    canonical_payload,
     default_cache_dir,
     load_pickle,
     validate_cache_dir,
@@ -81,42 +81,17 @@ __all__ = [
 
 #: Bumped whenever the outcome layout or the key derivation changes;
 #: stale cache entries from older versions are treated as misses.
-CACHE_VERSION = 4
+#: 5: CampaignConfig grew the checkpoint/resume knobs.
+CACHE_VERSION = 5
 
 
 # ---------------------------------------------------------------------------
 # Specs and outcomes
 # ---------------------------------------------------------------------------
 
-
-def _canonical(value: Any) -> Any:
-    """Reduce ``value`` to a JSON-stable shape for cache-key hashing.
-
-    Dict key order never matters (``json.dumps(sort_keys=True)`` on the
-    stringified keys), callables hash by qualified name, dataclasses by
-    field dict.
-    """
-    if value is None or isinstance(value, (str, int, float, bool)):
-        return value
-    if isinstance(value, enum.Enum):
-        return [type(value).__name__, value.value]
-    if isinstance(value, (list, tuple)):
-        return [_canonical(v) for v in value]
-    if isinstance(value, (set, frozenset)):
-        return sorted(json.dumps(_canonical(v), sort_keys=True) for v in value)
-    if isinstance(value, dict):
-        return {str(k): _canonical(v) for k, v in value.items()}
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            f.name: _canonical(getattr(value, f.name))
-            for f in dataclasses.fields(value)
-        }
-    if callable(value):
-        return "%s:%s" % (
-            getattr(value, "__module__", "?"),
-            getattr(value, "__qualname__", repr(value)),
-        )
-    return repr(value)
+#: Canonicalisation now lives in :mod:`repro.cache` (the checkpoint
+#: campaign keys share it); the old private name keeps working.
+_canonical = canonical_payload
 
 
 @dataclass(frozen=True)
@@ -237,7 +212,14 @@ class CampaignOutcome:
 
 
 def run_spec(spec: CampaignSpec) -> CampaignOutcome:
-    """Reconstruct one cell's live objects and run it (the worker body)."""
+    """Reconstruct one cell's live objects and run it (the worker body).
+
+    Checkpointing specs (``checkpoint_every`` set) always run with
+    ``resume=True``: a completed campaign deletes its checkpoint
+    stream, so leftover state only exists when a previous worker died
+    mid-cell — and then the retry continues the partial cell instead of
+    rerunning it from scratch.
+    """
     from repro.parallel import MODES
     from repro.pits import pit_registry
     from repro.targets import target_registry
@@ -247,11 +229,14 @@ def run_spec(spec: CampaignSpec) -> CampaignOutcome:
         raise KeyError("unknown target %r" % spec.target)
     if spec.mode not in MODES:
         raise KeyError("unknown mode %r" % spec.mode)
+    config = spec.config
+    if config.checkpoint_every is not None and not config.resume:
+        config = dataclasses.replace(config, resume=True)
     result = run_campaign(
         targets[spec.target],
         pit_registry()[spec.target](),
         MODES[spec.mode](**dict(spec.mode_kwargs)),
-        spec.config,
+        config,
     )
     return CampaignOutcome.from_result(result)
 

@@ -10,8 +10,14 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List
 
+from repro.errors import SchemaVersionError
 from repro.harness.campaign import CampaignResult
 from repro.harness.supervisor import event_counts
+
+#: Bumped whenever the export layout changes incompatibly; loaders
+#: reject other versions with :class:`SchemaVersionError` instead of
+#: mis-deserializing. 1: first versioned layout (adds this very key).
+EXPORT_SCHEMA_VERSION = 1
 
 
 def result_to_dict(result: CampaignResult) -> Dict[str, Any]:
@@ -22,6 +28,7 @@ def result_to_dict(result: CampaignResult) -> Dict[str, Any]:
     stay byte-identical to the historic layout.
     """
     data = {
+        "schema_version": EXPORT_SCHEMA_VERSION,
         "mode": result.mode,
         "target": result.target,
         "final_coverage": result.final_coverage,
@@ -75,6 +82,33 @@ def results_to_json(results: Iterable[CampaignResult], indent: int = 2) -> str:
     """Serialise several campaigns to a JSON array."""
     return json.dumps([result_to_dict(r) for r in results], indent=indent,
                       default=str, sort_keys=True)
+
+
+def validate_export_dict(data: Any, source: str = "export") -> Dict[str, Any]:
+    """Check one exported campaign dict's schema version.
+
+    Returns:
+        The dict unchanged, for chaining.
+
+    Raises:
+        SchemaVersionError: When ``schema_version`` is missing (a
+            pre-versioning export) or differs from
+            :data:`EXPORT_SCHEMA_VERSION`.
+    """
+    if not isinstance(data, dict):
+        raise SchemaVersionError(source, None, EXPORT_SCHEMA_VERSION)
+    version = data.get("schema_version")
+    if version != EXPORT_SCHEMA_VERSION:
+        raise SchemaVersionError(source, version, EXPORT_SCHEMA_VERSION)
+    return data
+
+
+def load_export_json(text: str, source: str = "export") -> List[Dict[str, Any]]:
+    """Parse a :func:`results_to_json` document, rejecting old layouts."""
+    payload = json.loads(text)
+    if not isinstance(payload, list):
+        raise SchemaVersionError(source, None, EXPORT_SCHEMA_VERSION)
+    return [validate_export_dict(entry, source=source) for entry in payload]
 
 
 def comparison_summary(results_by_mode: Dict[str, List[CampaignResult]]) -> Dict[str, Any]:

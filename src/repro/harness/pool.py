@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.errors import HarnessError
+from repro.errors import CampaignInterrupted, HarnessError
 from repro.telemetry import NULL_TELEMETRY
 
 
@@ -218,6 +218,12 @@ def _run_inline(task: Task, runner: Callable, retries: int,
         started = time.monotonic()
         try:
             outcome = runner(task.payload)
+        except CampaignInterrupted:
+            # An operator-initiated stop (SIGTERM/SIGINT with
+            # checkpointing): retrying in-process would immediately
+            # resume the campaign the operator is trying to stop, so
+            # the interrupt propagates to the caller instead.
+            raise
         except Exception as exc:
             tele.histogram(metric_prefix + ".task_seconds").observe(
                 time.monotonic() - started)

@@ -36,6 +36,25 @@ from repro.targets.faults import SanitizerFault
 from repro.telemetry import NULL_TELEMETRY
 
 
+class _EngineFactory:
+    """Picklable per-instance engine builder (checkpoints pickle the
+    instances, factories included, so closures are off the table)."""
+
+    def __init__(self, ctx, seed: int, index: int):
+        self.ctx = ctx
+        self.seed = seed
+        self.index = index
+
+    def __call__(self, transport, collector) -> FuzzEngine:
+        ctx = self.ctx
+        return FuzzEngine(
+            ctx.state_model, transport, collector,
+            strategy=ctx.make_strategy(), seed=self.seed,
+            telemetry=getattr(ctx, "telemetry", None),
+            labels={"instance": self.index},
+        )
+
+
 class CmFuzzMode(ParallelMode):
     """Relation-aware configuration scheduling over parallel instances."""
 
@@ -141,16 +160,9 @@ class CmFuzzMode(ParallelMode):
             namespace = ctx.namespaces.create("%s-cmfuzz-%d" % (target_cls.NAME, index))
             bundle = reassemble_group(self.model, groups[index], value_picks=best_values)
             seed = ctx.seed * 3000 + index
-
-            def engine_factory(transport, collector, seed=seed, index=index):
-                return FuzzEngine(
-                    ctx.state_model, transport, collector,
-                    strategy=ctx.make_strategy(), seed=seed,
-                    telemetry=telemetry, labels={"instance": index},
-                )
-
+            factory = _EngineFactory(ctx, seed=seed, index=index)
             instance = FuzzingInstance(
-                index, target_cls, namespace, engine_factory, bundle=bundle
+                index, target_cls, namespace, factory, bundle=bundle
             )
             self._detectors[index] = SaturationDetector(self.saturation_window)
             mutator_cls = GuidedConfigMutator if self.guided_mutation else ConfigMutator

@@ -16,6 +16,24 @@ from repro.parallel.instance import FuzzingInstance
 from repro.parallel.sync import SeedSynchronizer
 
 
+class _PathRestrictedFactory:
+    """Picklable decorator adding a path partition to another factory.
+
+    Wraps CMFuzz's per-instance factory so checkpointed instances keep
+    both scheduling axes when their factory is pickled and restored.
+    """
+
+    def __init__(self, factory, assigned: List[tuple]):
+        self.factory = factory
+        self.assigned = assigned
+
+    def __call__(self, transport, collector):
+        engine = self.factory(transport, collector)
+        engine.allowed_paths = list(self.assigned)
+        engine.replay_probability = 0.5
+        return engine
+
+
 class HybridMode(CmFuzzMode):
     """Configuration groups x state-path partitions, with seed sync."""
 
@@ -35,16 +53,9 @@ class HybridMode(CmFuzzMode):
             partitions[position % len(instances)].append(path)
         for instance in instances:
             assigned = partitions[instance.index] or paths
-            original_factory = instance._engine_factory
-
-            def engine_factory(transport, collector,
-                               factory=original_factory, assigned=assigned):
-                engine = factory(transport, collector)
-                engine.allowed_paths = list(assigned)
-                engine.replay_probability = 0.5
-                return engine
-
-            instance._engine_factory = engine_factory
+            instance._engine_factory = _PathRestrictedFactory(
+                instance._engine_factory, assigned,
+            )
         return instances
 
     def on_sync(self, ctx) -> None:

@@ -15,26 +15,40 @@ from repro.parallel.base import ParallelMode
 from repro.parallel.instance import FuzzingInstance
 
 
+class _EngineFactory:
+    """Picklable per-instance engine builder.
+
+    Checkpoints pickle instances together with their factories (targets
+    are rebuilt on restart), so factories must be objects, not closures.
+    """
+
+    def __init__(self, ctx, seed: int, index: int):
+        self.ctx = ctx
+        self.seed = seed
+        self.index = index
+
+    def __call__(self, transport, collector) -> FuzzEngine:
+        ctx = self.ctx
+        return FuzzEngine(
+            ctx.state_model, transport, collector,
+            strategy=ctx.make_strategy(), seed=self.seed,
+            telemetry=getattr(ctx, "telemetry", None),
+            labels={"instance": self.index},
+        )
+
+
 class PeachParallelMode(ParallelMode):
     """Default-configuration parallel fuzzing with per-instance seeds."""
 
     name = "peach"
 
     def create_instances(self, ctx) -> List[FuzzingInstance]:
-        telemetry = getattr(ctx, "telemetry", None)
         instances = []
         for index in range(ctx.n_instances):
             namespace = ctx.namespaces.create("%s-peach-%d" % (ctx.target_cls.NAME, index))
-            seed = ctx.seed * 1000 + index
-
-            def engine_factory(transport, collector, seed=seed, index=index):
-                return FuzzEngine(
-                    ctx.state_model, transport, collector,
-                    strategy=ctx.make_strategy(), seed=seed,
-                    telemetry=telemetry, labels={"instance": index},
-                )
-
+            factory = _EngineFactory(ctx, seed=ctx.seed * 1000 + index,
+                                     index=index)
             instances.append(
-                FuzzingInstance(index, ctx.target_cls, namespace, engine_factory)
+                FuzzingInstance(index, ctx.target_cls, namespace, factory)
             )
         return instances

@@ -16,6 +16,33 @@ from repro.parallel.instance import FuzzingInstance
 from repro.parallel.sync import SeedSynchronizer
 
 
+class _PathEngineFactory:
+    """Picklable engine builder carrying one instance's path partition.
+
+    Closures cannot cross the checkpoint pickle boundary; this object
+    can, and keeps its partition stable across target restarts.
+    """
+
+    def __init__(self, ctx, seed: int, index: int, assigned: List[tuple]):
+        self.ctx = ctx
+        self.seed = seed
+        self.index = index
+        self.assigned = assigned
+
+    def __call__(self, transport, collector) -> FuzzEngine:
+        ctx = self.ctx
+        # State-aware scheduling leans harder on the shared corpus
+        # than Peach's independent instances do.
+        return FuzzEngine(
+            ctx.state_model, transport, collector,
+            strategy=ctx.make_strategy(), seed=self.seed,
+            allowed_paths=self.assigned,
+            replay_probability=0.5,
+            telemetry=getattr(ctx, "telemetry", None),
+            labels={"instance": self.index},
+        )
+
+
 class SpFuzzMode(ParallelMode):
     """State-path partitioning plus seed synchronisation."""
 
@@ -41,22 +68,10 @@ class SpFuzzMode(ParallelMode):
             namespace = ctx.namespaces.create("%s-spfuzz-%d" % (ctx.target_cls.NAME, index))
             assigned = partitions[index] or paths  # never leave an instance idle
             self._partitions[index] = list(assigned)
-            seed = ctx.seed * 2000 + index
-
-            def engine_factory(transport, collector, seed=seed, assigned=assigned,
-                               index=index):
-                # State-aware scheduling leans harder on the shared corpus
-                # than Peach's independent instances do.
-                return FuzzEngine(
-                    ctx.state_model, transport, collector,
-                    strategy=ctx.make_strategy(), seed=seed,
-                    allowed_paths=assigned,
-                    replay_probability=0.5,
-                    telemetry=telemetry, labels={"instance": index},
-                )
-
+            factory = _PathEngineFactory(ctx, seed=ctx.seed * 2000 + index,
+                                         index=index, assigned=assigned)
             instances.append(
-                FuzzingInstance(index, ctx.target_cls, namespace, engine_factory)
+                FuzzingInstance(index, ctx.target_cls, namespace, factory)
             )
         return instances
 

@@ -184,19 +184,25 @@ class ChaosTarget:
         return "ChaosTarget(%r)" % (self.inner,)
 
 
+class ChaosWrapper:
+    """Picklable per-instance target wrapper the campaign installs.
+
+    Owns one persistent :class:`ChaosInjector` (exposed as
+    ``.injector`` for tests and stats surfaces), so every restart wraps
+    the fresh target in a proxy that *continues* the instance's fault
+    schedule deterministically — including across checkpoint/resume,
+    which pickles the wrapper with the rest of the loop state.
+    """
+
+    def __init__(self, policy: ChaosPolicy, seed: int, instance: int):
+        self.injector = ChaosInjector(policy, seed, instance)
+
+    def __call__(self, target: ProtocolTarget) -> ChaosTarget:
+        return ChaosTarget(target, self.injector)
+
+
 def chaos_wrapper(
     policy: ChaosPolicy, seed: int, instance: int
 ) -> Callable[[ProtocolTarget], ChaosTarget]:
-    """Build the per-instance target wrapper the campaign installs.
-
-    The returned callable owns one persistent :class:`ChaosInjector`, so
-    every restart wraps the fresh target in a proxy that *continues* the
-    instance's fault schedule deterministically.
-    """
-    injector = ChaosInjector(policy, seed, instance)
-
-    def wrap(target: ProtocolTarget) -> ChaosTarget:
-        return ChaosTarget(target, injector)
-
-    wrap.injector = injector  # exposed for tests and stats surfaces
-    return wrap
+    """Build the per-instance target wrapper for ``instance``."""
+    return ChaosWrapper(policy, seed, instance)

@@ -122,6 +122,20 @@ class Telemetry:
         if self.sink is not None:
             self.sink.close()
 
+    def __reduce__(self):
+        # Campaign checkpoints pickle the whole loop state; the shared
+        # no-op must come back as the same singleton (identity matters:
+        # instruments cached on engines stay no-ops), and live telemetry
+        # rebuilds from its parts (the sink reopens its file itself).
+        if not self.enabled:
+            return (_restore_null_telemetry, ())
+        return (Telemetry, (self.registry, self.tracer, self.sink, self.enabled))
+
+
+def _restore_null_telemetry() -> "Telemetry":
+    """Unpickle hook: disabled telemetry is always the shared no-op."""
+    return NULL_TELEMETRY
+
 
 #: The shared disabled instance: every instrument is a no-op, nothing is
 #: ever recorded, snapshot() is empty. Safe to share between campaigns.

@@ -46,6 +46,20 @@ class TraceSink:
             self._handle.close()
             self._handle = None
 
+    # Open file handles cannot cross the checkpoint pickle boundary;
+    # a restored sink reopens its path in append mode, so a resumed
+    # campaign keeps extending the same trace file.
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"path": self.path, "open": self._handle is not None}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.path = state["path"]
+        self._handle = None
+        if state.get("open"):
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+
 
 class _SpanHandle:
     """Context manager recording one span on exit."""
@@ -112,13 +126,18 @@ class Tracer:
         })
 
 
+def _zero_now() -> float:
+    """Picklable stand-in clock for the no-op tracer."""
+    return 0.0
+
+
 class NullTracer(Tracer):
     """Discards everything; span() returns one shared no-op handle."""
 
     enabled = False
 
     def __init__(self):
-        super().__init__(now_fn=lambda: 0.0, sink=None)
+        super().__init__(now_fn=_zero_now, sink=None)
 
     def emit(self, record: Dict[str, Any]) -> None:
         pass

@@ -21,9 +21,9 @@ from repro.telemetry import TelemetryConfig
 #: The exported key set before telemetry existed; telemetry-off exports
 #: must keep exactly this shape.
 GOLDEN_EXPORT_KEYS = {
-    "mode", "target", "final_coverage", "iterations", "startup_conflicts",
-    "supervisor_events", "supervisor_event_counts", "coverage", "bugs",
-    "instances",
+    "schema_version", "mode", "target", "final_coverage", "iterations",
+    "startup_conflicts", "supervisor_events", "supervisor_event_counts",
+    "coverage", "bugs", "instances",
 }
 
 

@@ -66,6 +66,43 @@ class TestCampaignCommand:
         assert "mode=hybrid" in text
 
 
+class TestCheckpointFlags:
+    def test_checkpointed_export_matches_plain_run(self, tmp_path):
+        base = ["campaign", "--target", "dnsmasq", "--mode", "cmfuzz",
+                "--hours", "1", "--instances", "2", "--seed", "9",
+                "--no-cache"]
+        plain = str(tmp_path / "plain.json")
+        checkpointed = str(tmp_path / "checkpointed.json")
+        code, _ = _run(base + ["--export", plain])
+        assert code == 0
+        code, _ = _run(base + ["--checkpoint-every", "600",
+                               "--checkpoint-dir", str(tmp_path / "ck"),
+                               "--export", checkpointed])
+        assert code == 0
+        with open(plain) as one, open(checkpointed) as two:
+            assert one.read() == two.read()
+
+    def test_export_is_schema_versioned(self, tmp_path):
+        from repro.harness.export import EXPORT_SCHEMA_VERSION, load_export_json
+
+        path = str(tmp_path / "out.json")
+        code, _ = _run(["campaign", "--target", "dnsmasq", "--mode", "peach",
+                        "--hours", "1", "--instances", "2", "--no-cache",
+                        "--export", path])
+        assert code == 0
+        with open(path) as handle:
+            entries = load_export_json(handle.read())
+        assert entries[0]["schema_version"] == EXPORT_SCHEMA_VERSION
+
+    def test_resume_with_no_checkpoint_runs_fresh(self, tmp_path):
+        code, text = _run(["campaign", "--target", "dnsmasq", "--mode",
+                           "cmfuzz", "--hours", "1", "--instances", "2",
+                           "--no-cache", "--resume",
+                           "--checkpoint-dir", str(tmp_path / "ck")])
+        assert code == 0
+        assert "mode=cmfuzz" in text
+
+
 class TestCompareCommand:
     def test_compare_outputs_table_and_chart(self):
         code, text = _run([
