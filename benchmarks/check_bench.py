@@ -1,11 +1,18 @@
-"""CI benchmark regression gate for the model-build bench.
+"""CI benchmark regression gate.
 
-Compares a freshly produced ``BENCH_modelbuild.json`` against the
-committed baseline. Wall-clock numbers on shared CI runners are noisy,
-so timing drift outside the tolerance only *warns* (GitHub ``::warning``
-annotations); the gate hard-fails only on the structural invariants —
-the warm cache must execute zero probes and the pipeline variants must
-stay bit-identical — which no amount of runner noise can excuse.
+Compares a freshly produced bench record against the committed baseline.
+Records carry a ``bench`` kind (``modelbuild``, ``engine``) and each kind
+declares its own invariants. Wall-clock numbers on shared CI runners are
+noisy, so timing drift outside the tolerance only *warns* (GitHub
+``::warning`` annotations); the gate hard-fails only on the structural
+invariants, which no amount of runner noise can excuse:
+
+- ``modelbuild`` — the warm cache must execute zero probes and the
+  pipeline variants must stay bit-identical;
+- ``engine`` — the fast and slow engine legs must produce identical
+  coverage/messages, and the single-instance fast-path speedup (a
+  *ratio* of two runs on the same machine, so runner speed cancels out)
+  must stay above the record's ``min_speedup`` floor.
 
 Usage::
 
@@ -18,13 +25,23 @@ import argparse
 import json
 import sys
 
-#: Wall-clock fields compared against the baseline (warn-only).
-TIMING_FIELDS = (
-    "sequential_seconds",
-    "parallel_seconds",
-    "cold_cache_seconds",
-    "warm_cache_seconds",
-)
+#: Wall-clock fields compared against the baseline (warn-only), per kind.
+TIMING_FIELDS = {
+    "modelbuild": (
+        "sequential_seconds",
+        "parallel_seconds",
+        "cold_cache_seconds",
+        "warm_cache_seconds",
+    ),
+    "engine": (
+        "single_slow_execs_per_s",
+        "single_fast_execs_per_s",
+        "e2e_slow_execs_per_s",
+        "e2e_fast_execs_per_s",
+        "multi_slow_execs_per_s",
+        "multi_fast_execs_per_s",
+    ),
+}
 
 
 def load_record(path):
@@ -35,10 +52,7 @@ def load_record(path):
     return record
 
 
-def check(fresh, baseline, tolerance):
-    """Returns (hard_failures, warnings) message lists."""
-    failures = []
-    warnings = []
+def _check_modelbuild(fresh, failures):
     if fresh.get("warm_probes_executed") != 0:
         failures.append(
             "warm cache executed %r probes (must be 0): the probe cache "
@@ -48,7 +62,51 @@ def check(fresh, baseline, tolerance):
         failures.append("pipeline variants diverged (identical=%r): the "
                         "parallel/cached paths are no longer bit-identical"
                         % fresh.get("identical"))
-    for name in TIMING_FIELDS:
+
+
+def _check_engine(fresh, failures):
+    if fresh.get("identical") is not True:
+        failures.append(
+            "engine fast/slow legs diverged (identical=%r): the fast path "
+            "no longer reproduces the reference engine's behaviour"
+            % fresh.get("identical"))
+    floor = fresh.get("min_speedup")
+    speedup = fresh.get("speedup_single")
+    if not isinstance(floor, (int, float)) or not isinstance(speedup, (int, float)):
+        failures.append(
+            "engine record lacks numeric speedup_single/min_speedup "
+            "(got %r / %r)" % (speedup, floor))
+        return
+    if speedup < floor:
+        failures.append(
+            "engine fast-path speedup regressed: %.2fx is below the %.1fx "
+            "floor (single-instance execs/sec, fast vs slow leg)"
+            % (speedup, floor))
+
+
+#: bench kind -> hard-invariant checker appending to the failure list.
+KIND_CHECKS = {
+    "modelbuild": _check_modelbuild,
+    "engine": _check_engine,
+}
+
+
+def check(fresh, baseline, tolerance):
+    """Returns (hard_failures, warnings) message lists."""
+    failures = []
+    warnings = []
+    kind = fresh.get("bench", "modelbuild")
+    base_kind = baseline.get("bench", "modelbuild")
+    if kind != base_kind:
+        failures.append("bench kind mismatch: fresh is %r, baseline is %r"
+                        % (kind, base_kind))
+        return failures, warnings
+    checker = KIND_CHECKS.get(kind)
+    if checker is None:
+        failures.append("unknown bench kind %r" % kind)
+        return failures, warnings
+    checker(fresh, failures)
+    for name in TIMING_FIELDS.get(kind, ()):
         base = baseline.get(name)
         now = fresh.get(name)
         if not isinstance(base, (int, float)) or not isinstance(now, (int, float)):
@@ -59,7 +117,7 @@ def check(fresh, baseline, tolerance):
         drift = (now - base) / base
         if abs(drift) > tolerance:
             warnings.append(
-                "%s drifted %+.0f%% (baseline %.4fs, fresh %.4fs, "
+                "%s drifted %+.0f%% (baseline %.4f, fresh %.4f, "
                 "tolerance ±%.0f%%)"
                 % (name, drift * 100.0, base, now, tolerance * 100.0))
     return failures, warnings
@@ -67,7 +125,7 @@ def check(fresh, baseline, tolerance):
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("fresh", help="freshly generated BENCH_modelbuild.json")
+    parser.add_argument("fresh", help="freshly generated bench record")
     parser.add_argument("baseline", help="committed baseline record")
     parser.add_argument("--tolerance", type=float, default=0.2,
                         help="relative wall-clock tolerance (default 0.2)")

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Optional
 
 
 class CoverageMap:
@@ -11,33 +11,60 @@ class CoverageMap:
     Mirrors what a trace-pc-guard bitmap provides: membership ("was this
     edge hit"), per-edge counters, and cheap union/difference for computing
     newly-discovered branches across fuzzing iterations.
+
+    ``sites()`` is memoised: triage code calls it once per iteration and
+    the map usually hasn't changed, so rebuilding a frozenset over the
+    full map every call was pure waste.  Every mutating operation
+    (:meth:`hit`, :meth:`merge`, :meth:`clear`) invalidates the cache.
     """
 
-    __slots__ = ("_hits",)
+    __slots__ = ("_hits", "_sites_cache")
 
     def __init__(self, sites: Iterable[str] = ()):
         self._hits: dict = {}
+        self._sites_cache: Optional[frozenset] = None
+        # Validation hoisted out of the per-site loop: every entry here
+        # is one hit, so there is no count to range-check.
+        hits = self._hits
         for site in sites:
-            self.hit(site)
+            hits[site] = hits.get(site, 0) + 1
 
     def hit(self, site: str, count: int = 1) -> None:
         """Record ``count`` executions of branch ``site``."""
         if count <= 0:
             raise ValueError("hit count must be positive, got %r" % (count,))
         self._hits[site] = self._hits.get(site, 0) + count
+        self._sites_cache = None
+
+    def _bump(self, site: str) -> None:
+        """Unchecked single hit — the collector's per-site hot path.
+
+        The public :meth:`hit` validates its ``count`` argument on every
+        call; instrumentation callbacks always record exactly one hit,
+        so the check (and the default-argument plumbing) is hoisted out
+        of the path that runs hundreds of times per iteration.
+        """
+        self._hits[site] = self._hits.get(site, 0) + 1
+        self._sites_cache = None
 
     def count(self, site: str) -> int:
         """Number of times ``site`` was hit (0 if never)."""
         return self._hits.get(site, 0)
 
     def sites(self) -> frozenset:
-        """The set of hit sites."""
-        return frozenset(self._hits)
+        """The set of hit sites (cached until the next mutation)."""
+        cached = self._sites_cache
+        if cached is None:
+            cached = frozenset(self._hits)
+            self._sites_cache = cached
+        return cached
 
     def merge(self, other: "CoverageMap") -> None:
         """In-place union with another map, summing counters."""
+        hits = self._hits
         for site, count in other._hits.items():
-            self._hits[site] = self._hits.get(site, 0) + count
+            hits[site] = hits.get(site, 0) + count
+        self._sites_cache = None
 
     def union(self, other: "CoverageMap") -> "CoverageMap":
         merged = self.copy()
@@ -59,10 +86,12 @@ class CoverageMap:
     def copy(self) -> "CoverageMap":
         clone = CoverageMap()
         clone._hits = dict(self._hits)
+        clone._sites_cache = self._sites_cache
         return clone
 
     def clear(self) -> None:
         self._hits.clear()
+        self._sites_cache = None
 
     def __contains__(self, site: str) -> bool:
         return site in self._hits
@@ -94,3 +123,14 @@ class CoverageMap:
 
     def __repr__(self) -> str:
         return "CoverageMap(%d sites)" % len(self._hits)
+
+    # -- pickling ------------------------------------------------------------
+    # Explicit state keeps checkpoint payloads compact (no cache) and
+    # stable across cache-field changes.
+
+    def __getstate__(self):
+        return self._hits
+
+    def __setstate__(self, state) -> None:
+        self._hits = state
+        self._sites_cache = None

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+from repro import fastpath
 from repro.coverage.bitmap import CoverageMap
+from repro.coverage.indexed import IndexedCoverageMap
+from repro.coverage.interner import SiteInterner
 
 
 class CoverageCollector:
@@ -29,8 +32,8 @@ class CoverageCollector:
             site = self.component + ":" + site
         if site not in self.total:
             self.run_new.add(site)
-        self.run.hit(site)
-        self.total.hit(site)
+        self.run._bump(site)
+        self.total._bump(site)
 
     def branch(self, site: str, taken: bool) -> bool:
         """Record both arms of a two-way branch; returns ``taken``.
@@ -62,6 +65,137 @@ class CoverageCollector:
             self.component,
             len(self.total),
         )
+
+
+class InternedCoverageCollector(CoverageCollector):
+    """The fast-path collector: interned sites, int-backed maps.
+
+    Observationally identical to :class:`CoverageCollector` — same
+    ``run``/``total``/``run_new`` attributes, same site strings at every
+    reporting boundary — but each hit costs one dict probe on the
+    (hash-cached) literal the target passed, plus int-set/array bumps:
+
+    - ``_entries`` memoises raw site -> ``(id, prefixed site)`` so the
+      ``component + ":" + site`` concatenation and the re-hash of the
+      long prefixed string happen once per distinct site per campaign,
+      not once per hit;
+    - ``_branch_entries`` does the same for both arms of
+      :meth:`branch`, killing the per-call ``site + "/T"`` concat;
+    - ``run``/``total`` are :class:`IndexedCoverageMap` twins sharing
+      one :class:`SiteInterner`, so the per-hit bookkeeping is two
+      array bumps and set adds on small ints.
+
+    The whole object graph (interner included) pickles, so checkpointed
+    campaigns resume with their id assignment intact.
+    """
+
+    def __init__(self, component: str = ""):
+        self.component = component
+        self.interner = SiteInterner()
+        self.run = IndexedCoverageMap(self.interner)
+        self.total = IndexedCoverageMap(self.interner)
+        self.run_new = set()
+        #: raw site -> (interned id, prefixed site string)
+        self._entries = {}
+        #: raw site -> ((id, site/T), (id, site/F))
+        self._branch_entries = {}
+
+    def _intern(self, site: str):
+        full = self.component + ":" + site if self.component else site
+        entry = (self.interner.intern(full), full)
+        self._entries[site] = entry
+        return entry
+
+    def hit(self, site: str) -> None:
+        """Record one execution of branch ``site``.
+
+        The double-map bump is written out inline (not delegated to
+        ``IndexedCoverageMap._bump_id``): an extra Python call per hit
+        is measurable at instrumentation rates. ``start_run`` presizes
+        the run map, so growth is the rare case.
+        """
+        entry = self._entries.get(site)
+        if entry is None:
+            entry = self._intern(site)
+        idx, full = entry
+        if idx not in self.total._ids:
+            self.run_new.add(full)
+        run = self.run
+        counts = run._counts
+        if idx >= len(counts):
+            counts.frombytes(bytes((idx + 1 - len(counts)) * counts.itemsize))
+        counts[idx] += 1
+        run._ids.add(idx)
+        run._sites_cache = None
+        total = self.total
+        counts = total._counts
+        if idx >= len(counts):
+            counts.frombytes(bytes((idx + 1 - len(counts)) * counts.itemsize))
+        counts[idx] += 1
+        total._ids.add(idx)
+        total._sites_cache = None
+
+    def branch(self, site: str, taken: bool) -> bool:
+        """Record both arms of a two-way branch; returns ``taken``."""
+        pair = self._branch_entries.get(site)
+        if pair is None:
+            pair = (self._intern(site + "/T"), self._intern(site + "/F"))
+            self._branch_entries[site] = pair
+        idx, full = pair[0] if taken else pair[1]
+        if idx not in self.total._ids:
+            self.run_new.add(full)
+        run = self.run
+        counts = run._counts
+        if idx >= len(counts):
+            counts.frombytes(bytes((idx + 1 - len(counts)) * counts.itemsize))
+        counts[idx] += 1
+        run._ids.add(idx)
+        run._sites_cache = None
+        total = self.total
+        counts = total._counts
+        if idx >= len(counts):
+            counts.frombytes(bytes((idx + 1 - len(counts)) * counts.itemsize))
+        counts[idx] += 1
+        total._ids.add(idx)
+        total._sites_cache = None
+        return taken
+
+    def start_run(self) -> None:
+        """Reset the per-run map before executing a new test case.
+
+        The fresh map is presized to the interner: after warm-up a run
+        re-hits known sites, so paying one zeroed-block allocation here
+        spares an array growth per distinct site inside the run.
+        """
+        run = IndexedCoverageMap(self.interner)
+        known = len(self.interner._sites)
+        if known:
+            run._counts.frombytes(bytes(known * run._counts.itemsize))
+        self.run = run
+        self.run_new = set()
+
+    def reset(self) -> None:
+        """Drop all state (run and total); interned ids stay valid."""
+        self.start_run()
+        self.total = IndexedCoverageMap(self.interner)
+
+    def __repr__(self) -> str:
+        return "InternedCoverageCollector(component=%r, total=%d)" % (
+            self.component,
+            len(self.total),
+        )
+
+
+def make_collector(component: str = "", fast=None) -> CoverageCollector:
+    """The collector for new hot-loop instances: interned on the fast
+    path (the default), the plain dict-backed one on the slow path.
+
+    Pass ``fast`` explicitly to reuse a flag value the caller already
+    sampled (so one construction sequence can't straddle a toggle).
+    """
+    if fastpath.enabled() if fast is None else fast:
+        return InternedCoverageCollector(component)
+    return CoverageCollector(component)
 
 
 class NullCollector(CoverageCollector):

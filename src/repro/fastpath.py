@@ -1,0 +1,69 @@
+"""The engine hot-loop fast-path switch.
+
+The per-iteration loop (mutate -> serialize -> send -> coverage union ->
+triage) has two implementations:
+
+- the **slow path** — the original, straightforward code, kept intact as
+  the golden reference;
+- the **fast path** — interned branch sites with int-backed coverage
+  maps, reusable parsed data-model templates, cached mutator dispatch
+  and a batched channel drain.
+
+Both paths are observationally identical: same RNG consumption, same
+coverage sites, same faults, same exports — the differential/property
+suites in ``tests/coverage/test_indexed_equivalence.py`` and
+``tests/harness/test_fastpath_parity.py`` enforce byte-identical
+campaign exports across them. The fast path is the default; the slow
+path remains selectable for golden-parity testing and honest
+benchmarking (``benchmarks/bench_engine.py`` measures one against the
+other).
+
+Selection is sampled when hot-loop objects are *constructed* (engines,
+collectors, messages capture it), so toggling mid-campaign never mixes
+paths within one object graph, and checkpointed state resumes on the
+path it was created with wherever the choice was pickled.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: Environment switch: ``CMFUZZ_FAST_PATH=0`` disables the fast path.
+ENV_VAR = "CMFUZZ_FAST_PATH"
+
+#: Programmatic override; ``None`` defers to the environment.
+_forced: Optional[bool] = None
+
+
+def enabled() -> bool:
+    """Whether newly built hot-loop objects should use the fast path.
+
+    The environment is consulted on every call (not snapshotted at
+    import) so worker processes and tests that set :data:`ENV_VAR`
+    after import still observe the intended path.
+    """
+    if _forced is not None:
+        return _forced
+    return os.environ.get(ENV_VAR, "1") != "0"
+
+
+def set_enabled(value: Optional[bool]) -> None:
+    """Force the fast path on/off in-process; ``None`` restores the
+    environment-driven default."""
+    global _forced
+    if value is not None and not isinstance(value, bool):
+        raise TypeError("fast-path override must be True, False or None")
+    _forced = value
+
+
+@contextmanager
+def forced(value: bool) -> Iterator[None]:
+    """Context manager pinning the fast path for a code block."""
+    previous = _forced
+    set_enabled(value)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

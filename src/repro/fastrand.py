@@ -1,0 +1,121 @@
+"""Bit-exact fast equivalents of ``Random.choice``/``randint``/``randrange``.
+
+CPython's ``Random.randrange`` spends most of its time on argument
+processing (``operator.index`` conversions, step handling, error
+strings) before reaching the actual draw, which for every supported
+interpreter (3.9-3.12) is::
+
+    k = n.bit_length()
+    r = getrandbits(k)
+    while r >= n:
+        r = getrandbits(k)
+
+(``Random._randbelow_with_getrandbits``).  The helpers here inline that
+loop on top of the *same* ``getrandbits`` source, so they consume the
+exact same random state and return the exact same values as the stdlib
+methods — they are a speedup, not an alternative stream.  The
+hypothesis suite in ``tests/fuzzing/test_fastrand.py`` pins the
+equivalence on shared-seed generators.
+
+Every helper falls back to the stdlib method whenever exactness cannot
+be guaranteed cheaply: non-``random.Random`` generators (subclasses may
+override the draw), non-``int`` bounds (stdlib coerces via
+``operator.index``), and empty ranges (stdlib raises the canonical,
+version-specific errors).
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["choice", "randbelow", "randbelow_many", "randint", "randrange"]
+
+
+def randbelow(rng: random.Random, n: int) -> int:
+    """``Random._randbelow(n)`` for ``n >= 1`` on a plain ``Random``.
+
+    Callers must guarantee ``type(rng) is random.Random`` and ``n >= 1``;
+    the public helpers below do, and fall back to stdlib otherwise.
+    """
+    getrandbits = rng.getrandbits
+    k = n.bit_length()
+    r = getrandbits(k)
+    while r >= n:
+        r = getrandbits(k)
+    return r
+
+
+def randbelow_many(rng: random.Random, n: int, count: int) -> list:
+    """``[rng.randrange(n) for _ in range(count)]``, one call.
+
+    Bulk variant for value-stream mutators (random blob bodies): the
+    per-draw Python function call and argument checks are hoisted out
+    of the loop while the draw itself stays bit-exact.  Same
+    preconditions as :func:`randbelow`, checked here.
+    """
+    if count <= 0:
+        return []
+    if type(rng) is not random.Random or type(n) is not int or n <= 0:
+        return [rng.randrange(n) for _ in range(count)]
+    getrandbits = rng.getrandbits
+    k = n.bit_length()
+    out = []
+    append = out.append
+    for _ in range(count):
+        r = getrandbits(k)
+        while r >= n:
+            r = getrandbits(k)
+        append(r)
+    return out
+
+
+def choice(rng: random.Random, seq):
+    """Exactly ``rng.choice(seq)``, minus the method-call ceremony."""
+    n = len(seq)
+    if n <= 0 or type(rng) is not random.Random:
+        return rng.choice(seq)
+    getrandbits = rng.getrandbits
+    k = n.bit_length()
+    r = getrandbits(k)
+    while r >= n:
+        r = getrandbits(k)
+    return seq[r]
+
+
+def randint(rng: random.Random, a: int, b: int) -> int:
+    """Exactly ``rng.randint(a, b)`` for plain-int bounds."""
+    if type(rng) is not random.Random or type(a) is not int or type(b) is not int:
+        return rng.randint(a, b)
+    width = b - a + 1
+    if width <= 0:
+        return rng.randint(a, b)
+    getrandbits = rng.getrandbits
+    k = width.bit_length()
+    r = getrandbits(k)
+    while r >= width:
+        r = getrandbits(k)
+    return a + r
+
+
+def randrange(rng: random.Random, start: int, stop=None) -> int:
+    """Exactly ``rng.randrange(start[, stop])`` for plain-int bounds."""
+    if type(rng) is not random.Random or type(start) is not int:
+        if stop is None:
+            return rng.randrange(start)
+        return rng.randrange(start, stop)
+    if stop is None:
+        width = start
+    elif type(stop) is int:
+        width = stop - start
+    else:
+        return rng.randrange(start, stop)
+    if width <= 0:
+        if stop is None:
+            return rng.randrange(start)
+        return rng.randrange(start, stop)
+    getrandbits = rng.getrandbits
+    k = width.bit_length()
+    r = getrandbits(k)
+    while r >= width:
+        r = getrandbits(k)
+    return r if stop is None else start + r

@@ -211,20 +211,56 @@ class DataModel:
         return "DataModel(%r)" % self.name
 
 
+#: Lazily bound ``repro.fuzzing.template.template_for`` (the template
+#: module imports this one, so the reference cannot be taken at import
+#: time without a cycle).
+_template_for = None
+
+
+def _resolve_template(model: "DataModel"):
+    global _template_for
+    if _template_for is None:
+        from repro.fuzzing.template import template_for
+
+        _template_for = template_for
+    return _template_for(model)
+
+
 class Message:
     """A concrete instantiation of a data model.
 
     Stores per-path values for leaves and selected options for choices.
     Paths are dot-joined element names, rooted below the model name
     (e.g. ``header.flags``).
+
+    When the :mod:`repro.fastpath` switch is on (the default) and the
+    model compiles, the message carries a
+    :class:`~repro.fuzzing.template.ModelTemplate` in ``_tpl`` and the
+    tree-walking operations below become dict probes against it; with
+    ``_tpl is None`` every method runs its original recursive body.
+    Both paths are observationally identical.  ``_tpl`` is derived data
+    and never pickled — it is re-resolved on unpickle.
     """
 
     def __init__(self, model: DataModel, rng: Optional[random.Random] = None):
         self.model = model
         self.rng = rng or random.Random(0)
-        self._values: Dict[str, Any] = {}
-        self._selections: Dict[str, str] = {}
-        self._populate(model.root, "")
+        template = _resolve_template(model)
+        self._tpl = template
+        #: Memoised selection state (template messages only) — resolved
+        #: lazily, dropped whenever a selection changes. Derived data,
+        #: never pickled (it holds a generated encode function).
+        self._state = None
+        #: False once any value or selection was written; clean template
+        #: messages encode to their state's cached default bytes.
+        self._clean = True
+        if template is not None:
+            self._values: Dict[str, Any] = dict(template.default_values)
+            self._selections: Dict[str, str] = dict(template.default_selections)
+        else:
+            self._values = {}
+            self._selections = {}
+            self._populate(model.root, "")
 
     def _populate(self, element: DataElement, prefix: str) -> None:
         if isinstance(element, Block):
@@ -246,6 +282,10 @@ class Message:
 
     def fields(self) -> List[Tuple[str, Any]]:
         """All active leaf (path, value) pairs in document order."""
+        template = self._tpl
+        if template is not None:
+            get = self._values.get
+            return [(path, get(path)) for path in self._active_state().field_paths]
         result: List[Tuple[str, Any]] = []
         self._collect(self.model.root, "", result)
         return result
@@ -265,8 +305,21 @@ class Message:
         """Paths of all active choice nodes."""
         return sorted(self._selections)
 
+    def _active_state(self):
+        """The template selection state for the current selections."""
+        state = self._state
+        if state is None:
+            state = self._state = self._tpl.state_for(self._selections)
+        return state
+
     def element_at(self, path: str) -> DataElement:
         """Resolve the element a path points at (following selections)."""
+        template = self._tpl
+        if template is not None:
+            found = template.elements.get(path)
+            if found is not None:
+                return found
+            # Invalid paths drop through to the walk for its exact errors.
         element: DataElement = self.model.root
         walked = ""
         if not path:
@@ -296,6 +349,7 @@ class Message:
         if path not in self._values:
             raise FuzzingError("no value at path %r" % path)
         self._values[path] = value
+        self._clean = False
 
     def select(self, choice_path: str, option_name: str) -> None:
         """Switch a choice to a different option, (re)populating it."""
@@ -304,6 +358,16 @@ class Message:
             raise FuzzingError("%r is not a choice" % choice_path)
         option = element.option(option_name)  # validates
         self._selections[choice_path] = option_name
+        self._state = None
+        self._clean = False
+        template = self._tpl
+        if template is not None:
+            state = template.option_state.get((choice_path, option_name))
+            if state is not None:
+                option_values, option_selections = state
+                self._values.update(option_values)
+                self._selections.update(option_selections)
+                return
         self._populate(option, self._join(choice_path, option.name))
 
     def selection(self, choice_path: str) -> str:
@@ -313,7 +377,17 @@ class Message:
             raise FuzzingError("no selection at %r" % choice_path)
 
     def copy(self) -> "Message":
-        clone = Message(self.model, rng=self.rng)
+        template = self._tpl
+        if template is not None:
+            # Skip __init__: the clone overwrites both dicts anyway.
+            clone = Message.__new__(Message)
+            clone.model = self.model
+            clone.rng = self.rng
+            clone._tpl = template
+        else:
+            clone = Message(self.model, rng=self.rng)
+        clone._state = self._state
+        clone._clean = self._clean
         clone._values = dict(self._values)
         clone._selections = dict(self._selections)
         return clone
@@ -321,6 +395,17 @@ class Message:
     # -- encoding ------------------------------------------------------------
 
     def encode(self) -> bytes:
+        if self._tpl is not None:
+            state = self._active_state()
+            if self._clean:
+                # Never written to: the encoding is the state's default
+                # bytes, identical for every pristine message (size
+                # relations included — they see default values too).
+                cached = state.default_bytes
+                if cached is None:
+                    cached = state.default_bytes = state.encode(self._values, self)
+                return cached
+            return state.encode(self._values, self)
         return self._encode_element(self.model.root, "")
 
     def encode_path(self, path: str) -> bytes:
@@ -340,6 +425,22 @@ class Message:
             return self._encode_element(chosen, self._join(prefix, chosen.name))
         value = self._values.get(prefix, element.default_value())
         return element.encode_value(value, self)
+
+    # -- pickling ------------------------------------------------------------
+    # Templates are derived, module-cached data; shipping them inside
+    # checkpoint payloads would bloat every corpus seed (and pin
+    # struct.Struct closures into pickles). Drop and re-resolve.
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_tpl", None)
+        state.pop("_state", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._tpl = _resolve_template(self.model)
+        self._state = None
 
     def __repr__(self) -> str:
         return "Message(%r, %d fields)" % (self.model.name, len(self._values))

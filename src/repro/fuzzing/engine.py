@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import fastpath, fastrand
 from repro.coverage.collector import CoverageCollector
 from repro.errors import TargetHang
 from repro.fuzzing.datamodel import Message
@@ -64,6 +65,45 @@ class ChannelTransport:
 
     def reset(self) -> None:
         self.target.reset_session()
+
+
+class BatchedChannelTransport(ChannelTransport):
+    """The fast-path transport: drains the server inbox in batches.
+
+    :class:`ChannelTransport` pays one ``recv`` round (deque probe,
+    ``None`` sentinel, loop re-entry) per pending datagram plus a final
+    empty probe per send.  This variant pulls everything pending in one
+    :meth:`~repro.netns.channel.Endpoint.drain` and walks the batch as
+    a plain list, re-draining until the inbox stays empty — the same
+    FIFO order, byte counters and closed-endpoint errors, observed by
+    the differential tests in ``tests/netns/test_channel_batch.py``.
+
+    If the target faults mid-batch, the unprocessed remainder is pushed
+    back to the *front* of the inbox, leaving exactly the datagrams the
+    slow path would have left queued.
+    """
+
+    def send(self, payload: bytes) -> Optional[bytes]:
+        channel = self.channel
+        channel.send_to_server(payload)
+        server = channel.server
+        target = self.target
+        response: Optional[bytes] = None
+        while True:
+            batch = server.drain()
+            if not batch:
+                return response
+            done = 0
+            try:
+                for pending in batch:
+                    done += 1
+                    reply = target.handle_packet(pending)
+                    if reply:
+                        channel.send_to_client(reply)
+                        response = channel.client.recv()
+            except BaseException:
+                server.requeue(batch[done:])
+                raise
 
 
 @dataclass
@@ -136,7 +176,18 @@ class FuzzEngine:
         if outbox_limit < 1:
             raise ValueError("outbox_limit must be >= 1")
         self.session_length = session_length
+        #: Sampled once at construction (and pickled), so a checkpointed
+        #: engine resumes on the path it was built with.
+        self._fast = fastpath.enabled()
+        #: state name -> data-model names of its send actions, in order
+        #: (the action loop skips non-send actions with no other effect,
+        #: so the fast iteration walks this instead). Lazily built.
+        self._send_models = {}
         self.corpus: List[Message] = []
+        #: model name -> corpus entries for that model, in corpus order.
+        #: Maintained alongside ``corpus`` so replay selection skips the
+        #: per-iteration linear scan; eviction pops both in lockstep.
+        self._corpus_by_model = {}
         #: Locally discovered seeds awaiting cross-instance broadcast;
         #: drained by :class:`repro.parallel.sync.SeedSynchronizer`.
         self.sync_outbox: List[Message] = []
@@ -149,6 +200,11 @@ class FuzzEngine:
         tele = telemetry or NULL_TELEMETRY
         labels = dict(labels or {})
         self.telemetry = tele
+        #: Whether counter bumps observe anything. The fast iteration
+        #: skips the ~10 no-op counter calls per iteration when running
+        #: without telemetry (benchmarks, unit tests); campaigns with a
+        #: live sink count exactly as the slow loop does.
+        self._tele_live = tele is not NULL_TELEMETRY
         self._c_execs = tele.counter("engine.execs", **labels)
         self._c_messages = tele.counter("engine.messages", **labels)
         self._c_responses = tele.counter("engine.responses", **labels)
@@ -168,9 +224,13 @@ class FuzzEngine:
     # -- corpus ------------------------------------------------------------
 
     def _retain(self, message: Message) -> None:
-        self.corpus.append(message.copy())
+        retained = message.copy()
+        self.corpus.append(retained)
+        self._corpus_by_model.setdefault(retained.model.name, []).append(retained)
         if len(self.corpus) > self.corpus_limit:
-            self.corpus.pop(0)
+            evicted = self.corpus.pop(0)
+            # The globally oldest seed is the oldest of its bucket too.
+            del self._corpus_by_model[evicted.model.name][0]
         self._g_corpus.set(len(self.corpus))
 
     def add_seed(self, message: Message) -> None:
@@ -199,13 +259,20 @@ class FuzzEngine:
     def _base_message(self, model_name: str) -> Message:
         model = self.state_model.data_model(model_name)
         if self.corpus and self.rng.random() < self.replay_probability:
-            candidates = [m for m in self.corpus if m.model.name == model_name]
-            if candidates:
-                return self.rng.choice(candidates).copy()
+            if self._fast:
+                candidates = self._corpus_by_model.get(model_name)
+                if candidates:
+                    return fastrand.choice(self.rng, candidates).copy()
+            else:
+                candidates = [m for m in self.corpus if m.model.name == model_name]
+                if candidates:
+                    return self.rng.choice(candidates).copy()
         return model.build(self.rng)
 
     def _choose_path(self) -> List[str]:
         if self.allowed_paths:
+            if self._fast:
+                return list(fastrand.choice(self.rng, self.allowed_paths))
             return list(self.rng.choice(self.allowed_paths))
         return self.state_model.walk(self.rng)
 
@@ -213,6 +280,8 @@ class FuzzEngine:
 
     def run_iteration(self) -> IterationResult:
         """Execute one iteration: walk the state model, send messages."""
+        if self._fast:
+            return self._run_iteration_fast()
         if self.iterations % self.session_length == 0:
             # Fresh connection every few test cases, as a network fuzzer
             # reconnects between runs.
@@ -266,6 +335,95 @@ class FuzzEngine:
         self._c_execs.inc()
         self._c_messages.inc(messages_sent)
         self._c_responses.inc(responses)
+        return IterationResult(
+            new_sites=new_sites,
+            fault=fault,
+            path=path,
+            messages_sent=messages_sent,
+            responses=responses,
+            hung=hung,
+        )
+
+    def _run_iteration_fast(self) -> IterationResult:
+        """The fast-path twin of :meth:`run_iteration`.
+
+        Identical control flow and RNG consumption; the deltas are pure
+        mechanics — attribute lookups hoisted out of the send loop, the
+        per-state send actions pre-filtered into :attr:`_send_models`
+        (the slow loop's ``continue`` on recv actions has no other
+        effect), and no-op telemetry bumps skipped when no sink is
+        attached. The golden-parity harness diffs full campaign exports
+        against the slow loop byte for byte.
+        """
+        transport = self.transport
+        if self.iterations % self.session_length == 0:
+            transport.reset()
+        collector = self.collector
+        collector.start_run()
+        path = self._choose_path()
+        fault: Optional[SanitizerFault] = None
+        hung = False
+        sent_messages: List[Message] = []
+        messages_sent = 0
+        responses = 0
+        rng = self.rng
+        base_message = self._base_message
+        strategy_apply = self.strategy.apply
+        send = transport.send
+        send_models = self._send_models
+        sent_append = sent_messages.append
+        live = self._tele_live
+        strategy_inc = self._c_strategy.inc if live else None
+        for state_name in path:
+            models = send_models.get(state_name)
+            if models is None:
+                models = [
+                    action.data_model
+                    for action in self.state_model.state(state_name).actions
+                    if action.kind == "send"
+                ]
+                send_models[state_name] = models
+            for model_name in models:
+                base = base_message(model_name)
+                message = strategy_apply(base, rng)
+                if live:
+                    strategy_inc()
+                payload = message.encode()
+                sent_append(message)
+                messages_sent += 1
+                try:
+                    reply = send(payload)
+                except SanitizerFault as caught:
+                    fault = caught
+                    break
+                except TargetHang:
+                    hung = True
+                    break
+                if reply:
+                    responses += 1
+            if fault or hung:
+                break
+        new_sites = frozenset(collector.run_new)
+        if new_sites and not fault and not hung:
+            if live:
+                self._c_new_cov.inc()
+                self._c_new_sites.inc(len(new_sites))
+            for message in sent_messages:
+                self.add_seed(message)
+        if fault:
+            self.faults_seen += 1
+            self._c_faults.inc()
+            transport.reset()
+        if hung:
+            self.hangs_seen += 1
+            self._c_hangs.inc()
+            transport.reset()
+        self.iterations += 1
+        self.total_messages += messages_sent
+        if live:
+            self._c_execs.inc()
+            self._c_messages.inc(messages_sent)
+            self._c_responses.inc(responses)
         return IterationResult(
             new_sites=new_sites,
             fault=fault,

@@ -9,9 +9,12 @@ model per iteration; SPFuzz partitions its simple paths across instances.
 from __future__ import annotations
 
 import random
+from bisect import bisect
 from dataclasses import dataclass, field
+from itertools import accumulate
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import fastpath
 from repro.errors import FuzzingError
 from repro.fuzzing.datamodel import DataModel
 
@@ -70,6 +73,10 @@ class StateModel:
             if model.name in self._data_models:
                 raise FuzzingError("duplicate data model %r" % model.name)
             self._data_models[model.name] = model
+        #: state name -> (targets, cum_weights, total, hi) for the
+        #: fast transition draw in :meth:`walk` (built lazily; plain
+        #: data, so it checkpoints along with the model).
+        self._walk_cache: Dict[str, tuple] = {}
         self._validate()
 
     def _validate(self) -> None:
@@ -112,6 +119,28 @@ class StateModel:
         """
         path = [self.initial]
         current = self._states[self.initial]
+        if type(rng) is random.Random and fastpath.enabled():
+            # ``Random.choices(pop, weights=w, k=1)`` re-accumulates the
+            # weights and re-derives its bisect bounds every call; its
+            # draw is ``pop[bisect(cum, random() * total, 0, hi)]`` on
+            # every supported interpreter.  Caching (cum, total, hi)
+            # per state consumes the identical random() value and picks
+            # the identical successor, one attribute call per hop.
+            cache = self._walk_cache
+            states = self._states
+            rand = rng.random
+            while current.transitions and len(path) < max_states:
+                entry = cache.get(current.name)
+                if entry is None:
+                    targets = [t for t, _ in current.transitions]
+                    cum = list(accumulate(w for _, w in current.transitions))
+                    entry = (targets, cum, cum[-1] + 0.0, len(targets) - 1)
+                    cache[current.name] = entry
+                targets, cum, total, hi = entry
+                choice = targets[bisect(cum, rand() * total, 0, hi)]
+                path.append(choice)
+                current = states[choice]
+            return path
         while current.transitions and len(path) < max_states:
             targets = [t for t, _ in current.transitions]
             weights = [w for _, w in current.transitions]

@@ -5,6 +5,7 @@ from __future__ import annotations
 import random
 from typing import List, Sequence
 
+from repro import fastpath
 from repro.fuzzing.datamodel import Message
 from repro.fuzzing.mutators import DEFAULT_MUTATORS, Mutator, mutators_for
 
@@ -23,6 +24,14 @@ class RandomFieldStrategy(MutationStrategy):
     (protocol-compliant traffic keeps sessions progressing); otherwise
     between 1 and ``max_fields`` randomly chosen fields (including choice
     selections) are mutated with applicable mutators.
+
+    On the fast path the per-call work — rebuilding the target-path
+    list, resolving elements, recomputing applicable mutator sets — is
+    served from the message's model template and a per-strategy
+    memo; the draws themselves are bit-exact (:mod:`repro.fastrand`),
+    so both code paths pick identical mutations.  The path is sampled
+    at construction, like the engine's, so checkpointed strategies
+    resume on the path they were built with.
     """
 
     def __init__(self, max_fields: int = 3, valid_ratio: float = 0.2,
@@ -34,8 +43,25 @@ class RandomFieldStrategy(MutationStrategy):
         self.max_fields = max_fields
         self.valid_ratio = valid_ratio
         self.pool = tuple(pool)
+        self._fast = fastpath.enabled()
+        #: element -> (bound mutate_fast methods, len, len.bit_length());
+        #: elements are immutable per campaign, so the set never changes.
+        #: Dropped from pickles — unpickled element keys would be copies
+        #: that never match the campaign's elements.
+        self._applicable = {}
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_applicable"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._applicable = {}
 
     def apply(self, message: Message, rng: random.Random) -> Message:
+        if self._fast and message._tpl is not None and type(rng) is random.Random:
+            return self._apply_fast(message, rng)
         if rng.random() < self.valid_ratio:
             return message
         mutated = message.copy()
@@ -52,6 +78,56 @@ class RandomFieldStrategy(MutationStrategy):
                 continue
             mutator = rng.choice(applicable)
             mutator.mutate(mutated, path, rng)
+        return mutated
+
+    def _apply_fast(self, message: Message, rng: random.Random) -> Message:
+        if rng.random() < self.valid_ratio:
+            return message
+        mutated = message.copy()
+        template = mutated._tpl
+        state = mutated._state
+        if state is None:
+            state = mutated._state = template.state_for(mutated._selections)
+        targets = state.target_paths
+        if not targets:
+            return mutated
+        elements = template.elements
+        memo = self._applicable
+        getrandbits = rng.getrandbits
+        # ``randint(1, max_fields)`` and the two per-pick ``choice``
+        # calls with the rejection loops inlined — bit-exact with the
+        # stdlib draws, including the degenerate single-candidate case
+        # (which still consumes one bit).
+        width = self.max_fields
+        k = width.bit_length()
+        r = getrandbits(k)
+        while r >= width:
+            r = getrandbits(k)
+        count = 1 + r
+        n_targets = len(targets)
+        kt = n_targets.bit_length()
+        for _ in range(count):
+            r = getrandbits(kt)
+            while r >= n_targets:
+                r = getrandbits(kt)
+            path = targets[r]
+            element = elements[path]
+            entry = memo.get(element)
+            if entry is None:
+                applicable = mutators_for(element, self.pool)
+                entry = (
+                    [mutator.mutate_fast for mutator in applicable],
+                    len(applicable),
+                    len(applicable).bit_length(),
+                )
+                memo[element] = entry
+            mutate_fasts, n, ka = entry
+            if not n:
+                continue
+            r = getrandbits(ka)
+            while r >= n:
+                r = getrandbits(ka)
+            mutate_fasts[r](mutated, path, rng)
         return mutated
 
 

@@ -27,6 +27,24 @@ class Endpoint:
             return self._inbox.popleft()
         return None
 
+    def drain(self) -> list:
+        """Pop *all* pending datagrams in FIFO order (maybe empty).
+
+        The batched transport's primitive: one call replaces a
+        ``recv``-until-``None`` loop, amortising the per-datagram deque
+        probes into a single list build.
+        """
+        if not self._inbox:
+            return []
+        batch = list(self._inbox)
+        self._inbox.clear()
+        return batch
+
+    def requeue(self, payloads) -> None:
+        """Push datagrams back to the *front* of the inbox, preserving
+        their order (undo for the unprocessed tail of a drained batch)."""
+        self._inbox.extendleft(reversed(payloads))
+
     def pending(self) -> int:
         return len(self._inbox)
 
@@ -62,6 +80,15 @@ class Channel:
     def send_to_server(self, payload: bytes) -> None:
         self.server.deliver(payload)
         self.bytes_to_server += len(payload)
+
+    def send_many_to_server(self, payloads) -> None:
+        """Deliver a burst of datagrams in order, counting bytes once."""
+        total = 0
+        deliver = self.server.deliver
+        for payload in payloads:
+            deliver(payload)
+            total += len(payload)
+        self.bytes_to_server += total
 
     def send_to_client(self, payload: bytes) -> None:
         self.client.deliver(payload)

@@ -1,0 +1,206 @@
+"""Differential suite: IndexedCoverageMap must mirror CoverageMap.
+
+A hypothesis state machine drives a slow-path :class:`CoverageMap` and a
+fast-path :class:`IndexedCoverageMap` through arbitrary operation
+sequences (hit / merge / union / new_sites / same_sites / copy / clear /
+equality) and asserts the observable states never diverge, plus pickle
+round-trip properties for the interner, the map and the interned
+collector.
+"""
+
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.coverage.bitmap import CoverageMap
+from repro.coverage.collector import CoverageCollector, InternedCoverageCollector
+from repro.coverage.indexed import IndexedCoverageMap
+from repro.coverage.interner import SiteInterner
+
+SITES = st.sampled_from(["a", "b", "c", "dispatch.opcode/T", "x:y/F", "long." * 8])
+COUNTS = st.integers(min_value=1, max_value=5)
+
+
+def _site_lists():
+    return st.lists(st.tuples(SITES, COUNTS), max_size=8)
+
+
+def _assert_mirrors(slow: CoverageMap, fast: IndexedCoverageMap):
+    assert fast.as_dict() == dict(slow._hits)
+    assert fast.sites() == slow.sites()
+    assert len(fast) == len(slow)
+    assert bool(fast) == bool(slow)
+    assert sorted(fast) == sorted(slow)
+    assert fast == slow          # IndexedCoverageMap.__eq__
+    assert slow == fast          # reflected through NotImplemented
+    for site in slow.sites():
+        assert site in fast
+        assert fast.count(site) == slow.count(site)
+    assert "never-hit" not in fast
+    assert fast.count("never-hit") == 0
+
+
+class MapEquivalence(RuleBasedStateMachine):
+    """Drive both flavours through the same operations."""
+
+    def __init__(self):
+        super().__init__()
+        self.slow = CoverageMap()
+        self.fast = IndexedCoverageMap()
+
+    @rule(site=SITES, count=COUNTS)
+    def hit(self, site, count):
+        self.slow.hit(site, count)
+        self.fast.hit(site, count)
+
+    @rule(pairs=_site_lists(), indexed=st.booleans(), shared=st.booleans())
+    def merge(self, pairs, indexed, shared):
+        """Merge an indexed (same or foreign interner) or plain map."""
+        slow_other = CoverageMap()
+        if indexed:
+            interner = self.fast.interner if shared else SiteInterner()
+            fast_other = IndexedCoverageMap(interner)
+        else:
+            fast_other = CoverageMap()
+        for site, count in pairs:
+            slow_other.hit(site, count)
+            fast_other.hit(site, count)
+        self.slow.merge(slow_other)
+        self.fast.merge(fast_other)
+
+    @rule(pairs=_site_lists())
+    def union_and_diff_match(self, pairs):
+        slow_other = CoverageMap()
+        fast_other = IndexedCoverageMap(self.fast.interner)
+        for site, count in pairs:
+            slow_other.hit(site, count)
+            fast_other.hit(site, count)
+        assert (self.fast.union(fast_other).as_dict()
+                == dict(self.slow.union(slow_other)._hits))
+        assert self.fast.new_sites(fast_other) == self.slow.new_sites(slow_other)
+        assert (self.fast.same_sites(fast_other)
+                == self.slow.same_sites(slow_other))
+        # Cross-flavor: indexed vs plain map arguments agree too.
+        assert self.fast.new_sites(slow_other) == self.slow.new_sites(slow_other)
+        assert (self.fast.same_sites(slow_other)
+                == self.slow.same_sites(slow_other))
+
+    @rule()
+    def copy_detaches(self):
+        before = self.fast.as_dict()
+        fast_clone = self.fast.copy()
+        slow_clone = self.slow.copy()
+        fast_clone.hit("clone-only")
+        slow_clone.hit("clone-only")
+        _assert_mirrors(slow_clone, fast_clone)
+        # Mutating the clone left the original untouched.
+        assert self.fast.as_dict() == before
+
+    @rule()
+    def pickle_round_trip(self):
+        restored = pickle.loads(pickle.dumps(self.fast))
+        assert restored == self.fast
+        assert restored.as_dict() == self.fast.as_dict()
+
+    @rule()
+    def clear(self):
+        self.slow.clear()
+        self.fast.clear()
+
+    @invariant()
+    def observably_identical(self):
+        _assert_mirrors(self.slow, self.fast)
+
+
+TestMapEquivalence = MapEquivalence.TestCase
+TestMapEquivalence.settings = settings(max_examples=30, deadline=None,
+                                       stateful_step_count=20)
+
+
+# -- interner properties ---------------------------------------------------
+
+
+@given(st.lists(SITES))
+def test_interner_ids_are_dense_and_stable(sites):
+    interner = SiteInterner()
+    ids = [interner.intern(site) for site in sites]
+    # Re-interning returns the same id; ids are dense from zero.
+    assert [interner.intern(site) for site in sites] == ids
+    assert sorted(set(ids)) == list(range(len(set(sites))))
+    for site, idx in zip(sites, ids):
+        assert interner._sites[idx] == site
+
+
+@given(st.lists(SITES))
+def test_interner_pickle_round_trip(sites):
+    interner = SiteInterner()
+    for site in sites:
+        interner.intern(site)
+    restored = pickle.loads(pickle.dumps(interner))
+    assert restored == interner
+    # The restored mapping hands out identical ids for known sites...
+    for site in set(sites):
+        assert restored.intern(site) == interner.intern(site)
+    # ...and keeps allocating densely above them.
+    fresh = restored.intern("fresh-after-restore")
+    assert fresh == len(set(sites))
+
+
+def test_indexed_map_pickle_preserves_shared_interner():
+    interner = SiteInterner()
+    left = IndexedCoverageMap(interner, sites=["a", "b"])
+    right = IndexedCoverageMap(interner, sites=["b", "c"])
+    restored_left, restored_right = pickle.loads(pickle.dumps((left, right)))
+    # One shared interner object on both sides of the round trip.
+    assert restored_left.interner is restored_right.interner
+    assert restored_left == left and restored_right == right
+
+
+@pytest.mark.parametrize("flavor", ["slow", "fast"])
+def test_collector_pickle_round_trip(flavor):
+    collector = (CoverageCollector("comp") if flavor == "slow"
+                 else InternedCoverageCollector("comp"))
+    rng = random.Random(3)
+    for _ in range(50):
+        collector.branch("site%d" % rng.randrange(8), rng.random() < 0.5)
+    collector.start_run()
+    collector.hit("after-run")
+    restored = pickle.loads(pickle.dumps(collector))
+    assert restored.component == collector.component
+    assert restored.run_new == collector.run_new
+    assert dict(_hits(restored.total)) == dict(_hits(collector.total))
+    assert dict(_hits(restored.run)) == dict(_hits(collector.run))
+    # The restored collector keeps collecting consistently.
+    restored.hit("after-restore")
+    collector.hit("after-restore")
+    assert dict(_hits(restored.total)) == dict(_hits(collector.total))
+
+
+def _hits(coverage_map):
+    if hasattr(coverage_map, "as_dict"):
+        return coverage_map.as_dict()
+    return coverage_map._hits
+
+
+def test_collectors_observe_identically():
+    """The two collector flavours report the same run/total/run_new."""
+    slow, fast = CoverageCollector("c"), InternedCoverageCollector("c")
+    rng = random.Random(7)
+    for step in range(200):
+        if step % 17 == 0:
+            slow.start_run()
+            fast.start_run()
+        site = "s%d" % rng.randrange(12)
+        if rng.random() < 0.5:
+            slow.hit(site)
+            fast.hit(site)
+        else:
+            taken = rng.random() < 0.5
+            assert slow.branch(site, taken) == fast.branch(site, taken)
+        assert slow.run_new == fast.run_new
+    assert dict(slow.total._hits) == fast.total.as_dict()
+    assert dict(slow.run._hits) == fast.run.as_dict()

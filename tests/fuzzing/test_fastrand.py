@@ -1,0 +1,172 @@
+"""Bit-exactness properties for :mod:`repro.fastrand`.
+
+Every helper must consume the generator's state exactly like the stdlib
+method it replaces: same return value AND same internal state after the
+call, over shared-seed generator pairs. State equality after the call
+is the stronger property — it proves a long mixed sequence of fast and
+stdlib draws can never diverge.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import fastrand
+
+_SETTINGS = settings(max_examples=200, deadline=None)
+
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _pair(seed):
+    """Two generators with identical state."""
+    return random.Random(seed), random.Random(seed)
+
+
+def _assert_same_state(a: random.Random, b: random.Random):
+    assert a.getstate() == b.getstate()
+
+
+@_SETTINGS
+@given(seed=SEEDS, n=st.integers(min_value=1, max_value=2**40))
+def test_randbelow_matches_stdlib(seed, n):
+    fast_rng, std_rng = _pair(seed)
+    assert fastrand.randbelow(fast_rng, n) == std_rng._randbelow(n)
+    _assert_same_state(fast_rng, std_rng)
+
+
+@_SETTINGS
+@given(seed=SEEDS, n=st.integers(min_value=1, max_value=512),
+       count=st.integers(min_value=0, max_value=64))
+def test_randbelow_many_matches_stdlib(seed, n, count):
+    fast_rng, std_rng = _pair(seed)
+    expected = [std_rng.randrange(n) for _ in range(count)]
+    assert fastrand.randbelow_many(fast_rng, n, count) == expected
+    _assert_same_state(fast_rng, std_rng)
+
+
+@_SETTINGS
+@given(seed=SEEDS, size=st.integers(min_value=1, max_value=40))
+def test_choice_matches_stdlib(seed, size):
+    fast_rng, std_rng = _pair(seed)
+    seq = list(range(size))
+    assert fastrand.choice(fast_rng, seq) == std_rng.choice(seq)
+    _assert_same_state(fast_rng, std_rng)
+
+
+@_SETTINGS
+@given(seed=SEEDS,
+       a=st.integers(min_value=-2**33, max_value=2**33),
+       width=st.integers(min_value=0, max_value=2**34))
+def test_randint_matches_stdlib(seed, a, width):
+    fast_rng, std_rng = _pair(seed)
+    b = a + width
+    assert fastrand.randint(fast_rng, a, b) == std_rng.randint(a, b)
+    _assert_same_state(fast_rng, std_rng)
+
+
+@_SETTINGS
+@given(seed=SEEDS, stop=st.integers(min_value=1, max_value=2**34))
+def test_randrange_one_arg_matches_stdlib(seed, stop):
+    fast_rng, std_rng = _pair(seed)
+    assert fastrand.randrange(fast_rng, stop) == std_rng.randrange(stop)
+    _assert_same_state(fast_rng, std_rng)
+
+
+@_SETTINGS
+@given(seed=SEEDS,
+       start=st.integers(min_value=-2**33, max_value=2**33),
+       width=st.integers(min_value=1, max_value=2**34))
+def test_randrange_two_arg_matches_stdlib(seed, start, width):
+    fast_rng, std_rng = _pair(seed)
+    stop = start + width
+    assert (fastrand.randrange(fast_rng, start, stop)
+            == std_rng.randrange(start, stop))
+    _assert_same_state(fast_rng, std_rng)
+
+
+@_SETTINGS
+@given(seed=SEEDS, data=st.data())
+def test_mixed_sequences_never_diverge(seed, data):
+    """Interleave fast and stdlib draws on paired generators."""
+    fast_rng, std_rng = _pair(seed)
+    ops = data.draw(st.lists(st.sampled_from(
+        ["choice", "randint", "randrange", "random", "getrandbits"]),
+        max_size=30))
+    for op in ops:
+        if op == "choice":
+            seq = ("x", "y", "z")
+            assert fastrand.choice(fast_rng, seq) == std_rng.choice(seq)
+        elif op == "randint":
+            assert fastrand.randint(fast_rng, -3, 7) == std_rng.randint(-3, 7)
+        elif op == "randrange":
+            assert fastrand.randrange(fast_rng, 11) == std_rng.randrange(11)
+        elif op == "random":
+            assert fast_rng.random() == std_rng.random()
+        else:
+            assert fast_rng.getrandbits(13) == std_rng.getrandbits(13)
+    _assert_same_state(fast_rng, std_rng)
+
+
+# -- fallback behaviour ----------------------------------------------------
+
+
+class _CountingRandom(random.Random):
+    """A subclass — helpers must delegate, not assume the base layout."""
+
+    def __init__(self, seed):
+        super().__init__(seed)
+        self.calls = 0
+
+    def choice(self, seq):
+        self.calls += 1
+        return super().choice(seq)
+
+    def randint(self, a, b):
+        self.calls += 1
+        return super().randint(a, b)
+
+    def randrange(self, start, stop=None, step=1):
+        self.calls += 1
+        if stop is None:
+            return super().randrange(start)
+        return super().randrange(start, stop, step)
+
+
+def test_subclasses_are_delegated():
+    rng = _CountingRandom(5)
+    fastrand.choice(rng, [1, 2, 3])
+    assert rng.calls >= 1
+    before = rng.calls
+    fastrand.randint(rng, 0, 9)
+    assert rng.calls > before
+    before = rng.calls
+    fastrand.randrange(rng, 4)
+    fastrand.randrange(rng, 2, 8)
+    assert rng.calls >= before + 2
+    before = rng.calls
+    fastrand.randbelow_many(rng, 6, 3)
+    assert rng.calls >= before + 3  # delegates per draw
+
+
+def test_degenerate_inputs_raise_like_stdlib():
+    rng = random.Random(0)
+    with pytest.raises(IndexError):
+        fastrand.choice(rng, [])
+    with pytest.raises(ValueError):
+        fastrand.randint(rng, 5, 4)
+    with pytest.raises(ValueError):
+        fastrand.randrange(rng, 0)
+    with pytest.raises(ValueError):
+        fastrand.randrange(rng, 7, 7)
+    assert fastrand.randbelow_many(rng, 10, 0) == []
+
+
+def test_non_int_bounds_are_delegated():
+    fast_rng, std_rng = random.Random(9), random.Random(9)
+    assert fastrand.randint(fast_rng, True, 10) == std_rng.randint(True, 10)
+    assert fastrand.randrange(fast_rng, True) is not None
+    _ = std_rng.randrange(True)
+    assert fast_rng.getstate() == std_rng.getstate()

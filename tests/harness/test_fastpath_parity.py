@@ -1,0 +1,136 @@
+"""Golden parity: the engine fast path must not change campaign output.
+
+The hot-loop fast path (interned coverage, model templates, fastrand
+draws, batched transport) is gated by ``CMFUZZ_FAST_PATH``. These tests
+run full campaigns with the switch off (the pre-fast-path reference
+code) and on, across all four modes, serial and pooled execution, and
+through checkpoint kill-and-resume — and require the exported JSON be
+byte-identical every time. This is the harness the optimisation work
+is not allowed to escape.
+"""
+
+import dataclasses
+import tempfile
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import fastpath
+from repro.errors import CampaignInterrupted
+from repro.harness.campaign import CampaignConfig, run_campaign
+from repro.harness.executor import CampaignSpec, execute_specs, results
+from repro.harness.export import results_to_json
+from repro.parallel import MODES
+from repro.pits import pit_registry
+from repro.targets import target_registry
+
+_SETTINGS = dict(
+    max_examples=6, deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+ALL_MODES = ["peach", "spfuzz", "cmfuzz", "hybrid"]
+
+
+def _config(seed, **overrides):
+    base = dict(n_instances=2, duration_hours=1.0, seed=seed,
+                sample_interval=300.0)
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def _run(mode_name, config, abort_at=None):
+    hook = None
+    if abort_at is not None:
+        hook = lambda iterations, now: iterations >= abort_at  # noqa: E731
+    return run_campaign(
+        target_registry()["dnsmasq"], pit_registry()["dnsmasq"](),
+        MODES[mode_name](), config, abort_hook=hook,
+    )
+
+
+def _export(mode_name, config, fast, abort_at=None):
+    with fastpath.forced(fast):
+        return results_to_json([_run(mode_name, config, abort_at=abort_at)])
+
+
+class TestSerialParity:
+    @settings(**_SETTINGS)
+    @given(mode_name=st.sampled_from(ALL_MODES),
+           seed=st.integers(min_value=0, max_value=10_000))
+    def test_fast_equals_slow(self, mode_name, seed):
+        config = _config(seed)
+        assert (_export(mode_name, config, fast=True)
+                == _export(mode_name, config, fast=False))
+
+    def test_every_mode_once_fixed_seed(self):
+        """A deterministic smoke leg per mode (hypothesis-independent)."""
+        for mode_name in ALL_MODES:
+            config = _config(seed=7)
+            slow = _export(mode_name, config, fast=False)
+            fast = _export(mode_name, config, fast=True)
+            assert fast == slow, "fast path diverged in mode %r" % mode_name
+
+
+class TestPooledParity:
+    """The flag reaches pooled workers through the environment."""
+
+    def _specs(self, seed):
+        return [CampaignSpec(target="dnsmasq", mode=mode_name,
+                             config=_config(seed))
+                for mode_name in ("peach", "cmfuzz")]
+
+    def _grid_export(self, seed, workers):
+        cells = execute_specs(self._specs(seed), workers=workers)
+        for cell in cells:
+            assert cell.failure is None, cell.failure
+        return results_to_json(results(cells))
+
+    def test_workers_parity(self, monkeypatch):
+        monkeypatch.setenv(fastpath.ENV_VAR, "0")
+        reference = self._grid_export(3, workers=1)
+        monkeypatch.setenv(fastpath.ENV_VAR, "1")
+        assert self._grid_export(3, workers=1) == reference
+        assert self._grid_export(3, workers=2) == reference
+
+
+class TestCheckpointResumeParity:
+    @settings(**_SETTINGS)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           abort_at=st.integers(min_value=1, max_value=250),
+           resume_fast=st.booleans())
+    def test_fast_kill_resume_equals_slow_uninterrupted(self, seed, abort_at,
+                                                        resume_fast):
+        """Checkpoint written by a fast campaign, resumed on either path,
+        must still match the slow uninterrupted reference byte-for-byte."""
+        with tempfile.TemporaryDirectory() as checkpoint_dir:
+            config = _config(seed, checkpoint_every=300.0,
+                             checkpoint_dir=checkpoint_dir)
+            reference = _export("cmfuzz", config, fast=False)
+            try:
+                _export("cmfuzz", config, fast=True, abort_at=abort_at)
+            except CampaignInterrupted:
+                pass  # the expected path; a tiny k may finish first
+            resumed = _export("cmfuzz",
+                              dataclasses.replace(config, resume=True),
+                              fast=resume_fast)
+            assert resumed == reference
+
+
+class TestSwitch:
+    def test_default_is_on(self, monkeypatch):
+        monkeypatch.delenv(fastpath.ENV_VAR, raising=False)
+        assert fastpath.enabled()
+
+    def test_zero_disables(self, monkeypatch):
+        monkeypatch.setenv(fastpath.ENV_VAR, "0")
+        assert not fastpath.enabled()
+
+    def test_forced_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(fastpath.ENV_VAR, "0")
+        with fastpath.forced(True):
+            assert fastpath.enabled()
+            with fastpath.forced(False):
+                assert not fastpath.enabled()
+            assert fastpath.enabled()
+        assert not fastpath.enabled()
