@@ -5,7 +5,10 @@
 # Flow: (1) run the reference campaign to completion; (2) run the same
 # campaign with --checkpoint-every and SIGTERM it mid-run (expect exit
 # 75, the EX_TEMPFAIL "rerun with --resume" code); (3) --resume it to
-# completion; (4) byte-compare the two export files.
+# completion; (4) byte-compare the two export files. A second leg
+# repeats (2)-(4) with the infrastructure fault plane switched on
+# (--io-chaos-level): kill-and-resume under injected I/O faults must
+# still reproduce the fault-free reference byte for byte.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
@@ -16,30 +19,40 @@ trap 'rm -rf "$WORK"' EXIT
 ARGS=(campaign --target dnsmasq --mode cmfuzz --instances 4 --hours 48
       --seed 7 --no-cache --checkpoint-every 1800)
 
+# kill_and_resume <label> <cache-dir> <export-path> [extra flags...]
+# Starts the campaign, SIGTERMs it after 2s (expects exit 75), then
+# resumes it to completion into the same export path.
+kill_and_resume() {
+    local label=$1 cache=$2 export_path=$3
+    shift 3
+
+    echo "== $label: checkpointing run, killed mid-campaign"
+    CMFUZZ_CACHE_DIR="$cache" python -m repro "${ARGS[@]}" "$@" \
+        --export "$export_path" &
+    local pid=$!
+    sleep 2
+    kill -TERM "$pid" 2>/dev/null || true
+    set +e
+    wait "$pid"
+    local code=$?
+    set -e
+    if [ "$code" -ne 75 ]; then
+        echo "FAIL: expected interrupt exit code 75, got $code" >&2
+        echo "(the campaign may have finished before the SIGTERM landed;" >&2
+        echo " raise --hours or shorten the sleep)" >&2
+        exit 1
+    fi
+
+    echo "== $label: resumed run"
+    CMFUZZ_CACHE_DIR="$cache" python -m repro "${ARGS[@]}" "$@" \
+        --resume --export "$export_path"
+}
+
 echo "== uninterrupted reference run"
 CMFUZZ_CACHE_DIR="$WORK/cache-ref" python -m repro "${ARGS[@]}" \
     --export "$WORK/reference.json"
 
-echo "== checkpointing run, killed mid-campaign"
-CMFUZZ_CACHE_DIR="$WORK/cache-resume" python -m repro "${ARGS[@]}" \
-    --export "$WORK/resumed.json" &
-PID=$!
-sleep 2
-kill -TERM "$PID" 2>/dev/null || true
-set +e
-wait "$PID"
-CODE=$?
-set -e
-if [ "$CODE" -ne 75 ]; then
-    echo "FAIL: expected interrupt exit code 75, got $CODE" >&2
-    echo "(the campaign may have finished before the SIGTERM landed;" >&2
-    echo " raise --hours or shorten the sleep)" >&2
-    exit 1
-fi
-
-echo "== resumed run"
-CMFUZZ_CACHE_DIR="$WORK/cache-resume" python -m repro "${ARGS[@]}" \
-    --resume --export "$WORK/resumed.json"
+kill_and_resume "plain" "$WORK/cache-resume" "$WORK/resumed.json"
 
 echo "== byte-comparing exports"
 if ! diff "$WORK/reference.json" "$WORK/resumed.json"; then
@@ -47,3 +60,13 @@ if ! diff "$WORK/reference.json" "$WORK/resumed.json"; then
     exit 1
 fi
 echo "resume determinism: OK (exports byte-identical)"
+
+kill_and_resume "io-storm" "$WORK/cache-storm" "$WORK/stormed.json" \
+    --io-chaos-level 0.3 --io-chaos-seed 7
+
+echo "== byte-comparing the under-faults export against the reference"
+if ! diff "$WORK/reference.json" "$WORK/stormed.json"; then
+    echo "FAIL: resume under I/O faults differs from the fault-free run" >&2
+    exit 1
+fi
+echo "resume determinism under faults: OK (exports byte-identical)"

@@ -16,15 +16,14 @@ Model-build scheduling (probe workers, on-disk probe cache) lives in
 :class:`ModelBuildConfig`; campaign scheduling reuses
 :class:`~repro.harness.campaign.CampaignConfig`.
 
-:func:`run_campaign` still accepts the historical positional signature
-``run_campaign(target_cls, state_model, mode_obj, config)`` — it emits a
-:class:`DeprecationWarning` and will lose that spelling in a future
-release; call it with a registry target name instead.
+The historical positional signature
+``run_campaign(target_cls, state_model, mode_obj, config)`` was removed
+after its deprecation cycle; call it with a registry target name (and
+optionally a live mode object) instead.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
@@ -165,14 +164,13 @@ def run_campaign(
     target,
     mode="cmfuzz",
     config: Optional[CampaignConfig] = None,
-    legacy_config: Optional[CampaignConfig] = None,
     mode_kwargs: Optional[Dict[str, Any]] = None,
     cache: bool = False,
     cache_dir: Optional[str] = None,
 ) -> CampaignResult:
     """Run one fuzzing campaign.
 
-    New spelling — registry names, typed config::
+    Registry names, typed config::
 
         result = run_campaign("mosquitto", mode="cmfuzz",
                               config=CampaignConfig(duration_hours=6.0))
@@ -182,24 +180,15 @@ def run_campaign(
     the campaign outcome is memoised on disk exactly like
     :func:`repro.harness.executor.execute_specs` — note cached results
     rebuild without live instance objects.
-
-    The historical positional signature
-    ``run_campaign(target_cls, state_model, mode_obj, config)`` keeps
-    working for one release but emits a :class:`DeprecationWarning`
-    (removal slated for a later PR); migrate to the spelling above.
     """
     from repro.parallel.base import ParallelMode
 
     if not isinstance(target, str) and not isinstance(mode, (str, ParallelMode)):
-        # Legacy: run_campaign(target_cls, state_model, mode_obj, config).
-        warnings.warn(
-            "run_campaign(target_cls, state_model, mode, config) is "
-            "deprecated and will be removed in a future release; call "
-            "repro.api.run_campaign('<target name>', mode='<mode name>', "
-            "config=...) instead",
-            DeprecationWarning, stacklevel=2,
-        )
-        return _run_campaign_live(target, mode, config, legacy_config)
+        raise TypeError(
+            "the legacy positional run_campaign(target_cls, state_model, "
+            "mode, config) form was removed; call "
+            "run_campaign('<target name>', mode='<mode name>', config=...) "
+            "instead")
 
     target_cls, name = _resolve_target(target)
     if not isinstance(mode, str):

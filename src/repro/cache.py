@@ -4,7 +4,12 @@ Both caches live under one root — ``$CMFUZZ_CACHE_DIR`` or
 ``.cmfuzz-cache/`` — and share the same failure contract: an unusable
 cache directory fails fast at construction with
 :class:`~repro.errors.CacheUnavailableError` instead of surfacing an
-opaque ``OSError`` mid-campaign.
+opaque ``OSError`` mid-campaign. Once a campaign is running, cache I/O
+goes through :class:`FaultTolerantStore`: transient errors are retried
+on the fault plane's backoff schedule, persistent failure degrades the
+store to an in-memory passthrough (``cache.degraded``) instead of
+aborting, and a corrupt entry is quarantined (``cache.corrupt``)
+rather than silently counted as a miss.
 """
 
 from __future__ import annotations
@@ -12,12 +17,33 @@ from __future__ import annotations
 import dataclasses
 import enum
 import json
+import logging
 import os
 import pickle
 import uuid
-from typing import Any, Optional
+from typing import Any, Dict, Optional, Set
 
 from repro.errors import CacheUnavailableError
+from repro.faultplane import (
+    FAULT_CORRUPT,
+    FAULT_SLOW,
+    FAULT_TRANSIENT,
+    NULL_INJECTOR,
+    IoGiveUp,
+)
+from repro.telemetry import NULL_TELEMETRY
+
+logger = logging.getLogger(__name__)
+
+#: Everything ``pickle.loads`` raises on a damaged or stale payload.
+#: ``AttributeError``/``ImportError`` cover entries pickled against
+#: renamed classes; ``Index``/``Value``/``TypeError`` cover truncated or
+#: protocol-mangled streams reaching ``__setstate__``.
+UNPICKLE_ERRORS = (pickle.PickleError, EOFError, AttributeError,
+                   ImportError, IndexError, ValueError, TypeError)
+
+#: Quarantined paths already logged, so a hot loop warns once per file.
+_corrupt_logged: Set[str] = set()
 
 #: Default on-disk cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".cmfuzz-cache"
@@ -99,10 +125,120 @@ def atomic_pickle(path: str, payload: Any) -> None:
 
 
 def load_pickle(path: str) -> Optional[Any]:
-    """Load a pickled payload, mapping every corruption mode to ``None``."""
+    """Load a pickled payload, mapping every corruption mode to ``None``.
+
+    Low-level helper with no telemetry and no quarantine; the caches go
+    through :class:`FaultTolerantStore`, which additionally sidelines
+    corrupt entries instead of silently treating them as misses.
+    """
     try:
         with open(path, "rb") as handle:
             return pickle.load(handle)
-    except (OSError, pickle.PickleError, EOFError, AttributeError,
-            ImportError, IndexError):
+    except OSError:
         return None
+    except UNPICKLE_ERRORS:
+        return None
+
+
+def _read_bytes(path: str) -> Optional[bytes]:
+    """Read a file, treating absence (a plain cache miss) as ``None``.
+
+    ``FileNotFoundError`` is handled *inside* the closure so the fault
+    plane never burns retries on an entry that simply does not exist.
+    """
+    try:
+        with open(path, "rb") as handle:
+            return handle.read()
+    except FileNotFoundError:
+        return None
+
+
+class FaultTolerantStore:
+    """Pickle-on-disk store that retries, quarantines, and degrades.
+
+    The shared I/O engine behind the result and probe caches. Reads and
+    writes run under the campaign's fault injector at the sites
+    ``cache.<name>.read`` / ``cache.<name>.write``; the policies are:
+
+    - Transient ``OSError`` (real or injected): bounded retry with
+      backoff; on exhaustion the store **degrades** to an in-memory
+      passthrough for the rest of the campaign — one ``cache.degraded``
+      event, never an abort. (With ``--strict-io`` exhaustion re-raises
+      instead, restoring fail-fast.)
+    - Injected corrupt-on-read: the payload is dropped (a miss). The
+      on-disk file is healthy, so it is *not* quarantined.
+    - Real corruption (the bytes on disk do not unpickle): the entry is
+      renamed to ``<path>.corrupt``, a ``cache.corrupt`` counter fires,
+      and the path is logged once — a damaged entry must never be
+      silently indistinguishable from a miss.
+    """
+
+    def __init__(self, name: str, telemetry=None, injector=None):
+        self.name = name
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.injector = injector or NULL_INJECTOR
+        self.degraded = False
+        self._memory: Dict[str, Any] = {}
+
+    def load(self, path: str) -> Optional[Any]:
+        """The payload at ``path``, or ``None`` for a miss."""
+        if self.degraded:
+            return self._memory.get(path)
+        blob: Optional[bytes]
+        try:
+            blob = self.injector.run(
+                "cache.%s.read" % self.name,
+                lambda: _read_bytes(path),
+                kinds=(FAULT_TRANSIENT, FAULT_SLOW, FAULT_CORRUPT),
+                on_corrupt=lambda _blob: None,
+            )
+        except IoGiveUp as exc:
+            self._degrade("read", exc)
+            return self._memory.get(path)
+        if blob is None:
+            return None
+        try:
+            return pickle.loads(blob)
+        except UNPICKLE_ERRORS as exc:
+            self._quarantine(path, exc)
+            return None
+
+    def store(self, path: str, payload: Any) -> None:
+        """Persist ``payload`` at ``path`` (or in memory once degraded)."""
+        if self.degraded:
+            self._memory[path] = payload
+            return
+        try:
+            self.injector.run(
+                "cache.%s.write" % self.name,
+                lambda: atomic_pickle(path, payload),
+                kinds=(FAULT_TRANSIENT, FAULT_SLOW),
+            )
+        except IoGiveUp as exc:
+            self._degrade("write", exc)
+            self._memory[path] = payload
+
+    def _degrade(self, op: str, exc: IoGiveUp) -> None:
+        self.degraded = True
+        self.telemetry.counter("cache.degraded", cache=self.name).inc()
+        self.telemetry.event("cache.degraded", cache=self.name, op=op,
+                             error=str(exc.original))
+        logger.warning(
+            "%s cache degraded to in-memory passthrough after a failed "
+            "%s (%s); campaign continues without the on-disk cache",
+            self.name, op, exc.original)
+
+    def _quarantine(self, path: str, exc: BaseException) -> None:
+        quarantined = path + ".corrupt"
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            quarantined = None
+        self.telemetry.counter("cache.corrupt", cache=self.name).inc()
+        if path not in _corrupt_logged:
+            _corrupt_logged.add(path)
+            logger.warning(
+                "corrupt %s cache entry at %s (%s: %s); %s",
+                self.name, path, type(exc).__name__, exc,
+                "quarantined to %s" % quarantined if quarantined
+                else "quarantine rename failed, entry left in place")

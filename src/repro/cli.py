@@ -62,6 +62,18 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                              "intensity in [0, 1] (default: 0, disabled)")
     parser.add_argument("--chaos-seed", type=int, default=0,
                         help="seed for the chaos fault schedule (default: 0)")
+    parser.add_argument("--io-chaos-level", type=float, default=0.0,
+                        metavar="LEVEL",
+                        help="inject deterministic infrastructure I/O "
+                             "faults (cache, checkpoint, pool, telemetry "
+                             "sink) at this intensity in [0, 1]; exports "
+                             "stay byte-identical to the fault-free run "
+                             "(default: 0, disabled)")
+    parser.add_argument("--io-chaos-seed", type=int, default=0,
+                        help="seed for the I/O fault schedule (default: 0)")
+    parser.add_argument("--strict-io", action="store_true",
+                        help="fail fast on exhausted I/O retries instead "
+                             "of degrading gracefully")
     parser.add_argument("--metrics", action="store_true",
                         help="enable campaign telemetry and print the "
                              "metrics summary")
@@ -169,7 +181,10 @@ def _campaign_config(args) -> CampaignConfig:
                             duration_hours=args.hours, seed=args.seed,
                             telemetry=_telemetry_config(args),
                             probe_workers=args.probe_workers,
-                            probe_cache=args.probe_cache)
+                            probe_cache=args.probe_cache,
+                            io_chaos_level=args.io_chaos_level,
+                            io_chaos_seed=args.io_chaos_seed,
+                            strict_io=args.strict_io)
     return chaos_config(config, args.chaos_level, chaos_seed=args.chaos_seed)
 
 

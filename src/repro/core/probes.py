@@ -38,9 +38,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cache import (
-    atomic_pickle,
+    FaultTolerantStore,
     default_cache_dir,
-    load_pickle,
     validate_cache_dir,
 )
 from repro.coverage.bitmap import CoverageMap
@@ -234,7 +233,8 @@ class PooledProbeExecutor:
     def __init__(self, target: str, workers: int = 2,
                  timeout: Optional[float] = None, retries: int = 1,
                  chunks: Optional[int] = None, mp_context=None,
-                 telemetry=None, startup_latency: float = 0.0):
+                 telemetry=None, startup_latency: float = 0.0,
+                 injector=None):
         if workers < 1:
             raise ValueError("need at least one worker, got %d" % workers)
         self.target = target
@@ -245,6 +245,7 @@ class PooledProbeExecutor:
         self.mp_context = mp_context
         self.telemetry = telemetry
         self.startup_latency = startup_latency
+        self.injector = injector
         self.stats: Dict[str, int] = {"executed": 0, "cache_hits": 0}
 
     def run(self, assignments: Sequence[Dict[str, Any]]) -> List[ProbeOutcome]:
@@ -269,6 +270,7 @@ class PooledProbeExecutor:
             tasks, run_probe_batch, workers=self.workers,
             retries=self.retries, mp_context=self.mp_context,
             telemetry=self.telemetry, metric_prefix="modelbuild.pool",
+            injector=self.injector,
         )
         outcomes: List[ProbeOutcome] = []
         for result in results:
@@ -290,18 +292,24 @@ class ProbeCache:
     value-combination launches are never repeated across runs, targets
     never collide, and a :data:`PROBE_CACHE_VERSION` bump invalidates
     everything at once. Writes are atomic (temp + rename) so parallel
-    model builds cannot tear an entry.
+    model builds cannot tear an entry. I/O runs through a
+    :class:`~repro.cache.FaultTolerantStore`: transient errors retry,
+    persistent failure degrades to in-memory, corrupt entries are
+    quarantined instead of silently counting as misses.
     """
 
-    def __init__(self, root: Optional[str] = None):
+    def __init__(self, root: Optional[str] = None, telemetry=None,
+                 injector=None):
         base = root or default_cache_dir()
         self.root = validate_cache_dir(os.path.join(base, PROBE_CACHE_SUBDIR))
+        self.store = FaultTolerantStore("probe", telemetry=telemetry,
+                                        injector=injector)
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key + ".pkl")
 
     def get(self, key: str) -> Optional[ProbeOutcome]:
-        payload = load_pickle(self._path(key))
+        payload = self.store.load(self._path(key))
         if not isinstance(payload, dict):
             return None
         if (payload.get("version") != PROBE_CACHE_VERSION
@@ -311,7 +319,7 @@ class ProbeCache:
         return outcome if isinstance(outcome, ProbeOutcome) else None
 
     def put(self, key: str, outcome: ProbeOutcome) -> None:
-        atomic_pickle(
+        self.store.store(
             self._path(key),
             {"version": PROBE_CACHE_VERSION, "key": key, "outcome": outcome},
         )
@@ -364,6 +372,7 @@ def build_probe_executor(
     mp_context=None,
     telemetry=None,
     startup_latency: float = 0.0,
+    injector=None,
 ):
     """Wire up the executor stack for one target's model build.
 
@@ -381,6 +390,8 @@ def build_probe_executor(
         cache: Enable the on-disk probe cache.
         cache_dir: Cache root override (default ``.cmfuzz-cache/``).
         startup_latency: Simulated per-probe startup cost in seconds.
+        injector: Optional :class:`repro.faultplane.FaultInjector`
+            governing the probe cache's I/O and pooled worker deaths.
 
     Raises:
         CacheUnavailableError: When ``cache`` is enabled but the cache
@@ -392,7 +403,7 @@ def build_probe_executor(
         executor = PooledProbeExecutor(
             target_id, workers=workers, timeout=timeout, retries=retries,
             mp_context=mp_context, telemetry=telemetry,
-            startup_latency=startup_latency,
+            startup_latency=startup_latency, injector=injector,
         )
     else:
         if probe is None:
@@ -408,5 +419,7 @@ def build_probe_executor(
                                       startup_latency=startup_latency)
     if cache:
         executor = CachedProbeExecutor(
-            executor, target_id, cache=ProbeCache(cache_dir))
+            executor, target_id,
+            cache=ProbeCache(cache_dir, telemetry=telemetry,
+                             injector=injector))
     return executor

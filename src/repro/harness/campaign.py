@@ -24,7 +24,14 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set
 
-from repro.errors import CampaignInterrupted, HarnessError, StartupError, TargetHang
+from repro.errors import (
+    CampaignInterrupted,
+    CheckpointError,
+    HarnessError,
+    StartupError,
+    TargetHang,
+)
+from repro.faultplane import FaultInjector
 from repro.fuzzing.statemodel import StateModel
 from repro.fuzzing.strategies import MutationStrategy, RandomFieldStrategy
 from repro.harness.simclock import CostModel, SimClock
@@ -91,6 +98,20 @@ class CampaignConfig:
     #: How many checkpoints to retain per campaign; older blobs are
     #: pruned so corruption of the newest save still leaves fallbacks.
     checkpoint_keep: int = 3
+    #: Probability in [0, 1] of injecting a fault into each of the
+    #: harness's own I/O operations (caches, checkpoints, worker pool,
+    #: telemetry sink) — the *infrastructure* counterpart of ``chaos``.
+    #: 0.0 (the default) injects nothing and keeps every boundary
+    #: bit-identical to the un-instrumented path. Faults may cost time,
+    #: never results: exports are byte-identical at any level.
+    io_chaos_level: float = 0.0
+    #: Seed of the infrastructure fault schedule (independent of the
+    #: fuzzing seed and of ``chaos_seed``).
+    io_chaos_seed: int = 0
+    #: Restore fail-fast I/O: retry exhaustion re-raises the original
+    #: error instead of degrading (skip the checkpoint, fall back to an
+    #: in-memory cache).
+    strict_io: bool = False
 
     def __post_init__(self):
         if self.n_instances < 1:
@@ -103,6 +124,9 @@ class CampaignConfig:
             raise HarnessError("checkpoint interval must be positive")
         if self.checkpoint_keep < 1:
             raise HarnessError("need to keep at least one checkpoint")
+        if not 0.0 <= self.io_chaos_level <= 1.0:
+            raise HarnessError("io-chaos level must be in [0, 1], got %r"
+                               % (self.io_chaos_level,))
 
 
 @dataclass
@@ -121,6 +145,11 @@ class CampaignResult:
     #: MetricsRegistry.snapshot() of the campaign's telemetry; None when
     #: telemetry was disabled (so exports stay bit-identical).
     metrics: Optional[Dict[str, Any]] = None
+    #: Fault-plane accounting (:meth:`FaultInjector.summary`) when
+    #: io-chaos was enabled; None otherwise. Deliberately *not* part of
+    #: the export schema — the weather is operational detail, and the
+    #: exported results must not depend on it.
+    io_faults: Optional[Dict[str, Any]] = None
 
     @property
     def final_coverage(self) -> int:
@@ -165,10 +194,16 @@ class _CampaignContext:
         self.probe_workers = config.probe_workers
         self.probe_cache = config.probe_cache
         self.probe_cache_dir = config.probe_cache_dir
+        #: Infrastructure fault injection (io-chaos). Built before the
+        #: telemetry so the trace sink can consult it; disabled configs
+        #: get a no-op injector whose wrappers still retry real errors.
+        self.io_injector = FaultInjector.from_campaign_config(config)
         #: Campaign-wide telemetry; the shared no-op when not configured.
         self.telemetry = Telemetry.from_config(
             config.telemetry, now_fn=_ClockNow(self.clock),
+            injector=self.io_injector if self.io_injector.enabled else None,
         )
+        self.io_injector.telemetry = self.telemetry
         #: Set by run_campaign once the instances exist; modes may use it
         #: to quarantine instead of killing (graceful degradation).
         self.supervisor: Optional[InstanceSupervisor] = None
@@ -321,24 +356,50 @@ def _fresh_state(target_cls, state_model: StateModel, mode: ParallelMode,
     )
 
 
-def _save_checkpoint(store, state: _LoopState, reason: str) -> str:
-    """One atomic checkpoint plus its operational telemetry."""
+def _save_checkpoint(store, state: _LoopState,
+                     reason: str) -> Optional[str]:
+    """One atomic checkpoint plus its operational telemetry.
+
+    A failed save (retries exhausted at the fault plane, or a real
+    persistent I/O error) is skipped-and-continued: losing one
+    checkpoint only costs resume granularity, never results, so it must
+    not abort hours of campaigning. ``strict_io`` restores the
+    fail-fast behaviour. Returns the blob path, or ``None`` when the
+    save was skipped.
+    """
     telemetry = state.ctx.telemetry
-    path = store.save(state, sim_time=state.ctx.clock.now,
-                      iterations=state.iterations)
+    try:
+        path = store.save(state, sim_time=state.ctx.clock.now,
+                          iterations=state.iterations)
+    except CheckpointError:
+        if getattr(state.ctx, "io_injector", None) is not None \
+                and state.ctx.io_injector.strict:
+            raise
+        telemetry.counter("checkpoint.skipped", reason=reason).inc()
+        telemetry.event("checkpoint.skipped", reason=reason,
+                        iterations=state.iterations)
+        return None
     telemetry.counter("checkpoint.saves", reason=reason).inc()
     telemetry.event("checkpoint.save", reason=reason,
                     iterations=state.iterations)
     return path
 
 
-def _strip_operational_metrics(metrics: Optional[Dict[str, Any]]):
-    """Drop ``checkpoint.*`` series from an exported snapshot.
+#: Metric namespaces excluded from the exported snapshot: they depend
+#: on *when* a campaign was killed/resumed or on which infrastructure
+#: faults the weather injected — exactly what the byte-identical-export
+#: invariant must not depend on.
+_OPERATIONAL_PREFIXES = ("checkpoint.", "faultplane.", "cache.",
+                         "telemetry.")
 
-    Checkpoint counters depend on *when* a campaign was killed and
-    resumed — exactly what the byte-identical-export invariant must not
-    depend on. They stay visible in traces and the live registry;
-    only the deterministic export snapshot omits them.
+
+def _strip_operational_metrics(metrics: Optional[Dict[str, Any]]):
+    """Drop operational series from an exported snapshot.
+
+    Checkpoint, fault-plane, cache-health and sink-drop counters vary
+    with kill timing and injected I/O weather; they stay visible in
+    traces and the live registry, and only the deterministic export
+    snapshot omits them.
     """
     if not metrics:
         return metrics
@@ -347,7 +408,7 @@ def _strip_operational_metrics(metrics: Optional[Dict[str, Any]]):
         if isinstance(series, dict):
             metrics[kind] = {
                 key: value for key, value in series.items()
-                if not key.startswith("checkpoint.")
+                if not key.startswith(_OPERATIONAL_PREFIXES)
             }
     return metrics
 
@@ -386,10 +447,14 @@ def _drive(state: _LoopState, config: CampaignConfig, store=None,
                 path = None
                 if store is not None:
                     path = _save_checkpoint(store, state, reason="interrupt")
+                saved = ("state saved" if path is not None else
+                         "final save skipped, resume continues from the "
+                         "last good checkpoint")
                 raise CampaignInterrupted(
                     "campaign interrupted at %.0f simulated seconds "
-                    "(%d iterations); state saved — rerun with resume=True "
-                    "(--resume) to continue" % (ctx.clock.now, state.iterations),
+                    "(%d iterations); %s — rerun with resume=True "
+                    "(--resume) to continue"
+                    % (ctx.clock.now, state.iterations, saved),
                     checkpoint_path=path,
                     sim_time=ctx.clock.now,
                     iterations=state.iterations,
@@ -445,6 +510,7 @@ def _drive(state: _LoopState, config: CampaignConfig, store=None,
     metrics = telemetry.snapshot() if telemetry.enabled else None
     metrics = _strip_operational_metrics(metrics)
     telemetry.close()
+    injector = getattr(ctx, "io_injector", None)
     return CampaignResult(
         mode=mode.name,
         target=target_cls.NAME,
@@ -455,6 +521,8 @@ def _drive(state: _LoopState, config: CampaignConfig, store=None,
         iterations=state.iterations,
         supervisor_events=supervisor.events,
         metrics=metrics,
+        io_faults=(injector.summary()
+                   if injector is not None and injector.enabled else None),
     )
 
 
@@ -479,12 +547,17 @@ def run_campaign(
     if config.checkpoint_every is not None or config.resume:
         from repro.harness.checkpoint import CheckpointStore, campaign_key
 
+        # The campaign's injector only exists once the context does;
+        # checkpoint loads performed before then run under a bootstrap
+        # injector with the same plan, whose accounting is merged into
+        # the campaign's once the state is ready.
         store = CheckpointStore(
             campaign_key(target_cls.NAME, mode.name, config),
             root=config.checkpoint_dir,
             keep=config.checkpoint_keep,
             target=target_cls.NAME,
             mode=mode.name,
+            injector=FaultInjector.from_campaign_config(config),
         )
     state = None
     if store is not None and config.resume:
@@ -497,6 +570,16 @@ def run_campaign(
                             iterations=payload.iterations)
     if state is None:
         state = _fresh_state(target_cls, state_model, mode, config)
+    if store is not None:
+        # One canonical injector per campaign: fold the bootstrap
+        # loads' accounting in, point the store (and, after a restore,
+        # the reopened trace sink) at the campaign's injector.
+        injector = state.ctx.io_injector
+        injector.absorb(store.injector)
+        store.injector = injector
+        sink = state.ctx.telemetry.sink
+        if sink is not None and injector.enabled:
+            sink.injector = injector
     return _drive(state, config, store=store, abort_hook=abort_hook)
 
 

@@ -46,8 +46,16 @@ import shutil
 from dataclasses import dataclass
 from typing import Any, List, Optional
 
-from repro.cache import canonical_payload, default_cache_dir
+from repro.cache import UNPICKLE_ERRORS, canonical_payload, default_cache_dir
 from repro.errors import CheckpointError, SchemaVersionError
+from repro.faultplane import (
+    FAULT_CORRUPT,
+    FAULT_SLOW,
+    FAULT_TRANSIENT,
+    NULL_INJECTOR,
+    IoGiveUp,
+    corrupt_bytes,
+)
 
 __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
@@ -59,15 +67,19 @@ __all__ = [
 
 #: Bumped whenever the checkpoint blob or manifest layout changes; old
 #: artifacts are rejected with :class:`SchemaVersionError`, not guessed at.
-CHECKPOINT_SCHEMA_VERSION = 1
+#: 2: the pickled campaign context gained the fault-plane injector.
+CHECKPOINT_SCHEMA_VERSION = 2
 
 _MANIFEST_NAME = "MANIFEST.json"
 _BLOB_PATTERN = re.compile(r"^ckpt-(\d+)\.pkl$")
 
 #: Config fields excluded from the campaign key: they select *whether*
-#: and *where* to checkpoint, not what the campaign computes.
+#: and *where* to checkpoint — or which infrastructure faults to
+#: inject — not what the campaign computes. (The fault plane's headline
+#: invariant is exactly that io-chaos never changes results.)
 _KEY_EXCLUDED_FIELDS = frozenset(
-    ["checkpoint_every", "checkpoint_dir", "checkpoint_keep", "resume"]
+    ["checkpoint_every", "checkpoint_dir", "checkpoint_keep", "resume",
+     "io_chaos_level", "io_chaos_seed", "strict_io"]
 )
 
 
@@ -122,7 +134,7 @@ class CheckpointStore:
     """
 
     def __init__(self, key: str, root: Optional[str] = None, keep: int = 3,
-                 target: str = "", mode: str = ""):
+                 target: str = "", mode: str = "", injector=None):
         if keep < 1:
             raise CheckpointError("need to keep at least one checkpoint")
         self.key = key
@@ -131,6 +143,7 @@ class CheckpointStore:
         self.keep = keep
         self.target = target
         self.mode = mode
+        self.injector = injector or NULL_INJECTOR
 
     # -- paths ---------------------------------------------------------------
 
@@ -198,23 +211,29 @@ class CheckpointStore:
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         path = self._blob_path(sequence)
         temp = "%s.tmp.%d" % (path, os.getpid())
-        try:
-            with open(temp, "wb") as handle:
-                handle.write(blob)
-            os.replace(temp, path)
-        except OSError as exc:
-            raise CheckpointError(
-                "cannot write checkpoint %r (%s)" % (path, exc)
-            )
-        entries.append({
+        entries = entries + [{
             "file": os.path.basename(path),
             "sha256": hashlib.sha256(blob).hexdigest(),
             "sequence": sequence,
             "sim_time": sim_time,
             "iterations": iterations,
-        })
+        }]
         entries = entries[-self.keep:]
-        self._write_manifest(entries)
+
+        def write() -> None:
+            # Idempotent under retry: both writes are temp + rename.
+            with open(temp, "wb") as handle:
+                handle.write(blob)
+            os.replace(temp, path)
+            self._write_manifest(entries)
+
+        try:
+            self.injector.run("checkpoint.save", write,
+                              kinds=(FAULT_TRANSIENT, FAULT_SLOW))
+        except (IoGiveUp, OSError) as exc:
+            raise CheckpointError(
+                "cannot write checkpoint %r (%s)" % (path, exc)
+            )
         self._prune(entries)
         return path
 
@@ -250,17 +269,43 @@ class CheckpointStore:
     def _load_blob(self, path: str,
                    expect_sha: Optional[str]) -> Optional[CheckpointPayload]:
         """One verified payload, or ``None`` on any corruption."""
-        try:
-            with open(path, "rb") as handle:
-                blob = handle.read()
-        except OSError:
-            return None
-        if expect_sha is not None:
-            if hashlib.sha256(blob).hexdigest() != expect_sha:
+
+        def read() -> Optional[bytes]:
+            try:
+                with open(path, "rb") as handle:
+                    return handle.read()
+            except FileNotFoundError:
                 return None
-        try:
-            payload = pickle.loads(blob)
-        except Exception:
+
+        # A read that fails verification is re-read before the blob is
+        # written off: the file on disk may be healthy even when one
+        # read of it was damaged (an injected corrupt-on-read, a torn
+        # page). Only bytes that stay bad across the retry budget fall
+        # back to the next-older save.
+        payload = None
+        for _ in range(self.injector.backoff.max_attempts):
+            try:
+                blob = self.injector.run(
+                    "checkpoint.load", read,
+                    kinds=(FAULT_TRANSIENT, FAULT_SLOW, FAULT_CORRUPT),
+                    on_corrupt=corrupt_bytes,
+                )
+            except (IoGiveUp, OSError):
+                return None
+            if blob is None:
+                return None
+            if expect_sha is not None:
+                if hashlib.sha256(blob).hexdigest() != expect_sha:
+                    continue
+            try:
+                payload = pickle.loads(blob)
+            except UNPICKLE_ERRORS:
+                # The concrete unpickling error set (see repro.cache);
+                # a failure that survives every re-read means a damaged
+                # blob, and load_latest falls back to an older save.
+                continue
+            break
+        if payload is None:
             return None
         if not isinstance(payload, CheckpointPayload):
             return None

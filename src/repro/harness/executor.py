@@ -42,10 +42,9 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.cache import (
     DEFAULT_CACHE_DIR,
-    atomic_pickle,
+    FaultTolerantStore,
     canonical_payload,
     default_cache_dir,
-    load_pickle,
     validate_cache_dir,
 )
 from repro.harness.campaign import CampaignConfig, CampaignResult, run_campaign
@@ -82,7 +81,8 @@ __all__ = [
 #: Bumped whenever the outcome layout or the key derivation changes;
 #: stale cache entries from older versions are treated as misses.
 #: 5: CampaignConfig grew the checkpoint/resume knobs.
-CACHE_VERSION = 5
+#: 6: CampaignConfig grew the io-chaos knobs.
+CACHE_VERSION = 6
 
 
 # ---------------------------------------------------------------------------
@@ -295,17 +295,23 @@ class ResultCache:
     The directory is validated at construction: an unwritable root
     raises :class:`~repro.errors.CacheUnavailableError` immediately,
     with a ``--no-cache`` hint, instead of an opaque ``OSError`` after
-    hours of campaigning.
+    hours of campaigning. Mid-run I/O goes through a
+    :class:`~repro.cache.FaultTolerantStore` instead: transient errors
+    are retried, persistent failure degrades to an in-memory store for
+    the rest of the grid, and corrupt entries are quarantined.
     """
 
-    def __init__(self, root: Optional[str] = None):
+    def __init__(self, root: Optional[str] = None, telemetry=None,
+                 injector=None):
         self.root = validate_cache_dir(root or default_cache_dir())
+        self.store = FaultTolerantStore("result", telemetry=telemetry,
+                                        injector=injector)
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key + ".pkl")
 
     def get(self, key: str) -> Optional[CampaignOutcome]:
-        payload = load_pickle(self._path(key))
+        payload = self.store.load(self._path(key))
         if not isinstance(payload, dict):
             return None
         if payload.get("version") != CACHE_VERSION or payload.get("key") != key:
@@ -314,7 +320,7 @@ class ResultCache:
         return outcome if isinstance(outcome, CampaignOutcome) else None
 
     def put(self, key: str, outcome: CampaignOutcome) -> None:
-        atomic_pickle(
+        self.store.store(
             self._path(key),
             {"version": CACHE_VERSION, "key": key, "outcome": outcome},
         )
@@ -335,6 +341,7 @@ def execute_specs(
     retries: int = 1,
     mp_context=None,
     telemetry=None,
+    io_injector=None,
 ) -> List[CellResult]:
     """Run a grid of campaign cells, optionally across worker processes.
 
@@ -353,6 +360,10 @@ def execute_specs(
         telemetry: Optional :class:`repro.telemetry.Telemetry` recording
             grid-level metrics: per-cell wall time
             (``executor.task_seconds``), cache hits, retries, failures.
+        io_injector: Optional :class:`repro.faultplane.FaultInjector`
+            exercising the grid's own I/O: result-cache reads/writes
+            run under its retry/degrade policy and launched workers may
+            be doomed to die and be re-leased.
 
     Returns:
         One :class:`CellResult` per spec, ordered like ``specs``
@@ -364,8 +375,9 @@ def execute_specs(
     """
     spec_list = list(specs)
     runner = runner or run_spec
-    store = ResultCache(cache_dir) if cache else None
     tele = telemetry or NULL_TELEMETRY
+    store = ResultCache(cache_dir, telemetry=tele,
+                        injector=io_injector) if cache else None
     cells: List[Optional[CellResult]] = [None] * len(spec_list)
     tele.counter("executor.cells").inc(len(spec_list))
 
@@ -391,7 +403,7 @@ def execute_specs(
     for result in execute_tasks(
         tasks, runner, workers=workers, timeout=timeout, retries=retries,
         mp_context=mp_context, telemetry=tele, on_success=on_success,
-        metric_prefix="executor",
+        metric_prefix="executor", injector=io_injector,
     ):
         cells[result.index] = result
 

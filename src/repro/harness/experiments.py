@@ -6,24 +6,16 @@ implementation. Campaign execution goes through the public facade —
 :func:`repro.api.compare_modes` — which fans cells across workers and
 memoises outcomes on disk.
 
-- :func:`table1_experiment` — one subject, three fuzzers, repeated runs,
-  averaged coverage / improvement / speedup (one Table-I row).
-  *Deprecated*: call :func:`repro.api.compare_modes` directly.
-- :func:`table2_experiment` — CMFuzz over the bug-bearing subjects,
-  merged deduplicated ledger (Table II). *Deprecated*: merge
-  ``compare_modes(...).merged_bugs()`` ledgers.
-- :func:`figure4_experiment` — averaged coverage-over-time series per
-  fuzzer (one Figure-4 panel). *Deprecated*: feed a
-  :class:`SubjectComparison` to :func:`coverage_panels`.
-
-The deprecated spellings keep working for one release and emit
-:class:`DeprecationWarning` pointing at the replacement.
+The paper's tables map onto it directly: one Table-I row is
+``compare_modes(subject)``; Table II merges
+``compare_modes(...).merged_bugs()`` ledgers across subjects; one
+Figure-4 panel feeds a :class:`SubjectComparison` to
+:func:`coverage_panels`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -109,62 +101,6 @@ def _run_fuzzers(
     return SubjectComparison(
         subject=subject, results={f: by_fuzzer[f] for f in fuzzers},
     )
-
-
-def _warn_deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        "%s is deprecated and will be removed in a future release; use %s "
-        "instead" % (old, new),
-        DeprecationWarning, stacklevel=3,
-    )
-
-
-def table1_experiment(
-    subject: str,
-    repetitions: int = 3,
-    config: Optional[CampaignConfig] = None,
-    fuzzers: Sequence[str] = DEFAULT_FUZZERS,
-    workers: int = 1,
-    cache: bool = False,
-    cache_dir: Optional[str] = None,
-) -> SubjectComparison:
-    """Run one Table-I row's worth of campaigns.
-
-    .. deprecated:: call :func:`repro.api.compare_modes` instead.
-    """
-    from repro.api import compare_modes
-
-    _warn_deprecated("table1_experiment()", "repro.api.compare_modes()")
-    return compare_modes(subject, modes=fuzzers, repetitions=repetitions,
-                         config=config, workers=workers, cache=cache,
-                         cache_dir=cache_dir)
-
-
-def table2_experiment(
-    subjects: Sequence[str] = ("mosquitto", "libcoap", "qpid", "dnsmasq"),
-    repetitions: int = 3,
-    config: Optional[CampaignConfig] = None,
-    fuzzer: str = "cmfuzz",
-    workers: int = 1,
-    cache: bool = False,
-    cache_dir: Optional[str] = None,
-) -> BugLedger:
-    """Run Table II: merged unique bugs across the bug-bearing subjects.
-
-    .. deprecated:: merge :func:`repro.api.compare_modes` ledgers instead.
-    """
-    from repro.api import compare_modes
-
-    _warn_deprecated("table2_experiment()",
-                     "repro.api.compare_modes() + SubjectComparison.merged_bugs()")
-    merged = BugLedger()
-    for subject in subjects:
-        comparison = compare_modes(subject, modes=(fuzzer,),
-                                   repetitions=repetitions, config=config,
-                                   workers=workers, cache=cache,
-                                   cache_dir=cache_dir)
-        merged.merge(comparison.merged_bugs(fuzzer))
-    return merged
 
 
 @dataclass
@@ -261,31 +197,3 @@ def coverage_panels(
             t += grid_step
         panels[fuzzer] = averaged
     return panels
-
-
-def figure4_experiment(
-    subject: str,
-    repetitions: int = 3,
-    config: Optional[CampaignConfig] = None,
-    fuzzers: Sequence[str] = DEFAULT_FUZZERS,
-    grid_step: float = 3600.0,
-    workers: int = 1,
-    cache: bool = False,
-    cache_dir: Optional[str] = None,
-) -> Dict[str, TimeSeries]:
-    """One Figure-4 panel: averaged coverage series per fuzzer.
-
-    .. deprecated:: feed :func:`repro.api.compare_modes` output to
-       :func:`coverage_panels` instead.
-    """
-    from repro.api import compare_modes
-
-    _warn_deprecated("figure4_experiment()",
-                     "repro.api.compare_modes() + coverage_panels()")
-    config = config or CampaignConfig()
-    comparison = compare_modes(subject, modes=fuzzers,
-                               repetitions=repetitions, config=config,
-                               workers=workers, cache=cache,
-                               cache_dir=cache_dir)
-    return coverage_panels(comparison, config.duration_hours * 3600.0,
-                           grid_step)

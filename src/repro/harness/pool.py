@@ -23,6 +23,7 @@ stay in :mod:`repro.harness.executor`; the probe fan-out lives in
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import traceback
 from collections import deque
@@ -31,7 +32,12 @@ from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import CampaignInterrupted, HarnessError
+from repro.faultplane import FAULT_WORKER_DEATH
 from repro.telemetry import NULL_TELEMETRY
+
+#: Cap on injected deaths per task, so an io-chaos level of 1.0 cannot
+#: doom every relaunch forever and livelock the pool.
+_MAX_INJECTED_DEATHS = 3
 
 
 @dataclass
@@ -124,6 +130,20 @@ def _task_entry(runner: Callable, payload: Any, conn) -> None:
             pass
 
 
+def _doomed_entry(conn) -> None:
+    """Entry point for a fault-plane-doomed worker: die without a result.
+
+    ``os._exit`` skips every cleanup hook, which is the point — the
+    parent must observe exactly what a segfaulting or OOM-killed worker
+    looks like: a closed pipe and a nonzero exitcode.
+    """
+    try:
+        conn.close()
+    except Exception:
+        pass
+    os._exit(173)
+
+
 @dataclass
 class _Running:
     task: Task
@@ -132,6 +152,7 @@ class _Running:
     deadline: Optional[float]
     budget: Optional[float]
     started: float = 0.0
+    injected: bool = False
 
 
 def default_context():
@@ -155,6 +176,7 @@ def execute_tasks(
     telemetry=None,
     on_success: Optional[Callable[[Task, Any], None]] = None,
     metric_prefix: str = "executor",
+    injector=None,
 ) -> List[CellResult]:
     """Run tasks, optionally across worker processes.
 
@@ -173,6 +195,14 @@ def execute_tasks(
         on_success: Invoked as ``on_success(task, outcome)`` before the
             success record is built (cache writes hook in here).
         metric_prefix: Namespace for the pool's telemetry instruments.
+        injector: Optional :class:`repro.faultplane.FaultInjector`; an
+            enabled plan may doom a launched worker to die before
+            shipping its result. The pool's policy is lease-style:
+            an injected death is respawned and re-leased without
+            charging the retry budget or the pool metrics, so the
+            exported counters never see the fault plane's weather.
+            Ignored on the ``workers=1`` in-process path (there is no
+            worker to kill).
 
     Returns:
         One :class:`CellResult` per task, ordered like ``tasks``
@@ -192,7 +222,7 @@ def execute_tasks(
     else:
         _run_pool(pending, slots, workers, runner, retries, timeout,
                   on_success, mp_context or default_context(), tele,
-                  metric_prefix)
+                  metric_prefix, injector)
     return [slots[id(task)] for task in tasks]
 
 
@@ -243,16 +273,26 @@ def _run_inline(task: Task, runner: Callable, retries: int,
 
 
 def _run_pool(pending, slots, workers, runner, retries, timeout,
-              on_success, ctx, tele, metric_prefix):
+              on_success, ctx, tele, metric_prefix, injector=None):
     running: Dict[Any, _Running] = {}
+    doomed_counts: Dict[int, int] = {}
 
     def launch(task: Task) -> None:
         if task.attempts:
             tele.counter(metric_prefix + ".retries").inc()
         task.attempts += 1
+        doomed = False
+        if injector is not None and injector.enabled and \
+                doomed_counts.get(id(task), 0) < _MAX_INJECTED_DEATHS:
+            doomed = injector.fault_for(
+                "pool.worker", kinds=(FAULT_WORKER_DEATH,)) is not None
+            if doomed:
+                doomed_counts[id(task)] = doomed_counts.get(id(task), 0) + 1
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(
-            target=_task_entry, args=(runner, task.payload, child_conn),
+            target=_doomed_entry if doomed else _task_entry,
+            args=(child_conn,) if doomed
+            else (runner, task.payload, child_conn),
             daemon=True,
         )
         process.start()
@@ -262,11 +302,19 @@ def _run_pool(pending, slots, workers, runner, retries, timeout,
         deadline = (started + budget) if budget else None
         running[parent_conn] = _Running(
             task=task, process=process, conn=parent_conn, deadline=deadline,
-            budget=budget, started=started,
+            budget=budget, started=started, injected=doomed,
         )
 
     def settle(run: _Running, failure: CellFailure) -> None:
         """Record a failure or requeue the task for a fresh worker."""
+        if run.injected:
+            # An injected worker death re-leases the cell to a fresh
+            # worker: the attempt is refunded and neither the retry
+            # counter nor the task_seconds histogram observes it, so
+            # exported metrics stay identical to the fault-free run.
+            run.task.attempts -= 1
+            pending.append(run.task)
+            return
         tele.histogram(metric_prefix + ".task_seconds").observe(
             time.monotonic() - run.started)
         if run.task.attempts <= retries:

@@ -127,6 +127,7 @@ class CmFuzzMode(ParallelMode):
             executor = build_probe_executor(
                 target_cls.NAME, workers=workers, cache=cache,
                 cache_dir=cache_dir, telemetry=telemetry,
+                injector=getattr(ctx, "io_injector", None),
             )
             quantifier = RelationQuantifier(
                 max_combinations=self.max_combinations,

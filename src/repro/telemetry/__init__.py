@@ -81,11 +81,18 @@ class Telemetry:
 
     @classmethod
     def from_config(cls, config: Optional[TelemetryConfig],
-                    now_fn: Optional[Callable[[], float]] = None) -> "Telemetry":
-        """Build live telemetry for a campaign (or the shared no-op)."""
+                    now_fn: Optional[Callable[[], float]] = None,
+                    injector=None) -> "Telemetry":
+        """Build live telemetry for a campaign (or the shared no-op).
+
+        ``injector`` is the campaign's fault-plane injector (duck-typed
+        to avoid an import cycle); the sink consults it per write and
+        drops records on injected sink faults instead of aborting.
+        """
         if config is None or not config.enabled:
             return NULL_TELEMETRY
-        sink = TraceSink(config.trace_path) if config.trace_path else None
+        sink = (TraceSink(config.trace_path, injector=injector)
+                if config.trace_path else None)
         return cls(
             registry=MetricsRegistry(),
             tracer=Tracer(now_fn or time.monotonic, sink=sink),

@@ -26,10 +26,21 @@ TRACE_RECORD_TYPES = ("span", "event")
 
 
 class TraceSink:
-    """Process-safe JSONL appender for trace records."""
+    """Process-safe JSONL appender for trace records.
 
-    def __init__(self, path: str):
+    Telemetry is an observer, never a participant: a failed write —
+    real or injected by the fault plane — drops the record and bumps
+    :attr:`dropped`, and the campaign continues. There is no retry and
+    no strict mode here; a trace line is not worth aborting hours of
+    campaigning for, and retrying the sink from inside the telemetry
+    path would recurse.
+    """
+
+    def __init__(self, path: str, injector=None):
         self.path = path
+        self.injector = injector
+        #: Records lost to sink write failures (real or injected).
+        self.dropped = 0
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         self._handle: Optional[TextIO] = open(path, "a", encoding="utf-8")
@@ -38,8 +49,16 @@ class TraceSink:
         if self._handle is None:
             return
         line = json.dumps(record, sort_keys=True, default=str)
-        self._handle.write(line + "\n")
-        self._handle.flush()
+        if self.injector is not None and \
+                self.injector.fault_for("telemetry.emit",
+                                        ("transient",)) is not None:
+            self.dropped += 1
+            return
+        try:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+        except OSError:
+            self.dropped += 1
 
     def close(self) -> None:
         if self._handle is not None:
@@ -48,12 +67,19 @@ class TraceSink:
 
     # Open file handles cannot cross the checkpoint pickle boundary;
     # a restored sink reopens its path in append mode, so a resumed
-    # campaign keeps extending the same trace file.
+    # campaign keeps extending the same trace file. The injector is
+    # dropped rather than pickled — carrying it would close a reference
+    # cycle (injector -> telemetry -> sink -> injector) that
+    # Telemetry.__reduce__ cannot express — and the campaign re-attaches
+    # it right after a checkpoint restore.
     def __getstate__(self) -> Dict[str, Any]:
-        return {"path": self.path, "open": self._handle is not None}
+        return {"path": self.path, "open": self._handle is not None,
+                "dropped": self.dropped}
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.path = state["path"]
+        self.injector = None
+        self.dropped = state.get("dropped", 0)
         self._handle = None
         if state.get("open"):
             directory = os.path.dirname(os.path.abspath(self.path))

@@ -17,7 +17,7 @@ from repro.harness.executor import (
     results,
     specs_for_repeated,
 )
-from repro.harness.experiments import table1_experiment
+from repro.api import compare_modes
 from repro.parallel import MODES
 from repro.pits import pit_registry
 from repro.targets import target_registry
@@ -143,11 +143,11 @@ class TestResultCache:
 
 @pytest.mark.parametrize("workers", WORKER_COUNTS)
 def test_experiment_wiring_matches_serial(workers):
-    """table1_experiment(workers=N) groups executor results exactly like
+    """compare_modes(workers=N) groups executor results exactly like
     the serial per-fuzzer loop."""
     config = CampaignConfig(n_instances=2, duration_hours=1.0, seed=7)
-    pooled = table1_experiment("dnsmasq", repetitions=2, config=config,
-                               workers=workers)
+    pooled = compare_modes("dnsmasq", modes=FUZZERS, repetitions=2,
+                           config=config, workers=workers)
     targets, pits = target_registry(), pit_registry()
     for fuzzer in FUZZERS:
         serial = run_repeated(targets["dnsmasq"], pits["dnsmasq"],

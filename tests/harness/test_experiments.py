@@ -2,8 +2,10 @@
 
 import pytest
 
+from repro.api import compare_modes
 from repro.harness.campaign import CampaignConfig
-from repro.harness.experiments import figure4_experiment, table1_experiment, table2_experiment
+from repro.harness.experiments import coverage_panels
+from repro.targets.faults import BugLedger
 
 
 def _quick_config():
@@ -12,10 +14,10 @@ def _quick_config():
 
 @pytest.fixture(scope="module")
 def comparison():
-    return table1_experiment("dnsmasq", repetitions=2, config=_quick_config())
+    return compare_modes("dnsmasq", repetitions=2, config=_quick_config())
 
 
-class TestTable1Experiment:
+class TestSubjectComparison:
     def test_all_fuzzers_present(self, comparison):
         assert set(comparison.results) == {"cmfuzz", "peach", "spfuzz"}
         assert all(len(r) == 2 for r in comparison.results.values())
@@ -41,21 +43,25 @@ class TestTable1Experiment:
 
     def test_unknown_subject_rejected(self):
         with pytest.raises(KeyError):
-            table1_experiment("nope", repetitions=1, config=_quick_config())
+            compare_modes("nope", repetitions=1, config=_quick_config())
 
 
-class TestTable2Experiment:
+class TestMergedLedgers:
     def test_merged_ledger_across_subjects(self):
-        ledger = table2_experiment(subjects=("dnsmasq",), repetitions=1,
-                                   config=_quick_config())
-        assert all(bug.protocol == "DNS" for bug in ledger.unique_bugs())
+        merged = BugLedger()
+        for subject in ("dnsmasq",):
+            cells = compare_modes(subject, modes=("cmfuzz",), repetitions=1,
+                                  config=_quick_config())
+            merged.merge(cells.merged_bugs("cmfuzz"))
+        assert all(bug.protocol == "DNS" for bug in merged.unique_bugs())
 
 
-class TestFigure4Experiment:
+class TestCoveragePanels:
     def test_panel_series(self):
         config = _quick_config()
-        panels = figure4_experiment("dnsmasq", repetitions=1, config=config,
-                                    fuzzers=("peach",))
+        cells = compare_modes("dnsmasq", modes=("peach",), repetitions=1,
+                              config=config)
+        panels = coverage_panels(cells, config.duration_hours * 3600.0)
         series = panels["peach"]
         assert series.final_time == pytest.approx(2 * 3600.0)
         values = [v for _, v in series.points()]

@@ -61,21 +61,18 @@ class TestRunCampaign:
             run_campaign("mosquitto", mode="nonesuch",
                          config=_quick_config())
 
-    def test_legacy_signature_warns_and_matches_new_spelling(self):
+    def test_legacy_positional_signature_rejected(self):
         from repro.parallel.cmfuzz import CmFuzzMode
         from repro.pits import pit_registry
         from repro.targets import target_registry
 
-        new_style = run_campaign("mosquitto", mode="cmfuzz",
-                                 config=_quick_config())
-        with pytest.warns(DeprecationWarning, match="run_campaign"):
-            legacy = run_campaign(
+        with pytest.raises(TypeError, match="legacy positional"):
+            run_campaign(
                 target_registry()["mosquitto"],
                 pit_registry()["mosquitto"](),
                 CmFuzzMode(),
                 _quick_config(),
             )
-        assert result_to_dict(legacy) == result_to_dict(new_style)
 
     def test_live_mode_object_with_registry_target(self):
         from repro.parallel.cmfuzz import CmFuzzMode
@@ -118,20 +115,13 @@ class TestCompareModes:
         assert from_comparison == direct
 
 
-class TestDeprecatedExperimentWrappers:
-    def test_table1_experiment_warns(self):
-        from repro.harness.experiments import table1_experiment
+class TestDeprecatedWrappersRemoved:
+    def test_experiment_wrappers_are_gone(self):
+        import repro.harness.experiments as experiments
 
-        with pytest.warns(DeprecationWarning, match="compare_modes"):
-            table1_experiment(subject="mosquitto", repetitions=1,
-                              config=_quick_config(), fuzzers=("cmfuzz",))
-
-    def test_figure4_experiment_warns(self):
-        from repro.harness.experiments import figure4_experiment
-
-        with pytest.warns(DeprecationWarning, match="compare_modes"):
-            figure4_experiment(subject="mosquitto", repetitions=1,
-                               config=_quick_config(), fuzzers=("cmfuzz",))
+        for name in ("table1_experiment", "table2_experiment",
+                     "figure4_experiment"):
+            assert not hasattr(experiments, name)
 
 
 class TestCampaignProbeOptions:

@@ -1,0 +1,267 @@
+"""Unit tests for the infrastructure fault plane (repro.faultplane).
+
+The backoff schedule is asserted *exactly* — attempt delays, seeded
+jitter, virtual-clock accrual — because the fault plan's whole value is
+that two runs with one seed see identical weather and identical waits.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.faultplane import (
+    FAULT_CORRUPT,
+    FAULT_KINDS,
+    FAULT_SLOW,
+    FAULT_TRANSIENT,
+    BackoffPolicy,
+    FaultInjector,
+    FaultPlan,
+    InjectedIOError,
+    IoGiveUp,
+    NULL_INJECTOR,
+    RetryClock,
+    corrupt_bytes,
+)
+from repro.telemetry import MetricsRegistry, NullTracer, Telemetry
+
+
+def _telemetry():
+    return Telemetry(registry=MetricsRegistry(), tracer=NullTracer(),
+                     sink=None, enabled=True)
+
+
+class TestRetryClock:
+    def test_starts_at_zero_and_accrues(self):
+        clock = RetryClock()
+        assert clock.now == 0.0
+        clock.advance(1.5)
+        clock.advance(0.25)
+        assert clock.now == pytest.approx(1.75)
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(HarnessError):
+            RetryClock().advance(-0.1)
+
+
+class TestBackoffPolicy:
+    def test_schedule_is_deterministic_per_seed(self):
+        policy = BackoffPolicy()
+        assert policy.schedule(7, "cache.read") == policy.schedule(7, "cache.read")
+
+    def test_schedule_varies_with_seed_and_site(self):
+        policy = BackoffPolicy()
+        base = policy.schedule(7, "cache.read")
+        assert base != policy.schedule(8, "cache.read")
+        assert base != policy.schedule(7, "checkpoint.save")
+
+    def test_exponential_base_with_bounded_jitter(self):
+        policy = BackoffPolicy(max_attempts=6, base_delay=0.05,
+                               multiplier=2.0, max_delay=0.3, jitter=0.25)
+        for attempt, delay in enumerate(policy.schedule(3, "s"), start=1):
+            base = min(0.05 * 2.0 ** (attempt - 1), 0.3)
+            assert base <= delay < base * 1.25
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = BackoffPolicy(max_attempts=4, base_delay=0.1,
+                               multiplier=2.0, max_delay=10.0, jitter=0.0)
+        assert policy.schedule(0, "s") == (0.1, 0.2, 0.4)
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(HarnessError):
+            BackoffPolicy(max_attempts=0)
+
+
+class TestFaultPlan:
+    def test_disabled_plan_never_faults(self):
+        plan = FaultPlan(seed=1, level=0.0)
+        assert not plan.enabled
+        assert all(plan.decide("s", i, FAULT_KINDS) is None for i in range(50))
+
+    def test_level_one_always_faults(self):
+        plan = FaultPlan(seed=1, level=1.0)
+        assert all(plan.decide("s", i, FAULT_KINDS) in FAULT_KINDS
+                   for i in range(50))
+
+    def test_decide_is_pure(self):
+        plan = FaultPlan(seed=5, level=0.5)
+        first = [plan.decide("cache.read", i, FAULT_KINDS) for i in range(100)]
+        again = [plan.decide("cache.read", i, FAULT_KINDS) for i in range(100)]
+        assert first == again
+        assert any(kind is not None for kind in first)
+        assert any(kind is None for kind in first)
+
+    def test_whether_to_fault_is_kind_independent(self):
+        # The inject draw must not depend on the kinds a site can
+        # honour, so injected-op counts can be recomputed from the plan.
+        plan = FaultPlan(seed=9, level=0.5)
+        for i in range(100):
+            narrow = plan.decide("s", i, (FAULT_TRANSIENT,))
+            wide = plan.decide("s", i, FAULT_KINDS)
+            assert (narrow is None) == (wide is None)
+
+    def test_no_kinds_means_no_fault(self):
+        assert FaultPlan(seed=1, level=1.0).decide("s", 0, ()) is None
+
+    def test_level_out_of_range_rejected(self):
+        with pytest.raises(HarnessError):
+            FaultPlan(level=1.5)
+        with pytest.raises(HarnessError):
+            FaultPlan(level=-0.1)
+
+    def test_plan_pickles(self):
+        plan = FaultPlan(seed=3, level=0.4)
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestCorruptBytes:
+    def test_zeroes_the_head(self):
+        blob = bytes(range(32))
+        damaged = corrupt_bytes(blob)
+        assert damaged[:16] == b"\x00" * 16
+        assert damaged[16:] == blob[16:]
+
+    def test_short_blobs_fully_zeroed(self):
+        assert corrupt_bytes(b"abc") == b"\x00\x00\x00"
+
+    def test_none_passes_through(self):
+        assert corrupt_bytes(None) is None
+
+    def test_breaks_a_pickle_stream(self):
+        damaged = corrupt_bytes(pickle.dumps({"k": 1}))
+        with pytest.raises(Exception):
+            pickle.loads(damaged)
+
+
+class TestFaultInjectorRetry:
+    def test_success_passes_through_untouched(self):
+        injector = FaultInjector()
+        assert injector.run("s", lambda: "payload") == "payload"
+        assert injector.clock.now == 0.0
+        assert injector.ops == {}
+
+    def test_real_oserror_retried_on_the_exact_schedule(self):
+        """Two real failures then success: the virtual clock accrues
+        exactly the first two backoff delays — no more, no less."""
+        injector = FaultInjector()  # disabled plan; real weather only
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("disk hiccup")
+            return "ok"
+
+        assert injector.run("cache.read", flaky) == "ok"
+        schedule = injector.backoff.schedule(injector.plan.seed, "cache.read")
+        assert injector.clock.now == pytest.approx(sum(schedule[:2]))
+
+    def test_exhaustion_raises_giveup_with_original(self):
+        injector = FaultInjector()
+        boom = OSError("persistent")
+        with pytest.raises(IoGiveUp) as excinfo:
+            injector.run("s", lambda: (_ for _ in ()).throw(boom))
+        assert excinfo.value.original is boom
+        assert excinfo.value.site == "s"
+        # All max_attempts-1 retries were waited out.
+        schedule = injector.backoff.schedule(injector.plan.seed, "s")
+        assert injector.clock.now == pytest.approx(sum(schedule))
+
+    def test_strict_exhaustion_raises_the_original_error(self):
+        injector = FaultInjector(strict=True)
+        boom = OSError("persistent")
+        with pytest.raises(OSError) as excinfo:
+            injector.run("s", lambda: (_ for _ in ()).throw(boom))
+        assert excinfo.value is boom
+
+    def test_strict_injected_exhaustion_raises_injected_error(self):
+        injector = FaultInjector(plan=FaultPlan(seed=0, level=1.0),
+                                 strict=True)
+        with pytest.raises(InjectedIOError):
+            injector.run("s", lambda: "never", kinds=(FAULT_TRANSIENT,))
+
+    def test_two_injectors_same_seed_wait_identically(self):
+        def make():
+            injector = FaultInjector(plan=FaultPlan(seed=11, level=1.0))
+            with pytest.raises(IoGiveUp):
+                injector.run("s", lambda: "never", kinds=(FAULT_TRANSIENT,))
+            return injector.clock.now
+
+        assert make() == make()
+
+    def test_slow_fault_charges_max_delay_and_succeeds(self):
+        injector = FaultInjector(plan=FaultPlan(seed=0, level=1.0))
+        assert injector.run("s", lambda: "ok", kinds=(FAULT_SLOW,)) == "ok"
+        assert injector.clock.now == pytest.approx(injector.backoff.max_delay)
+
+    def test_corrupt_fault_maps_through_on_corrupt(self):
+        injector = FaultInjector(plan=FaultPlan(seed=0, level=1.0))
+        result = injector.run("s", lambda: b"payload",
+                              kinds=(FAULT_CORRUPT,),
+                              on_corrupt=lambda blob: None)
+        assert result is None
+
+    def test_corrupt_without_handler_returns_result(self):
+        injector = FaultInjector(plan=FaultPlan(seed=0, level=1.0))
+        assert injector.run("s", lambda: b"x", kinds=(FAULT_CORRUPT,)) == b"x"
+
+
+class TestFaultInjectorAccounting:
+    def test_disabled_injector_counts_nothing(self):
+        injector = FaultInjector()
+        injector.run("s", lambda: "ok")
+        assert injector.summary() == {"seed": 0, "level": 0.0,
+                                      "ops": {}, "injected": {}}
+
+    def test_ops_and_injected_track_the_plan(self):
+        plan = FaultPlan(seed=2, level=0.5)
+        injector = FaultInjector(plan=plan)
+        for _ in range(40):
+            try:
+                injector.run("s", lambda: "ok", kinds=(FAULT_SLOW,))
+            except IoGiveUp:
+                pass
+        summary = injector.summary()
+        # Replay the plan over the recorded op stream: counts must match.
+        expected = sum(1 for i in range(summary["ops"]["s"])
+                       if plan.decide("s", i, (FAULT_SLOW,)) is not None)
+        assert summary["injected"].get("s", {}).get("slow", 0) == expected
+        assert expected > 0
+
+    def test_injected_counter_reaches_telemetry(self):
+        telemetry = _telemetry()
+        injector = FaultInjector(plan=FaultPlan(seed=0, level=1.0),
+                                 telemetry=telemetry)
+        injector.run("s", lambda: "ok", kinds=(FAULT_SLOW,))
+        counter = telemetry.counter("faultplane.injected", site="s",
+                                    kind="slow")
+        assert counter.value == 1
+
+    def test_absorb_merges_counts(self):
+        first = FaultInjector(plan=FaultPlan(seed=0, level=1.0))
+        second = FaultInjector(plan=FaultPlan(seed=0, level=1.0))
+        first.run("s", lambda: "ok", kinds=(FAULT_SLOW,))
+        second.run("s", lambda: "ok", kinds=(FAULT_SLOW,))
+        second.run("t", lambda: "ok", kinds=(FAULT_SLOW,))
+        first.absorb(second)
+        assert first.ops == {"s": 2, "t": 1}
+        assert first.injected["s"]["slow"] == 2
+
+    def test_absorb_self_is_a_noop(self):
+        injector = FaultInjector(plan=FaultPlan(seed=0, level=1.0))
+        injector.run("s", lambda: "ok", kinds=(FAULT_SLOW,))
+        injector.absorb(injector)
+        assert injector.ops == {"s": 1}
+
+    def test_injector_pickles_with_accounting(self):
+        injector = FaultInjector(plan=FaultPlan(seed=4, level=1.0))
+        injector.run("s", lambda: "ok", kinds=(FAULT_SLOW,))
+        clone = pickle.loads(pickle.dumps(injector))
+        assert clone.plan == injector.plan
+        assert clone.ops == injector.ops
+        assert clone.injected == injector.injected
+        assert clone.clock.now == injector.clock.now
+
+    def test_null_injector_is_disabled(self):
+        assert not NULL_INJECTOR.enabled

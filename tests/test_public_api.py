@@ -20,7 +20,6 @@ FACADE_SIGNATURES = {
         " -> 'AllocationResult'",
     "run_campaign":
         "(target, mode='cmfuzz', config: 'Optional[CampaignConfig]' = None,"
-        " legacy_config: 'Optional[CampaignConfig]' = None,"
         " mode_kwargs: 'Optional[Dict[str, Any]]' = None,"
         " cache: 'bool' = False, cache_dir: 'Optional[str]' = None)"
         " -> 'CampaignResult'",
