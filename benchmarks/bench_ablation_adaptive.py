@@ -1,0 +1,123 @@
+"""Ablation A5 (extension): the adaptive scheduler registry, end to end.
+
+Runs every *registered* parallel mode — the catalogue derives from
+:func:`repro.parallel.mode_names`, so a newly registered mode joins this
+bench with zero edits here — over the paper's scaled-down campaign
+protocol and records, per mode, the final coverage, the paper's
+time-to-coverage speedup against the Peach baseline, and the coverage
+curve. The record (``BENCH_ablation.json``, kind ``ablation``) feeds the
+``check_bench.py`` CI gate: the structural invariants are that the
+registry's adaptive extensions (``plateau``, ``statemap``) are present
+and productive; wall-clock is reported warn-only.
+
+Runs with the bench suite (``pytest benchmarks/bench_ablation_adaptive.py``)
+or standalone (``python benchmarks/bench_ablation_adaptive.py``).
+"""
+
+import json
+import os
+import sys
+import time
+
+import conftest  # noqa: F401  (adds src/ to sys.path)
+
+from repro.harness.stats import mean, speedup
+from repro.parallel import mode_names
+
+TARGET = os.environ.get("CMFUZZ_BENCH_ABLATION_TARGET", "dnsmasq")
+SEED = int(os.environ.get("CMFUZZ_BENCH_ABLATION_SEED", "23"))
+#: Coverage-curve points kept per mode in the record (downsampled).
+CURVE_POINTS = 48
+RECORD_PATH = os.environ.get(
+    "CMFUZZ_BENCH_ABLATION_OUT",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                 "BENCH_ablation.json"),
+)
+
+#: The bench enumerates the registry, not a hand-kept list (asserted by
+#: tests/parallel/test_registry.py).
+BENCH_MODES = mode_names()
+
+
+def _curve(series):
+    points = series.points()
+    if len(points) <= CURVE_POINTS:
+        return [[round(t, 1), v] for t, v in points]
+    step = len(points) / float(CURVE_POINTS)
+    sampled = [points[int(i * step)] for i in range(CURVE_POINTS)]
+    if sampled[-1] != points[-1]:
+        sampled.append(points[-1])
+    return [[round(t, 1), v] for t, v in sampled]
+
+
+def run_bench():
+    """Returns the ``BENCH_ablation.json`` record."""
+    started = time.perf_counter()
+    runs = {name: conftest.repeated(TARGET, name, seed=SEED)
+            for name in BENCH_MODES}
+    peach_curve = runs["peach"][0].coverage
+    modes = {}
+    for name in BENCH_MODES:
+        results = runs[name]
+        modes[name] = {
+            "final_coverage": mean([r.final_coverage for r in results]),
+            "speedup_vs_peach": round(
+                speedup(peach_curve, results[0].coverage), 2),
+            "curve": _curve(results[0].coverage),
+        }
+    return {
+        "bench": "ablation",
+        "target": TARGET,
+        "seed": SEED,
+        "repetitions": conftest.REPETITIONS,
+        "hours": conftest.DURATION_HOURS,
+        "registry_modes": list(BENCH_MODES),
+        "modes": modes,
+        "total_seconds": round(time.perf_counter() - started, 3),
+    }
+
+
+def _write_record(record):
+    with open(RECORD_PATH, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _summary(record):
+    lines = []
+    for name, data in sorted(record["modes"].items()):
+        lines.append("%-10s coverage=%-7.1f speedup_vs_peach=%.2fx"
+                     % (name, data["final_coverage"],
+                        data["speedup_vs_peach"]))
+    return "\n".join(lines)
+
+
+def test_ablation_adaptive_modes():
+    record = run_bench()
+    _write_record(record)
+    print("\nAblation A5 (%s):\n%s" % (record["target"], _summary(record)))
+    assert set(record["modes"]) == set(mode_names())
+    for name, data in record["modes"].items():
+        assert data["final_coverage"] > 0, name
+        assert data["curve"], name
+    # The adaptive extensions must not collapse against their parents.
+    assert record["modes"]["plateau"]["final_coverage"] >= \
+        0.9 * record["modes"]["cmfuzz"]["final_coverage"]
+    assert record["modes"]["statemap"]["final_coverage"] >= \
+        0.9 * record["modes"]["peach"]["final_coverage"]
+
+
+def main() -> int:
+    record = run_bench()
+    _write_record(record)
+    print(json.dumps(record, indent=2, sort_keys=True))
+    ok = all(data["final_coverage"] > 0 and data["curve"]
+             for data in record["modes"].values())
+    if not ok:
+        print("FAILED: a registered mode produced no coverage",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,8 @@
 """CI benchmark regression gate.
 
 Compares a freshly produced bench record against the committed baseline.
-Records carry a ``bench`` kind (``modelbuild``, ``engine``) and each kind
-declares its own invariants. Wall-clock numbers on shared CI runners are
+Records carry a ``bench`` kind (``modelbuild``, ``engine``, ``ablation``)
+and each kind declares its own invariants. Wall-clock numbers on shared CI runners are
 noisy, so timing drift outside the tolerance only *warns* (GitHub
 ``::warning`` annotations); the gate hard-fails only on the structural
 invariants, which no amount of runner noise can excuse:
@@ -12,7 +12,11 @@ invariants, which no amount of runner noise can excuse:
 - ``engine`` — the fast and slow engine legs must produce identical
   coverage/messages, and the single-instance fast-path speedup (a
   *ratio* of two runs on the same machine, so runner speed cancels out)
-  must stay above the record's ``min_speedup`` floor.
+  must stay above the record's ``min_speedup`` floor;
+- ``ablation`` — the record must cover every mode it claims the registry
+  held (``registry_modes``), the adaptive extensions (``plateau``,
+  ``statemap``) must be present, and every mode needs positive coverage,
+  a numeric Speedup-vs-peach and a non-empty coverage curve.
 
 Usage::
 
@@ -40,6 +44,9 @@ TIMING_FIELDS = {
         "e2e_fast_execs_per_s",
         "multi_slow_execs_per_s",
         "multi_fast_execs_per_s",
+    ),
+    "ablation": (
+        "total_seconds",
     ),
 }
 
@@ -84,10 +91,54 @@ def _check_engine(fresh, failures):
             % (speedup, floor))
 
 
+#: The adaptive extensions an ablation record must always cover: losing
+#: one from the registry (an import regression, a dropped registration)
+#: must fail the gate even though the bench itself would happily run
+#: whatever catalogue it sees.
+_REQUIRED_ABLATION_MODES = ("plateau", "statemap")
+
+
+def _check_ablation(fresh, failures):
+    modes = fresh.get("modes")
+    if not isinstance(modes, dict) or not modes:
+        failures.append("ablation record lacks a modes mapping (got %r)"
+                        % (modes,))
+        return
+    claimed = fresh.get("registry_modes")
+    if not isinstance(claimed, list) or sorted(claimed) != sorted(modes):
+        failures.append(
+            "ablation record's registry_modes %r disagree with its mode "
+            "results %r: the bench no longer enumerates the registry"
+            % (claimed, sorted(modes)))
+    for name in _REQUIRED_ABLATION_MODES:
+        if name not in modes:
+            failures.append(
+                "adaptive mode %r missing from the ablation record: it "
+                "fell out of the registry" % name)
+    for name, data in sorted(modes.items()):
+        if not isinstance(data, dict):
+            failures.append("ablation mode %r is not a record: %r"
+                            % (name, data))
+            continue
+        coverage = data.get("final_coverage")
+        if not isinstance(coverage, (int, float)) or coverage <= 0:
+            failures.append(
+                "ablation mode %r reported non-positive coverage %r"
+                % (name, coverage))
+        if not isinstance(data.get("speedup_vs_peach"), (int, float)):
+            failures.append(
+                "ablation mode %r lacks a numeric speedup_vs_peach (got "
+                "%r)" % (name, data.get("speedup_vs_peach")))
+        if not data.get("curve"):
+            failures.append("ablation mode %r has an empty coverage curve"
+                            % name)
+
+
 #: bench kind -> hard-invariant checker appending to the failure list.
 KIND_CHECKS = {
     "modelbuild": _check_modelbuild,
     "engine": _check_engine,
+    "ablation": _check_ablation,
 }
 
 

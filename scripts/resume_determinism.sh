@@ -9,15 +9,25 @@
 # repeats (2)-(4) with the infrastructure fault plane switched on
 # (--io-chaos-level): kill-and-resume under injected I/O faults must
 # still reproduce the fault-free reference byte for byte.
+#
+# The scheduler under test and the campaign length are parameterized so
+# CI can drive every registered mode through the same gate:
+#   CMFUZZ_RD_MODE   mode name (default: cmfuzz)
+#   CMFUZZ_RD_HOURS  simulated campaign hours (default: 48); raise it
+#                    for fast modes so the campaign outlives the 2s
+#                    SIGTERM delay of the kill leg.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
 
+MODE=${CMFUZZ_RD_MODE:-cmfuzz}
+HOURS=${CMFUZZ_RD_HOURS:-48}
+
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
-ARGS=(campaign --target dnsmasq --mode cmfuzz --instances 4 --hours 48
-      --seed 7 --no-cache --checkpoint-every 1800)
+ARGS=(campaign --target dnsmasq --mode "$MODE" --instances 4
+      --hours "$HOURS" --seed 7 --no-cache --checkpoint-every 1800)
 
 # kill_and_resume <label> <cache-dir> <export-path> [extra flags...]
 # Starts the campaign, SIGTERMs it after 2s (expects exit 75), then

@@ -214,15 +214,12 @@ def run_campaign(
             cache=True, cache_dir=cache_dir,
         )
         return results(cells)[0]
-    from repro.parallel import MODES
+    from repro.parallel import create_mode
     from repro.pits import pit_registry
 
-    if mode not in MODES:
-        raise KeyError("unknown mode %r (known: %s)"
-                       % (mode, ", ".join(sorted(MODES))))
     return _run_campaign_live(
         target_cls, pit_registry()[name](),
-        MODES[mode](**dict(mode_kwargs or {})), config,
+        create_mode(mode, **dict(mode_kwargs or {})), config,
     )
 
 

@@ -6,6 +6,7 @@ Usage::
     python -m repro model --target dnsmasq
     python -m repro compare --target libcoap --hours 12
     python -m repro targets
+    python -m repro modes
 """
 
 from __future__ import annotations
@@ -37,7 +38,7 @@ from repro.harness.report import (
     render_table,
 )
 from repro.harness.stats import speedup
-from repro.parallel import MODES
+from repro.parallel import mode_names, render_mode_table
 from repro.targets import target_registry
 from repro.telemetry import TelemetryConfig
 
@@ -93,7 +94,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     campaign = sub.add_parser("campaign", help="run one fuzzing campaign")
     campaign.add_argument("--target", choices=targets, required=True)
-    campaign.add_argument("--mode", choices=sorted(MODES), default="cmfuzz")
+    campaign.add_argument("--mode", choices=mode_names(), default="cmfuzz")
     _add_run_options(campaign)
     campaign.add_argument("--checkpoint-every", type=float, default=None,
                           metavar="SIM_SECONDS",
@@ -131,6 +132,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             ".cmfuzz-cache/probes/")
 
     sub.add_parser("targets", help="list available protocol targets")
+    sub.add_parser("modes", help="list registered parallel modes "
+                                 "(README's mode table regenerates from "
+                                 "this output)")
     return parser
 
 
@@ -266,6 +270,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "targets":
         return _cmd_targets(out)
+    if args.command == "modes":
+        out.write(render_mode_table() + "\n")
+        return 0
     if args.command == "model":
         return _cmd_model(args, out)
     if args.command == "campaign":

@@ -43,8 +43,81 @@ class SaturationDetector:
         return (now - self._last_progress_time) >= self.window
 
     def reset(self, now: float) -> None:
-        """Restart the window (e.g. after a configuration mutation)."""
+        """Start a fresh measurement epoch at ``now``.
+
+        Called after a configuration mutation. Intended semantics: the
+        pre-mutation peak is *forgotten* — the first post-reset
+        ``observe()`` defines the new baseline (and restarts the window
+        at its own timestamp), so gains made by the mutated
+        configuration count as progress even when its absolute coverage
+        sits below the old peak. Keeping ``_best`` across the reset made
+        every post-mutation observation a non-event until coverage beat
+        the historical maximum, firing back-to-back mutations every
+        ``window`` regardless of how well the new configuration was
+        doing.
+        """
         self._last_progress_time = now
+        self._best = -1
+
+
+class PlateauDetector:
+    """Detects a flattening coverage *slope* over a trailing window.
+
+    Where :class:`SaturationDetector` waits for total silence (zero new
+    branches for ``window``), the plateau detector reacts earlier: it
+    records the coverage series (the telemetry
+    :class:`~repro.harness.stats.TimeSeries` step function) and reports
+    a plateau when the trailing-window gain drops below ``min_gain``
+    branches — the FuzzPilot-style trigger for cheap controller
+    decisions (mutator-weight rotation before the heavyweight
+    configuration restart).
+
+    Driven purely by the simulated clock and picklable (plain floats and
+    the series' point lists), so checkpointed campaigns resume with the
+    detector mid-window.
+    """
+
+    def __init__(self, window: float, min_gain: int = 1):
+        if window <= 0:
+            raise ValueError("plateau window must be positive")
+        if min_gain < 1:
+            raise ValueError("min_gain must be >= 1")
+        # Imported lazily: repro.harness's package import reaches back
+        # into repro.core via the campaign runner, so a module-level
+        # import here would be circular.
+        from repro.harness.stats import TimeSeries
+
+        self.window = window
+        self.min_gain = min_gain
+        self.series = TimeSeries()
+        self._epoch_start: Optional[float] = None
+
+    def observe(self, now: float, total_branches: int) -> None:
+        """Feed the cumulative branch count at simulated time ``now``."""
+        if self._epoch_start is None:
+            self._epoch_start = now
+        self.series.record(now, total_branches)
+
+    def plateaued(self, now: float) -> bool:
+        """True when the trailing ``window`` gained under ``min_gain``.
+
+        Never true before a full window of observations has accrued in
+        the current epoch: a freshly (re)started configuration gets a
+        whole window to prove itself.
+        """
+        if self._epoch_start is None or (now - self._epoch_start) < self.window:
+            return False
+        gain = self.series.value_at(now) - self.series.value_at(now - self.window)
+        return gain < self.min_gain
+
+    def reset(self, now: float) -> None:
+        """Start a fresh epoch (same semantics as the saturation
+        detector's repaired ``reset``): history is forgotten and the
+        grace window restarts at the next observation."""
+        from repro.harness.stats import TimeSeries
+
+        self.series = TimeSeries()
+        self._epoch_start = None
 
 
 class GuidedConfigMutator:

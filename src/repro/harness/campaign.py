@@ -541,7 +541,15 @@ def run_campaign(
     ``config.resume=True`` continues from the newest intact checkpoint
     when one exists. ``abort_hook(iterations, sim_time) -> bool`` is a
     test seam triggering the same interrupt path deterministically.
+
+    ``mode`` is either a :class:`~repro.parallel.base.ParallelMode`
+    instance or a registered mode name resolved through
+    :mod:`repro.parallel.registry` with default arguments.
     """
+    if isinstance(mode, str):
+        from repro.parallel.registry import create_mode
+
+        mode = create_mode(mode)
     config = config or CampaignConfig()
     store = None
     if config.checkpoint_every is not None or config.resume:

@@ -220,22 +220,20 @@ def run_spec(spec: CampaignSpec) -> CampaignOutcome:
     mid-cell — and then the retry continues the partial cell instead of
     rerunning it from scratch.
     """
-    from repro.parallel import MODES
+    from repro.parallel import create_mode
     from repro.pits import pit_registry
     from repro.targets import target_registry
 
     targets = target_registry()
     if spec.target not in targets:
         raise KeyError("unknown target %r" % spec.target)
-    if spec.mode not in MODES:
-        raise KeyError("unknown mode %r" % spec.mode)
     config = spec.config
     if config.checkpoint_every is not None and not config.resume:
         config = dataclasses.replace(config, resume=True)
     result = run_campaign(
         targets[spec.target],
         pit_registry()[spec.target](),
-        MODES[spec.mode](**dict(spec.mode_kwargs)),
+        create_mode(spec.mode, **dict(spec.mode_kwargs)),
         config,
     )
     return CampaignOutcome.from_result(result)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import time
 import traceback
 from collections import deque
@@ -38,6 +39,20 @@ from repro.telemetry import NULL_TELEMETRY
 #: Cap on injected deaths per task, so an io-chaos level of 1.0 cannot
 #: doom every relaunch forever and livelock the pool.
 _MAX_INJECTED_DEATHS = 3
+
+#: What ``Connection.send`` can raise inside a worker (mirrors the
+#: concrete-set treatment of ``UNPICKLE_ERRORS`` in :mod:`repro.cache`):
+#: OSError/BrokenPipeError when the parent already closed or broke the
+#: pipe, ValueError for a connection closed on this side, and
+#: PicklingError/TypeError/AttributeError when the payload (e.g. an
+#: exception holding unpicklable state) refuses to pickle. Anything else
+#: is a real bug and must surface.
+_PIPE_SEND_ERRORS = (OSError, ValueError, pickle.PicklingError,
+                     TypeError, AttributeError)
+
+#: What ``Connection.close`` can raise: only OS-level failures on an
+#: already-broken or double-closed handle.
+_PIPE_CLOSE_ERRORS = (OSError,)
 
 
 @dataclass
@@ -121,12 +136,15 @@ def _task_entry(runner: Callable, payload: Any, conn) -> None:
         try:
             conn.send(("error", type(exc).__name__, str(exc),
                        traceback.format_exc()))
-        except Exception:
+        except _PIPE_SEND_ERRORS:
+            # Unreportable failure (pipe gone or record unpicklable):
+            # die silently; the parent records "worker-died".
             pass
     finally:
         try:
             conn.close()
-        except Exception:
+        except _PIPE_CLOSE_ERRORS:
+            # Broken/already-closed pipe; the process is exiting anyway.
             pass
 
 
@@ -139,7 +157,8 @@ def _doomed_entry(conn) -> None:
     """
     try:
         conn.close()
-    except Exception:
+    except _PIPE_CLOSE_ERRORS:
+        # Broken/already-closed pipe; the doomed exit must proceed.
         pass
     os._exit(173)
 

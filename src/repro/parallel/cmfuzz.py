@@ -31,6 +31,7 @@ from repro.errors import StartupError, TargetHang
 from repro.fuzzing.engine import FuzzEngine
 from repro.parallel.base import ParallelMode
 from repro.parallel.instance import FuzzingInstance
+from repro.parallel.registry import register_mode
 from repro.targets.base import startup_probe_for
 from repro.targets.faults import SanitizerFault
 from repro.telemetry import NULL_TELEMETRY
@@ -329,7 +330,17 @@ class CmFuzzMode(ParallelMode):
                                   entities=len(donations))
 
     def on_instance_revived(self, ctx, instance: FuzzingInstance) -> None:
-        """Hand donated entities back to the revived instance's group."""
+        """Hand donated entities back to the revived instance's group.
+
+        The revived index also gets a *fresh* saturation detector: the
+        old one still carries the pre-loss progress clock, so an
+        instance that sat quarantined past the window would otherwise be
+        declared saturated — and config-mutated — on its very first
+        post-revival sync, before the revived configuration ran at all.
+        """
+        if instance.index in self._detectors:
+            self._detectors[instance.index] = SaturationDetector(
+                self.saturation_window)
         donations = self._donations.pop(instance.index, [])
         if donations:
             self._telemetry.counter("cmfuzz.entities_reclaimed").inc(
@@ -351,3 +362,11 @@ class CmFuzzMode(ParallelMode):
             self._apply_bundle(ctx, survivor, reassemble_group(
                 self.model, trimmed, value_picks=picks,
             ))
+
+
+register_mode(
+    "cmfuzz", CmFuzzMode,
+    "The paper's pipeline: config-model identification, relation "
+    "quantification, cohesive group allocation, adaptive config "
+    "mutation at coverage saturation.",
+)

@@ -13,6 +13,7 @@ from typing import List
 
 from repro.parallel.cmfuzz import CmFuzzMode
 from repro.parallel.instance import FuzzingInstance
+from repro.parallel.registry import register_mode
 from repro.parallel.sync import SeedSynchronizer
 
 
@@ -61,3 +62,10 @@ class HybridMode(CmFuzzMode):
     def on_sync(self, ctx) -> None:
         super().on_sync(ctx)  # adaptive configuration mutation
         self.synchronizer.sync(ctx.instances)
+
+
+register_mode(
+    "hybrid", HybridMode,
+    "Extension: CMFuzz's configuration groups composed with SPFuzz's "
+    "state-path partitions and seed sync.",
+)

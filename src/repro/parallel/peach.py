@@ -13,6 +13,7 @@ from typing import List
 from repro.fuzzing.engine import FuzzEngine
 from repro.parallel.base import ParallelMode
 from repro.parallel.instance import FuzzingInstance
+from repro.parallel.registry import register_mode
 
 
 class _EngineFactory:
@@ -52,3 +53,10 @@ class PeachParallelMode(ParallelMode):
                 FuzzingInstance(index, ctx.target_cls, namespace, factory)
             )
         return instances
+
+
+register_mode(
+    "peach", PeachParallelMode,
+    "Baseline: every instance fuzzes the default configuration with a "
+    "different seed (Peach parallel).",
+)

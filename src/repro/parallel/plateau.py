@@ -1,0 +1,184 @@
+"""Plateau-triggered strategy switching (FuzzPilot-style controller).
+
+CMFuzz reacts only to full coverage *saturation* (zero new branches for
+a whole window). FuzzPilot (PAPERS.md) argues a controller should act
+earlier, at the coverage *plateau* — when the slope flattens but has not
+died — and that the first response should be cheap. This mode layers a
+:class:`~repro.core.mutation.PlateauDetector` per instance on top of the
+CMFuzz pipeline and escalates in two stages:
+
+1. **Mutator-weight rotation** (cheap, no restart): the instance's
+   mutation strategy is swapped for the next profile in a deterministic
+   rotation — different field-count aggressiveness, valid-message ratio
+   and mutator-pool weighting — changing *how* inputs are mutated while
+   the target keeps serving.
+2. **Configuration-mutation escalation** (CMFuzz's heavyweight move):
+   after ``escalate_after`` consecutive plateaued checks the instance
+   falls back to the paper's adaptive configuration mutation (restart
+   under a new config value, restart cost charged), the original
+   strategy is restored and the detector epoch restarts.
+
+Every decision is a pure function of the simulated clock and seeded
+state, and the rotation profiles build picklable
+:class:`~repro.fuzzing.strategies.RandomFieldStrategy` objects, so
+checkpoint kill-and-resume, the fault plane and ``workers=N`` all stay
+byte-identical (enforced by the golden-parity and storm harnesses).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.mutation import PlateauDetector
+from repro.fuzzing.mutators import (
+    DEFAULT_MUTATORS,
+    BlobMutator,
+    ChoiceSwitchMutator,
+    NumberBitFlipMutator,
+    NumberBoundaryMutator,
+    NumberRandomMutator,
+    SizeCorruptionMutator,
+    StringMutator,
+)
+from repro.fuzzing.strategies import RandomFieldStrategy
+from repro.parallel.cmfuzz import CmFuzzMode
+from repro.parallel.instance import FuzzingInstance
+from repro.parallel.registry import register_mode
+
+#: Named mutator-pool weightings the rotation cycles through. Module-level
+#: tuples (not per-mode lambdas) keep rotated strategies picklable.
+_POOLS = {
+    "all": DEFAULT_MUTATORS,
+    "numeric": (NumberBoundaryMutator(), NumberRandomMutator(),
+                NumberBitFlipMutator(), SizeCorruptionMutator()),
+    "structure": (StringMutator(), BlobMutator(), ChoiceSwitchMutator(),
+                  SizeCorruptionMutator()),
+}
+
+#: Rotation profiles: (max_fields, valid_ratio, pool name). Ordered from
+#: aggressive wide corruption to protocol-compliant probing.
+_DEFAULT_PROFILES: Tuple[Tuple[int, float, str], ...] = (
+    (6, 0.05, "all"),
+    (2, 0.5, "structure"),
+    (3, 0.2, "numeric"),
+)
+
+
+class PlateauMode(CmFuzzMode):
+    """CMFuzz plus a plateau controller: rotate mutator weights first,
+    escalate to configuration mutation only when rotation stops paying."""
+
+    name = "plateau"
+
+    def __init__(
+        self,
+        plateau_window: float = 1800.0,
+        min_gain: int = 1,
+        escalate_after: int = 2,
+        profiles: Tuple[Tuple[int, float, str], ...] = _DEFAULT_PROFILES,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if escalate_after < 1:
+            raise ValueError("escalate_after must be >= 1")
+        self.plateau_window = plateau_window
+        self.min_gain = min_gain
+        self.escalate_after = escalate_after
+        self.profiles = tuple(profiles)
+        for _fields, _ratio, pool in self.profiles:
+            if pool not in _POOLS:
+                raise ValueError("unknown mutator pool %r (have: %s)"
+                                 % (pool, ", ".join(sorted(_POOLS))))
+        self._plateaus: Dict[int, PlateauDetector] = {}
+        #: Consecutive plateaued sync checks per instance.
+        self._stalls: Dict[int, int] = {}
+        #: Rotation cursor per instance (-1 = base strategy active).
+        self._cursor: Dict[int, int] = {}
+        #: The strategy each engine was built with, for restoration.
+        self._base_strategy: Dict[int, object] = {}
+
+    def _fresh_detector(self) -> PlateauDetector:
+        return PlateauDetector(self.plateau_window, min_gain=self.min_gain)
+
+    def create_instances(self, ctx) -> List[FuzzingInstance]:
+        instances = super().create_instances(ctx)
+        for instance in instances:
+            self._plateaus[instance.index] = self._fresh_detector()
+            self._stalls[instance.index] = 0
+            self._cursor[instance.index] = -1
+        return instances
+
+    # -- the controller ------------------------------------------------------
+
+    def on_sync(self, ctx) -> None:
+        # Deliberately not CmFuzzMode.on_sync: the plateau detector owns
+        # the trigger; saturation detectors stay idle in this mode.
+        now = ctx.clock.now
+        for instance in ctx.instances:
+            if instance.dead or not instance.available(now):
+                continue
+            detector = self._plateaus[instance.index]
+            detector.observe(now, instance.coverage)
+            if not detector.plateaued(now):
+                self._stalls[instance.index] = 0
+                continue
+            stalls = self._stalls.get(instance.index, 0) + 1
+            self._stalls[instance.index] = stalls
+            if stalls <= self.escalate_after or not self.adaptive_mutation:
+                self._rotate_strategy(instance)
+            else:
+                self._escalate(ctx, instance, now)
+
+    def _rotate_strategy(self, instance: FuzzingInstance) -> None:
+        """Stage 1: swap the engine's mutation strategy for the next
+        profile; no restart, no simulated-time cost."""
+        engine = instance.engine
+        if engine is None or not self.profiles:
+            return
+        index = instance.index
+        self._base_strategy.setdefault(index, engine.strategy)
+        cursor = self._cursor.get(index, -1) + 1
+        self._cursor[index] = cursor
+        max_fields, valid_ratio, pool = self.profiles[cursor % len(self.profiles)]
+        engine.strategy = RandomFieldStrategy(
+            max_fields=max_fields, valid_ratio=valid_ratio, pool=_POOLS[pool],
+        )
+        self._telemetry.counter("plateau.rotations", instance=index).inc()
+        self._telemetry.event("plateau.rotate", instance=index,
+                              max_fields=max_fields, valid_ratio=valid_ratio,
+                              pool=pool)
+
+    def _restore_strategy(self, instance: FuzzingInstance) -> None:
+        base = self._base_strategy.get(instance.index)
+        if base is not None and instance.engine is not None:
+            instance.engine.strategy = base
+        self._cursor[instance.index] = -1
+
+    def _escalate(self, ctx, instance: FuzzingInstance, now: float) -> None:
+        """Stage 2: rotation stopped paying — run CMFuzz's configuration
+        mutation, restore the base strategy and start a fresh epoch."""
+        self._telemetry.counter("plateau.escalations",
+                                instance=instance.index).inc()
+        self._mutate_instance(ctx, instance, now)
+        self._restore_strategy(instance)
+        self._stalls[instance.index] = 0
+        self._plateaus[instance.index] = self._fresh_detector()
+
+    # -- graceful degradation -------------------------------------------------
+
+    def on_instance_revived(self, ctx, instance: FuzzingInstance) -> None:
+        """Entity reclamation from CMFuzz, plus a fresh plateau epoch:
+        the pre-loss series would read the quarantine gap as a plateau
+        and rotate/escalate immediately on revival."""
+        super().on_instance_revived(ctx, instance)
+        if instance.index in self._plateaus:
+            self._plateaus[instance.index] = self._fresh_detector()
+            self._stalls[instance.index] = 0
+
+
+register_mode(
+    "plateau", PlateauMode,
+    "Extension: CMFuzz with a FuzzPilot-style plateau controller — "
+    "mutator-weight rotation when the coverage slope flattens, "
+    "config-mutation escalation when rotation stops paying.",
+)

@@ -13,6 +13,7 @@ from typing import Dict, List
 from repro.fuzzing.engine import FuzzEngine
 from repro.parallel.base import ParallelMode
 from repro.parallel.instance import FuzzingInstance
+from repro.parallel.registry import register_mode
 from repro.parallel.sync import SeedSynchronizer
 
 
@@ -121,3 +122,10 @@ class SpFuzzMode(ParallelMode):
                 continue
             if path in survivor.engine.allowed_paths:
                 survivor.engine.allowed_paths.remove(path)
+
+
+register_mode(
+    "spfuzz", SpFuzzMode,
+    "Baseline: state-model paths partitioned across instances with "
+    "periodic seed synchronisation (SPFuzz).",
+)

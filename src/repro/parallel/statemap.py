@@ -1,0 +1,155 @@
+"""Reverse-state selection: steer instances toward rare protocol states.
+
+The statemap line of work (PAPERS.md) observes that a uniform weighted
+walk over the protocol state model keeps revisiting the hub states near
+the initial state, while deep or low-weight states are almost never
+exercised. This scheduler inverts the selection pressure:
+
+- every iteration's walked path (``IterationResult.path``) feeds a
+  global per-state visit counter;
+- at every sync point the live instances are redirected: each gets the
+  state-model paths that traverse one of the currently *rarest* states
+  (ties broken by state name, assignment rotated by a sync counter so no
+  instance camps on one state forever), via the engine's
+  ``allowed_paths`` mechanism SPFuzz introduced;
+- interesting seeds are synchronised like SPFuzz, so progress made deep
+  in the state machine propagates.
+
+Like the other modes, all state is plain picklable data (dicts of ints,
+lists of tuples), decisions depend only on deterministic visit counts
+and the sync counter, and the engine factory is a module-level class —
+so checkpoint kill-and-resume, the fault plane and ``workers=N`` keep
+exports byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.fuzzing.engine import FuzzEngine
+from repro.parallel.base import ParallelMode
+from repro.parallel.instance import FuzzingInstance
+from repro.parallel.registry import register_mode
+from repro.parallel.sync import SeedSynchronizer
+
+
+class _EngineFactory:
+    """Picklable per-instance engine builder (checkpoints pickle the
+    instances, factories included, so closures are off the table)."""
+
+    def __init__(self, ctx, seed: int, index: int):
+        self.ctx = ctx
+        self.seed = seed
+        self.index = index
+
+    def __call__(self, transport, collector) -> FuzzEngine:
+        ctx = self.ctx
+        # Instances start on the uniform walk (no path restriction);
+        # the scheduler narrows allowed_paths at the first sync, and the
+        # shared corpus matters more than under Peach's independent
+        # instances once instances specialise.
+        return FuzzEngine(
+            ctx.state_model, transport, collector,
+            strategy=ctx.make_strategy(), seed=self.seed,
+            replay_probability=0.5,
+            telemetry=getattr(ctx, "telemetry", None),
+            labels={"instance": self.index},
+        )
+
+
+class StateMapMode(ParallelMode):
+    """Visit-count-driven scheduling toward rarely-reached states."""
+
+    name = "statemap"
+
+    def __init__(self, max_path_length: int = 8, max_seeds_per_sync: int = 16):
+        self.max_path_length = max_path_length
+        self.synchronizer = SeedSynchronizer(max_per_sync=max_seeds_per_sync)
+        #: state name -> cumulative visits across all instances.
+        self._visits: Dict[str, int] = {}
+        #: All loop-free paths of the model, the redirect vocabulary.
+        self._paths: List[tuple] = []
+        #: state name -> the paths traversing it (precomputed once).
+        self._by_state: Dict[str, List[tuple]] = {}
+        #: instance index -> the rare state it currently focuses on.
+        self._focus: Dict[int, str] = {}
+        self._syncs = 0
+
+    def create_instances(self, ctx) -> List[FuzzingInstance]:
+        self.synchronizer.bind_telemetry(getattr(ctx, "telemetry", None))
+        self._paths = list(
+            ctx.state_model.simple_paths(max_length=self.max_path_length))
+        self._by_state = {}
+        for path in self._paths:
+            for state in path:
+                self._by_state.setdefault(state, []).append(path)
+        self._visits = {state: 0 for state in self._by_state}
+        instances = []
+        for index in range(ctx.n_instances):
+            namespace = ctx.namespaces.create(
+                "%s-statemap-%d" % (ctx.target_cls.NAME, index))
+            factory = _EngineFactory(ctx, seed=ctx.seed * 4000 + index,
+                                     index=index)
+            instances.append(
+                FuzzingInstance(index, ctx.target_cls, namespace, factory)
+            )
+        return instances
+
+    def after_iteration(self, ctx, instance: FuzzingInstance, result) -> None:
+        for state in result.path:
+            self._visits[state] = self._visits.get(state, 0) + 1
+
+    # -- reverse-state selection ---------------------------------------------
+
+    def _rarest_states(self, count: int) -> List[str]:
+        ranked = sorted(self._visits.items(), key=lambda item: (item[1], item[0]))
+        return [state for state, _visits in ranked[:max(1, count)]]
+
+    def on_sync(self, ctx) -> None:
+        self.synchronizer.sync(ctx.instances)
+        live = [
+            instance for instance in ctx.instances
+            if not instance.dead and not instance.quarantined
+            and instance.engine is not None
+        ]
+        if not live or not self._visits:
+            return
+        self._syncs += 1
+        rare = self._rarest_states(len(live))
+        telemetry = getattr(ctx, "telemetry", None)
+        # Rotate which instance chases which rare state so revisit
+        # pressure spreads; the offset is part of the pickled state, so
+        # a resumed campaign continues the same rotation.
+        offset = self._syncs % len(live)
+        for position, instance in enumerate(sorted(live, key=lambda i: i.index)):
+            state = rare[(position + offset) % len(rare)]
+            covering = self._by_state.get(state) or self._paths
+            instance.engine.allowed_paths = list(covering)
+            previous = self._focus.get(instance.index)
+            self._focus[instance.index] = state
+            if telemetry is not None and previous != state:
+                telemetry.counter("statemap.redirects",
+                                  instance=instance.index).inc()
+                telemetry.event("statemap.redirect", instance=instance.index,
+                                state=state, visits=self._visits.get(state, 0))
+
+    # -- graceful degradation -------------------------------------------------
+
+    def on_instance_lost(self, ctx, instance: FuzzingInstance) -> None:
+        """Nothing structural to donate: the lost instance's focus state
+        re-enters the rarest-first ranking and a survivor picks it up at
+        the next sync. Just drop the stale focus record."""
+        self._focus.pop(instance.index, None)
+
+    def on_instance_revived(self, ctx, instance: FuzzingInstance) -> None:
+        """Rejoin on the uniform walk until the next sync reassigns."""
+        if instance.engine is not None:
+            instance.engine.allowed_paths = None
+
+
+register_mode(
+    "statemap", StateMapMode,
+    "Extension: reverse-state selection — per-state visit counts from "
+    "the engine's walks redirect instances toward rarely-reached "
+    "protocol states, with seed sync.",
+)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.entity import ConfigEntity, Flag, ValueType
 from repro.core.model import ConfigurationModel
-from repro.core.mutation import ConfigMutator, SaturationDetector
+from repro.core.mutation import ConfigMutator, PlateauDetector, SaturationDetector
 from repro.core.reassembly import ConfigBundle, reassemble_group
 
 
@@ -50,6 +50,123 @@ class TestSaturationDetector:
     def test_invalid_window(self):
         with pytest.raises(ValueError):
             SaturationDetector(window=0)
+
+
+class TestSaturationBoundaries:
+    """Pinned boundary semantics: the window edge is inclusive, the
+    first observation always defines the baseline."""
+
+    def test_exactly_one_window_is_saturated(self):
+        detector = SaturationDetector(window=10)
+        detector.observe(5.0, 100)
+        assert not detector.saturated(14.999)
+        assert detector.saturated(15.0)  # now - last == window: saturated
+
+    def test_first_observation_defines_baseline_even_if_low(self):
+        detector = SaturationDetector(window=10)
+        detector.observe(3.0, 0)         # zero coverage still arms the clock
+        assert not detector.saturated(12.0)
+        assert detector.saturated(13.0)
+
+
+class TestSaturationReset:
+    """Pinned semantics of the repaired ``reset``: the pre-mutation peak
+    is forgotten; the first post-reset observation defines the new
+    baseline and restarts the window at its own timestamp."""
+
+    def test_reset_forgets_the_peak(self):
+        detector = SaturationDetector(window=10)
+        detector.observe(0.0, 100)
+        detector.reset(5.0)
+        # The mutated configuration starts below the old peak but keeps
+        # gaining: that is progress and must keep resetting the window.
+        detector.observe(6.0, 50)
+        detector.observe(12.0, 55)
+        assert not detector.saturated(18.0)
+        assert detector.saturated(22.0)
+
+    def test_back_to_back_mutations_require_a_fresh_window_each(self):
+        # The bug this pins: keeping _best across reset made every
+        # post-mutation observation a non-event until coverage beat the
+        # old peak, so a below-peak config was re-mutated every window
+        # even while it was actively discovering branches.
+        detector = SaturationDetector(window=10)
+        detector.observe(0.0, 100)
+        assert detector.saturated(10.0)
+        detector.reset(10.0)
+        detector.observe(11.0, 40)
+        detector.observe(19.0, 41)       # below old peak, still progress
+        assert not detector.saturated(25.0)
+
+    def test_reset_alone_rearms_the_clock_at_reset_time(self):
+        detector = SaturationDetector(window=10)
+        detector.observe(0.0, 100)
+        detector.reset(9.0)
+        assert not detector.saturated(15.0)
+        assert detector.saturated(19.0)  # window counted from the reset
+
+
+class TestPlateauDetector:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PlateauDetector(window=0)
+        with pytest.raises(ValueError):
+            PlateauDetector(window=10, min_gain=0)
+
+    def test_never_plateaued_before_a_full_window(self):
+        detector = PlateauDetector(window=10)
+        assert not detector.plateaued(100.0)  # no observations at all
+        detector.observe(0.0, 100)
+        assert not detector.plateaued(9.999)  # grace window
+
+    def test_flat_series_plateaus_at_the_window_edge(self):
+        detector = PlateauDetector(window=10)
+        detector.observe(0.0, 100)
+        detector.observe(5.0, 100)
+        assert detector.plateaued(10.0)
+
+    def test_rising_series_is_not_a_plateau(self):
+        detector = PlateauDetector(window=10, min_gain=2)
+        detector.observe(0.0, 100)
+        detector.observe(8.0, 105)
+        assert not detector.plateaued(12.0)
+
+    def test_gain_equal_to_min_gain_is_not_a_plateau(self):
+        detector = PlateauDetector(window=10, min_gain=2)
+        detector.observe(0.0, 100)
+        detector.observe(9.0, 102)       # trailing-window gain == min_gain
+        assert not detector.plateaued(10.0)
+        detector2 = PlateauDetector(window=10, min_gain=3)
+        detector2.observe(0.0, 100)
+        detector2.observe(9.0, 102)      # gain < min_gain
+        assert detector2.plateaued(10.0)
+
+    def test_old_gains_age_out_of_the_trailing_window(self):
+        detector = PlateauDetector(window=10)
+        detector.observe(0.0, 100)
+        detector.observe(2.0, 120)       # a burst, then silence
+        assert not detector.plateaued(10.0)
+        assert detector.plateaued(13.0)  # the burst left the window
+
+    def test_reset_starts_a_fresh_epoch_with_full_grace(self):
+        detector = PlateauDetector(window=10)
+        detector.observe(0.0, 100)
+        assert detector.plateaued(10.0)
+        detector.reset(10.0)
+        assert not detector.plateaued(50.0)   # nothing observed yet
+        detector.observe(50.0, 100)
+        assert not detector.plateaued(59.0)   # grace restarts
+        assert detector.plateaued(60.0)
+
+    def test_detector_pickles_mid_window(self):
+        import pickle
+
+        detector = PlateauDetector(window=10, min_gain=2)
+        detector.observe(0.0, 100)
+        detector.observe(4.0, 101)
+        clone = pickle.loads(pickle.dumps(detector))
+        assert clone.plateaued(10.0) == detector.plateaued(10.0)
+        assert not clone.plateaued(5.0)
 
 
 class TestConfigMutator:

@@ -20,7 +20,7 @@ from repro.errors import CampaignInterrupted
 from repro.harness.campaign import CampaignConfig, run_campaign
 from repro.harness.executor import CampaignSpec, execute_specs, results
 from repro.harness.export import results_to_json
-from repro.parallel import MODES
+from repro.parallel import MODES, mode_names
 from repro.pits import pit_registry
 from repro.targets import target_registry
 
@@ -29,7 +29,9 @@ _SETTINGS = dict(
     suppress_health_check=[HealthCheck.function_scoped_fixture],
 )
 
-ALL_MODES = ["peach", "spfuzz", "cmfuzz", "hybrid"]
+#: Every registered mode (plateau and statemap included) must hold the
+#: parity invariant, so the list derives from the registry.
+ALL_MODES = list(mode_names())
 
 
 def _config(seed, **overrides):

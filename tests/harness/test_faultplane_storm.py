@@ -24,7 +24,7 @@ from repro.faultplane import FaultPlan, _unit
 from repro.harness.campaign import CampaignConfig, run_campaign
 from repro.harness.executor import execute_specs, results, specs_for_repeated
 from repro.harness.export import results_to_json
-from repro.parallel import MODES
+from repro.parallel import MODES, mode_names
 from repro.pits import pit_registry
 from repro.targets import target_registry
 from repro.telemetry import TelemetryConfig
@@ -34,7 +34,9 @@ _SETTINGS = dict(
     suppress_health_check=[HealthCheck.function_scoped_fixture],
 )
 
-_ALL_MODES = ("cmfuzz", "peach", "spfuzz", "hybrid")
+#: Every registered mode (plateau and statemap included) must survive
+#: the storm byte-identically, so the list derives from the registry.
+_ALL_MODES = mode_names()
 
 _LEVELS = (0.1, 0.25, 0.45, 0.7)
 

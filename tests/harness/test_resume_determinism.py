@@ -25,7 +25,7 @@ from repro.harness.export import (
     results_to_json,
     validate_export_dict,
 )
-from repro.parallel import MODES
+from repro.parallel import MODES, mode_names
 from repro.pits import pit_registry
 from repro.targets import target_registry
 
@@ -55,7 +55,7 @@ def _config(checkpoint_dir, seed, every=300.0):
 class TestResumeEqualsUninterrupted:
     @settings(**_SETTINGS)
     @given(
-        mode_name=st.sampled_from(["cmfuzz", "spfuzz", "hybrid"]),
+        mode_name=st.sampled_from(sorted(set(mode_names()) - {"peach"})),
         seed=st.integers(min_value=0, max_value=10_000),
         abort_at=st.integers(min_value=1, max_value=250),
     )
@@ -74,7 +74,7 @@ class TestResumeEqualsUninterrupted:
 
     @settings(**_SETTINGS)
     @given(
-        mode_name=st.sampled_from(["cmfuzz", "peach", "spfuzz", "hybrid"]),
+        mode_name=st.sampled_from(mode_names()),
         seed=st.integers(min_value=0, max_value=10_000),
     )
     def test_checkpointing_enabled_changes_nothing(self, mode_name, seed):

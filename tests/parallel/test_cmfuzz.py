@@ -143,6 +143,65 @@ class TestAdaptiveMutation:
         assert all(i.config_mutations == 0 for i in ctx.instances) or True
 
 
+class TestDetectorLifecycle:
+    """Regression: a revived instance must not inherit the stale
+    saturation clock of its pre-loss detector."""
+
+    def _running_ctx(self):
+        ctx = _ctx(target_cls=DnsmasqTarget, pit="dnsmasq", n_instances=2,
+                   seed=5)
+        mode = CmFuzzMode(saturation_window=10.0)
+        ctx.instances = mode.create_instances(ctx)
+        for instance in ctx.instances:
+            _safe_initial_start(ctx, instance)
+        return ctx, mode
+
+    def test_revival_across_window_boundary_gets_fresh_detector(self):
+        ctx, mode = self._running_ctx()
+        victim = ctx.instances[0]
+        mode.on_sync(ctx)               # arms both detectors at t0
+        stale = mode._detectors[victim.index]
+        ctx.clock.advance(6.0)
+        victim.quarantined = True
+        mode.on_instance_lost(ctx, victim)
+        # Quarantined across the window boundary: the old detector's
+        # progress clock (t0) is now far in the past.
+        ctx.clock.advance(30.0)
+        victim.quarantined = False
+        mode.on_instance_revived(ctx, victim)
+        assert mode._detectors[victim.index] is not stale
+        mutations = victim.config_mutations
+        ctx.clock.advance(max(victim.down_until - ctx.clock.now, 0.0) + 1.0)
+        mode.on_sync(ctx)               # first post-revival sync
+        # A fresh detector's first observation only arms it; with the
+        # stale one this sync would config-mutate immediately, before
+        # the revived configuration ran at all.
+        assert victim.config_mutations == mutations
+        assert not mode._detectors[victim.index].saturated(ctx.clock.now)
+
+    def test_revival_window_restarts_from_first_post_revival_sync(self):
+        ctx, mode = self._running_ctx()
+        victim = ctx.instances[0]
+        mode.on_sync(ctx)
+        victim.quarantined = True
+        mode.on_instance_lost(ctx, victim)
+        ctx.clock.advance(30.0)
+        victim.quarantined = False
+        mode.on_instance_revived(ctx, victim)
+        ctx.clock.advance(max(victim.down_until - ctx.clock.now, 0.0) + 1.0)
+        mode.on_sync(ctx)               # arms the fresh detector
+        armed_at = ctx.clock.now
+        baseline = victim.config_mutations
+        # The full saturation window must elapse *after* revival before
+        # the instance may be mutated again — and once it has, the fresh
+        # detector does fire (revival does not disable adaptation).
+        ctx.clock.advance(11.0)
+        assert ctx.clock.now - armed_at >= mode.saturation_window
+        assert mode._detectors[victim.index].saturated(ctx.clock.now)
+        mode.on_sync(ctx)
+        assert victim.config_mutations == baseline + 1
+
+
 class TestStartupFaultDuringQuantification:
     def test_dns_config_bug_found_during_probing(self):
         ctx = _ctx(target_cls=DnsmasqTarget, pit="dnsmasq", n_instances=2, seed=7)

@@ -152,9 +152,12 @@ class TestTopLevelExports:
             assert hasattr(repro.fuzzing, name), name
 
     def test_modes_registry_complete(self):
-        from repro.parallel import MODES
+        from repro.parallel import MODES, mode_names
 
-        assert set(MODES) == {"cmfuzz", "peach", "spfuzz", "hybrid"}
+        # The view and the registry agree, and every built-in registers.
+        assert set(MODES) == set(mode_names())
+        assert set(MODES) == {"cmfuzz", "peach", "spfuzz", "hybrid",
+                              "plateau", "statemap"}
 
     def test_target_and_pit_registries_aligned(self):
         from repro.pits import pit_registry
