@@ -23,6 +23,7 @@ import conftest  # noqa: F401  (adds src/ to sys.path)
 
 from repro.harness.stats import mean, speedup
 from repro.parallel import mode_names
+from repro.targets import target_names
 
 TARGET = os.environ.get("CMFUZZ_BENCH_ABLATION_TARGET", "dnsmasq")
 SEED = int(os.environ.get("CMFUZZ_BENCH_ABLATION_SEED", "23"))
@@ -72,6 +73,7 @@ def run_bench():
         "repetitions": conftest.REPETITIONS,
         "hours": conftest.DURATION_HOURS,
         "registry_modes": list(BENCH_MODES),
+        "registry_targets": list(target_names()),
         "modes": modes,
         "total_seconds": round(time.perf_counter() - started, 3),
     }

@@ -14,7 +14,7 @@ from repro.core.model import ConfigurationModel
 from repro.core.relation import RelationQuantifier
 from repro.harness.stats import mean
 from repro.parallel.cmfuzz import CmFuzzMode
-from repro.targets import target_registry
+from repro.targets import get_target
 from repro.targets.base import startup_probe_for
 
 from conftest import repeated
@@ -22,7 +22,7 @@ from conftest import repeated
 
 @pytest.mark.parametrize("subject", ("mosquitto", "libcoap"))
 def test_ablation_weight_edges(benchmark, subject):
-    target_cls = target_registry()[subject]
+    target_cls = get_target(subject).target_cls
     entities = extract_entities(target_cls.config_sources(), target_cls.entity_overrides())
 
     def quantify(aggregate):
@@ -45,11 +45,11 @@ def test_ablation_weight_edges(benchmark, subject):
     # normalisation. Peak aggregation dominates pointwise.
     assert max_edges == mean_edges
     quantifier = RelationQuantifier(
-        startup_probe_for(target_registry()[subject]), max_combinations=16,
+        startup_probe_for(target_cls), max_combinations=16,
         aggregate="max",
     )
     mean_quantifier = RelationQuantifier(
-        startup_probe_for(target_registry()[subject]), max_combinations=16,
+        startup_probe_for(target_cls), max_combinations=16,
         aggregate="mean",
     )
     model = ConfigurationModel(entities)

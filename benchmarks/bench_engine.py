@@ -38,8 +38,7 @@ import conftest  # noqa: F401  (adds src/ to sys.path)
 from repro import fastpath
 from repro.coverage.collector import make_collector
 from repro.fuzzing.engine import DirectTransport, FuzzEngine
-from repro.pits import pit_registry
-from repro.targets import target_registry
+from repro.targets import get_target, target_names
 
 TARGET = "dnsmasq"
 ITERATIONS = int(os.environ.get("CMFUZZ_BENCH_ENGINE_ITERS", "3000"))
@@ -84,15 +83,16 @@ def _snapshot(cov):
 
 def _feather_engine(seed):
     cov = make_collector("feather")
-    model = pit_registry()[TARGET]()
+    model = get_target(TARGET).state_model()
     return FuzzEngine(model, FeatherTransport(cov), cov, seed=seed), cov
 
 
 def _e2e_engine(seed):
+    entry = get_target(TARGET)
     cov = make_collector(TARGET)
-    target = target_registry()[TARGET](collector=cov)
+    target = entry.target_cls(collector=cov)
     target.startup()
-    model = pit_registry()[TARGET]()
+    model = entry.state_model()
     return FuzzEngine(model, DirectTransport(target), cov, seed=seed), cov
 
 
@@ -155,6 +155,7 @@ def run_bench():
     return {
         "bench": "engine",
         "target": TARGET,
+        "registry_targets": list(target_names()),
         "iterations": ITERATIONS,
         "e2e_iterations": E2E_ITERATIONS,
         "repeats": REPEATS,

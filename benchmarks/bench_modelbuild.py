@@ -33,6 +33,7 @@ import conftest  # noqa: F401  (adds src/ to sys.path)
 from repro.api import extract_model
 from repro.core.probes import build_probe_executor
 from repro.core.relation import RelationQuantifier
+from repro.targets import target_names
 
 TARGET = "dnsmasq"
 PROBE_LATENCY = float(os.environ.get("CMFUZZ_BENCH_PROBE_MS", "5")) / 1000.0
@@ -78,6 +79,7 @@ def run_bench():
     return {
         "bench": "modelbuild",
         "target": TARGET,
+        "registry_targets": list(target_names()),
         "max_combinations": MAX_COMBINATIONS,
         "probe_latency_ms": PROBE_LATENCY * 1000.0,
         "workers": WORKERS,

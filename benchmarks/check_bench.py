@@ -18,6 +18,12 @@ invariants, which no amount of runner noise can excuse:
   ``statemap``) must be present, and every mode needs positive coverage,
   a numeric Speedup-vs-peach and a non-empty coverage curve.
 
+Every record additionally stamps the target catalogue the bench saw
+(``registry_targets``); the gate hard-fails if the bench's subject is
+not a registered target, if any seed subject fell out of the registry,
+or — when ``repro`` is importable, as it is in CI — if the stamped
+catalogue disagrees with the live ``repro.targets.target_names()``.
+
 Usage::
 
     python benchmarks/check_bench.py FRESH.json BASELINE.json [--tolerance 0.2]
@@ -134,6 +140,51 @@ def _check_ablation(fresh, failures):
                             % name)
 
 
+#: The paper's seed subjects: a bench record whose registry snapshot is
+#: missing one of these means a target registration silently broke, even
+#: though the bench itself only fuzzes its own subject.
+_REQUIRED_TARGETS = ("cyclonedds", "dnsmasq", "libcoap", "mosquitto",
+                     "openssl", "qpid")
+
+
+def _live_target_names():
+    """The registry's live catalogue, or None when ``repro`` is not
+    importable (the gate stays usable as a standalone script)."""
+    try:
+        from repro.targets import target_names
+    except ImportError:
+        return None
+    return list(target_names())
+
+
+def _check_targets(fresh, failures, live=None):
+    """Kind-agnostic: every record's target list must agree with the
+    target registry."""
+    registry = fresh.get("registry_targets")
+    if not isinstance(registry, list) or not registry:
+        failures.append(
+            "record lacks a registry_targets snapshot (got %r): the bench "
+            "no longer stamps the target catalogue" % (registry,))
+        return
+    for name in _REQUIRED_TARGETS:
+        if name not in registry:
+            failures.append(
+                "seed subject %r missing from the record's registry "
+                "snapshot: it fell out of the target registry" % name)
+    subjects = fresh.get("targets") or [fresh.get("target")]
+    for name in subjects:
+        if name not in registry:
+            failures.append(
+                "bench subject %r is not a registered target (registry "
+                "held %r)" % (name, registry))
+    live = _live_target_names() if live is None else live
+    if live is not None and sorted(registry) != sorted(live):
+        failures.append(
+            "record's registry_targets %r disagree with the live "
+            "catalogue %r: the bench and target_names() have drifted"
+            % (sorted(registry), sorted(live)))
+
+
 #: bench kind -> hard-invariant checker appending to the failure list.
 KIND_CHECKS = {
     "modelbuild": _check_modelbuild,
@@ -157,6 +208,7 @@ def check(fresh, baseline, tolerance):
         failures.append("unknown bench kind %r" % kind)
         return failures, warnings
     checker(fresh, failures)
+    _check_targets(fresh, failures)
     for name in TIMING_FIELDS.get(kind, ()):
         base = baseline.get(name)
         now = fresh.get(name)

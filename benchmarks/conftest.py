@@ -12,15 +12,22 @@ import pytest
 from repro.harness.campaign import CampaignConfig, run_repeated
 from repro.harness.executor import execute_specs, results, specs_for_repeated
 from repro.harness.simclock import CostModel
-from repro.pits import pit_registry
-from repro.targets import target_registry
+from repro.targets import get_target, target_names
 
 #: Scaled-down defaults: a simulated 24 h day at 30 s/iteration, four
 #: instances, three repetitions (the paper uses five; three keeps the
 #: whole bench suite in minutes).
 REPETITIONS = int(os.environ.get("CMFUZZ_BENCH_REPS", "3"))
 DURATION_HOURS = float(os.environ.get("CMFUZZ_BENCH_HOURS", "24"))
+#: The paper's Table I/II subjects. The benches only fuzz these six, but
+#: their lists must agree with the target registry — a subject that is
+#: no longer registered means a bench silently measuring nothing.
 SUBJECTS = ("mosquitto", "libcoap", "cyclonedds", "openssl", "qpid", "dnsmasq")
+
+_unregistered = sorted(set(SUBJECTS) - set(target_names()))
+assert not _unregistered, (
+    "bench subjects %r are not registered targets (registry holds %r)"
+    % (_unregistered, sorted(target_names())))
 
 
 def campaign_config(seed=0):
@@ -57,10 +64,10 @@ def repeated(target_name, mode_name, seed=0, repetitions=None, mode_factory=None
     closures, which cannot cross a process boundary, so they stay serial.
     """
     if mode_factory is not None:
-        targets, pits = target_registry(), pit_registry()
+        entry = get_target(target_name)
         return run_repeated(
-            targets[target_name],
-            pits[target_name],
+            entry.target_cls,
+            entry.state_model,
             mode_factory,
             repetitions=repetitions or REPETITIONS,
             config=campaign_config(seed=seed),

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Explore the configuration models of all six protocol targets.
+"""Explore the configuration models of every registered protocol target.
 
 For each target: run identification over its real configuration surface
 (CLI help text, key-value / XML / custom config files), print the 4-tuple
@@ -12,7 +12,7 @@ print the cohesive groups Algorithm 2 would hand to four instances.
 import sys
 
 from repro import ModelBuildConfig, allocate_groups, extract_model, quantify_relations
-from repro.targets import target_registry
+from repro.targets import get_target, target_names
 
 
 def explore(name, target_cls):
@@ -49,13 +49,13 @@ def explore(name, target_cls):
 
 
 def main():
-    registry = target_registry()
-    wanted = sys.argv[1:] or sorted(registry)
+    names = target_names()
+    wanted = sys.argv[1:] or names
     for name in wanted:
-        if name not in registry:
-            print("unknown target %r (choose from %s)" % (name, sorted(registry)))
+        if name not in names:
+            print("unknown target %r (choose from %s)" % (name, list(names)))
             continue
-        explore(name, registry[name])
+        explore(name, get_target(name).target_cls)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Out-of-tree target plugin smoke: the discovery contract, end to end.
+
+Authors a throwaway target module in a temporary directory — a package
+nobody in-tree knows about — then drives the installed CLI in fresh
+subprocesses to prove the plugin path works without a single repo edit:
+
+1. without ``CMFUZZ_TARGET_MODULES`` the catalogue must NOT list the
+   plugin (discovery is opt-in, not ambient);
+2. with the variable set, ``python -m repro targets`` must list the
+   plugin alongside every in-tree target;
+3. ``python -m repro campaign --target plugin_smoke`` must run a short
+   campaign against it and export positive coverage.
+
+Exits non-zero with a ``FAIL:`` line on the first broken promise. CI's
+``target-plugin-smoke`` job runs this; it works locally too::
+
+    PYTHONPATH=src python scripts/target_plugin_smoke.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import textwrap
+
+#: The throwaway target. Deliberately self-contained: its only imports
+#: are the public plugin surface an out-of-tree author would use, and it
+#: registers with a plain dict manifest (no target.json on disk).
+PLUGIN_MODULE = "cmfuzz_smoke_plugin"
+PLUGIN_TARGET = "plugin_smoke"
+PLUGIN_SOURCE = textwrap.dedent("""
+    from repro.core.extraction import ConfigSources
+    from repro.fuzzing.datamodel import Blob, DataModel, Number
+    from repro.fuzzing.statemodel import Action, State, StateModel
+    from repro.targets.base import ProtocolTarget
+    from repro.targets.registry import register_target
+
+    CONFIG_FILE = "port=9901\\nshout=false\\n"
+
+
+    class PluginSmokeTarget(ProtocolTarget):
+        NAME = "plugin_smoke"
+        PROTOCOL = "ECHO"
+        PORT = 9901
+
+        @classmethod
+        def config_sources(cls):
+            return ConfigSources(files=(("plugin_smoke.conf", CONFIG_FILE),))
+
+        @classmethod
+        def default_config(cls):
+            return {"port": 9901, "shout": False}
+
+        def _startup_impl(self):
+            self.cov.hit("startup.complete")
+            self.cov.branch("startup.shout", self.enabled("shout"))
+
+        def reset_session(self):
+            pass
+
+        def handle_packet(self, data):
+            self.require_started()
+            if not data:
+                self.cov.hit("recv.empty")
+                return b""
+            self.cov.hit("recv.op.%d" % (data[0] % 4))
+            self.cov.branch("recv.long", len(data) > 8)
+            if self.enabled("shout"):
+                return data.upper()
+            return data
+
+
+    def state_model():
+        return StateModel(
+            "plugin-smoke", "start",
+            [State("start", [Action("send", "Ping")])
+             .add_transition("finish", 1.0),
+             State("finish")],
+            [DataModel("Ping", [Number("op", 8, default=1),
+                                Blob("payload", default=b"hello")])])
+
+
+    register_target("plugin_smoke", PluginSmokeTarget, state_model, {
+        "name": "plugin_smoke",
+        "protocol": "ECHO",
+        "description": "Throwaway out-of-tree target for the CI plugin smoke.",
+        "port": 9901,
+        "config_surface": {"format": "key-value file", "keys": 2},
+        "pit": "cmfuzz_smoke_plugin:state_model",
+    })
+""")
+
+
+def fail(message):
+    print("FAIL: %s" % message)
+    raise SystemExit(1)
+
+
+def run_cli(args, env, cwd):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro"] + args,
+        env=env, cwd=cwd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail("`repro %s` exited %d:\n%s\n%s"
+             % (" ".join(args), proc.returncode, proc.stdout, proc.stderr))
+    return proc.stdout
+
+
+def in_tree_targets(env):
+    """The in-tree catalogue, read in a subprocess WITHOUT the plugin
+    discovery variable — the reference the plugin must not disturb."""
+    proc = subprocess.run(
+        [sys.executable, "-c",
+         "from repro.targets import target_names; "
+         "print('\\n'.join(target_names()))"],
+        env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail("could not read the in-tree catalogue:\n%s" % proc.stderr)
+    return [line for line in proc.stdout.splitlines() if line]
+
+
+def main():
+    base_env = {k: v for k, v in os.environ.items()
+                if k != "CMFUZZ_TARGET_MODULES"}
+    if base_env.get("PYTHONPATH"):
+        # Subprocesses run from a temp dir; keep relative entries (the
+        # local `PYTHONPATH=src` invocation) pointing at the repo.
+        base_env["PYTHONPATH"] = os.pathsep.join(
+            os.path.abspath(p)
+            for p in base_env["PYTHONPATH"].split(os.pathsep) if p)
+    builtins = in_tree_targets(base_env)
+    if PLUGIN_TARGET in builtins:
+        fail("%r is already an in-tree target; the smoke needs a fresh name"
+             % PLUGIN_TARGET)
+
+    with tempfile.TemporaryDirectory(prefix="cmfuzz-plugin-") as tmpdir:
+        with open(os.path.join(tmpdir, PLUGIN_MODULE + ".py"),
+                  "w", encoding="utf-8") as handle:
+            handle.write(PLUGIN_SOURCE)
+
+        plugin_env = dict(base_env)
+        plugin_env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (tmpdir, base_env.get("PYTHONPATH")) if p)
+        plugin_env["CMFUZZ_TARGET_MODULES"] = PLUGIN_MODULE
+
+        # 1. Discovery is opt-in: no env var, no plugin.
+        table = run_cli(["targets"], base_env, tmpdir)
+        if PLUGIN_TARGET in table:
+            fail("catalogue lists %r without CMFUZZ_TARGET_MODULES set"
+                 % PLUGIN_TARGET)
+
+        # 2. With it, the table lists the plugin AND every in-tree target.
+        table = run_cli(["targets"], plugin_env, tmpdir)
+        for name in builtins + [PLUGIN_TARGET]:
+            if "`%s`" % name not in table:
+                fail("`repro targets` table is missing %r:\n%s"
+                     % (name, table))
+        print("catalogue lists %d in-tree targets + %r"
+              % (len(builtins), PLUGIN_TARGET))
+
+        # 3. A short campaign against the plugin completes and exports
+        #    positive coverage.
+        export_path = os.path.join(tmpdir, "plugin_campaign.json")
+        run_cli(["campaign", "--target", PLUGIN_TARGET, "--mode", "cmfuzz",
+                 "--instances", "2", "--hours", "1", "--seed", "3",
+                 "--no-cache", "--export", export_path],
+                plugin_env, tmpdir)
+        with open(export_path, encoding="utf-8") as handle:
+            export = json.load(handle)
+        if not export:
+            fail("campaign export is empty")
+        record = export[0]
+        if record.get("target") != PLUGIN_TARGET:
+            fail("export records target %r, expected %r"
+                 % (record.get("target"), PLUGIN_TARGET))
+        coverage = record.get("final_coverage", 0)
+        if not coverage or coverage <= 0:
+            fail("campaign reported non-positive coverage %r" % coverage)
+        print("campaign on %r exported final_coverage=%s"
+              % (PLUGIN_TARGET, coverage))
+
+    print("target plugin smoke: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,14 +84,10 @@ class ModelBuildConfig:
 
 def _resolve_target(target: TargetLike) -> Tuple[type, str]:
     """Accept a registry name or a target class; return ``(cls, name)``."""
-    from repro.targets import target_registry
+    from repro.targets.registry import get_target
 
     if isinstance(target, str):
-        registry = target_registry()
-        if target not in registry:
-            raise KeyError("unknown target %r (known: %s)"
-                           % (target, ", ".join(sorted(registry))))
-        return registry[target], target
+        return get_target(target).target_cls, target
     return target, target.NAME
 
 
@@ -196,9 +192,9 @@ def run_campaign(
             raise ValueError(
                 "cache=True requires a registry mode name (the cache key "
                 "derives from it); got a live mode object")
-        from repro.pits import pit_registry
+        from repro.targets.registry import get_target
 
-        return _run_campaign_live(target_cls, pit_registry()[name](),
+        return _run_campaign_live(target_cls, get_target(name).state_model(),
                                   mode, config)
     if cache:
         from repro.harness.executor import (
@@ -215,10 +211,10 @@ def run_campaign(
         )
         return results(cells)[0]
     from repro.parallel import create_mode
-    from repro.pits import pit_registry
+    from repro.targets.registry import get_target
 
     return _run_campaign_live(
-        target_cls, pit_registry()[name](),
+        target_cls, get_target(name).state_model(),
         create_mode(mode, **dict(mode_kwargs or {})), config,
     )
 

@@ -39,7 +39,7 @@ from repro.harness.report import (
 )
 from repro.harness.stats import speedup
 from repro.parallel import mode_names, render_mode_table
-from repro.targets import target_registry
+from repro.targets import render_target_table, target_names
 from repro.telemetry import TelemetryConfig
 
 
@@ -90,7 +90,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    targets = sorted(target_registry())
+    targets = target_names()
 
     campaign = sub.add_parser("campaign", help="run one fuzzing campaign")
     campaign.add_argument("--target", choices=targets, required=True)
@@ -131,7 +131,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="skip the on-disk probe cache under "
                             ".cmfuzz-cache/probes/")
 
-    sub.add_parser("targets", help="list available protocol targets")
+    sub.add_parser("targets", help="list registered protocol targets "
+                                   "(README's target table regenerates "
+                                   "from this output)")
     sub.add_parser("modes", help="list registered parallel modes "
                                  "(README's mode table regenerates from "
                                  "this output)")
@@ -139,11 +141,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_targets(out) -> int:
-    rows = [
-        [name, cls.PROTOCOL, str(cls.PORT), str(len(cls.default_config()))]
-        for name, cls in sorted(target_registry().items())
-    ]
-    out.write(render_table(["Target", "Protocol", "Port", "Config keys"], rows) + "\n")
+    out.write(render_target_table() + "\n")
     return 0
 
 

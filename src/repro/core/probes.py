@@ -119,7 +119,7 @@ class ProbeBatch:
 
     Attributes:
         target: Target registry name (e.g. ``"dnsmasq"``); the worker
-            reconstructs the class from :func:`repro.targets.target_registry`.
+            reconstructs the class via :func:`repro.targets.get_target`.
         assignments: One canonical item-tuple per probe.
         startup_latency: Simulated per-probe startup cost in seconds —
             models the process-spawn latency of probing a real SUT
@@ -160,14 +160,11 @@ def probe_one(probe: Callable[[Dict[str, Any]], Any],
 
 def run_probe_batch(batch: ProbeBatch) -> List[ProbeOutcome]:
     """Worker body: rebuild the target's probe and run one chunk."""
-    from repro.targets import target_registry
     from repro.targets.base import startup_probe_for
+    from repro.targets.registry import get_target
 
-    registry = target_registry()
-    if batch.target not in registry:
-        raise KeyError("unknown target %r" % batch.target)
     fault_log: List = []
-    probe = startup_probe_for(registry[batch.target],
+    probe = startup_probe_for(get_target(batch.target).target_cls,
                               on_fault=fault_log.append)
     return [
         probe_one(probe, dict(items), fault_log,
@@ -407,11 +404,11 @@ def build_probe_executor(
         )
     else:
         if probe is None:
-            from repro.targets import target_registry
             from repro.targets.base import startup_probe_for
+            from repro.targets.registry import get_target
 
             fault_log: List = []
-            probe = startup_probe_for(target_registry()[target_id],
+            probe = startup_probe_for(get_target(target_id).target_cls,
                                       on_fault=fault_log.append)
         else:
             fault_log = getattr(probe, "fault_log", None)

@@ -487,7 +487,11 @@ def _drive(state: _LoopState, config: CampaignConfig, store=None,
                     supervisor.handle_crash(instance, now)
             ctx.clock.advance(config.costs.iteration)
             if ctx.clock.now >= state.next_sample:
-                coverage.record(ctx.clock.now, len(global_sites))
+                # The last iteration can overshoot the horizon; the curve
+                # must not extend past it (the closing record(horizon)
+                # below would then violate time ordering).
+                coverage.record(min(ctx.clock.now, horizon),
+                                len(global_sites))
                 c_samples.inc()
                 g_global_sites.set(len(global_sites))
                 g_sim_time.set(ctx.clock.now)

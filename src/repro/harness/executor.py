@@ -221,18 +221,15 @@ def run_spec(spec: CampaignSpec) -> CampaignOutcome:
     rerunning it from scratch.
     """
     from repro.parallel import create_mode
-    from repro.pits import pit_registry
-    from repro.targets import target_registry
+    from repro.targets.registry import get_target
 
-    targets = target_registry()
-    if spec.target not in targets:
-        raise KeyError("unknown target %r" % spec.target)
+    entry = get_target(spec.target)
     config = spec.config
     if config.checkpoint_every is not None and not config.resume:
         config = dataclasses.replace(config, resume=True)
     result = run_campaign(
-        targets[spec.target],
-        pit_registry()[spec.target](),
+        entry.target_cls,
+        entry.state_model(),
         create_mode(spec.mode, **dict(spec.mode_kwargs)),
         config,
     )

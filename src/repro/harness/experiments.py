@@ -24,9 +24,8 @@ from repro.harness.executor import execute_specs, results, specs_for_repeated
 from repro.harness.stats import TimeSeries, mean, speedup
 from repro.harness.supervisor import SupervisorPolicy, event_counts
 from repro.parallel import MODES
-from repro.pits import pit_registry
-from repro.targets import target_registry
 from repro.targets.chaos import ChaosPolicy
+from repro.targets.registry import get_target
 from repro.targets.faults import BugLedger
 
 DEFAULT_FUZZERS = ("cmfuzz", "peach", "spfuzz")
@@ -69,9 +68,7 @@ def _run_fuzzers(
     cache: bool = False,
     cache_dir: Optional[str] = None,
 ) -> SubjectComparison:
-    targets, pits = target_registry(), pit_registry()
-    if subject not in targets:
-        raise KeyError("unknown subject %r" % subject)
+    entry = get_target(subject)
     factories = mode_factories or {}
     for fuzzer in fuzzers:
         if fuzzer not in factories and fuzzer not in MODES:
@@ -95,7 +92,7 @@ def _run_fuzzers(
     for fuzzer in fuzzers:
         if fuzzer in factories:
             by_fuzzer[fuzzer] = run_repeated(
-                targets[subject], pits[subject], factories[fuzzer],
+                entry.target_cls, entry.state_model, factories[fuzzer],
                 repetitions=repetitions, config=config,
             )
     return SubjectComparison(

@@ -1,8 +1,11 @@
 """Protocol pits: the data and state models shared by every fuzzer.
 
 The paper keeps Pit files identical across fuzzers for fairness; likewise
-each module here exposes a single ``state_model()`` factory used by
-Peach-parallel, SPFuzz and CMFuzz alike.
+each target registers a single ``state_model()`` factory used by
+Peach-parallel, SPFuzz and CMFuzz alike. The catalogue derives from the
+target plugin registry, so a target's pit ships in (or next to) its own
+directory and ``set(pit_registry()) == set(target_names())`` holds by
+construction.
 """
 
 from typing import Callable, Dict
@@ -11,14 +14,7 @@ from repro.fuzzing.statemodel import StateModel
 
 
 def pit_registry() -> Dict[str, Callable[[], StateModel]]:
-    """Target name -> state-model factory for the six protocols."""
-    from repro.pits import amqp, coap, dds, dns, dtls, mqtt
+    """Target name -> state-model factory for every registered target."""
+    from repro.targets.registry import target_entries
 
-    return {
-        "mosquitto": mqtt.state_model,
-        "libcoap": coap.state_model,
-        "cyclonedds": dds.state_model,
-        "openssl": dtls.state_model,
-        "qpid": amqp.state_model,
-        "dnsmasq": dns.state_model,
-    }
+    return {entry.name: entry.state_model for entry in target_entries()}

@@ -1,42 +1,78 @@
-"""Protocol targets: the six systems-under-test plus the fault model.
+"""Protocol targets: the pluggable systems-under-test plus the fault model.
 
-Each subpackage implements one protocol server with a realistic
-configuration surface (configuration files and/or CLI options), explicit
-branch-coverage instrumentation, and the configuration-gated bugs from
-Table II of the paper.
+Each target lives in its own directory: a subpackage with a
+``target.json`` manifest (protocol, description, config-surface summary,
+data/state model reference, injected-bug table) alongside its server and
+config modules. Importing the subpackage registers the target; the
+catalogue itself — including the configuration-gated bugs from Table II
+of the paper for the seed subjects — lives in
+:mod:`repro.targets.registry` and discovers directories lazily, so
+adding a target needs zero edits outside its own directory. Out-of-tree
+targets plug in via the ``CMFUZZ_TARGET_MODULES`` environment variable
+or the ``repro.targets`` entry-point group.
 """
+
+import warnings
 
 from repro.targets.base import ProtocolTarget, TargetFactory, startup_probe_for
 from repro.targets.faults import BugLedger, CrashReport, FaultKind, SanitizerFault
+from repro.targets.registry import (
+    DISCOVERY_ENV,
+    ENTRY_POINT_GROUP,
+    InjectedBug,
+    ManifestError,
+    TargetEntry,
+    TargetManifest,
+    TARGETS_VIEW,
+    create_target,
+    get_target,
+    load_manifest,
+    register_target,
+    render_target_table,
+    target_entries,
+    target_names,
+    unregister_target,
+    validate_manifest,
+)
 
 __all__ = [
     "BugLedger",
     "CrashReport",
+    "DISCOVERY_ENV",
+    "ENTRY_POINT_GROUP",
     "FaultKind",
+    "InjectedBug",
+    "ManifestError",
     "ProtocolTarget",
     "SanitizerFault",
+    "TARGETS_VIEW",
+    "TargetEntry",
     "TargetFactory",
+    "TargetManifest",
+    "create_target",
+    "get_target",
+    "load_manifest",
+    "register_target",
+    "render_target_table",
     "startup_probe_for",
+    "target_entries",
+    "target_names",
+    "target_registry",
+    "unregister_target",
+    "validate_manifest",
 ]
 
 
 def target_registry():
-    """Name -> target class for all six protocol implementations.
+    """Deprecated: use :func:`target_entries` / :func:`target_names`.
 
-    Imported lazily to keep ``repro.targets`` import-light.
+    Returns the live read-only ``name -> target class`` mapping view over
+    the plugin registry, so existing call sites keep working.
     """
-    from repro.targets.amqp.server import QpidTarget
-    from repro.targets.coap.server import LibcoapTarget
-    from repro.targets.dds.server import CycloneDdsTarget
-    from repro.targets.dns.server import DnsmasqTarget
-    from repro.targets.dtls.server import OpenSslDtlsTarget
-    from repro.targets.mqtt.server import MosquittoTarget
-
-    return {
-        "mosquitto": MosquittoTarget,
-        "libcoap": LibcoapTarget,
-        "cyclonedds": CycloneDdsTarget,
-        "openssl": OpenSslDtlsTarget,
-        "qpid": QpidTarget,
-        "dnsmasq": DnsmasqTarget,
-    }
+    warnings.warn(
+        "target_registry() is deprecated; use repro.targets.target_entries() "
+        "(or target_names()/create_target()) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return TARGETS_VIEW

@@ -1,5 +1,10 @@
 """Qpid-style AMQP 1.0 broker target."""
 
+from repro.pits.amqp import state_model
 from repro.targets.amqp.server import QpidTarget
+from repro.targets.registry import load_manifest, register_target
 
-__all__ = ["QpidTarget"]
+MANIFEST = load_manifest(__file__)
+register_target(MANIFEST.name, QpidTarget, state_model, MANIFEST)
+
+__all__ = ["MANIFEST", "QpidTarget"]

@@ -1,5 +1,10 @@
 """libcoap-style CoAP server target."""
 
+from repro.pits.coap import state_model
 from repro.targets.coap.server import LibcoapTarget
+from repro.targets.registry import load_manifest, register_target
 
-__all__ = ["LibcoapTarget"]
+MANIFEST = load_manifest(__file__)
+register_target(MANIFEST.name, LibcoapTarget, state_model, MANIFEST)
+
+__all__ = ["LibcoapTarget", "MANIFEST"]

@@ -1,5 +1,10 @@
 """Dnsmasq-style DNS server target."""
 
+from repro.pits.dns import state_model
 from repro.targets.dns.server import DnsmasqTarget
+from repro.targets.registry import load_manifest, register_target
 
-__all__ = ["DnsmasqTarget"]
+MANIFEST = load_manifest(__file__)
+register_target(MANIFEST.name, DnsmasqTarget, state_model, MANIFEST)
+
+__all__ = ["DnsmasqTarget", "MANIFEST"]

@@ -1,0 +1,10 @@
+"""Modbus/TCP register-protocol gateway target."""
+
+from repro.targets.modbus.pit import state_model
+from repro.targets.modbus.server import ModbusTarget
+from repro.targets.registry import load_manifest, register_target
+
+MANIFEST = load_manifest(__file__)
+register_target(MANIFEST.name, ModbusTarget, state_model, MANIFEST)
+
+__all__ = ["MANIFEST", "ModbusTarget"]

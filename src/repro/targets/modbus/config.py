@@ -1,0 +1,59 @@
+"""The Modbus gateway configuration surface: flat ``key value`` format.
+
+``modbus.conf`` mirrors the register-map configuration of industrial
+Modbus/TCP gateways (unit addressing, register file sizing, write
+protection, diagnostics) — the protocol handlers below gate on these.
+"""
+
+from repro.core.entity import Flag
+from repro.core.extraction import ConfigSources
+
+CONFIG_FILE = """\
+# modbus.conf - gateway configuration
+port 502
+unit_id 1
+accept_any_unit false
+register_count 128
+coil_count 64
+allow_writes true
+readonly_holding false
+strict_length true
+diagnostics false
+broadcast_enabled false
+exception_verbose false
+max_pdu 253
+word_order big
+word_order little
+watchdog_interval 0
+trace_frames false
+"""
+
+ENTITY_OVERRIDES = {
+    # The register file is sized at startup; only a few sizes matter.
+    "register_count": {"values": (128, 16, 2048), "flag": Flag.MUTABLE},
+    "coil_count": {"values": (64, 8), "flag": Flag.MUTABLE},
+    "unit_id": {"values": (1, 17, 247), "flag": Flag.MUTABLE},
+}
+
+
+def config_sources() -> ConfigSources:
+    return ConfigSources(files=(("modbus.conf", CONFIG_FILE),))
+
+
+DEFAULT_CONFIG = {
+    "port": 502,
+    "unit_id": 1,
+    "accept_any_unit": False,
+    "register_count": 128,
+    "coil_count": 64,
+    "allow_writes": True,
+    "readonly_holding": False,
+    "strict_length": True,
+    "diagnostics": False,
+    "broadcast_enabled": False,
+    "exception_verbose": False,
+    "max_pdu": 253,
+    "word_order": "big",
+    "watchdog_interval": 0,
+    "trace_frames": False,
+}

@@ -1,0 +1,73 @@
+"""Pit for the Modbus target: MBAP-framed register-protocol requests."""
+
+from repro.fuzzing.datamodel import Blob, DataModel, Number
+from repro.fuzzing.statemodel import Action, State, StateModel
+
+
+def _frame(name: str, function: int, pdu: bytes, unit: int = 1,
+           protocol: int = 0) -> DataModel:
+    return DataModel(
+        name,
+        [
+            Number("transaction", bits=16, default=0x0001),
+            Number("protocol", bits=16, default=protocol),
+            Number("length", bits=16, default=len(pdu) + 2),
+            Number("unit", bits=8, default=unit),
+            Number("function", bits=8, default=function),
+            Blob("pdu", default=pdu),
+        ],
+    )
+
+
+def _span(address: int, quantity: int) -> bytes:
+    return address.to_bytes(2, "big") + quantity.to_bytes(2, "big")
+
+
+def state_model() -> StateModel:
+    """The Modbus request state model shared by all fuzzers."""
+    write_words = b"\x00\x2a\x01\x00"
+    data_models = [
+        _frame("ReadCoils", 0x01, _span(0, 16)),
+        _frame("ReadCoilsHigh", 0x01, _span(48, 8)),
+        _frame("ReadHolding", 0x03, _span(0, 8)),
+        _frame("ReadHoldingSpan", 0x03, _span(100, 20)),
+        _frame("WriteSingle", 0x06, _span(5, 0x2A)),
+        _frame("WriteMultiple", 0x10,
+               _span(10, 2) + bytes([len(write_words)]) + write_words),
+        _frame("DiagEcho", 0x08, _span(0, 0xBEEF)),
+        _frame("DiagRestart", 0x08, _span(1, 0xFF00)),
+        _frame("DiagCounters", 0x08, _span(0x0B, 0)),
+        _frame("WrongProto", 0x03, _span(0, 4), protocol=0x1234),
+        _frame("Broadcast", 0x06, _span(3, 7), unit=0),
+        # A header torn mid-MBAP: exercises the runt-frame path.
+        DataModel("Runt", [Blob("fragment", default=b"\x00\x01\x00\x00\x00")]),
+    ]
+    states = [
+        State("start")
+        .add_transition("survey", 3.0)
+        .add_transition("operate", 2.0)
+        .add_transition("maintain", 1.0)
+        .add_transition("stray", 1.0)
+        .add_transition("noise", 0.5),
+        State("survey", [Action("send", "ReadCoils"),
+                         Action("send", "ReadHolding"),
+                         Action("send", "ReadHoldingSpan")])
+        .add_transition("operate", 1.0)
+        .add_transition("finish", 2.0),
+        State("operate", [Action("send", "WriteSingle"),
+                          Action("send", "WriteMultiple"),
+                          Action("send", "ReadCoilsHigh")])
+        .add_transition("maintain", 1.0)
+        .add_transition("finish", 2.0),
+        State("maintain", [Action("send", "DiagEcho"),
+                           Action("send", "DiagCounters"),
+                           Action("send", "DiagRestart")])
+        .add_transition("finish", 1.0),
+        State("stray", [Action("send", "WrongProto"),
+                        Action("send", "Broadcast")])
+        .add_transition("finish", 1.0),
+        State("noise", [Action("send", "Runt")])
+        .add_transition("finish", 1.0),
+        State("finish"),
+    ]
+    return StateModel("modbus-session", "start", states, data_models)

@@ -1,0 +1,349 @@
+"""A Modbus/TCP-style register-protocol gateway target.
+
+Parses MBAP-framed requests (transaction/protocol/length header + unit
+id) and the classic register function codes — read coils (0x01), read
+holding registers (0x03), write single register (0x06), write multiple
+registers (0x10), diagnostics (0x08). Unit addressing, write
+protection, frame-length trust and diagnostics are all
+configuration-gated, and four injected bugs hide behind non-default
+configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.errors import StartupError
+from repro.targets.base import ProtocolTarget
+from repro.targets.faults import FaultKind, SanitizerFault
+from repro.targets.modbus import config as mb_config
+
+FC_READ_COILS = 0x01
+FC_READ_HOLDING = 0x03
+FC_WRITE_SINGLE = 0x06
+FC_DIAGNOSTICS = 0x08
+FC_WRITE_MULTIPLE = 0x10
+
+_EX_ILLEGAL_FUNCTION = 0x01
+_EX_ILLEGAL_ADDRESS = 0x02
+_EX_ILLEGAL_VALUE = 0x03
+
+_DIAG_ECHO = 0x00
+_DIAG_RESTART = 0x01
+_DIAG_COUNTERS = 0x0B
+
+
+class _Drop(Exception):
+    """Frame is not for us (wrong protocol id / unit); silently dropped."""
+
+
+class ModbusTarget(ProtocolTarget):
+    """The Modbus register-protocol target."""
+
+    NAME = "modbus"
+    PROTOCOL = "Modbus"
+    PORT = 502
+
+    @classmethod
+    def config_sources(cls):
+        return mb_config.config_sources()
+
+    @classmethod
+    def entity_overrides(cls):
+        return dict(mb_config.ENTITY_OVERRIDES)
+
+    @classmethod
+    def default_config(cls) -> Dict[str, Any]:
+        return dict(mb_config.DEFAULT_CONFIG)
+
+    # -- startup ---------------------------------------------------------
+
+    def _startup_impl(self) -> None:
+        cov = self.cov
+        cov.hit("startup.enter")
+        unit = int(self.cfg("unit_id"))
+        if not 1 <= unit <= 247:
+            cov.hit("startup.conflict.unit_range")
+            raise StartupError("unit_id %d outside 1..247 (0 is broadcast)"
+                               % unit, ("unit_id",))
+        registers = int(self.cfg("register_count"))
+        if not 0 < registers <= 65536:
+            cov.hit("startup.conflict.register_count")
+            raise StartupError("register_count out of range",
+                               ("register_count",))
+        if int(self.cfg("max_pdu")) > 253:
+            cov.hit("startup.conflict.pdu_limit")
+            raise StartupError("max_pdu exceeds the 253-byte spec limit",
+                               ("max_pdu",))
+        if str(self.cfg("word_order")) not in ("big", "little"):
+            cov.hit("startup.conflict.word_order")
+            raise StartupError("word_order must be big or little",
+                               ("word_order",))
+        if cov.branch("startup.large_map", registers > 1000):
+            cov.hit("startup.large_map_alloc")
+        if cov.branch("startup.diagnostics", self.enabled("diagnostics")):
+            cov.hit("startup.diag_counters_alloc")
+        if cov.branch("startup.broadcast", self.enabled("broadcast_enabled")):
+            cov.hit("startup.broadcast_listener")
+        if cov.branch("startup.trace", self.enabled("trace_frames")):
+            cov.hit("startup.trace_ring_alloc")
+        if cov.branch("startup.watchdog",
+                      int(self.cfg("watchdog_interval")) > 0):
+            cov.hit("startup.watchdog_armed")
+        if cov.branch("startup.readonly", self.enabled("readonly_holding")):
+            cov.hit("startup.write_protect")
+        if str(self.cfg("word_order")) == "little":
+            cov.hit("startup.word_swap_tables")
+        if self.enabled("accept_any_unit"):
+            cov.hit("startup.promiscuous_unit")
+        # Server-lifetime state: the register/coil files survive sessions.
+        self._registers: List[int] = [0] * registers
+        self._coils: List[bool] = [False] * int(self.cfg("coil_count"))
+        self._restarting = False
+        cov.hit("startup.complete")
+
+    # -- session ---------------------------------------------------------
+
+    def reset_session(self) -> None:
+        self._restarting = False
+
+    # -- parsing ---------------------------------------------------------
+
+    def handle_packet(self, data: bytes) -> bytes:
+        self.require_started()
+        try:
+            return self._dispatch(data)
+        except _Drop:
+            return b""
+
+    def _dispatch(self, data: bytes) -> bytes:
+        cov = self.cov
+        if cov.branch("frame.runt", len(data) < 8):
+            cov.hit("frame.malformed")
+            raise _Drop("short frame")
+        protocol = int.from_bytes(data[2:4], "big")
+        if cov.branch("frame.wrong_protocol", protocol != 0):
+            raise _Drop("not modbus")
+        declared = int.from_bytes(data[4:6], "big")
+        actual = len(data) - 6
+        if cov.branch("frame.length_mismatch", declared != actual):
+            if self.enabled("strict_length"):
+                cov.hit("frame.length_rejected")
+                raise _Drop("length mismatch")
+            if declared > actual and data[7] == FC_WRITE_MULTIPLE:
+                # Bug #1: with strict length checks off the declared MBAP
+                # length is trusted, and the write-multiple staging copy
+                # reads that many bytes past the received frame.
+                raise SanitizerFault(
+                    FaultKind.HEAP_BUFFER_OVERFLOW,
+                    "mb_frame_read",
+                    "declared %d-byte PDU in %d-byte frame"
+                    % (declared, actual),
+                )
+            cov.hit("frame.length_trusted")
+        unit = data[6]
+        broadcast = False
+        if cov.branch("frame.broadcast", unit == 0):
+            if not self.enabled("broadcast_enabled"):
+                raise _Drop("broadcast disabled")
+            cov.hit("frame.broadcast_accepted")
+            broadcast = True
+        elif unit != int(self.cfg("unit_id")):
+            if not cov.branch("frame.promiscuous",
+                              self.enabled("accept_any_unit")):
+                cov.hit("frame.unit_ignored")
+                raise _Drop("not our unit")
+        if cov.branch("frame.pdu_cap", actual - 1 > int(self.cfg("max_pdu"))):
+            return self._exception(data, data[7] if len(data) > 7 else 0,
+                                   _EX_ILLEGAL_VALUE)
+        if self.enabled("trace_frames"):
+            cov.hit("frame.traced")
+            if self._restarting:
+                # Bug #2: a restart-communications diagnostic frees the
+                # trace ring; the very next traced frame flushes into it.
+                raise SanitizerFault(
+                    FaultKind.HEAP_USE_AFTER_FREE,
+                    "mb_trace_flush",
+                    "trace ring used after restart-communications free",
+                )
+        function = data[7]
+        pdu = data[8:]
+        if function == FC_READ_COILS:
+            reply = self._read_coils(data, pdu)
+        elif function == FC_READ_HOLDING:
+            reply = self._read_holding(data, pdu)
+        elif function == FC_WRITE_SINGLE:
+            reply = self._write_single(data, pdu)
+        elif function == FC_WRITE_MULTIPLE:
+            reply = self._write_multiple(data, pdu)
+        elif function == FC_DIAGNOSTICS:
+            reply = self._diagnostics(data, pdu)
+        else:
+            cov.hit("pdu.unknown_function")
+            reply = self._exception(data, function, _EX_ILLEGAL_FUNCTION)
+        if cov.branch("frame.broadcast_mute", broadcast):
+            failed = len(reply) > 7 and reply[7] & 0x80
+            if function in (FC_WRITE_SINGLE, FC_WRITE_MULTIPLE) and failed:
+                # Bug #3: a failing broadcast write queues its exception
+                # response on the error queue, but broadcast replies are
+                # muted so the queue is never drained.
+                raise SanitizerFault(
+                    FaultKind.MEMORY_LEAK,
+                    "mb_queue_response",
+                    "broadcast write exception queued but never drained",
+                )
+            return b""
+        return reply
+
+    # -- function codes --------------------------------------------------
+
+    def _read_span(self, data: bytes, pdu: bytes, function: int, limit: int):
+        cov = self.cov
+        if cov.branch("read.short_pdu", len(pdu) < 4):
+            return self._exception(data, function, _EX_ILLEGAL_VALUE)
+        address = int.from_bytes(pdu[0:2], "big")
+        quantity = int.from_bytes(pdu[2:4], "big")
+        if cov.branch("read.bad_quantity", quantity == 0 or quantity > 125):
+            return self._exception(data, function, _EX_ILLEGAL_VALUE)
+        if cov.branch("read.bad_span", address + quantity > limit):
+            if self.enabled("exception_verbose"):
+                cov.hit("read.span_logged")
+            return self._exception(data, function, _EX_ILLEGAL_ADDRESS)
+        return (address, quantity)
+
+    def _read_coils(self, data: bytes, pdu: bytes) -> bytes:
+        cov = self.cov
+        cov.hit("coils.read")
+        span = self._read_span(data, pdu, FC_READ_COILS, len(self._coils))
+        if isinstance(span, bytes):
+            return span
+        address, quantity = span
+        byte_count = (quantity + 7) // 8
+        bits = bytearray(byte_count)
+        for offset in range(quantity):
+            if self._coils[address + offset]:
+                bits[offset // 8] |= 1 << (offset % 8)
+        if any(bits):
+            cov.hit("coils.nonzero_read")
+        return self._reply(data, bytes([FC_READ_COILS, byte_count]) + bytes(bits))
+
+    def _read_holding(self, data: bytes, pdu: bytes) -> bytes:
+        cov = self.cov
+        cov.hit("holding.read")
+        span = self._read_span(data, pdu, FC_READ_HOLDING, len(self._registers))
+        if isinstance(span, bytes):
+            return span
+        address, quantity = span
+        out = bytearray()
+        little = str(self.cfg("word_order")) == "little"
+        for offset in range(quantity):
+            word = self._registers[address + offset] & 0xFFFF
+            if cov.branch("holding.word_swap", little):
+                word = ((word & 0xFF) << 8) | (word >> 8)
+            out += word.to_bytes(2, "big")
+        if any(out):
+            cov.hit("holding.nonzero_read")
+        return self._reply(data, bytes([FC_READ_HOLDING, len(out)]) + bytes(out))
+
+    def _write_guard(self, data: bytes, function: int):
+        cov = self.cov
+        if not cov.branch("write.allowed", self.enabled("allow_writes")):
+            cov.hit("write.rejected")
+            return self._exception(data, function, _EX_ILLEGAL_FUNCTION)
+        return None
+
+    def _write_single(self, data: bytes, pdu: bytes) -> bytes:
+        cov = self.cov
+        cov.hit("write.single")
+        rejected = self._write_guard(data, FC_WRITE_SINGLE)
+        if rejected is not None:
+            return rejected
+        if cov.branch("write.single_short", len(pdu) < 4):
+            return self._exception(data, FC_WRITE_SINGLE, _EX_ILLEGAL_VALUE)
+        address = int.from_bytes(pdu[0:2], "big")
+        value = int.from_bytes(pdu[2:4], "big")
+        if cov.branch("write.single_bad_address",
+                      address >= len(self._registers)):
+            return self._exception(data, FC_WRITE_SINGLE, _EX_ILLEGAL_ADDRESS)
+        if cov.branch("write.readonly_holding",
+                      self.enabled("readonly_holding")):
+            cov.hit("write.protected_reject")
+            return self._exception(data, FC_WRITE_SINGLE, _EX_ILLEGAL_FUNCTION)
+        self._registers[address] = value
+        if value:
+            cov.hit("write.nonzero_value")
+        return self._reply(data, bytes([FC_WRITE_SINGLE]) + pdu[0:4])
+
+    def _write_multiple(self, data: bytes, pdu: bytes) -> bytes:
+        cov = self.cov
+        cov.hit("write.multiple")
+        rejected = self._write_guard(data, FC_WRITE_MULTIPLE)
+        if rejected is not None:
+            return rejected
+        if cov.branch("write.multi_short", len(pdu) < 5):
+            return self._exception(data, FC_WRITE_MULTIPLE, _EX_ILLEGAL_VALUE)
+        address = int.from_bytes(pdu[0:2], "big")
+        quantity = int.from_bytes(pdu[2:4], "big")
+        byte_count = pdu[4]
+        if cov.branch("write.multi_bad_quantity",
+                      quantity == 0 or quantity > 123):
+            return self._exception(data, FC_WRITE_MULTIPLE, _EX_ILLEGAL_VALUE)
+        if self.enabled("readonly_holding"):
+            cov.hit("write.multi_protected")
+            if byte_count == 0:
+                # Bug #4: the write-protect path frees the staging buffer
+                # before the zero-byte-count check, which then memcpy's
+                # from the dangling pointer.
+                raise SanitizerFault(
+                    FaultKind.SEGV,
+                    "mb_write_multiple",
+                    "zero byte-count memcpy from freed staging buffer",
+                )
+            return self._exception(data, FC_WRITE_MULTIPLE,
+                                   _EX_ILLEGAL_FUNCTION)
+        if cov.branch("write.multi_count_mismatch",
+                      byte_count != quantity * 2 or len(pdu) < 5 + byte_count):
+            return self._exception(data, FC_WRITE_MULTIPLE, _EX_ILLEGAL_VALUE)
+        if cov.branch("write.multi_bad_span",
+                      address + quantity > len(self._registers)):
+            return self._exception(data, FC_WRITE_MULTIPLE,
+                                   _EX_ILLEGAL_ADDRESS)
+        for offset in range(quantity):
+            word = int.from_bytes(pdu[5 + 2 * offset:7 + 2 * offset], "big")
+            self._registers[address + offset] = word
+        cov.hit("write.multi_committed")
+        return self._reply(data, bytes([FC_WRITE_MULTIPLE]) + pdu[0:4])
+
+    def _diagnostics(self, data: bytes, pdu: bytes) -> bytes:
+        cov = self.cov
+        if not cov.branch("diag.enabled", self.enabled("diagnostics")):
+            return self._exception(data, FC_DIAGNOSTICS, _EX_ILLEGAL_FUNCTION)
+        if cov.branch("diag.short_pdu", len(pdu) < 2):
+            return self._exception(data, FC_DIAGNOSTICS, _EX_ILLEGAL_VALUE)
+        sub = int.from_bytes(pdu[0:2], "big")
+        if cov.branch("diag.echo", sub == _DIAG_ECHO):
+            return self._reply(data, bytes([FC_DIAGNOSTICS]) + pdu)
+        if cov.branch("diag.restart", sub == _DIAG_RESTART):
+            self._restarting = True
+            if self.enabled("watchdog_interval"):
+                cov.hit("diag.restart_watchdog_kick")
+            return self._reply(data, bytes([FC_DIAGNOSTICS]) + pdu[0:2])
+        if cov.branch("diag.counters", sub == _DIAG_COUNTERS):
+            if self.enabled("exception_verbose"):
+                cov.hit("diag.counters_verbose")
+            return self._reply(data,
+                               bytes([FC_DIAGNOSTICS]) + pdu[0:2] + b"\x00\x2a")
+        cov.hit("diag.unknown_subfunction")
+        return self._exception(data, FC_DIAGNOSTICS, _EX_ILLEGAL_VALUE)
+
+    # -- replies ---------------------------------------------------------
+
+    def _reply(self, request: bytes, pdu: bytes) -> bytes:
+        self.cov.hit("reply.ok")
+        header = request[0:4] + (len(pdu) + 1).to_bytes(2, "big") + request[6:7]
+        return header + pdu
+
+    def _exception(self, request: bytes, function: int, code: int) -> bytes:
+        self.cov.hit("reply.exception.%d" % code)
+        header = request[0:4] + (3).to_bytes(2, "big") + request[6:7]
+        return header + bytes([(function | 0x80) & 0xFF, code])

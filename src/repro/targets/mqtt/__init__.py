@@ -1,5 +1,10 @@
 """Mosquitto-style MQTT broker target."""
 
+from repro.pits.mqtt import state_model
 from repro.targets.mqtt.server import MosquittoTarget
+from repro.targets.registry import load_manifest, register_target
 
-__all__ = ["MosquittoTarget"]
+MANIFEST = load_manifest(__file__)
+register_target(MANIFEST.name, MosquittoTarget, state_model, MANIFEST)
+
+__all__ = ["MANIFEST", "MosquittoTarget"]

@@ -1,0 +1,24 @@
+"""Seeded property-generated target family."""
+
+from repro.targets.randtarget.gen import (
+    DEFAULT_SEED,
+    RandTarget,
+    build_state_model,
+    make_random_target,
+    register_family_member,
+    state_model,
+)
+from repro.targets.registry import load_manifest, register_target
+
+MANIFEST = load_manifest(__file__)
+register_target(MANIFEST.name, RandTarget, state_model, MANIFEST)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "MANIFEST",
+    "RandTarget",
+    "build_state_model",
+    "make_random_target",
+    "register_family_member",
+    "state_model",
+]

@@ -1,0 +1,10 @@
+"""HTTP-ish REST device-API target."""
+
+from repro.targets.registry import load_manifest, register_target
+from repro.targets.restapi.pit import state_model
+from repro.targets.restapi.server import RestApiTarget
+
+MANIFEST = load_manifest(__file__)
+register_target(MANIFEST.name, RestApiTarget, state_model, MANIFEST)
+
+__all__ = ["MANIFEST", "RestApiTarget"]

@@ -1,0 +1,65 @@
+"""The REST device-API configuration surface: flat ``key value`` format.
+
+``restapi.conf`` mirrors the embedded-httpd style of IoT device web
+servers (auth token, CORS, rate limiting, firmware upload) — every
+deep code path below is gated on one of these keys.
+"""
+
+from repro.core.entity import Flag
+from repro.core.extraction import ConfigSources
+
+CONFIG_FILE = """\
+# restapi.conf - device REST API configuration
+port 8080
+api_prefix /api
+auth_required false
+auth_token
+max_body_size 4096
+strict_content_length true
+keepalive false
+keepalive_max 100
+cors_enabled false
+cors_origin *
+rate_limit 0
+debug_endpoints false
+tls_enabled false
+tls_cert
+compress_responses false
+url_decode false
+max_header_count 32
+firmware_upload false
+"""
+
+ENTITY_OVERRIDES = {
+    # Presence of a token value switches the whole auth code path.
+    "auth_token": {"values": ("", "s3cr3t-device-token"), "flag": Flag.MUTABLE},
+    "tls_cert": {"values": ("", "/etc/device/server.pem"), "flag": Flag.MUTABLE},
+    "api_prefix": {"values": ("/api", "/v2"), "flag": Flag.MUTABLE},
+    "cors_origin": {"values": ("*", "https://cloud.example"), "flag": Flag.MUTABLE},
+}
+
+
+def config_sources() -> ConfigSources:
+    return ConfigSources(files=(("restapi.conf", CONFIG_FILE),))
+
+
+DEFAULT_CONFIG = {
+    "port": 8080,
+    "api_prefix": "/api",
+    "auth_required": False,
+    "auth_token": "",
+    "max_body_size": 4096,
+    "strict_content_length": True,
+    "keepalive": False,
+    "keepalive_max": 100,
+    "cors_enabled": False,
+    "cors_origin": "*",
+    "rate_limit": 0,
+    "debug_endpoints": False,
+    "tls_enabled": False,
+    "tls_cert": "",
+    "compress_responses": False,
+    "url_decode": False,
+    "max_header_count": 32,
+    "firmware_upload": False,
+}

@@ -1,0 +1,75 @@
+"""Pit for the REST device-API target: HTTP/1.1 request formats."""
+
+from repro.fuzzing.datamodel import Blob, DataModel
+from repro.fuzzing.statemodel import Action, State, StateModel
+
+
+def _request(name: str, line: str, headers: str = "", body: str = "") -> DataModel:
+    return DataModel(
+        name,
+        [
+            Blob("line", default=(line + "\r\n").encode("latin-1")),
+            Blob("host", default=b"Host: device.local\r\n"),
+            Blob("headers", default=headers.encode("latin-1")),
+            Blob("sep", default=b"\r\n"),
+            Blob("body", default=body.encode("latin-1")),
+        ],
+    )
+
+
+def state_model() -> StateModel:
+    """The REST API request state model shared by all fuzzers."""
+    post_body = '{"relay0":"on"}'
+    config_body = '{"mode":"ap","dhcp":false}'
+    firmware_body = "\xe9\x01firmware-blob"
+    data_models = [
+        _request("GetStatus", "GET /api/status HTTP/1.1"),
+        _request("GetSensors", "GET /api/sensors HTTP/1.1"),
+        _request("GetSensorItem", "GET /api/sensors/2 HTTP/1.1"),
+        _request("DeleteSensor", "DELETE /api/sensors/3 HTTP/1.1"),
+        _request("PostActuator", "POST /api/actuators HTTP/1.1",
+                 headers="Content-Type: application/json\r\n"
+                         "Content-Length: %d\r\n" % len(post_body),
+                 body=post_body),
+        _request("PutConfig", "PUT /api/config HTTP/1.1",
+                 headers="Content-Length: %d\r\n" % len(config_body),
+                 body=config_body),
+        _request("PutFirmware", "PUT /api/firmware HTTP/1.1",
+                 headers="Content-Length: %d\r\n" % len(firmware_body),
+                 body=firmware_body),
+        _request("OptionsPreflight", "OPTIONS /api/actuators HTTP/1.1",
+                 headers="Origin: https://cloud.example\r\n"
+                         "Access-Control-Request-Method: POST\r\n"),
+        _request("GetDebugHeap", "GET /debug/heap HTTP/1.1"),
+        _request("GetEscaped", "GET /api/sensors%2F1 HTTP/1.1"),
+        # A bare truncated request line: exercises the malformed path.
+        DataModel("Runt", [Blob("fragment", default=b"GET /api")]),
+    ]
+    states = [
+        State("start")
+        .add_transition("browse", 3.0)
+        .add_transition("control", 2.0)
+        .add_transition("admin", 1.0)
+        .add_transition("crossorigin", 1.0)
+        .add_transition("noise", 0.5),
+        State("browse", [Action("send", "GetStatus"),
+                         Action("send", "GetSensors"),
+                         Action("send", "GetSensorItem")])
+        .add_transition("control", 1.0)
+        .add_transition("finish", 2.0),
+        State("control", [Action("send", "PostActuator"),
+                          Action("send", "PutConfig"),
+                          Action("send", "DeleteSensor")])
+        .add_transition("admin", 1.0)
+        .add_transition("finish", 2.0),
+        State("admin", [Action("send", "PutFirmware"),
+                        Action("send", "GetDebugHeap")])
+        .add_transition("finish", 1.0),
+        State("crossorigin", [Action("send", "OptionsPreflight"),
+                              Action("send", "GetEscaped")])
+        .add_transition("finish", 1.0),
+        State("noise", [Action("send", "Runt")])
+        .add_transition("finish", 1.0),
+        State("finish"),
+    ]
+    return StateModel("restapi-session", "start", states, data_models)

@@ -1,0 +1,410 @@
+"""An HTTP/1.1-ish REST device API target.
+
+Parses text HTTP requests (request line, header block, optional body)
+against a small device resource tree (``/api/status``, ``/api/sensors``,
+``/api/actuators``, ``/api/config``, ``/api/firmware``, ``/debug``).
+Behaviour is heavily configuration-gated — bearer auth, CORS preflight,
+rate limiting, percent-decoding, firmware upload — and carries four
+injected bugs, each reachable only under a non-default configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import StartupError
+from repro.targets.base import ProtocolTarget
+from repro.targets.faults import FaultKind, SanitizerFault
+from repro.targets.restapi import config as rest_config
+
+_METHODS = ("GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS")
+#: Headers the device firmware actually inspects; everything else is
+#: counted once under ``header.other`` so site names stay bounded.
+_KNOWN_HEADERS = frozenset(
+    ("host", "content-length", "content-type", "authorization", "origin",
+     "connection", "accept", "accept-encoding",
+     "access-control-request-method")
+)
+_RESOURCES = ("status", "sensors", "actuators", "config", "firmware")
+_HEX = "0123456789abcdefABCDEF"
+
+
+class _BadRequest(Exception):
+    """Malformed request; the server answers 400."""
+
+
+class RestApiTarget(ProtocolTarget):
+    """The REST device-API target."""
+
+    NAME = "restapi"
+    PROTOCOL = "HTTP"
+    PORT = 8080
+
+    @classmethod
+    def config_sources(cls):
+        return rest_config.config_sources()
+
+    @classmethod
+    def entity_overrides(cls):
+        return dict(rest_config.ENTITY_OVERRIDES)
+
+    @classmethod
+    def default_config(cls) -> Dict[str, Any]:
+        return dict(rest_config.DEFAULT_CONFIG)
+
+    # -- startup ---------------------------------------------------------
+
+    def _startup_impl(self) -> None:
+        cov = self.cov
+        cov.hit("startup.enter")
+        if self.enabled("tls_enabled") and not str(self.cfg("tls_cert")):
+            cov.hit("startup.conflict.tls_without_cert")
+            raise StartupError("tls_enabled requires tls_cert",
+                               ("tls_enabled", "tls_cert"))
+        if self.enabled("auth_required") and not str(self.cfg("auth_token")):
+            cov.hit("startup.conflict.auth_without_token")
+            raise StartupError("auth_required requires auth_token",
+                               ("auth_required", "auth_token"))
+        if int(self.cfg("max_header_count")) <= 0:
+            cov.hit("startup.conflict.no_headers")
+            raise StartupError("max_header_count must be positive",
+                               ("max_header_count",))
+        if cov.branch("startup.auth", self.enabled("auth_required")):
+            cov.hit("startup.auth.token_loaded")
+        if cov.branch("startup.tls", self.enabled("tls_enabled")):
+            cov.hit("startup.tls.cert_loaded")
+            cov.hit("startup.tls.ciphers")
+        if cov.branch("startup.cors", self.enabled("cors_enabled")):
+            if str(self.cfg("cors_origin")) == "*":
+                cov.hit("startup.cors.allow_all")
+            else:
+                cov.hit("startup.cors.origin_pinned")
+        if cov.branch("startup.rate_limit", int(self.cfg("rate_limit")) > 0):
+            cov.hit("startup.rate_limit.bucket_alloc")
+        if cov.branch("startup.debug", self.enabled("debug_endpoints")):
+            cov.hit("startup.debug.routes_mounted")
+        if cov.branch("startup.compress", self.enabled("compress_responses")):
+            cov.hit("startup.compress.gzip_tables")
+        if cov.branch("startup.firmware", self.enabled("firmware_upload")):
+            cov.hit("startup.firmware.partition_check")
+        if cov.branch("startup.keepalive", self.enabled("keepalive")):
+            cov.hit("startup.keepalive.pool_alloc")
+            if int(self.cfg("keepalive_max")) <= 2:
+                cov.hit("startup.keepalive.tiny_pool")
+        if self.enabled("url_decode"):
+            cov.hit("startup.url_decode_tables")
+        if int(self.cfg("max_body_size")) == 0:
+            cov.hit("startup.body_disabled")
+        cov.hit("startup.complete")
+
+    # -- session ---------------------------------------------------------
+
+    def reset_session(self) -> None:
+        self._requests_served = 0
+
+    # -- parsing ---------------------------------------------------------
+
+    def handle_packet(self, data: bytes) -> bytes:
+        self.require_started()
+        try:
+            return self._dispatch(data)
+        except _BadRequest:
+            self.cov.hit("request.malformed")
+            return self._response(400, b"bad request")
+
+    def _dispatch(self, data: bytes) -> bytes:
+        cov = self.cov
+        text = data.decode("latin-1")
+        head, _, body = text.partition("\r\n\r\n")
+        lines = head.split("\r\n")
+        if not lines or not lines[0]:
+            cov.hit("request.empty")
+            raise _BadRequest("empty request")
+        method, path = self._parse_request_line(lines[0])
+        headers = self._parse_headers(lines[1:])
+
+        self._requests_served += 1
+        limit = int(self.cfg("rate_limit"))
+        if cov.branch("request.rate_limited",
+                      limit > 0 and self._requests_served > limit):
+            cov.hit("request.rate_limit_reject")
+            # The token bucket refills; the next window is admitted.
+            self._requests_served = 0
+            return self._response(429, b"too many requests")
+
+        if self.enabled("keepalive"):
+            connection = headers.get("connection", [])
+            if cov.branch("request.keepalive_dup_connection",
+                          len(connection) > 1 and
+                          "close" in [v.lower() for v in connection]):
+                # Bug #1: a duplicate Connection header where one copy says
+                # close tears the session down mid-request; the second
+                # copy is then read from the freed connection object.
+                raise SanitizerFault(
+                    FaultKind.HEAP_USE_AFTER_FREE,
+                    "keepalive_reuse",
+                    "connection freed by close then re-read for keep-alive",
+                )
+
+        body_bytes = self._read_body(headers, body)
+
+        if not self._authorized(headers):
+            return self._response(401, b"unauthorized")
+        if method == "OPTIONS":
+            return self._preflight(headers)
+        return self._route(method, path, headers, body_bytes)
+
+    def _parse_request_line(self, line: str) -> Tuple[str, str]:
+        cov = self.cov
+        parts = line.split(" ")
+        if len(parts) != 3:
+            cov.hit("request.bad_line")
+            raise _BadRequest("malformed request line")
+        method, raw_path, version = parts
+        if method in _METHODS:
+            cov.hit("request.method.%s" % method)
+        else:
+            cov.hit("request.method.other")
+            raise _BadRequest("unknown method")
+        if cov.branch("request.bad_version",
+                      version not in ("HTTP/1.0", "HTTP/1.1")):
+            raise _BadRequest("unsupported version")
+        if cov.branch("request.absolute_path", not raw_path.startswith("/")):
+            raise _BadRequest("path must be absolute")
+        path = self._decode_path(raw_path)
+        return method, path
+
+    def _decode_path(self, raw: str) -> str:
+        cov = self.cov
+        path, _, query = raw.partition("?")
+        if query:
+            cov.hit("request.query_string")
+        if not self.enabled("url_decode"):
+            return path
+        cov.hit("request.percent_decode")
+        out: List[str] = []
+        index = 0
+        while index < len(path):
+            char = path[index]
+            if cov.branch("decode.escape", char == "%"):
+                if index + 2 > len(path) - 1:
+                    # Bug #2: the two-byte hex read runs past the end of
+                    # the path buffer on a truncated trailing escape.
+                    raise SanitizerFault(
+                        FaultKind.HEAP_BUFFER_OVERFLOW,
+                        "url_decode",
+                        "hex escape read past end of %d-byte path" % len(path),
+                    )
+                pair = path[index + 1:index + 3]
+                if cov.branch("decode.bad_hex",
+                              any(ch not in _HEX for ch in pair)):
+                    raise _BadRequest("invalid percent escape")
+                out.append(chr(int(pair, 16)))
+                index += 3
+                continue
+            out.append(char)
+            index += 1
+        return "".join(out)
+
+    def _parse_headers(self, lines: List[str]) -> Dict[str, List[str]]:
+        cov = self.cov
+        headers: Dict[str, List[str]] = {}
+        count = 0
+        for line in lines:
+            if not line:
+                continue
+            count += 1
+            if cov.branch("header.flood",
+                          count > int(self.cfg("max_header_count"))):
+                raise _BadRequest("too many headers")
+            name, sep, value = line.partition(":")
+            if not sep or not name.strip():
+                cov.hit("header.no_colon")
+                raise _BadRequest("malformed header")
+            key = name.strip().lower()
+            if key in _KNOWN_HEADERS:
+                cov.hit("header.known.%s" % key)
+            else:
+                cov.hit("header.other")
+            headers.setdefault(key, []).append(value.strip())
+        return headers
+
+    def _read_body(self, headers: Dict[str, List[str]], body: str) -> bytes:
+        cov = self.cov
+        declared = headers.get("content-length")
+        raw = body.encode("latin-1")
+        if declared is None:
+            if cov.branch("body.undeclared", bool(raw)):
+                if self.enabled("strict_content_length"):
+                    raise _BadRequest("body without content-length")
+                cov.hit("body.undeclared_accepted")
+            return raw
+        try:
+            length = int(declared[0])
+        except ValueError:
+            cov.hit("body.bad_length")
+            raise _BadRequest("unparseable content-length")
+        if cov.branch("body.negative_length", length < 0):
+            raise _BadRequest("negative content-length")
+        if cov.branch("body.length_mismatch", length != len(raw)):
+            if self.enabled("strict_content_length"):
+                cov.hit("body.mismatch_rejected")
+                raise _BadRequest("content-length mismatch")
+            if length > (1 << 20):
+                # Bug #3: with strict length checks off, the declared
+                # length is trusted and sized into the receive buffer.
+                raise SanitizerFault(
+                    FaultKind.ALLOCATION_SIZE_TOO_BIG,
+                    "http_read_body",
+                    "allocating %d-byte body buffer" % length,
+                )
+            cov.hit("body.mismatch_trusted")
+        if cov.branch("body.oversized",
+                      len(raw) > int(self.cfg("max_body_size"))):
+            raise _BadRequest("body exceeds max_body_size")
+        return raw
+
+    def _authorized(self, headers: Dict[str, List[str]]) -> bool:
+        cov = self.cov
+        if not cov.branch("auth.required", self.enabled("auth_required")):
+            return True
+        supplied = headers.get("authorization", [""])[0]
+        expected = "Bearer %s" % self.cfg("auth_token")
+        if cov.branch("auth.accepted", supplied == expected):
+            return True
+        if supplied:
+            cov.hit("auth.bad_token")
+        else:
+            cov.hit("auth.missing")
+        return False
+
+    # -- routing ---------------------------------------------------------
+
+    def _route(self, method: str, path: str,
+               headers: Dict[str, List[str]], body: bytes) -> bytes:
+        cov = self.cov
+        if cov.branch("route.debug_tree", path.startswith("/debug")):
+            return self._debug(path)
+        prefix = str(self.cfg("api_prefix"))
+        if cov.branch("route.outside_prefix",
+                      not path.startswith(prefix + "/") and path != prefix):
+            return self._response(404, b"not found")
+        parts = [p for p in path[len(prefix):].split("/") if p]
+        if not parts:
+            cov.hit("route.prefix_root")
+            return self._response(200, b'{"api":"device"}')
+        resource = parts[0]
+        if resource not in _RESOURCES:
+            cov.hit("route.unknown_resource")
+            return self._response(404, b"not found")
+        cov.hit("route.resource.%s" % resource)
+        if resource == "status":
+            return self._response(200, b'{"uptime":4242,"rssi":-61}')
+        if resource == "sensors":
+            return self._sensors(method, parts[1:])
+        if resource == "actuators":
+            return self._actuators(method, parts[1:], body)
+        if resource == "config":
+            return self._config_resource(method, body)
+        return self._firmware(method, body)
+
+    def _sensors(self, method: str, rest: List[str]) -> bytes:
+        cov = self.cov
+        if cov.branch("sensors.collection", not rest):
+            if method in ("GET", "HEAD"):
+                return self._response(200, b'[{"id":1},{"id":2},{"id":3}]')
+            cov.hit("sensors.collection_readonly")
+            return self._response(405, b"method not allowed")
+        if cov.branch("sensors.bad_id", not rest[0].isdigit()):
+            return self._response(404, b"no such sensor")
+        sensor = int(rest[0])
+        if cov.branch("sensors.known_id", 1 <= sensor <= 3):
+            if method == "DELETE":
+                cov.hit("sensors.delete")
+                return self._response(204, b"")
+            return self._response(200, b'{"value":21.5,"unit":"C"}')
+        return self._response(404, b"no such sensor")
+
+    def _actuators(self, method: str, rest: List[str], body: bytes) -> bytes:
+        cov = self.cov
+        if cov.branch("actuators.write", method in ("POST", "PUT")):
+            if cov.branch("actuators.empty_body", not body):
+                return self._response(400, b"missing command body")
+            if b"on" in body or b"off" in body:
+                cov.hit("actuators.switched")
+                return self._response(200, b'{"ok":true}')
+            cov.hit("actuators.bad_command")
+            return self._response(422, b"unknown command")
+        if rest:
+            cov.hit("actuators.item_read")
+        return self._response(200, b'[{"id":"relay0","state":"off"}]')
+
+    def _config_resource(self, method: str, body: bytes) -> bytes:
+        cov = self.cov
+        if cov.branch("config.update", method == "PUT"):
+            if cov.branch("config.update_empty", not body):
+                return self._response(400, b"empty config")
+            cov.hit("config.persisted")
+            return self._response(200, b'{"saved":true}')
+        return self._response(200, b'{"mode":"station","dhcp":true}')
+
+    def _firmware(self, method: str, body: bytes) -> bytes:
+        cov = self.cov
+        if not cov.branch("firmware.enabled", self.enabled("firmware_upload")):
+            return self._response(403, b"firmware upload disabled")
+        if cov.branch("firmware.upload", method == "PUT"):
+            if len(body) > int(self.cfg("max_body_size")) // 2:
+                # Bug #4: the staging partition is half the request body
+                # limit; the flash write runs off the mapped region.
+                raise SanitizerFault(
+                    FaultKind.SEGV,
+                    "firmware_flash",
+                    "%d-byte image written past staging partition" % len(body),
+                )
+            if cov.branch("firmware.bad_magic", body[:2] != b"\xe9\x01"):
+                return self._response(422, b"bad image magic")
+            cov.hit("firmware.staged")
+            return self._response(202, b'{"staged":true}')
+        return self._response(200, b'{"version":"1.4.2"}')
+
+    def _debug(self, path: str) -> bytes:
+        cov = self.cov
+        if not cov.branch("debug.enabled", self.enabled("debug_endpoints")):
+            return self._response(403, b"debug disabled")
+        if cov.branch("debug.heap", path == "/debug/heap"):
+            return self._response(200, b'{"free":18724,"low_watermark":9001}')
+        if cov.branch("debug.tasks", path == "/debug/tasks"):
+            return self._response(200, b'[{"task":"httpd","stack":512}]')
+        cov.hit("debug.unknown")
+        return self._response(404, b"no such probe")
+
+    def _preflight(self, headers: Dict[str, List[str]]) -> bytes:
+        cov = self.cov
+        if not cov.branch("cors.enabled", self.enabled("cors_enabled")):
+            return self._response(405, b"preflight rejected")
+        origin = headers.get("origin", [""])[0]
+        if cov.branch("cors.no_origin", not origin):
+            return self._response(400, b"preflight without origin")
+        allowed = str(self.cfg("cors_origin"))
+        if cov.branch("cors.origin_match", allowed == "*" or origin == allowed):
+            if "access-control-request-method" in headers:
+                cov.hit("cors.method_probe")
+            return self._response(204, b"")
+        cov.hit("cors.origin_rejected")
+        return self._response(403, b"origin not allowed")
+
+    # -- responses -------------------------------------------------------
+
+    _REASONS = {200: "OK", 202: "Accepted", 204: "No Content",
+                400: "Bad Request", 401: "Unauthorized", 403: "Forbidden",
+                404: "Not Found", 405: "Method Not Allowed",
+                422: "Unprocessable Entity", 429: "Too Many Requests"}
+
+    def _response(self, status: int, body: bytes) -> bytes:
+        cov = self.cov
+        cov.hit("response.%d" % status)
+        if self.enabled("compress_responses") and len(body) > 32:
+            cov.hit("response.compressed")
+        head = "HTTP/1.1 %d %s\r\nContent-Length: %d\r\n\r\n" % (
+            status, self._REASONS.get(status, "?"), len(body))
+        return head.encode("latin-1") + body

@@ -79,9 +79,9 @@ class TestExtractEntities:
         assert entities[0].values == (7,)
 
     def test_all_six_targets_extract_cleanly(self):
-        from repro.targets import target_registry
+        from repro.targets import target_entries
 
-        for cls in target_registry().values():
+        for cls in (e.target_cls for e in target_entries()):
             entities = extract_entities(cls.config_sources(), cls.entity_overrides())
             assert entities, cls.NAME
             defaults = cls.default_config()
@@ -89,8 +89,8 @@ class TestExtractEntities:
                 assert entity.name in defaults, (cls.NAME, entity.name)
 
     def test_every_target_has_mutable_entities(self):
-        from repro.targets import target_registry
+        from repro.targets import target_entries
 
-        for cls in target_registry().values():
+        for cls in (e.target_cls for e in target_entries()):
             entities = extract_entities(cls.config_sources(), cls.entity_overrides())
             assert any(e.flag is Flag.MUTABLE for e in entities), cls.NAME

@@ -18,7 +18,7 @@ from repro.core.entity import ConfigEntity, Flag, ValueType
 from repro.core.model import ConfigurationModel
 from repro.core.probes import build_probe_executor
 from repro.core.relation import RelationQuantifier
-from repro.targets import target_registry
+from repro.targets import get_target
 from repro.targets.base import startup_probe_for
 from repro.telemetry import Telemetry, TelemetryConfig
 
@@ -47,7 +47,7 @@ def _quantify_dnsmasq(**executor_kwargs):
 class TestGoldenParity:
     def test_serial_vs_workers(self):
         faults = []
-        probe = startup_probe_for(target_registry()["dnsmasq"],
+        probe = startup_probe_for(get_target("dnsmasq").target_cls,
                                   on_fault=faults.append)
         serial_q = RelationQuantifier(probe, max_combinations=MAX_COMBINATIONS)
         serial = _snapshot(serial_q.quantify(extract_model("dnsmasq")))

@@ -26,7 +26,7 @@ from repro.harness.executor import CampaignSpec, execute_specs, results
 from repro.harness.export import results_to_json
 from repro.parallel import MODES
 from repro.pits import pit_registry
-from repro.targets import target_registry
+from repro.targets import get_target
 
 
 def _store(tmp_path, key="k" * 64, keep=3):
@@ -169,7 +169,7 @@ class TestCampaignIntegration:
         if abort_at is not None:
             hook = lambda iterations, now: iterations >= abort_at  # noqa: E731
         return run_campaign(
-            target_registry()["dnsmasq"], pit_registry()["dnsmasq"](),
+            get_target("dnsmasq").target_cls, pit_registry()["dnsmasq"](),
             MODES["cmfuzz"](), config, abort_hook=hook,
         )
 

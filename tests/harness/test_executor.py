@@ -20,7 +20,7 @@ from repro.harness.executor import (
 from repro.api import compare_modes
 from repro.parallel import MODES
 from repro.pits import pit_registry
-from repro.targets import target_registry
+from repro.targets import get_target
 
 FUZZERS = ("cmfuzz", "peach", "spfuzz")
 REPETITIONS = 2
@@ -37,10 +37,10 @@ def _config(seed=13):
 
 @pytest.fixture(scope="module")
 def serial_baseline():
-    targets, pits = target_registry(), pit_registry()
+    entry = get_target("dnsmasq")
     return {
         mode: run_repeated(
-            targets["dnsmasq"], pits["dnsmasq"], MODES[mode],
+            entry.target_cls, entry.state_model, MODES[mode],
             repetitions=REPETITIONS, config=_config(),
         )
         for mode in FUZZERS
@@ -148,9 +148,9 @@ def test_experiment_wiring_matches_serial(workers):
     config = CampaignConfig(n_instances=2, duration_hours=1.0, seed=7)
     pooled = compare_modes("dnsmasq", modes=FUZZERS, repetitions=2,
                            config=config, workers=workers)
-    targets, pits = target_registry(), pit_registry()
+    entry = get_target("dnsmasq")
     for fuzzer in FUZZERS:
-        serial = run_repeated(targets["dnsmasq"], pits["dnsmasq"],
+        serial = run_repeated(entry.target_cls, entry.state_model,
                               MODES[fuzzer], repetitions=2, config=config)
         for expected, got in zip(serial, pooled.results[fuzzer]):
             assert got.final_coverage == expected.final_coverage

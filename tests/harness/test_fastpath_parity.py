@@ -22,7 +22,7 @@ from repro.harness.executor import CampaignSpec, execute_specs, results
 from repro.harness.export import results_to_json
 from repro.parallel import MODES, mode_names
 from repro.pits import pit_registry
-from repro.targets import target_registry
+from repro.targets import get_target
 
 _SETTINGS = dict(
     max_examples=6, deadline=None,
@@ -46,7 +46,7 @@ def _run(mode_name, config, abort_at=None):
     if abort_at is not None:
         hook = lambda iterations, now: iterations >= abort_at  # noqa: E731
     return run_campaign(
-        target_registry()["dnsmasq"], pit_registry()["dnsmasq"](),
+        get_target("dnsmasq").target_cls, pit_registry()["dnsmasq"](),
         MODES[mode_name](), config, abort_hook=hook,
     )
 

@@ -26,7 +26,7 @@ from repro.harness.executor import execute_specs, results, specs_for_repeated
 from repro.harness.export import results_to_json
 from repro.parallel import MODES, mode_names
 from repro.pits import pit_registry
-from repro.targets import target_registry
+from repro.targets import get_target
 from repro.telemetry import TelemetryConfig
 
 _SETTINGS = dict(
@@ -62,7 +62,7 @@ def _run(mode_name, config, abort_at=None):
     if abort_at is not None:
         hook = lambda iterations, now: iterations >= abort_at  # noqa: E731
     return run_campaign(
-        target_registry()["dnsmasq"], pit_registry()["dnsmasq"](),
+        get_target("dnsmasq").target_cls, pit_registry()["dnsmasq"](),
         MODES[mode_name](), config, abort_hook=hook,
     )
 

@@ -18,11 +18,10 @@ from repro.harness.experiments import (
 )
 from repro.harness.supervisor import event_counts
 from repro.parallel import MODES
-from repro.pits import pit_registry
-from repro.targets import target_registry
+from repro.targets import get_target, target_names
 
 CHAOS_LEVEL = float(os.environ.get("CMFUZZ_CHAOS_LEVEL", "0.3"))
-TARGETS = sorted(target_registry())
+TARGETS = target_names()
 
 
 def _base_config(seed=0):
@@ -34,7 +33,8 @@ def _chaos(seed=0, level=CHAOS_LEVEL):
 
 
 def _run(target, config, mode="cmfuzz"):
-    return run_campaign(target_registry()[target], pit_registry()[target](),
+    entry = get_target(target)
+    return run_campaign(entry.target_cls, entry.state_model(),
                         MODES[mode](), config)
 
 

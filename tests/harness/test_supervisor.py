@@ -19,7 +19,7 @@ from repro.parallel.cmfuzz import CmFuzzMode
 from repro.parallel.instance import FuzzingInstance
 from repro.parallel.spfuzz import SpFuzzMode
 from repro.pits import pit_registry
-from repro.targets import target_registry
+from repro.targets import get_target
 from repro.targets.base import ProtocolTarget
 
 
@@ -246,7 +246,7 @@ class TestWatchdogs:
 class TestCmFuzzReallocation:
     def _ctx(self, n_instances=3):
         config = CampaignConfig(n_instances=n_instances, seed=0)
-        ctx = _CampaignContext(target_registry()["dnsmasq"],
+        ctx = _CampaignContext(get_target("dnsmasq").target_cls,
                                pit_registry()["dnsmasq"](), config)
         mode = CmFuzzMode()
         ctx.instances = mode.create_instances(ctx)
@@ -287,7 +287,7 @@ class TestCmFuzzReallocation:
 class TestSpFuzzRedistribution:
     def _ctx(self, n_instances=3):
         config = CampaignConfig(n_instances=n_instances, seed=0)
-        ctx = _CampaignContext(target_registry()["mosquitto"],
+        ctx = _CampaignContext(get_target("mosquitto").target_cls,
                                pit_registry()["mosquitto"](), config)
         mode = SpFuzzMode()
         ctx.instances = mode.create_instances(ctx)

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.pits import pit_registry
-from repro.targets import target_registry
+from repro.targets import get_target, target_names
 
 
 @pytest.fixture(scope="module")
@@ -15,7 +15,7 @@ def pits():
 
 class TestRegistryAlignment:
     def test_every_target_has_a_pit(self, pits):
-        assert set(pits) == set(target_registry())
+        assert set(pits) == set(target_names())
 
     def test_pits_are_freshly_constructed(self):
         registry = pit_registry()
@@ -50,7 +50,7 @@ class TestDefaultMessagesAccepted:
 
     @pytest.mark.parametrize("name", sorted(pit_registry()))
     def test_default_session_produces_coverage_without_crash(self, name, pits):
-        target_cls = target_registry()[name]
+        target_cls = get_target(name).target_cls
         target = target_cls()
         target.startup({})
         model = pits[name]

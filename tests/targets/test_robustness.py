@@ -10,7 +10,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.targets import target_registry
+from repro.targets import target_entries
 from repro.targets.faults import SanitizerFault
 
 _SETTINGS = settings(
@@ -23,12 +23,11 @@ _payloads = st.binary(min_size=0, max_size=256)
 
 
 def _all_targets_default():
-    registry = target_registry()
     started = {}
-    for name, cls in registry.items():
-        target = cls()
+    for entry in target_entries():
+        target = entry.target_cls()
         target.startup({})
-        started[name] = target
+        started[entry.name] = target
     return started
 
 
@@ -45,6 +44,15 @@ _RICH_CONFIGS = {
     "qpid": {"auth": True, "durable": True},
     "dnsmasq": {"log-queries": True, "stop-dns-rebind": True, "dnssec": True,
                 "filterwin2k": True},
+    "restapi": {"auth_required": True, "auth_token": "secret",
+                "cors_enabled": True, "debug_endpoints": True,
+                "keepalive": True, "url_decode": True,
+                "firmware_upload": True},
+    "modbus": {"diagnostics": True, "broadcast_enabled": True,
+               "trace_frames": True, "exception_verbose": True,
+               "accept_any_unit": True, "strict_length": False},
+    "randtarget": {"telemetry": True, "checksums": True, "batch_mode": True,
+                   "compat_shim": True, "legacy_frames": True},
 }
 
 
@@ -64,8 +72,8 @@ class TestArbitraryBytes:
     @_SETTINGS
     @given(payload=_payloads)
     def test_rich_config_total_robustness(self, name, payload):
-        target = target_registry()[name]()
-        target.startup(_RICH_CONFIGS[name])
+        target = _TARGETS[name].__class__()
+        target.startup(_RICH_CONFIGS.get(name, {}))
         try:
             response = target.handle_packet(payload)
         except SanitizerFault:

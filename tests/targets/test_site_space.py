@@ -10,7 +10,7 @@ import pytest
 
 from repro.fuzzing.engine import DirectTransport, FuzzEngine
 from repro.pits import pit_registry
-from repro.targets import target_registry
+from repro.targets import get_target
 
 #: Generous per-target ceilings (roughly 3x what campaigns reach).
 _SITE_CEILINGS = {
@@ -20,6 +20,9 @@ _SITE_CEILINGS = {
     "openssl": 400,
     "qpid": 400,
     "dnsmasq": 450,
+    "restapi": 400,
+    "modbus": 300,
+    "randtarget": 250,
 }
 
 _RICH_CONFIGS = {
@@ -34,11 +37,21 @@ _RICH_CONFIGS = {
     "qpid": {"auth": True, "durable": True, "mech-list": "ANONYMOUS PLAIN"},
     "dnsmasq": {"log-queries": True, "dnssec": True, "stop-dns-rebind": True,
                 "filterwin2k": True, "bogus-priv": True, "domain-needed": True},
+    "restapi": {"auth_required": True, "auth_token": "secret",
+                "cors_enabled": True, "debug_endpoints": True,
+                "keepalive": True, "url_decode": True, "rate_limit": 4,
+                "firmware_upload": True, "compress_responses": True},
+    "modbus": {"diagnostics": True, "broadcast_enabled": True,
+               "trace_frames": True, "exception_verbose": True,
+               "accept_any_unit": True, "strict_length": False,
+               "word_order": "little"},
+    "randtarget": {"telemetry": True, "checksums": True, "batch_mode": True,
+                   "compat_shim": True, "legacy_frames": True, "paranoia": 1},
 }
 
 
 def _hammer(name, config, iterations=3000, seed=0):
-    target = target_registry()[name]()
+    target = get_target(name).target_cls()
     target.startup(config)
     engine = FuzzEngine(pit_registry()[name](), DirectTransport(target),
                         target.cov, seed=seed)

@@ -6,7 +6,7 @@ branch sets on every target (the property relation quantification needs).
 import pytest
 
 from repro.errors import StartupError
-from repro.targets import target_registry
+from repro.targets import get_target
 from repro.targets.base import startup_probe_for
 
 #: For each target: two single-entity assignments expected to produce
@@ -19,13 +19,16 @@ _VARIANTS = {
     "openssl": ({"cookie-exchange": True}, {"session-cache": True}),
     "qpid": ({"durable": True}, {"auth": True}),
     "dnsmasq": ({"dnssec": True}, {"stop-dns-rebind": True}),
+    "restapi": ({"debug_endpoints": True}, {"cors_enabled": True}),
+    "modbus": ({"diagnostics": True}, {"broadcast_enabled": True}),
+    "randtarget": ({"telemetry": True}, {"checksums": True}),
 }
 
 
 @pytest.mark.parametrize("name", sorted(_VARIANTS))
 class TestStartupMatrix:
     def test_variants_shift_startup_coverage(self, name):
-        target_cls = target_registry()[name]
+        target_cls = get_target(name).target_cls
         probe = startup_probe_for(target_cls)
         baseline = probe({}).sites()
         first = probe(_VARIANTS[name][0]).sites()
@@ -35,7 +38,7 @@ class TestStartupMatrix:
         assert first != second, name
 
     def test_variants_strictly_extend_baseline(self, name):
-        target_cls = target_registry()[name]
+        target_cls = get_target(name).target_cls
         probe = startup_probe_for(target_cls)
         baseline = probe({}).sites()
         for variant in _VARIANTS[name]:
@@ -43,7 +46,7 @@ class TestStartupMatrix:
             assert sites - baseline, (name, variant)
 
     def test_probe_is_deterministic(self, name):
-        target_cls = target_registry()[name]
+        target_cls = get_target(name).target_cls
         probe = startup_probe_for(target_cls)
         variant = _VARIANTS[name][0]
         assert probe(variant).sites() == probe(variant).sites()
@@ -60,11 +63,14 @@ class TestConflictMatrix:
         "openssl": {"cipher": "PSK-AES128-CBC-SHA"},
         "qpid": {"max-frame-size": 0},
         "dnsmasq": {"min-port": 60000, "max-port": 10},
+        "restapi": {"tls_enabled": True},
+        "modbus": {"unit_id": 0},
+        "randtarget": {"strict_mode": True},
     }
 
     @pytest.mark.parametrize("name", sorted(_CONFLICTS))
     def test_conflict_raises_startup_error(self, name):
-        target_cls = target_registry()[name]
+        target_cls = get_target(name).target_cls
         probe = startup_probe_for(target_cls)
         with pytest.raises(StartupError):
             probe(self._CONFLICTS[name])

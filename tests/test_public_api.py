@@ -43,6 +43,36 @@ MODEL_BUILD_CONFIG_FIELDS = [
     ("retries", 1),
 ]
 
+#: The redesigned ``repro.targets`` plugin surface, frozen. Additions
+#: are conscious API growth; removals are breaking changes (the
+#: deprecated ``target_registry`` stays until its cycle completes).
+TARGETS_MODULE_ALL = [
+    "BugLedger",
+    "CrashReport",
+    "DISCOVERY_ENV",
+    "ENTRY_POINT_GROUP",
+    "FaultKind",
+    "InjectedBug",
+    "ManifestError",
+    "ProtocolTarget",
+    "SanitizerFault",
+    "TARGETS_VIEW",
+    "TargetEntry",
+    "TargetFactory",
+    "TargetManifest",
+    "create_target",
+    "get_target",
+    "load_manifest",
+    "register_target",
+    "render_target_table",
+    "startup_probe_for",
+    "target_entries",
+    "target_names",
+    "target_registry",
+    "unregister_target",
+    "validate_manifest",
+]
+
 TOP_LEVEL_ALL = [
     "AllocationResult",
     "CacheUnavailableError",
@@ -161,9 +191,28 @@ class TestTopLevelExports:
 
     def test_target_and_pit_registries_aligned(self):
         from repro.pits import pit_registry
-        from repro.targets import target_registry
+        from repro.targets import target_names
 
-        assert set(pit_registry()) == set(target_registry())
+        assert set(pit_registry()) == set(target_names())
+
+    def test_targets_module_surface_is_frozen(self):
+        import repro.targets
+
+        assert sorted(repro.targets.__all__) == TARGETS_MODULE_ALL
+        for name in repro.targets.__all__:
+            assert hasattr(repro.targets, name), name
+
+    def test_target_registry_deprecation_names_the_replacement(self):
+        import warnings
+
+        import repro.targets
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            view = repro.targets.target_registry()
+        assert any(issubclass(w.category, DeprecationWarning)
+                   and "target_entries" in str(w.message) for w in caught)
+        assert view is repro.targets.TARGETS_VIEW
 
 
 class TestReadmeWorkflow:
