@@ -1,8 +1,8 @@
 """CI benchmark regression gate.
 
 Compares a freshly produced bench record against the committed baseline.
-Records carry a ``bench`` kind (``modelbuild``, ``engine``, ``ablation``)
-and each kind declares its own invariants. Wall-clock numbers on shared CI runners are
+Records carry a ``bench`` kind (``modelbuild``, ``engine``, ``ablation``,
+``fleet``) and each kind declares its own invariants. Wall-clock numbers on shared CI runners are
 noisy, so timing drift outside the tolerance only *warns* (GitHub
 ``::warning`` annotations); the gate hard-fails only on the structural
 invariants, which no amount of runner noise can excuse:
@@ -16,7 +16,10 @@ invariants, which no amount of runner noise can excuse:
 - ``ablation`` — the record must cover every mode it claims the registry
   held (``registry_modes``), the adaptive extensions (``plateau``,
   ``statemap``) must be present, and every mode needs positive coverage,
-  a numeric Speedup-vs-peach and a non-empty coverage curve.
+  a numeric Speedup-vs-peach and a non-empty coverage curve;
+- ``fleet`` — the local-pool and fleet exports must be byte-identical
+  (the control plane's defining contract) and the heartbeat round-trip
+  microbench must report a positive rate.
 
 Every record additionally stamps the target catalogue the bench saw
 (``registry_targets``); the gate hard-fails if the bench's subject is
@@ -53,6 +56,11 @@ TIMING_FIELDS = {
     ),
     "ablation": (
         "total_seconds",
+    ),
+    "fleet": (
+        "local_seconds",
+        "fleet_seconds",
+        "roundtrip_ms",
     ),
 }
 
@@ -140,6 +148,19 @@ def _check_ablation(fresh, failures):
                             % name)
 
 
+def _check_fleet(fresh, failures):
+    if fresh.get("identical") is not True:
+        failures.append(
+            "fleet export diverged from the local pool (identical=%r): "
+            "distributed dispatch is no longer bit-identical to "
+            "workers=N execution" % fresh.get("identical"))
+    rate = fresh.get("roundtrips_per_s")
+    if not isinstance(rate, (int, float)) or rate <= 0:
+        failures.append(
+            "fleet record lacks a positive heartbeat round-trip rate "
+            "(got %r): the wire microbench no longer runs" % (rate,))
+
+
 #: The paper's seed subjects: a bench record whose registry snapshot is
 #: missing one of these means a target registration silently broke, even
 #: though the bench itself only fuzzes its own subject.
@@ -190,6 +211,7 @@ KIND_CHECKS = {
     "modelbuild": _check_modelbuild,
     "engine": _check_engine,
     "ablation": _check_ablation,
+    "fleet": _check_fleet,
 }
 
 

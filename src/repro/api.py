@@ -228,6 +228,8 @@ def compare_modes(
     cache: bool = False,
     cache_dir: Optional[str] = None,
     mode_factories: Optional[Dict[str, Any]] = None,
+    backend: Optional[str] = None,
+    coordinator: Optional[str] = None,
 ):
     """Run every mode against one subject and return the comparison.
 
@@ -248,6 +250,12 @@ def compare_modes(
         cache_dir: Cache root override.
         mode_factories: Optional ``{name: factory}`` for custom modes;
             those cells cannot cross a process boundary and run serially.
+        backend: ``"local"`` (default) or ``"fleet"`` — dispatch the
+            registry-mode cells through the :mod:`repro.fleet` control
+            plane instead of the local pool. Both fold results in spec
+            order, so the comparison is byte-identical either way.
+        coordinator: Fleet backend only: a running coordinator URL;
+            omitted, an ephemeral in-process fleet is used.
 
     Returns:
         :class:`repro.harness.experiments.SubjectComparison`.
@@ -258,5 +266,5 @@ def compare_modes(
     return _run_fuzzers(
         name, tuple(modes), repetitions, config,
         mode_factories=mode_factories, workers=workers, cache=cache,
-        cache_dir=cache_dir,
+        cache_dir=cache_dir, backend=backend, coordinator=coordinator,
     )

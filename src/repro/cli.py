@@ -81,6 +81,17 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="enable telemetry and append JSONL trace "
                              "records (spans + events) to PATH")
+    parser.add_argument("--backend", choices=("local", "fleet"),
+                        default=None,
+                        help="campaign-cell dispatch: 'local' process "
+                             "pool (default) or the 'fleet' control "
+                             "plane; exports are byte-identical either "
+                             "way (default: $CMFUZZ_EXECUTOR_BACKEND or "
+                             "local)")
+    parser.add_argument("--coordinator", metavar="URL", default=None,
+                        help="fleet backend only: a running coordinator "
+                             "URL (omitted, an ephemeral in-process "
+                             "fleet runs the cells)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -137,6 +148,103 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("modes", help="list registered parallel modes "
                                  "(README's mode table regenerates from "
                                  "this output)")
+
+    fleet = sub.add_parser("fleet", help="distributed campaign control "
+                                         "plane (coordinator, agents, "
+                                         "campaign submission)")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    coordinator = fleet_sub.add_parser(
+        "coordinator", help="serve the campaign coordinator HTTP API")
+    coordinator.add_argument("--host", default="127.0.0.1")
+    coordinator.add_argument("--port", type=int, default=8765,
+                             help="listen port (0 picks an ephemeral "
+                                  "port; the bound URL is printed)")
+    coordinator.add_argument("--lease-ttl", type=float, default=15.0,
+                             help="seconds of heartbeat silence before "
+                                  "an agent's leases are reassigned "
+                                  "(default: 15)")
+    coordinator.add_argument("--heartbeat-interval", type=float, default=5.0,
+                             help="cadence agents must heartbeat at "
+                                  "(default: 5)")
+    coordinator.add_argument("--steal-after", type=float, default=None,
+                             help="lease age before an idle agent may "
+                                  "steal it from the slowest queue "
+                                  "(default: lease-ttl / 2)")
+    coordinator.add_argument("--retries", type=int, default=1,
+                             help="default per-cell retry budget for "
+                                  "submitted campaigns (default: 1)")
+
+    agent = fleet_sub.add_parser(
+        "agent", help="run one worker agent against a coordinator")
+    agent.add_argument("--coordinator", metavar="URL", required=True)
+    agent.add_argument("--name", default=None,
+                       help="agent name (default: agent-<host>-<pid>; "
+                            "the coordinator uniquifies collisions)")
+    agent.add_argument("--no-cache", action="store_true",
+                       help="skip the shared result cache (re-leased "
+                            "cells then recompute instead of resuming)")
+    agent.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="result/checkpoint cache root shared with "
+                            "the other agents (default: "
+                            "$CMFUZZ_CACHE_DIR or .cmfuzz-cache/)")
+    agent.add_argument("--poll", type=float, default=0.5,
+                       help="idle lease-poll interval in seconds "
+                            "(default: 0.5)")
+    agent.add_argument("--stop-when-idle", action="store_true",
+                       help="exit once the coordinator has no work "
+                            "instead of polling forever")
+
+    submit = fleet_sub.add_parser(
+        "submit", help="submit a campaign grid and wait for its export")
+    submit.add_argument("--coordinator", metavar="URL", default=None,
+                        help="coordinator URL (required unless "
+                             "--backend local)")
+    submit.add_argument("--backend", choices=("local", "fleet"),
+                        default="fleet",
+                        help="'fleet' submits to the coordinator; "
+                             "'local' runs the identical grid on the "
+                             "in-process pool — the two exports are "
+                             "byte-identical (default: fleet)")
+    submit.add_argument("--target", required=True)
+    submit.add_argument("--mode", default="cmfuzz")
+    submit.add_argument("--repetitions", type=int, default=1)
+    submit.add_argument("--instances", type=int, default=4)
+    submit.add_argument("--hours", type=float, default=24.0)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--workers", type=int, default=2,
+                        help="local backend only: pool width (default: 2)")
+    submit.add_argument("--checkpoint-every", type=float, default=None,
+                        metavar="SIM_SECONDS",
+                        help="checkpoint each cell so a re-leased cell "
+                             "resumes instead of restarting")
+    submit.add_argument("--no-cache", action="store_true",
+                        help="local backend: skip the result cache")
+    submit.add_argument("--io-chaos-level", type=float, default=0.0,
+                        metavar="LEVEL",
+                        help="infrastructure fault-plane level inside "
+                             "each cell (0 disables; exports stay "
+                             "byte-identical at any level)")
+    submit.add_argument("--io-chaos-seed", type=int, default=0)
+    submit.add_argument("--retries", type=int, default=1)
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="give up waiting after this many seconds")
+    submit.add_argument("--label", default="",
+                        help="session label shown in listings")
+    submit.add_argument("--export", metavar="PATH", default=None,
+                        help="write the merged campaign export JSON "
+                             "(spec order, schema-versioned) to PATH")
+
+    status = fleet_sub.add_parser(
+        "status", help="show sessions, per-cell states and the agent "
+                       "roster")
+    status.add_argument("--coordinator", metavar="URL", required=True)
+    status.add_argument("--session", default=None,
+                        help="one session's per-cell detail instead of "
+                             "the overview")
+    status.add_argument("--follow", action="store_true",
+                        help="stream cell transitions until the "
+                             "session settles (needs --session)")
     return parser
 
 
@@ -194,7 +302,8 @@ def _execute(args, mode_names):
     comparison = compare_modes(
         args.target, modes=mode_names, repetitions=1,
         config=_campaign_config(args), workers=args.workers,
-        cache=not args.no_cache,
+        cache=not args.no_cache, backend=args.backend,
+        coordinator=args.coordinator,
     )
     return {name: comparison.results[name][0] for name in mode_names}
 
@@ -212,6 +321,23 @@ def _cmd_campaign(args, out) -> int:
             config, checkpoint_every=args.checkpoint_every,
             resume=args.resume, checkpoint_dir=args.checkpoint_dir,
         )
+    if args.backend == "fleet":
+        # The fleet path always goes through the spec executor: the
+        # cell is a pure function of its spec, and agents handle
+        # caching/resume themselves.
+        from repro.harness.executor import (
+            CampaignSpec,
+            execute_specs,
+            results,
+        )
+
+        cells = execute_specs(
+            [CampaignSpec(target=args.target, mode=args.mode, config=config)],
+            backend="fleet", coordinator=args.coordinator,
+            cache=not args.no_cache and not checkpointing,
+        )
+        result = results(cells)[0]
+        return _report_campaign(args, result, out)
     try:
         # Checkpointing runs take the live path: the result cache would
         # serve a stale hit instead of resuming, and the pool's retry
@@ -223,6 +349,10 @@ def _cmd_campaign(args, out) -> int:
                   "checkpoint saved — rerun with --resume to continue\n"
                   % (stop.sim_time, stop.iterations))
         return EXIT_INTERRUPTED
+    return _report_campaign(args, result, out)
+
+
+def _report_campaign(args, result, out) -> int:
     if args.export:
         with open(args.export, "w", encoding="utf-8") as handle:
             handle.write(results_to_json([result]) + "\n")
@@ -262,6 +392,147 @@ def _cmd_compare(args, out) -> int:
     return 0
 
 
+def _cmd_fleet_coordinator(args, out) -> int:
+    from repro.fleet import FleetConfig, serve
+
+    config = FleetConfig(
+        lease_ttl=args.lease_ttl,
+        heartbeat_interval=args.heartbeat_interval,
+        steal_after=args.steal_after,
+        retries=args.retries,
+    )
+    server = serve(host=args.host, port=args.port, config=config).start()
+    out.write("fleet coordinator serving on %s (lease ttl %.1fs, "
+              "heartbeat %.1fs)\n"
+              % (server.url, config.lease_ttl, config.heartbeat_interval))
+    if hasattr(out, "flush"):
+        out.flush()
+    try:
+        server.thread.join()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_fleet_agent(args, out) -> int:
+    from repro.fleet import CoordinatorClient, FleetAgent
+
+    client = CoordinatorClient(args.coordinator)
+    client.wait_ready(timeout=30.0)
+    agent = FleetAgent(
+        client, name=args.name, cache=not args.no_cache,
+        cache_dir=args.cache_dir, poll=args.poll,
+        stop_when_idle=args.stop_when_idle,
+    )
+    out.write("agent %s joining %s\n" % (agent.name, client.base_url))
+    if hasattr(out, "flush"):
+        out.flush()
+    try:
+        done = agent.run()
+    except KeyboardInterrupt:
+        agent.stop()
+        done = agent.cells_done
+    out.write("agent %s leaving after %d cell(s)\n"
+              % (agent.agent_id or agent.name, done))
+    return 0
+
+
+def _cmd_fleet_submit(args, out) -> int:
+    from repro.harness.executor import execute_specs, results, specs_for_repeated
+
+    config = CampaignConfig(n_instances=args.instances,
+                            duration_hours=args.hours, seed=args.seed,
+                            checkpoint_every=args.checkpoint_every,
+                            io_chaos_level=args.io_chaos_level,
+                            io_chaos_seed=args.io_chaos_seed)
+    specs = specs_for_repeated(args.target, args.mode, args.repetitions,
+                               config)
+    if args.backend == "local":
+        cells = execute_specs(specs, workers=args.workers,
+                              cache=not args.no_cache, retries=args.retries)
+    else:
+        if not args.coordinator:
+            out.write("fleet submit: --coordinator is required for the "
+                      "fleet backend (or pass --backend local)\n")
+            return 2
+        from repro.fleet import run_specs_fleet
+
+        cells = run_specs_fleet(specs, coordinator=args.coordinator,
+                                retries=args.retries, label=args.label,
+                                timeout=args.timeout)
+    campaigns = results(cells)
+    if args.export:
+        with open(args.export, "w", encoding="utf-8") as handle:
+            handle.write(results_to_json(campaigns) + "\n")
+    for cell, result in zip(cells, campaigns):
+        out.write("cell %d: target=%s mode=%s branches=%d bugs=%d "
+                  "iterations=%d%s\n"
+                  % (cell.index, result.target, result.mode,
+                     result.final_coverage, len(result.bugs),
+                     result.iterations,
+                     " (cache)" if cell.from_cache else ""))
+    return 0
+
+
+def _cmd_fleet_status(args, out) -> int:
+    import time as _time
+
+    from repro.fleet import CoordinatorClient
+
+    client = CoordinatorClient(args.coordinator)
+    if args.session and args.follow:
+        cursor = -1
+        while True:
+            tail = client.events(args.session, after=cursor)
+            for event in tail.events:
+                out.write("t=%.1f cell %d -> %s%s (epoch %d)\n"
+                          % (event.time, event.cell_index, event.state,
+                             (" @" + event.agent) if event.agent else "",
+                             event.epoch))
+                cursor = event.seq
+            if tail.state != "running":
+                out.write("session %s: %s\n" % (args.session, tail.state))
+                return 0 if tail.state == "done" else 1
+            _time.sleep(0.5)
+    if args.session:
+        status = client.status(args.session)
+        out.write("session %s [%s] %s\n"
+                  % (status.session_id, status.label, status.state))
+        for cell in status.cells:
+            out.write("  cell %d: %s%s epoch=%d attempts=%d%s\n"
+                      % (cell.index, cell.state,
+                         (" @" + cell.agent) if cell.agent else "",
+                         cell.epoch, cell.attempts,
+                         " (cache)" if cell.from_cache else ""))
+        return 0
+    sessions = client.sessions()
+    for status in sessions.sessions:
+        settled = sum(1 for c in status.cells if c.state in ("done", "failed"))
+        out.write("session %s [%s] %s (%d/%d cells)\n"
+                  % (status.session_id, status.label, status.state,
+                     settled, len(status.cells)))
+    roster = client.roster()
+    for agent in roster.agents:
+        out.write("agent %s: %s leased=%d completed=%d\n"
+                  % (agent.agent_id, agent.state, agent.leased,
+                     agent.completed))
+    if not sessions.sessions and not roster.agents:
+        out.write("fleet is empty (no sessions, no agents)\n")
+    return 0
+
+
+def _cmd_fleet(args, out) -> int:
+    handlers = {
+        "coordinator": _cmd_fleet_coordinator,
+        "agent": _cmd_fleet_agent,
+        "submit": _cmd_fleet_submit,
+        "status": _cmd_fleet_status,
+    }
+    return handlers[args.fleet_command](args, out)
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -277,6 +548,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _cmd_campaign(args, out)
     if args.command == "compare":
         return _cmd_compare(args, out)
+    if args.command == "fleet":
+        return _cmd_fleet(args, out)
     return 2
 
 

@@ -337,6 +337,8 @@ def execute_specs(
     mp_context=None,
     telemetry=None,
     io_injector=None,
+    backend: Optional[str] = None,
+    coordinator: Optional[str] = None,
 ) -> List[CellResult]:
     """Run a grid of campaign cells, optionally across worker processes.
 
@@ -359,6 +361,14 @@ def execute_specs(
             exercising the grid's own I/O: result-cache reads/writes
             run under its retry/degrade policy and launched workers may
             be doomed to die and be re-leased.
+        backend: ``"local"`` (this module's process pool, the default)
+            or ``"fleet"`` (dispatch through the
+            :mod:`repro.fleet` control plane). ``None`` consults
+            ``$CMFUZZ_EXECUTOR_BACKEND``. The fleet fold is by spec
+            index, so both backends return byte-identical grids.
+        coordinator: Fleet backend only: a running coordinator's URL.
+            Omitted, an ephemeral in-process fleet (coordinator +
+            ``workers`` agent threads) runs the grid and tears down.
 
     Returns:
         One :class:`CellResult` per spec, ordered like ``specs``
@@ -367,8 +377,21 @@ def execute_specs(
     Raises:
         CacheUnavailableError: When ``cache`` is enabled but the cache
             directory cannot be created or written.
+        ValueError: Unknown ``backend`` name.
     """
     spec_list = list(specs)
+    backend = backend or os.environ.get("CMFUZZ_EXECUTOR_BACKEND") or "local"
+    if backend == "fleet":
+        from repro.fleet import run_specs_fleet
+
+        return run_specs_fleet(
+            spec_list, coordinator=coordinator, workers=workers,
+            runner=runner, cache=cache, cache_dir=cache_dir,
+            retries=retries, telemetry=telemetry, io_injector=io_injector,
+        )
+    if backend != "local":
+        raise ValueError("unknown executor backend %r (expected 'local' "
+                         "or 'fleet')" % backend)
     runner = runner or run_spec
     tele = telemetry or NULL_TELEMETRY
     store = ResultCache(cache_dir, telemetry=tele,

@@ -67,6 +67,8 @@ def _run_fuzzers(
     workers: int = 1,
     cache: bool = False,
     cache_dir: Optional[str] = None,
+    backend: Optional[str] = None,
+    coordinator: Optional[str] = None,
 ) -> SubjectComparison:
     entry = get_target(subject)
     factories = mode_factories or {}
@@ -85,6 +87,7 @@ def _run_fuzzers(
             specs.extend(specs_for_repeated(subject, fuzzer, repetitions, config))
         campaigns = results(execute_specs(
             specs, workers=workers, cache=cache, cache_dir=cache_dir,
+            backend=backend, coordinator=coordinator,
         ))
         for position, fuzzer in enumerate(spec_fuzzers):
             start = position * repetitions

@@ -39,6 +39,7 @@ from __future__ import annotations
 import importlib
 import json
 import os
+import threading
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple
@@ -217,6 +218,8 @@ class TargetEntry:
 
 _REGISTRY: Dict[str, TargetEntry] = {}
 _discovered = False
+_discovering = False
+_discover_lock = threading.RLock()
 
 
 def register_target(name: str, target_cls: Callable,
@@ -294,11 +297,30 @@ def _package_directory_targets() -> Tuple[str, ...]:
 
 
 def _discover() -> None:
-    """Import target packages once (directory scan, env var, entry points)."""
-    global _discovered
+    """Import target packages once (directory scan, env var, entry points).
+
+    Thread-safe: concurrent catalogue queries (fleet agent threads all
+    hitting ``get_target`` at once) serialize on a lock, and
+    ``_discovered`` is only published after the scan completes, so no
+    thread can observe a half-populated registry. A target package that
+    calls back into the registry during its own import re-enters on the
+    same thread and returns immediately (``_discovering``).
+    """
+    global _discovered, _discovering
     if _discovered:
         return
-    _discovered = True
+    with _discover_lock:
+        if _discovered or _discovering:
+            return
+        _discovering = True
+        try:
+            _discover_locked()
+        finally:
+            _discovering = False
+            _discovered = True
+
+
+def _discover_locked() -> None:
     for subdir in _package_directory_targets():
         importlib.import_module("repro.targets.%s" % subdir)
     for module_name in os.environ.get(DISCOVERY_ENV, "").split(","):

@@ -180,6 +180,13 @@ class TestStorm:
             assert results_to_json([result]) == _baseline("peach", 2)
 
 
+#: The executor backend the cross-worker storm legs run against.
+#: ``CMFUZZ_RD_BACKEND=fleet`` re-runs the same byte-diff gates through
+#: the fleet control plane (CI drives both), so injected worker deaths
+#: double as injected *agent* deaths there.
+_RD_BACKEND = os.environ.get("CMFUZZ_RD_BACKEND", "local")
+
+
 class TestStormAcrossWorkers:
     @pytest.mark.parametrize("mode_name", ("cmfuzz", "peach"))
     def test_workers2_under_faults_matches_fault_free(self, mode_name,
@@ -189,15 +196,16 @@ class TestStormAcrossWorkers:
         stormy = dataclasses.replace(base, io_chaos_level=0.3,
                                      io_chaos_seed=11)
         reference = results(execute_specs(
-            specs_for_repeated("dnsmasq", mode_name, 2, base), workers=2))
-        # Worker-death injection in the parent pool, plus each worker's
-        # own campaign-level fault plan.
+            specs_for_repeated("dnsmasq", mode_name, 2, base), workers=2,
+            backend=_RD_BACKEND))
+        # Worker-death injection in the parent pool (or agent-death in
+        # the fleet), plus each worker's own campaign-level fault plan.
         from repro.faultplane import FaultInjector, FaultPlan
 
         injector = FaultInjector(plan=FaultPlan(seed=11, level=0.3))
         stormed = results(execute_specs(
             specs_for_repeated("dnsmasq", mode_name, 2, stormy), workers=2,
-            io_injector=injector))
+            io_injector=injector, backend=_RD_BACKEND))
         assert results_to_json(stormed) == results_to_json(reference)
 
     def test_probe_pool_worker_death_changes_nothing(self, tmp_path):

@@ -29,7 +29,9 @@ FACADE_SIGNATURES = {
         " repetitions: 'int' = 1, config: 'Optional[CampaignConfig]' = None,"
         " workers: 'int' = 1, cache: 'bool' = False,"
         " cache_dir: 'Optional[str]' = None,"
-        " mode_factories: 'Optional[Dict[str, Any]]' = None)",
+        " mode_factories: 'Optional[Dict[str, Any]]' = None,"
+        " backend: 'Optional[str]' = None,"
+        " coordinator: 'Optional[str]' = None)",
 }
 
 MODEL_BUILD_CONFIG_FIELDS = [
